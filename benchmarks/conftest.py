@@ -1,0 +1,13 @@
+"""Pytest fixtures for the benchmark harness (see bench_utils for helpers)."""
+
+from __future__ import annotations
+
+import pytest
+
+from bench_utils import FULL_SCALE
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> str:
+    """Whether the benches run at "quick" (default) or "full" paper scale."""
+    return "full" if FULL_SCALE else "quick"

@@ -1,0 +1,66 @@
+"""Figure 9 — recovery on the large CAIDA-like topology.
+
+Paper setting: CAIDA AS28717 giant component (825 nodes / 1018 edges), 22
+flow units per pair, 1–7 demand pairs, algorithms ISP, OPT and SRT.
+Panels: (a) total repairs, (b) percentage of satisfied demand.
+
+Expected shape (paper): ISP performs close to the optimum with no demand
+loss; SRT repairs a comparable number of elements but loses a considerable
+fraction of the demand.
+
+At quick scale the topology is scaled down (200 nodes / 246 edges — same
+edge/node ratio) and OPT runs with a time limit; set REPRO_BENCH_SCALE=full
+for the full-size run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from bench_utils import FULL_SCALE, print_figure
+from repro.evaluation.scenarios import figure9_caida
+
+COLUMNS = ["num_pairs", "algorithm", "total_repairs", "satisfied_pct", "elapsed_seconds"]
+
+
+def run_figure9():
+    if FULL_SCALE:
+        return figure9_caida(
+            pair_counts=(1, 2, 3, 4, 5, 6, 7),
+            num_nodes=825,
+            num_edges=1018,
+            runs=5,
+            opt_time_limit=1800.0,
+        )
+    return figure9_caida(
+        pair_counts=(2, 4),
+        num_nodes=200,
+        num_edges=246,
+        runs=1,
+        opt_time_limit=120.0,
+        algorithm_names=("ISP", "OPT", "SRT"),
+    )
+
+
+def test_figure9_caida_recovery(benchmark):
+    result = benchmark.pedantic(run_figure9, rounds=1, iterations=1)
+    print_figure(
+        "Figure 9 — CAIDA-like topology, varying number of demand pairs (22 units/pair)",
+        result.rows,
+        COLUMNS,
+    )
+
+    repairs = result.series("total_repairs")
+    satisfied = result.series("satisfied_pct")
+    pair_counts = sorted(repairs["ISP"])
+
+    for count in pair_counts:
+        # ISP loses no demand and repairs no more than a small multiple of OPT.
+        assert satisfied["ISP"][count] == pytest.approx(100.0, abs=1e-3)
+        if "OPT" in repairs:
+            assert repairs["OPT"][count] <= repairs["ISP"][count] + 1e-6
+            assert repairs["ISP"][count] <= 2.0 * max(repairs["OPT"][count], 1.0)
+
+    # Repairs grow with the number of demand pairs.
+    isp_series = [repairs["ISP"][count] for count in pair_counts]
+    assert isp_series[-1] >= isp_series[0] - 1e-6

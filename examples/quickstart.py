@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Quickstart: recover a small grid network after a complete destruction.
+
+This example walks through the complete public API in a few dozen lines:
+
+1. build a supply network (a 5x5 grid),
+2. destroy it completely,
+3. define two mission-critical demand flows,
+4. run the paper's ISP heuristic and the exact MILP optimum,
+5. compare repair counts, demand satisfaction and the actual repair lists.
+
+Run it with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    CompleteDestruction,
+    DemandGraph,
+    evaluate_plan,
+    get_algorithm,
+    grid_topology,
+)
+
+
+def main() -> None:
+    # 1. Supply network: a 5x5 grid with 10 units of capacity per link.
+    supply = grid_topology(5, 5, capacity=10.0)
+    print(f"Supply network: {supply.number_of_nodes} nodes, {supply.number_of_edges} edges")
+
+    # 2. Disaster: everything breaks.
+    report = CompleteDestruction().apply(supply)
+    print(f"Disruption destroyed {report.total_broken} elements\n")
+
+    # 3. Mission-critical demand: two flows between opposite corners.
+    demand = DemandGraph()
+    demand.add((0, 0), (4, 4), 6.0)
+    demand.add((0, 4), (4, 0), 6.0)
+    print("Demand flows:")
+    for pair in demand.pairs():
+        print(f"  {pair.source} -> {pair.target}: {pair.demand} units")
+    print()
+
+    # 4. Recover with ISP (the paper's heuristic) and OPT (the exact MILP).
+    for name in ("ISP", "OPT"):
+        algorithm = get_algorithm(name, time_limit=60.0) if name == "OPT" else get_algorithm(name)
+        plan = algorithm.solve(supply, demand)
+        evaluation = evaluate_plan(supply, demand, plan)
+        print(f"--- {name} ---")
+        print(f"  repaired nodes : {plan.num_node_repairs}")
+        print(f"  repaired edges : {plan.num_edge_repairs}")
+        print(f"  total repairs  : {plan.total_repairs} (of {report.total_broken} destroyed)")
+        print(f"  satisfied      : {evaluation.satisfied_percentage:.1f}% of the demand")
+        print(f"  solve time     : {plan.elapsed_seconds:.3f}s")
+        if name == "ISP":
+            print(f"  split actions  : {plan.metadata['splits']}")
+            print(f"  prune actions  : {plan.metadata['prunes']}")
+        print(f"  repaired edges : {sorted(plan.repaired_edges)[:6]} ...")
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The canonical project metadata lives in ``pyproject.toml``.  This file only
+exists so that ``pip install -e .`` keeps working on environments whose
+``setuptools``/``pip`` cannot build PEP-660 editable wheels offline (no
+``wheel`` package available).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,93 @@
+"""repro — reproduction of "Network Recovery After Massive Failures" (DSN 2016).
+
+The library implements the paper's MINIMUM RECOVERY (MinR) problem, the
+Iterative Split and Prune (ISP) heuristic built on demand-based centrality,
+the exact MILP optimum, the baseline heuristics (SRT, GRD-COM, GRD-NC, the
+multi-commodity relaxation extremes MCB/MCW, ALL), the evaluation substrate
+(topologies, disruption models, demand builders) and an experiment harness
+that regenerates every figure of the paper's evaluation section.
+
+Quick start
+-----------
+>>> from repro import (
+...     bell_canada, CompleteDestruction, far_apart_demand, iterative_split_prune,
+... )
+>>> supply = bell_canada()
+>>> _ = CompleteDestruction().apply(supply)
+>>> demand = far_apart_demand(supply, num_pairs=2, flow_per_pair=10.0, seed=1)
+>>> plan = iterative_split_prune(supply, demand)
+>>> plan.total_repairs > 0
+True
+
+See ``examples/`` for complete, runnable walk-throughs and ``benchmarks/``
+for the per-figure reproduction harness.
+"""
+
+from repro.core.centrality import CentralityResult, demand_based_centrality
+from repro.core.isp import ISPConfig, iterative_split_prune
+from repro.evaluation.demand_builder import (
+    far_apart_demand,
+    random_demand,
+    routable_far_apart_demand,
+)
+from repro.evaluation.metrics import PlanEvaluation, evaluate_plan
+from repro.evaluation.runner import compare_algorithms, run_repetitions
+from repro.failures.complete import CompleteDestruction
+from repro.failures.geographic import GaussianDisruption
+from repro.failures.random_failures import UniformRandomFailure
+from repro.flows.milp import solve_minimum_recovery
+from repro.flows.multicommodity import solve_multicommodity_recovery
+from repro.flows.routability import is_routable, routability_test
+from repro.heuristics.registry import available_algorithms, get_algorithm
+from repro.network.demand import DemandGraph, DemandPair
+from repro.network.plan import RecoveryPlan, RouteAssignment
+from repro.network.supply import SupplyGraph
+from repro.topologies.bellcanada import bell_canada
+from repro.topologies.caida_like import caida_like
+from repro.topologies.grids import grid_topology, ring_topology, star_topology
+from repro.topologies.random_graphs import erdos_renyi, geometric_graph
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # network substrate
+    "SupplyGraph",
+    "DemandGraph",
+    "DemandPair",
+    "RecoveryPlan",
+    "RouteAssignment",
+    # core algorithm
+    "ISPConfig",
+    "iterative_split_prune",
+    "CentralityResult",
+    "demand_based_centrality",
+    # optimisation substrate
+    "solve_minimum_recovery",
+    "solve_multicommodity_recovery",
+    "is_routable",
+    "routability_test",
+    # heuristics
+    "available_algorithms",
+    "get_algorithm",
+    # topologies
+    "bell_canada",
+    "caida_like",
+    "erdos_renyi",
+    "geometric_graph",
+    "grid_topology",
+    "ring_topology",
+    "star_topology",
+    # failures
+    "CompleteDestruction",
+    "GaussianDisruption",
+    "UniformRandomFailure",
+    # evaluation
+    "far_apart_demand",
+    "random_demand",
+    "routable_far_apart_demand",
+    "PlanEvaluation",
+    "evaluate_plan",
+    "compare_algorithms",
+    "run_repetitions",
+]

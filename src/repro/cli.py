@@ -1,0 +1,203 @@
+"""Command-line interface for the recovery library.
+
+Three sub-commands cover the everyday workflows:
+
+``solve``
+    Build (or load) a topology, apply a disruption, generate a demand graph
+    and run one or more recovery algorithms, printing the comparison table.
+
+``assess``
+    Print the damage-assessment report of a disrupted instance without
+    running any recovery algorithm.
+
+``topologies`` / ``algorithms``
+    List the registered topology builders and recovery algorithms.
+
+Examples
+--------
+::
+
+    python -m repro.cli solve --topology bell-canada --disruption complete \
+        --pairs 4 --flow 10 --algorithms ISP SRT ALL
+    python -m repro.cli solve --topology grid --topology-arg rows=4 \
+        --topology-arg cols=4 --disruption gaussian --variance 2.0 --pairs 2 --flow 5
+    python -m repro.cli assess --topology bell-canada --disruption gaussian --variance 60
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from repro.evaluation.demand_builder import routable_far_apart_demand
+from repro.evaluation.metrics import evaluate_plan
+from repro.evaluation.reporting import format_table
+from repro.extensions.assessment import assess_damage
+from repro.failures.complete import CompleteDestruction
+from repro.failures.geographic import GaussianDisruption
+from repro.failures.random_failures import UniformRandomFailure
+from repro.heuristics.registry import available_algorithms, get_algorithm
+from repro.network.demand import DemandGraph
+from repro.network.supply import SupplyGraph
+from repro.topologies.registry import available_topologies, build_topology
+
+
+def _parse_value(text: str) -> object:
+    """Parse a ``key=value`` value: int, then float, then plain string."""
+    for converter in (int, float):
+        try:
+            return converter(text)
+        except ValueError:
+            continue
+    return text
+
+
+def _topology_kwargs(items: Optional[Sequence[str]]) -> Dict[str, object]:
+    kwargs: Dict[str, object] = {}
+    for item in items or []:
+        if "=" not in item:
+            raise SystemExit(f"--topology-arg expects key=value, got {item!r}")
+        key, value = item.split("=", 1)
+        kwargs[key] = _parse_value(value)
+    return kwargs
+
+
+def _build_instance(args: argparse.Namespace) -> tuple[SupplyGraph, DemandGraph]:
+    supply = build_topology(args.topology, **_topology_kwargs(args.topology_arg))
+
+    if args.disruption == "complete":
+        CompleteDestruction().apply(supply)
+    elif args.disruption == "gaussian":
+        GaussianDisruption(variance=args.variance).apply(supply, seed=args.seed)
+    elif args.disruption == "random":
+        UniformRandomFailure(args.failure_probability, args.failure_probability).apply(
+            supply, seed=args.seed
+        )
+    elif args.disruption != "none":
+        raise SystemExit(f"unknown disruption {args.disruption!r}")
+
+    demand = routable_far_apart_demand(
+        supply, num_pairs=args.pairs, flow_per_pair=args.flow, seed=args.seed
+    )
+    return supply, demand
+
+
+def _command_solve(args: argparse.Namespace) -> int:
+    supply, demand = _build_instance(args)
+    rows: List[Dict[str, object]] = []
+    for name in args.algorithms:
+        kwargs = {"time_limit": args.opt_time_limit} if name.upper() == "OPT" else {}
+        algorithm = get_algorithm(name, **kwargs)
+        plan = algorithm.solve(supply, demand)
+        rows.append(evaluate_plan(supply, demand, plan).as_row())
+    print(
+        format_table(
+            rows,
+            columns=[
+                "algorithm",
+                "node_repairs",
+                "edge_repairs",
+                "total_repairs",
+                "satisfied_pct",
+                "elapsed_seconds",
+            ],
+            title=(
+                f"Recovery on {args.topology!r} "
+                f"({args.pairs} pairs x {args.flow} units, disruption={args.disruption})"
+            ),
+        )
+    )
+    return 0
+
+
+def _command_assess(args: argparse.Namespace) -> int:
+    supply, demand = _build_instance(args)
+    assessment = assess_damage(supply, demand)
+    rows = [{"metric": key, "value": value} for key, value in assessment.summary().items()]
+    print(format_table(rows, columns=["metric", "value"], title="Damage assessment"))
+    return 0
+
+
+def _command_topologies(_: argparse.Namespace) -> int:
+    for name in available_topologies():
+        print(name)
+    return 0
+
+
+def _command_algorithms(_: argparse.Namespace) -> int:
+    for name in available_algorithms():
+        print(name)
+    return 0
+
+
+def _add_instance_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--topology", default="bell-canada", help="registered topology name")
+    parser.add_argument(
+        "--topology-arg",
+        action="append",
+        metavar="KEY=VALUE",
+        help="extra keyword argument for the topology builder (repeatable)",
+    )
+    parser.add_argument(
+        "--disruption",
+        choices=["complete", "gaussian", "random", "none"],
+        default="complete",
+        help="disruption model applied to the topology",
+    )
+    parser.add_argument("--variance", type=float, default=60.0, help="Gaussian disruption variance")
+    parser.add_argument(
+        "--failure-probability",
+        type=float,
+        default=0.3,
+        help="per-element probability for the random disruption",
+    )
+    parser.add_argument("--pairs", type=int, default=4, help="number of demand pairs")
+    parser.add_argument("--flow", type=float, default=10.0, help="flow units per demand pair")
+    parser.add_argument("--seed", type=int, default=1, help="random seed")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Network recovery after massive failures (DSN 2016 reproduction)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    solve = subparsers.add_parser("solve", help="run recovery algorithms on an instance")
+    _add_instance_arguments(solve)
+    solve.add_argument(
+        "--algorithms",
+        nargs="+",
+        default=["ISP", "SRT", "ALL"],
+        help="algorithm names (see the 'algorithms' sub-command)",
+    )
+    solve.add_argument(
+        "--opt-time-limit",
+        type=float,
+        default=120.0,
+        help="time limit in seconds for the exact MILP (OPT)",
+    )
+    solve.set_defaults(handler=_command_solve)
+
+    assess = subparsers.add_parser("assess", help="print a damage assessment report")
+    _add_instance_arguments(assess)
+    assess.set_defaults(handler=_command_assess)
+
+    topologies = subparsers.add_parser("topologies", help="list registered topologies")
+    topologies.set_defaults(handler=_command_topologies)
+
+    algorithms = subparsers.add_parser("algorithms", help="list registered algorithms")
+    algorithms.set_defaults(handler=_command_algorithms)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point used both by ``python -m repro.cli`` and the console script."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via main() in tests
+    sys.exit(main())

@@ -1,0 +1,31 @@
+"""The paper's primary contribution: Iterative Split and Prune (ISP).
+
+The package is organised around the four activities of the algorithm
+(Section IV of the paper):
+
+* :mod:`~repro.core.centrality` — the demand-based centrality metric (Eq. 3)
+  and its runtime shortest-path-cover estimate;
+* :mod:`~repro.core.prune` — bubble detection and the prune action
+  (Section IV-F, Theorem 3);
+* :mod:`~repro.core.split` — demand selection for the split action
+  (Decision 1 of Section IV-C);
+* :mod:`~repro.core.isp` — the main loop tying everything together, the
+  repair list and the termination test.
+"""
+
+from repro.core.centrality import CentralityResult, demand_based_centrality
+from repro.core.isp import ISPConfig, iterative_split_prune
+from repro.core.prune import PruneAction, find_bubble, find_prunable_routing
+from repro.core.split import SplitChoice, select_demand_to_split
+
+__all__ = [
+    "CentralityResult",
+    "demand_based_centrality",
+    "ISPConfig",
+    "iterative_split_prune",
+    "PruneAction",
+    "find_bubble",
+    "find_prunable_routing",
+    "SplitChoice",
+    "select_demand_to_split",
+]

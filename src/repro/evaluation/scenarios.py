@@ -1,0 +1,369 @@
+"""The paper's experiments, one function per figure (Section VII).
+
+Every function returns a :class:`ScenarioResult` whose ``rows`` are flat
+dictionaries — one row per (sweep value, algorithm) with the averaged
+metrics — i.e. exactly the series plotted in the corresponding figure.  The
+benchmark modules under ``benchmarks/`` call these functions (with reduced
+repetition counts so they finish quickly) and print the resulting tables;
+EXPERIMENTS.md records a full run.
+
+Scale knobs
+-----------
+The experiments involving the exact MILP (OPT) or the large CAIDA-like
+topology can be expensive.  All scenario functions therefore accept
+
+* ``runs`` — number of random repetitions to average (the paper uses 20),
+* ``opt_time_limit`` — wall-clock limit per MILP solve (``None`` = exact),
+* explicit sweep ranges, so callers can trade fidelity for speed.
+
+The defaults are chosen to finish on a laptop in minutes while still showing
+the qualitative results; pass the paper's parameters for a full
+reproduction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.evaluation.demand_builder import far_apart_demand, routable_far_apart_demand
+from repro.evaluation.runner import ComparisonRow, run_repetitions
+from repro.failures.complete import CompleteDestruction
+from repro.failures.geographic import GaussianDisruption
+from repro.heuristics.base import RecoveryAlgorithm
+from repro.heuristics.registry import get_algorithm
+from repro.network.demand import DemandGraph
+from repro.network.supply import SupplyGraph
+from repro.topologies.bellcanada import bell_canada
+from repro.topologies.caida_like import caida_like
+from repro.topologies.random_graphs import erdos_renyi
+from repro.utils.rng import RandomState, ensure_rng
+
+
+@dataclass
+class ScenarioResult:
+    """Rows of one reproduced figure."""
+
+    name: str
+    figure: str
+    sweep_parameter: str
+    rows: List[Dict[str, object]] = field(default_factory=list)
+
+    def series(self, value_key: str = "total_repairs") -> Dict[str, Dict[object, object]]:
+        """Pivot the rows into ``{algorithm: {sweep value: metric}}``."""
+        series: Dict[str, Dict[object, object]] = {}
+        for row in self.rows:
+            series.setdefault(str(row["algorithm"]), {})[row[self.sweep_parameter]] = row[
+                value_key
+            ]
+        return series
+
+
+def _algorithms(names: Sequence[str], opt_time_limit: Optional[float]) -> List[RecoveryAlgorithm]:
+    algorithms = []
+    for name in names:
+        if name.upper() == "OPT" and opt_time_limit is not None:
+            algorithms.append(get_algorithm("OPT", time_limit=opt_time_limit))
+        else:
+            algorithms.append(get_algorithm(name))
+    return algorithms
+
+
+def _sweep(
+    name: str,
+    figure: str,
+    sweep_parameter: str,
+    sweep_values: Iterable[object],
+    factory_for_value: Callable[[object], Callable[[np.random.Generator], Tuple[SupplyGraph, DemandGraph]]],
+    algorithms: List[RecoveryAlgorithm],
+    runs: int,
+    seed: RandomState,
+) -> ScenarioResult:
+    """Shared sweep driver: one ``run_repetitions`` call per sweep value."""
+    rng = ensure_rng(seed)
+    result = ScenarioResult(name=name, figure=figure, sweep_parameter=sweep_parameter)
+    for value in sweep_values:
+        rows = run_repetitions(
+            factory_for_value(value),
+            algorithms,
+            runs=runs,
+            seed=int(rng.integers(0, 2**63 - 1)),
+        )
+        for row in rows:
+            flat = {sweep_parameter: value}
+            flat.update(row.as_dict())
+            result.rows.append(flat)
+    return result
+
+
+# --------------------------------------------------------------------- #
+# Figure 3 — multi-commodity relaxation extremes on Bell-Canada
+# --------------------------------------------------------------------- #
+def figure3_multicommodity(
+    demand_values: Sequence[float] = (2, 6, 10, 14, 18),
+    num_pairs: int = 4,
+    runs: int = 1,
+    seed: RandomState = 7,
+    opt_time_limit: Optional[float] = 60.0,
+    algorithm_names: Sequence[str] = ("OPT", "MCW", "MCB", "ALL"),
+) -> ScenarioResult:
+    """Total repairs of OPT / MCW / MCB / ALL as the demand per pair grows.
+
+    Paper setting: Bell-Canada, 4 far-apart pairs, complete destruction,
+    demand per pair swept from 2 to 18 flow units.
+    """
+    algorithms = _algorithms(algorithm_names, opt_time_limit)
+
+    def factory_for(flow: object):
+        def factory(rng: np.random.Generator) -> Tuple[SupplyGraph, DemandGraph]:
+            supply = bell_canada()
+            CompleteDestruction().apply(supply)
+            demand = routable_far_apart_demand(supply, num_pairs, float(flow), seed=rng)
+            return supply, demand
+
+        return factory
+
+    return _sweep(
+        name="multicommodity-extremes",
+        figure="Figure 3",
+        sweep_parameter="demand_per_pair",
+        sweep_values=demand_values,
+        factory_for_value=factory_for,
+        algorithms=algorithms,
+        runs=runs,
+        seed=seed,
+    )
+
+
+# --------------------------------------------------------------------- #
+# Figure 4 — varying the number of demand pairs on Bell-Canada
+# --------------------------------------------------------------------- #
+def figure4_demand_pairs(
+    pair_counts: Sequence[int] = (1, 2, 3, 4, 5, 6, 7),
+    flow_per_pair: float = 10.0,
+    runs: int = 1,
+    seed: RandomState = 11,
+    opt_time_limit: Optional[float] = 120.0,
+    algorithm_names: Sequence[str] = ("ISP", "OPT", "SRT", "GRD-COM", "GRD-NC", "ALL"),
+) -> ScenarioResult:
+    """Edge/node/total repairs and satisfied demand vs number of demand pairs.
+
+    Paper setting: Bell-Canada, 10 flow units per pair, complete destruction,
+    1–7 demand pairs.
+    """
+    algorithms = _algorithms(algorithm_names, opt_time_limit)
+
+    def factory_for(count: object):
+        def factory(rng: np.random.Generator) -> Tuple[SupplyGraph, DemandGraph]:
+            supply = bell_canada()
+            CompleteDestruction().apply(supply)
+            demand = routable_far_apart_demand(supply, int(count), flow_per_pair, seed=rng)
+            return supply, demand
+
+        return factory
+
+    return _sweep(
+        name="bellcanada-demand-pairs",
+        figure="Figure 4",
+        sweep_parameter="num_pairs",
+        sweep_values=pair_counts,
+        factory_for_value=factory_for,
+        algorithms=algorithms,
+        runs=runs,
+        seed=seed,
+    )
+
+
+# --------------------------------------------------------------------- #
+# Figure 5 — varying the demand intensity on Bell-Canada
+# --------------------------------------------------------------------- #
+def figure5_demand_intensity(
+    demand_values: Sequence[float] = (2, 4, 6, 8, 10, 12, 14, 16, 18),
+    num_pairs: int = 4,
+    runs: int = 1,
+    seed: RandomState = 13,
+    opt_time_limit: Optional[float] = 120.0,
+    algorithm_names: Sequence[str] = ("ISP", "OPT", "SRT", "GRD-COM", "GRD-NC", "ALL"),
+) -> ScenarioResult:
+    """Total repairs and satisfied demand vs demand intensity (4 pairs)."""
+    algorithms = _algorithms(algorithm_names, opt_time_limit)
+
+    def factory_for(flow: object):
+        def factory(rng: np.random.Generator) -> Tuple[SupplyGraph, DemandGraph]:
+            supply = bell_canada()
+            CompleteDestruction().apply(supply)
+            demand = routable_far_apart_demand(supply, num_pairs, float(flow), seed=rng)
+            return supply, demand
+
+        return factory
+
+    return _sweep(
+        name="bellcanada-demand-intensity",
+        figure="Figure 5",
+        sweep_parameter="demand_per_pair",
+        sweep_values=demand_values,
+        factory_for_value=factory_for,
+        algorithms=algorithms,
+        runs=runs,
+        seed=seed,
+    )
+
+
+# --------------------------------------------------------------------- #
+# Figure 6 — varying the extent of a geographic disruption on Bell-Canada
+# --------------------------------------------------------------------- #
+def figure6_disruption_extent(
+    variances: Sequence[float] = (10, 40, 80, 120, 160),
+    num_pairs: int = 4,
+    flow_per_pair: float = 10.0,
+    runs: int = 2,
+    seed: RandomState = 17,
+    opt_time_limit: Optional[float] = 120.0,
+    algorithm_names: Sequence[str] = ("ISP", "OPT", "SRT", "GRD-COM", "GRD-NC", "ALL"),
+) -> ScenarioResult:
+    """Total repairs and satisfied demand vs the variance of the disruption.
+
+    Paper setting: Bell-Canada, 4 pairs of 10 units, bi-variate Gaussian
+    disruption centred at the barycentre, variance swept to widen the
+    destroyed area.  Note: Bell-Canada coordinates are in degrees, so the
+    variances that sweep from "local" to "near-total" destruction are in
+    squared degrees (the paper's axis is in its own arbitrary units).
+    """
+    algorithms = _algorithms(algorithm_names, opt_time_limit)
+
+    def factory_for(variance: object):
+        def factory(rng: np.random.Generator) -> Tuple[SupplyGraph, DemandGraph]:
+            supply = bell_canada()
+            GaussianDisruption(variance=float(variance)).apply(supply, seed=rng)
+            demand = routable_far_apart_demand(supply, num_pairs, flow_per_pair, seed=rng)
+            return supply, demand
+
+        return factory
+
+    return _sweep(
+        name="bellcanada-disruption-extent",
+        figure="Figure 6",
+        sweep_parameter="variance",
+        sweep_values=variances,
+        factory_for_value=factory_for,
+        algorithms=algorithms,
+        runs=runs,
+        seed=seed,
+    )
+
+
+# --------------------------------------------------------------------- #
+# Figure 7 — scalability on Erdős–Rényi graphs
+# --------------------------------------------------------------------- #
+def figure7_scalability(
+    edge_probabilities: Sequence[float] = (0.05, 0.1, 0.3, 0.6, 0.9),
+    num_nodes: int = 100,
+    num_pairs: int = 5,
+    flow_per_pair: float = 1.0,
+    capacity: float = 1000.0,
+    runs: int = 1,
+    seed: RandomState = 19,
+    opt_time_limit: Optional[float] = 60.0,
+    algorithm_names: Sequence[str] = ("ISP", "SRT", "OPT"),
+) -> ScenarioResult:
+    """Execution time and total repairs vs the edge probability ``p``.
+
+    Paper setting: Erdős–Rényi with 100 nodes, 5 unit demands, links of
+    capacity 1000 (a pure connectivity instance), complete destruction.  The
+    execution time of each algorithm is in the ``elapsed_seconds`` column of
+    the rows — the paper's Figure 7(a); total repairs is Figure 7(b).
+    """
+    algorithms = _algorithms(algorithm_names, opt_time_limit)
+
+    def factory_for(probability: object):
+        def factory(rng: np.random.Generator) -> Tuple[SupplyGraph, DemandGraph]:
+            supply = erdos_renyi(
+                num_nodes=num_nodes,
+                edge_probability=float(probability),
+                capacity=capacity,
+                seed=rng,
+            )
+            CompleteDestruction().apply(supply)
+            demand = far_apart_demand(
+                supply, num_pairs, flow_per_pair, min_fraction_of_diameter=0.5, seed=rng
+            )
+            return supply, demand
+
+        return factory
+
+    return _sweep(
+        name="erdos-renyi-scalability",
+        figure="Figure 7",
+        sweep_parameter="edge_probability",
+        sweep_values=edge_probabilities,
+        factory_for_value=factory_for,
+        algorithms=algorithms,
+        runs=runs,
+        seed=seed,
+    )
+
+
+# --------------------------------------------------------------------- #
+# Figure 8 — the large CAIDA-like topology itself
+# --------------------------------------------------------------------- #
+def figure8_topology_report(
+    num_nodes: int = 825,
+    num_edges: int = 1018,
+    seed: RandomState = 23,
+) -> Dict[str, object]:
+    """Statistics of the CAIDA-like topology (the paper shows it as a picture).
+
+    Returns the node/edge counts, degree statistics and connectivity flag of
+    the generated graph so the substitution can be compared with the
+    original AS28717 figures (825 nodes, 1018 edges, heavy-tailed degrees).
+    """
+    supply = caida_like(num_nodes=num_nodes, num_edges=num_edges, seed=seed)
+    stats = supply.stats()
+    degrees = sorted((supply.degree(node) for node in supply.nodes), reverse=True)
+    stats["top_degrees"] = degrees[:10]
+    stats["degree_one_fraction"] = sum(1 for d in degrees if d == 1) / len(degrees)
+    return stats
+
+
+# --------------------------------------------------------------------- #
+# Figure 9 — large CAIDA-like topology recovery
+# --------------------------------------------------------------------- #
+def figure9_caida(
+    pair_counts: Sequence[int] = (1, 2, 3, 4, 5, 6, 7),
+    flow_per_pair: float = 22.0,
+    num_nodes: int = 825,
+    num_edges: int = 1018,
+    runs: int = 1,
+    seed: RandomState = 29,
+    opt_time_limit: Optional[float] = 300.0,
+    algorithm_names: Sequence[str] = ("ISP", "OPT", "SRT"),
+) -> ScenarioResult:
+    """Total repairs and satisfied demand on the large topology.
+
+    Paper setting: CAIDA AS28717 giant component (825 nodes / 1018 edges),
+    22 flow units per pair, 1–7 pairs.  Pass smaller ``num_nodes`` /
+    ``num_edges`` to run a scaled-down version quickly (the benchmark does).
+    """
+    algorithms = _algorithms(algorithm_names, opt_time_limit)
+
+    def factory_for(count: object):
+        def factory(rng: np.random.Generator) -> Tuple[SupplyGraph, DemandGraph]:
+            supply = caida_like(num_nodes=num_nodes, num_edges=num_edges, seed=rng)
+            CompleteDestruction().apply(supply)
+            demand = routable_far_apart_demand(supply, int(count), flow_per_pair, seed=rng)
+            return supply, demand
+
+        return factory
+
+    return _sweep(
+        name="caida-demand-pairs",
+        figure="Figure 9",
+        sweep_parameter="num_pairs",
+        sweep_values=pair_counts,
+        factory_for_value=factory_for,
+        algorithms=algorithms,
+        runs=runs,
+        seed=seed,
+    )

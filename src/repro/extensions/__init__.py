@@ -1,0 +1,22 @@
+"""Extensions beyond the paper's core contribution.
+
+* :mod:`~repro.extensions.progressive` — progressive (staged) recovery
+  scheduling under a per-stage repair budget, in the spirit of the related
+  work the paper discusses (Wang, Qiao and Yu, INFOCOM 2011): given the
+  repair set chosen by any recovery algorithm, decide the *order* in which
+  to rebuild it so that the mission-critical demand comes back as early as
+  possible.
+* :mod:`~repro.extensions.assessment` — damage-assessment reports computed
+  before any recovery decision: what broke, which demands are cut off, how
+  much demand the surviving network can still carry.
+"""
+
+from repro.extensions.assessment import DamageAssessment, assess_damage
+from repro.extensions.progressive import ProgressiveSchedule, schedule_progressive_recovery
+
+__all__ = [
+    "DamageAssessment",
+    "assess_damage",
+    "ProgressiveSchedule",
+    "schedule_progressive_recovery",
+]

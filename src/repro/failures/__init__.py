@@ -1,0 +1,26 @@
+"""Disruption (failure) models.
+
+The paper evaluates recovery under two disruption regimes:
+
+* **complete destruction** of the supply network (first scenario, Sections
+  VII-A1/A2, and the scalability scenario VII-B), and
+* **geographically correlated failures** drawn from a bi-variate Gaussian
+  centred at an epicentre, whose variance controls the extent of the
+  destruction (Section VII-A3).
+
+A uniform random failure model is provided as an additional baseline used in
+tests and examples.
+"""
+
+from repro.failures.base import FailureModel, FailureReport
+from repro.failures.complete import CompleteDestruction
+from repro.failures.geographic import GaussianDisruption
+from repro.failures.random_failures import UniformRandomFailure
+
+__all__ = [
+    "FailureModel",
+    "FailureReport",
+    "CompleteDestruction",
+    "GaussianDisruption",
+    "UniformRandomFailure",
+]

@@ -1,0 +1,53 @@
+"""Common interface of all disruption models.
+
+A failure model inspects a :class:`~repro.network.supply.SupplyGraph` and
+decides which nodes and edges break.  Models never mutate their input unless
+explicitly asked to: :meth:`FailureModel.apply` marks the chosen elements as
+broken on the given graph, while :meth:`FailureModel.sample` only reports
+which elements would break.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Hashable, Set, Tuple
+
+from repro.network.supply import SupplyGraph
+from repro.utils.rng import RandomState, ensure_rng
+
+Node = Hashable
+Edge = Tuple[Node, Node]
+
+
+@dataclass(frozen=True)
+class FailureReport:
+    """The outcome of a disruption: which elements broke."""
+
+    broken_nodes: frozenset = field(default_factory=frozenset)
+    broken_edges: frozenset = field(default_factory=frozenset)
+
+    @property
+    def total_broken(self) -> int:
+        """Total number of destroyed elements (the paper's ``ALL`` line)."""
+        return len(self.broken_nodes) + len(self.broken_edges)
+
+    def is_empty(self) -> bool:
+        return not self.broken_nodes and not self.broken_edges
+
+
+class FailureModel(abc.ABC):
+    """Base class for disruption models."""
+
+    @abc.abstractmethod
+    def sample(self, supply: SupplyGraph, seed: RandomState = None) -> FailureReport:
+        """Return the elements that would break, without modifying ``supply``."""
+
+    def apply(self, supply: SupplyGraph, seed: RandomState = None) -> FailureReport:
+        """Sample a disruption and mark the chosen elements broken on ``supply``."""
+        report = self.sample(supply, seed=ensure_rng(seed))
+        for node in report.broken_nodes:
+            supply.break_node(node)
+        for u, v in report.broken_edges:
+            supply.break_edge(u, v)
+        return report

@@ -1,0 +1,26 @@
+"""Complete destruction of the supply network.
+
+Sections VII-A1 and VII-A2 of the paper consider "a complete destruction of
+the supply graph, in order to have the maximum range of potential solutions":
+every node and every edge is broken and the recovery algorithms choose which
+subset to rebuild.
+"""
+
+from __future__ import annotations
+
+from repro.failures.base import FailureModel, FailureReport
+from repro.network.supply import SupplyGraph, canonical_edge
+from repro.utils.rng import RandomState
+
+
+class CompleteDestruction(FailureModel):
+    """Break every node and every edge of the supply graph."""
+
+    def sample(self, supply: SupplyGraph, seed: RandomState = None) -> FailureReport:
+        return FailureReport(
+            broken_nodes=frozenset(supply.nodes),
+            broken_edges=frozenset(canonical_edge(u, v) for u, v in supply.edges),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return "CompleteDestruction()"

@@ -1,0 +1,48 @@
+"""Uniform random (geographically uncorrelated) failures.
+
+Not part of the paper's evaluation, but a useful baseline disruption model
+for tests, examples and sensitivity studies: every node fails independently
+with probability ``node_probability`` and every edge with probability
+``edge_probability``.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Set, Tuple
+
+from repro.failures.base import FailureModel, FailureReport
+from repro.network.supply import SupplyGraph, canonical_edge
+from repro.utils.rng import RandomState, ensure_rng
+from repro.utils.validation import check_probability
+
+Node = Hashable
+
+
+class UniformRandomFailure(FailureModel):
+    """Break each element independently with a fixed probability."""
+
+    def __init__(self, node_probability: float = 0.0, edge_probability: float = 0.0) -> None:
+        check_probability(node_probability, "node_probability")
+        check_probability(edge_probability, "edge_probability")
+        self.node_probability = float(node_probability)
+        self.edge_probability = float(edge_probability)
+
+    def sample(self, supply: SupplyGraph, seed: RandomState = None) -> FailureReport:
+        rng = ensure_rng(seed)
+        broken_nodes: Set[Node] = {
+            node for node in supply.nodes if rng.random() < self.node_probability
+        }
+        broken_edges: Set[Tuple[Node, Node]] = {
+            canonical_edge(u, v)
+            for u, v in supply.edges
+            if rng.random() < self.edge_probability
+        }
+        return FailureReport(
+            broken_nodes=frozenset(broken_nodes), broken_edges=frozenset(broken_edges)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"UniformRandomFailure(node_probability={self.node_probability}, "
+            f"edge_probability={self.edge_probability})"
+        )

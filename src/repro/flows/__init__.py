@@ -1,0 +1,44 @@
+"""Flow and optimisation substrate.
+
+This package contains every piece of mathematical-programming machinery the
+paper relies on:
+
+* :mod:`~repro.flows.lp_backend` — construction of the multi-commodity flow
+  variable space and of the sparse capacity / flow-conservation constraint
+  matrices shared by all LPs and the MILP;
+* :mod:`~repro.flows.routability` — the routability test of Section IV-A
+  (LP feasibility of the routability conditions, Eq. 2);
+* :mod:`~repro.flows.maxflow` — maximum-flow helpers;
+* :mod:`~repro.flows.decomposition` — flow decomposition of LP edge flows
+  into explicit path assignments;
+* :mod:`~repro.flows.multicommodity` — the multi-commodity relaxation of
+  Section VI-A (Eq. 8) with the MCB / MCW solution extremes;
+* :mod:`~repro.flows.milp` — the exact MinR MILP of Eq. 1 (the paper's OPT),
+  solved with the HiGHS branch-and-cut backend;
+* :mod:`~repro.flows.splitting_lp` — the LP that computes the maximum
+  splittable amount ``dx`` used by ISP's split action (Section IV-C).
+"""
+
+from repro.flows.lp_backend import Commodity, FlowProblem
+from repro.flows.maxflow import max_flow_value, max_flow_over_path_set
+from repro.flows.milp import MinRSolution, solve_minimum_recovery
+from repro.flows.multicommodity import MultiCommodityResult, solve_multicommodity_recovery
+from repro.flows.routability import RoutabilityResult, is_routable, routability_test
+from repro.flows.splitting_lp import maximum_splittable_amount
+from repro.flows.decomposition import decompose_flows
+
+__all__ = [
+    "Commodity",
+    "FlowProblem",
+    "RoutabilityResult",
+    "is_routable",
+    "routability_test",
+    "max_flow_value",
+    "max_flow_over_path_set",
+    "decompose_flows",
+    "MultiCommodityResult",
+    "solve_multicommodity_recovery",
+    "MinRSolution",
+    "solve_minimum_recovery",
+    "maximum_splittable_amount",
+]

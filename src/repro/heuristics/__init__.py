@@ -1,0 +1,35 @@
+"""Baseline recovery algorithms (Section VI of the paper).
+
+* :mod:`~repro.heuristics.all_repair` — ALL: repair every broken element
+  (the trivial upper bound plotted in every figure);
+* :mod:`~repro.heuristics.optimal` — OPT: the exact MinR MILP;
+* :mod:`~repro.heuristics.srt` — SRT: repair the shortest paths needed by
+  each demand, treated independently;
+* :mod:`~repro.heuristics.greedy` — GRD-COM and GRD-NC: knapsack-style
+  greedy path repair with and without routing commitment;
+* :mod:`~repro.heuristics.multicommodity_heuristic` — the MCB / MCW extremes
+  of the multi-commodity relaxation;
+* :mod:`~repro.heuristics.registry` — a uniform name → algorithm mapping
+  used by the evaluation harness.
+"""
+
+from repro.heuristics.all_repair import repair_all
+from repro.heuristics.base import RecoveryAlgorithm
+from repro.heuristics.greedy import greedy_commitment, greedy_no_commitment
+from repro.heuristics.multicommodity_heuristic import multicommodity_best, multicommodity_worst
+from repro.heuristics.optimal import optimal_recovery
+from repro.heuristics.registry import available_algorithms, get_algorithm
+from repro.heuristics.srt import shortest_path_repair
+
+__all__ = [
+    "RecoveryAlgorithm",
+    "repair_all",
+    "optimal_recovery",
+    "shortest_path_repair",
+    "greedy_commitment",
+    "greedy_no_commitment",
+    "multicommodity_best",
+    "multicommodity_worst",
+    "available_algorithms",
+    "get_algorithm",
+]

@@ -1,0 +1,46 @@
+"""Common interface of recovery algorithms.
+
+Every algorithm — the paper's ISP, the MILP optimum and all baselines — is a
+callable taking a :class:`~repro.network.supply.SupplyGraph` (with broken
+elements) and a :class:`~repro.network.demand.DemandGraph` and returning a
+:class:`~repro.network.plan.RecoveryPlan`.  :class:`RecoveryAlgorithm` wraps
+such a callable with a display name and optional fixed keyword arguments so
+the evaluation harness can treat all algorithms uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict
+
+from repro.network.demand import DemandGraph
+from repro.network.plan import RecoveryPlan
+from repro.network.supply import SupplyGraph
+
+Solver = Callable[..., RecoveryPlan]
+
+
+@dataclass
+class RecoveryAlgorithm:
+    """A named recovery algorithm with bound keyword arguments.
+
+    Examples
+    --------
+    >>> from repro.heuristics.all_repair import repair_all
+    >>> algorithm = RecoveryAlgorithm(name="ALL", solver=repair_all)
+    >>> algorithm.name
+    'ALL'
+    """
+
+    name: str
+    solver: Solver
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+
+    def solve(self, supply: SupplyGraph, demand: DemandGraph) -> RecoveryPlan:
+        """Run the algorithm and stamp the plan with this algorithm's name."""
+        plan = self.solver(supply, demand, **self.kwargs)
+        plan.algorithm = self.name
+        return plan
+
+    def __call__(self, supply: SupplyGraph, demand: DemandGraph) -> RecoveryPlan:
+        return self.solve(supply, demand)

@@ -1,0 +1,26 @@
+"""MCB / MCW: the extremes of the multi-commodity relaxation (Section VI-A).
+
+These are not practical recovery algorithms — the paper uses them (Figure 3)
+to show that the polynomial-time relaxation of MinR has an optimal face so
+wide that picking an arbitrary optimum can be as expensive as repairing
+everything, while picking the best one is NP-hard.  The heavy lifting lives
+in :mod:`repro.flows.multicommodity`; these wrappers adapt it to the common
+algorithm interface.
+"""
+
+from __future__ import annotations
+
+from repro.flows.multicommodity import solve_multicommodity_recovery
+from repro.network.demand import DemandGraph
+from repro.network.plan import RecoveryPlan
+from repro.network.supply import SupplyGraph
+
+
+def multicommodity_best(supply: SupplyGraph, demand: DemandGraph) -> RecoveryPlan:
+    """MCB: a low-repair optimum of the relaxation (reweighted / sparsified)."""
+    return solve_multicommodity_recovery(supply, demand).best
+
+
+def multicommodity_worst(supply: SupplyGraph, demand: DemandGraph) -> RecoveryPlan:
+    """MCW: a high-repair optimum of the relaxation (interior-point solution)."""
+    return solve_multicommodity_recovery(supply, demand).worst

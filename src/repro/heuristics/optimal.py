@@ -1,0 +1,34 @@
+"""OPT: the exact optimum of the MinR MILP.
+
+Thin wrapper around :func:`repro.flows.milp.solve_minimum_recovery` that
+adapts the raw MILP solution to the common :class:`RecoveryPlan` interface
+used by the evaluation harness.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.flows.milp import minr_solution_to_plan, solve_minimum_recovery
+from repro.network.demand import DemandGraph
+from repro.network.plan import RecoveryPlan
+from repro.network.supply import SupplyGraph
+
+
+def optimal_recovery(
+    supply: SupplyGraph,
+    demand: DemandGraph,
+    time_limit: Optional[float] = None,
+    mip_rel_gap: float = 0.0,
+) -> RecoveryPlan:
+    """Solve MinR exactly (or to the given gap / time limit) and return the plan.
+
+    When a ``time_limit`` is given and the solver stops with a feasible
+    incumbent, the plan is returned with ``metadata["status"] == "feasible"``
+    and the achieved MIP gap; an infeasible model yields an empty plan with
+    ``metadata["status"] == "infeasible"``.
+    """
+    solution = solve_minimum_recovery(
+        supply, demand, time_limit=time_limit, mip_rel_gap=mip_rel_gap
+    )
+    return minr_solution_to_plan(solution, algorithm="OPT")

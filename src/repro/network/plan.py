@@ -1,0 +1,222 @@
+"""Recovery plans: the common output format of every recovery algorithm.
+
+Every algorithm in this library (ISP, the MILP optimum, SRT, the greedy
+heuristics, the multi-commodity relaxation, ALL) returns a
+:class:`RecoveryPlan` holding
+
+* the set of nodes and edges selected for repair,
+* the routing of demand flows over the recovered network (when the
+  algorithm produces one), and
+* bookkeeping such as the algorithm name, wall-clock time and iteration
+  counters.
+
+Having a single result type lets the evaluation harness compute the paper's
+metrics (number of edge/node/total repairs, repair cost, percentage of
+satisfied demand) uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Mapping, Optional, Tuple
+
+from repro.network.demand import DemandGraph, canonical_pair
+from repro.network.supply import SupplyGraph, canonical_edge
+
+Node = Hashable
+Edge = Tuple[Node, Node]
+Pair = Tuple[Node, Node]
+Path = Tuple[Node, ...]
+
+
+@dataclass(frozen=True)
+class RouteAssignment:
+    """A routed portion of a demand: ``flow`` units on ``path`` for ``pair``."""
+
+    pair: Pair
+    path: Path
+    flow: float
+
+    def __post_init__(self) -> None:
+        if self.flow <= 0:
+            raise ValueError("a route assignment must carry positive flow")
+        if len(self.path) < 2:
+            raise ValueError("a route must contain at least one edge")
+
+
+@dataclass
+class RecoveryPlan:
+    """Result of a recovery algorithm.
+
+    Attributes
+    ----------
+    algorithm:
+        Human-readable identifier (``"ISP"``, ``"OPT"``, ``"SRT"`` ...).
+    repaired_nodes, repaired_edges:
+        Elements selected for repair.  Edges are stored in canonical form.
+    routes:
+        Flow-on-path assignments for each demand pair, when the algorithm
+        produces an explicit routing (ISP, SRT, GRD-COM do; GRD-NC and the
+        routability check produce none).
+    satisfied_demand:
+        Demand units actually routed per pair; filled by the algorithm or by
+        the evaluation harness when checking feasibility.
+    elapsed_seconds:
+        Wall-clock execution time.
+    iterations:
+        Number of main-loop iterations (ISP) or equivalent work counter.
+    metadata:
+        Free-form extra information (e.g. MILP gap, solver status).
+    """
+
+    algorithm: str
+    repaired_nodes: set = field(default_factory=set)
+    repaired_edges: set = field(default_factory=set)
+    routes: List[RouteAssignment] = field(default_factory=list)
+    satisfied_demand: Dict[Pair, float] = field(default_factory=dict)
+    elapsed_seconds: float = 0.0
+    iterations: int = 0
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    # Mutation helpers used by the algorithms
+    # ------------------------------------------------------------------ #
+    def add_node_repair(self, node: Node) -> None:
+        self.repaired_nodes.add(node)
+
+    def add_edge_repair(self, u: Node, v: Node) -> None:
+        self.repaired_edges.add(canonical_edge(u, v))
+
+    def add_route(self, pair: Pair, path: Path, flow: float) -> None:
+        """Record that ``flow`` units of ``pair`` travel along ``path``."""
+        key = canonical_pair(*pair)
+        self.routes.append(RouteAssignment(pair=key, path=tuple(path), flow=flow))
+        self.satisfied_demand[key] = self.satisfied_demand.get(key, 0.0) + flow
+
+    def record_satisfied(self, pair: Pair, flow: float) -> None:
+        """Record satisfied demand without an explicit path (e.g. LP routing)."""
+        key = canonical_pair(*pair)
+        self.satisfied_demand[key] = self.satisfied_demand.get(key, 0.0) + flow
+
+    # ------------------------------------------------------------------ #
+    # Metrics
+    # ------------------------------------------------------------------ #
+    @property
+    def num_node_repairs(self) -> int:
+        return len(self.repaired_nodes)
+
+    @property
+    def num_edge_repairs(self) -> int:
+        return len(self.repaired_edges)
+
+    @property
+    def total_repairs(self) -> int:
+        """Total number of repaired elements (the paper's main cost metric)."""
+        return self.num_node_repairs + self.num_edge_repairs
+
+    def repair_cost(self, supply: SupplyGraph) -> float:
+        """Monetary repair cost of the plan under ``supply``'s cost model."""
+        return supply.repair_cost_of(self.repaired_nodes, self.repaired_edges)
+
+    def total_satisfied(self) -> float:
+        """Total demand units the plan claims to satisfy."""
+        return sum(self.satisfied_demand.values())
+
+    def satisfied_fraction(self, demand: DemandGraph) -> float:
+        """Fraction (0–1) of the original demand satisfied by the plan.
+
+        Per-pair satisfaction is capped at the requested demand so that an
+        over-reporting algorithm cannot exceed 100%.
+        """
+        total = demand.total_demand
+        if total <= 0:
+            return 1.0
+        satisfied = 0.0
+        for pair in demand.pairs():
+            routed = self.satisfied_demand.get(pair.pair, 0.0)
+            satisfied += min(routed, pair.demand)
+        return satisfied / total
+
+    def demand_loss(self, demand: DemandGraph) -> float:
+        """Fraction (0–1) of the original demand the plan fails to satisfy."""
+        return 1.0 - self.satisfied_fraction(demand)
+
+    # ------------------------------------------------------------------ #
+    # Validation
+    # ------------------------------------------------------------------ #
+    def routed_load(self) -> Dict[Edge, float]:
+        """Aggregate flow per supply edge implied by the explicit routes."""
+        load: Dict[Edge, float] = {}
+        for route in self.routes:
+            for i in range(len(route.path) - 1):
+                key = canonical_edge(route.path[i], route.path[i + 1])
+                load[key] = load.get(key, 0.0) + route.flow
+        return load
+
+    def validate_routing(
+        self,
+        supply: SupplyGraph,
+        demand: DemandGraph,
+        tolerance: float = 1e-6,
+    ) -> List[str]:
+        """Check the explicit routing against capacities, failures and demand.
+
+        Returns a list of human-readable violation descriptions (empty when
+        the routing is feasible).  Checks performed:
+
+        * every routed path uses only working or repaired elements,
+        * aggregate flow per edge does not exceed its nominal capacity,
+        * no pair receives more flow than it requested.
+        """
+        problems: List[str] = []
+        for route in self.routes:
+            for node in route.path:
+                if supply.is_broken_node(node) and node not in self.repaired_nodes:
+                    problems.append(
+                        f"route for {route.pair} traverses broken node {node!r} "
+                        "that is not scheduled for repair"
+                    )
+            for i in range(len(route.path) - 1):
+                u, v = route.path[i], route.path[i + 1]
+                if not supply.has_edge(u, v):
+                    problems.append(f"route for {route.pair} uses non-existent edge ({u!r}, {v!r})")
+                    continue
+                if supply.is_broken_edge(u, v) and canonical_edge(u, v) not in self.repaired_edges:
+                    problems.append(
+                        f"route for {route.pair} traverses broken edge ({u!r}, {v!r}) "
+                        "that is not scheduled for repair"
+                    )
+
+        for (u, v), flow in self.routed_load().items():
+            if supply.has_edge(u, v) and flow > supply.capacity(u, v) + tolerance:
+                problems.append(
+                    f"edge ({u!r}, {v!r}) carries {flow:.4f} units "
+                    f"but has capacity {supply.capacity(u, v):.4f}"
+                )
+
+        for pair in demand.pairs():
+            routed = self.satisfied_demand.get(pair.pair, 0.0)
+            if routed > pair.demand + tolerance:
+                problems.append(
+                    f"pair {pair.pair} receives {routed:.4f} units "
+                    f"but requested only {pair.demand:.4f}"
+                )
+        return problems
+
+    def summary(self) -> Dict[str, object]:
+        """Compact dictionary used by reports and benchmarks."""
+        return {
+            "algorithm": self.algorithm,
+            "node_repairs": self.num_node_repairs,
+            "edge_repairs": self.num_edge_repairs,
+            "total_repairs": self.total_repairs,
+            "satisfied_units": round(self.total_satisfied(), 6),
+            "elapsed_seconds": round(self.elapsed_seconds, 6),
+            "iterations": self.iterations,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"RecoveryPlan({self.algorithm!r}, nodes={self.num_node_repairs}, "
+            f"edges={self.num_edge_repairs}, routes={len(self.routes)})"
+        )

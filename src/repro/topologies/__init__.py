@@ -1,0 +1,34 @@
+"""Topology builders used by the paper's evaluation.
+
+Three families of topologies appear in Section VII:
+
+* the **Bell-Canada** topology from the Internet Topology Zoo (48 nodes,
+  64 edges) — reconstructed here from city coordinates because the original
+  GraphML file is not redistributable offline;
+* **Erdős–Rényi** random graphs with 100 nodes and varying edge probability
+  (the scalability scenario);
+* the **CAIDA AS28717** router-level topology (825 nodes, 1018 edges) —
+  substituted by a seeded generator producing a graph with the same size and
+  a comparable degree profile.
+
+Additional simple topologies (grids, rings, stars) are provided for unit
+tests and examples.
+"""
+
+from repro.topologies.bellcanada import bell_canada
+from repro.topologies.caida_like import caida_like
+from repro.topologies.grids import grid_topology, ring_topology, star_topology
+from repro.topologies.random_graphs import erdos_renyi, geometric_graph
+from repro.topologies.registry import available_topologies, build_topology
+
+__all__ = [
+    "bell_canada",
+    "caida_like",
+    "erdos_renyi",
+    "geometric_graph",
+    "grid_topology",
+    "ring_topology",
+    "star_topology",
+    "available_topologies",
+    "build_topology",
+]

@@ -1,0 +1,62 @@
+"""Registry of named topology builders.
+
+The evaluation harness and the examples refer to topologies by name
+(``"bell-canada"``, ``"erdos-renyi"``, ``"caida-like"`` ...).  This registry
+maps those names to builder callables so scenario definitions can stay
+declarative.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.network.supply import SupplyGraph
+from repro.topologies.bellcanada import bell_canada
+from repro.topologies.caida_like import caida_like
+from repro.topologies.grids import grid_topology, ring_topology, star_topology
+from repro.topologies.random_graphs import erdos_renyi, geometric_graph
+
+TopologyBuilder = Callable[..., SupplyGraph]
+
+_REGISTRY: Dict[str, TopologyBuilder] = {
+    "bell-canada": bell_canada,
+    "caida-like": caida_like,
+    "erdos-renyi": erdos_renyi,
+    "geometric": geometric_graph,
+    "grid": grid_topology,
+    "ring": ring_topology,
+    "star": star_topology,
+}
+
+
+def available_topologies() -> List[str]:
+    """Names of all registered topology builders."""
+    return sorted(_REGISTRY)
+
+
+def build_topology(name: str, **kwargs: object) -> SupplyGraph:
+    """Build the topology registered under ``name`` with ``kwargs``.
+
+    Raises
+    ------
+    KeyError
+        If ``name`` is not registered; the error message lists the valid names.
+    """
+    try:
+        builder = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown topology {name!r}; available: {', '.join(available_topologies())}"
+        ) from None
+    return builder(**kwargs)
+
+
+def register_topology(name: str, builder: TopologyBuilder, overwrite: bool = False) -> None:
+    """Register a custom topology builder under ``name``.
+
+    Library users can plug their own topologies into the scenario machinery
+    (e.g. a loader for a proprietary network inventory).
+    """
+    if name in _REGISTRY and not overwrite:
+        raise ValueError(f"topology {name!r} is already registered")
+    _REGISTRY[name] = builder

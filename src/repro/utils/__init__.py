@@ -1,0 +1,26 @@
+"""Utility helpers shared across the :mod:`repro` package.
+
+The utilities are deliberately small and dependency free: deterministic
+random-number handling, input validation helpers and a light-weight timing
+context manager used by the evaluation harness.
+"""
+
+from repro.utils.rng import ensure_rng, spawn_rng
+from repro.utils.timing import Timer, timed
+from repro.utils.validation import (
+    check_non_negative,
+    check_positive,
+    check_probability,
+    require,
+)
+
+__all__ = [
+    "ensure_rng",
+    "spawn_rng",
+    "Timer",
+    "timed",
+    "check_non_negative",
+    "check_positive",
+    "check_probability",
+    "require",
+]

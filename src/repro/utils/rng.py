@@ -1,0 +1,54 @@
+"""Deterministic random number generation helpers.
+
+Every stochastic component of the library (topology generators, failure
+models, demand builders, experiment scenarios) accepts either an integer
+seed, a :class:`numpy.random.Generator`, or ``None``.  This module provides
+the single conversion point so the behaviour is consistent everywhere.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+RandomState = Union[None, int, np.random.Generator]
+
+
+def ensure_rng(seed: RandomState = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` for a non-deterministic generator, an ``int`` for a seeded
+        generator, or an existing generator which is returned unchanged.
+
+    Raises
+    ------
+    TypeError
+        If ``seed`` is of an unsupported type.
+    """
+    if seed is None:
+        return np.random.default_rng()
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if isinstance(seed, (int, np.integer)):
+        return np.random.default_rng(int(seed))
+    raise TypeError(
+        f"seed must be None, an int or a numpy Generator, got {type(seed).__name__}"
+    )
+
+
+def spawn_rng(rng: np.random.Generator, stream: int) -> np.random.Generator:
+    """Derive an independent child generator from ``rng``.
+
+    Used by experiment scenarios that need one independent stream per run so
+    that changing the number of runs does not perturb earlier runs.
+    """
+    if not isinstance(rng, np.random.Generator):
+        raise TypeError("rng must be a numpy Generator")
+    if stream < 0:
+        raise ValueError("stream index must be non-negative")
+    seed = int(rng.bit_generator.seed_seq.entropy or 0)
+    return np.random.default_rng(np.random.SeedSequence(entropy=seed, spawn_key=(stream,)))

@@ -1,0 +1,60 @@
+"""Wall-clock timing helpers used by the evaluation harness.
+
+The paper compares the execution time of ISP against the optimal MILP
+solution (Figure 7a).  The :class:`Timer` context manager and the
+:func:`timed` decorator give a uniform way to record those durations.
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from typing import Any, Callable, Optional, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+class Timer:
+    """Context manager measuring elapsed wall-clock time in seconds.
+
+    Examples
+    --------
+    >>> with Timer() as t:
+    ...     _ = sum(range(1000))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._start: Optional[float] = None
+        self._elapsed: Optional[float] = None
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        self._elapsed = None
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        assert self._start is not None
+        self._elapsed = time.perf_counter() - self._start
+
+    @property
+    def elapsed(self) -> float:
+        """Elapsed seconds; valid after the ``with`` block exits or while running."""
+        if self._start is None:
+            raise RuntimeError("Timer was never started")
+        if self._elapsed is None:
+            return time.perf_counter() - self._start
+        return self._elapsed
+
+
+def timed(func: Callable[..., T]) -> Callable[..., Tuple[T, float]]:
+    """Decorate ``func`` so it returns ``(result, elapsed_seconds)``."""
+
+    @functools.wraps(func)
+    def wrapper(*args: Any, **kwargs: Any) -> Tuple[T, float]:
+        start = time.perf_counter()
+        result = func(*args, **kwargs)
+        return result, time.perf_counter() - start
+
+    return wrapper

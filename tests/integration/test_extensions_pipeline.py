@@ -1,0 +1,89 @@
+"""Integration tests for the damage-assessment and progressive-recovery extensions.
+
+These exercise the extensions on a realistic Bell-Canada disaster instance,
+checking that their numbers stay consistent with the evaluation harness and
+with the recovery plans they are derived from.
+"""
+
+import pytest
+
+from repro.evaluation.demand_builder import routable_far_apart_demand
+from repro.evaluation.metrics import evaluate_plan
+from repro.extensions.assessment import assess_damage
+from repro.extensions.progressive import schedule_progressive_recovery
+from repro.failures.geographic import GaussianDisruption
+from repro.flows.routability import is_routable
+from repro.heuristics.registry import get_algorithm
+from repro.topologies.bellcanada import bell_canada
+
+
+@pytest.fixture(scope="module")
+def disaster_instance():
+    supply = bell_canada()
+    GaussianDisruption(variance=50.0).apply(supply, seed=123)
+    demand = routable_far_apart_demand(supply, num_pairs=3, flow_per_pair=10.0, seed=123)
+    return supply, demand
+
+
+@pytest.fixture(scope="module")
+def isp_plan(disaster_instance):
+    supply, demand = disaster_instance
+    return get_algorithm("ISP").solve(supply, demand)
+
+
+class TestAssessmentConsistency:
+    def test_counts_match_supply_state(self, disaster_instance):
+        supply, demand = disaster_instance
+        assessment = assess_damage(supply, demand)
+        assert assessment.broken_nodes == len(supply.broken_nodes)
+        assert assessment.broken_edges == len(supply.broken_edges)
+        assert 0.0 < assessment.broken_fraction < 1.0
+
+    def test_pre_recovery_satisfaction_matches_noop_plan(self, disaster_instance):
+        from repro.network.plan import RecoveryPlan
+
+        supply, demand = disaster_instance
+        assessment = assess_damage(supply, demand)
+        noop = evaluate_plan(supply, demand, RecoveryPlan(algorithm="NOOP"))
+        assert assessment.pre_recovery_satisfied_fraction == pytest.approx(
+            noop.satisfied_fraction, abs=1e-6
+        )
+
+    def test_disconnected_pairs_have_zero_satisfiable_flow(self, disaster_instance):
+        supply, demand = disaster_instance
+        assessment = assess_damage(supply, demand)
+        for pair in assessment.disconnected_pairs:
+            assert assessment.per_pair_satisfiable.get(pair, 0.0) == pytest.approx(0.0)
+
+    def test_demand_is_routable_on_undamaged_network(self, disaster_instance):
+        supply, demand = disaster_instance
+        assert is_routable(supply.full_graph(use_residual=False), demand)
+
+
+class TestProgressiveOnRealPlan:
+    def test_schedule_matches_plan_and_restores_everything(self, disaster_instance, isp_plan):
+        supply, demand = disaster_instance
+        schedule = schedule_progressive_recovery(supply, demand, isp_plan, budget_per_stage=5)
+        assert schedule.total_repairs == isp_plan.total_repairs
+        curve = schedule.restoration_curve()
+        assert curve[-1] == pytest.approx(1.0, abs=1e-6)
+        assert all(later >= earlier - 1e-9 for earlier, later in zip(curve, curve[1:]))
+
+    def test_budget_one_gives_one_repair_per_stage(self, disaster_instance, isp_plan):
+        supply, demand = disaster_instance
+        schedule = schedule_progressive_recovery(supply, demand, isp_plan, budget_per_stage=1)
+        assert schedule.num_stages == isp_plan.total_repairs
+        assert all(stage.num_repairs == 1 for stage in schedule.stages)
+
+    def test_bigger_budget_needs_no_more_stages(self, disaster_instance, isp_plan):
+        supply, demand = disaster_instance
+        small = schedule_progressive_recovery(supply, demand, isp_plan, budget_per_stage=2)
+        large = schedule_progressive_recovery(supply, demand, isp_plan, budget_per_stage=6)
+        assert large.num_stages <= small.num_stages
+
+    def test_schedule_works_for_opt_plan_too(self, disaster_instance):
+        supply, demand = disaster_instance
+        opt_plan = get_algorithm("OPT", time_limit=60.0).solve(supply, demand)
+        schedule = schedule_progressive_recovery(supply, demand, opt_plan, budget_per_stage=4)
+        assert schedule.total_repairs == opt_plan.total_repairs
+        assert schedule.restoration_curve()[-1] == pytest.approx(1.0, abs=1e-6)

@@ -1,0 +1,97 @@
+"""Cross-algorithm feasibility checks.
+
+Every algorithm that claims full demand satisfaction must produce a repair
+set under which the original demand is actually routable (verified with the
+concurrent-flow LP), and every explicit routing must respect failures and
+capacities.
+"""
+
+import pytest
+
+from repro.evaluation.metrics import evaluate_plan, recovered_graph
+from repro.failures.complete import CompleteDestruction
+from repro.failures.geographic import GaussianDisruption
+from repro.flows.routability import is_routable
+from repro.heuristics.registry import get_algorithm
+from repro.network.demand import DemandGraph
+from repro.topologies.grids import grid_topology
+from repro.topologies.random_graphs import geometric_graph
+
+ALGORITHMS_WITHOUT_LOSS = ["ISP", "OPT", "GRD-NC", "ALL", "MCB", "MCW"]
+ALL_ALGORITHMS = ALGORITHMS_WITHOUT_LOSS + ["SRT", "GRD-COM"]
+
+
+def _grid_instance():
+    supply = grid_topology(4, 4, capacity=20.0)
+    CompleteDestruction().apply(supply)
+    demand = DemandGraph()
+    demand.add((0, 0), (3, 3), 8.0)
+    demand.add((0, 3), (3, 0), 8.0)
+    demand.add((0, 2), (3, 1), 8.0)
+    return supply, demand
+
+
+def _geometric_instance():
+    supply = geometric_graph(num_nodes=30, radius=0.35, capacity=15.0, seed=21)
+    GaussianDisruption(variance=900.0, intensity=0.8).apply(supply, seed=22)
+    demand = DemandGraph()
+    nodes = sorted(supply.nodes)
+    demand.add(nodes[0], nodes[-1], 6.0)
+    demand.add(nodes[1], nodes[-2], 6.0)
+    return supply, demand
+
+
+def _solve(name, supply, demand):
+    if name == "OPT":
+        return get_algorithm("OPT", time_limit=60.0).solve(supply, demand)
+    return get_algorithm(name).solve(supply, demand)
+
+
+class TestGridInstance:
+    @pytest.mark.parametrize("name", ALGORITHMS_WITHOUT_LOSS)
+    def test_no_loss_algorithms_restore_routability(self, name):
+        supply, demand = _grid_instance()
+        plan = _solve(name, supply, demand)
+        graph = recovered_graph(supply, plan)
+        assert is_routable(graph, demand), f"{name} left the demand unroutable"
+
+    @pytest.mark.parametrize("name", ALL_ALGORITHMS)
+    def test_explicit_routes_are_feasible(self, name):
+        supply, demand = _grid_instance()
+        plan = _solve(name, supply, demand)
+        assert plan.validate_routing(supply, demand) == []
+
+    @pytest.mark.parametrize("name", ALL_ALGORITHMS)
+    def test_repairs_only_broken_elements(self, name):
+        supply, demand = _grid_instance()
+        plan = _solve(name, supply, demand)
+        for node in plan.repaired_nodes:
+            assert supply.is_broken_node(node)
+        for u, v in plan.repaired_edges:
+            assert supply.is_broken_edge(u, v)
+
+    @pytest.mark.parametrize("name", ALL_ALGORITHMS)
+    def test_repairs_bounded_by_destruction(self, name):
+        supply, demand = _grid_instance()
+        plan = _solve(name, supply, demand)
+        assert plan.num_node_repairs <= len(supply.broken_nodes)
+        assert plan.num_edge_repairs <= len(supply.broken_edges)
+
+
+class TestGeometricInstance:
+    @pytest.mark.parametrize("name", ["ISP", "OPT", "SRT", "GRD-NC", "ALL"])
+    def test_partial_disruption_feasibility(self, name):
+        supply, demand = _geometric_instance()
+        plan = _solve(name, supply, demand)
+        evaluation = evaluate_plan(supply, demand, plan)
+        assert evaluation.routing_violations == 0
+        assert 0.0 <= evaluation.satisfied_percentage <= 100.0
+        # Algorithms guaranteed lossless must reach 100% here as well.
+        if name in ("ISP", "OPT", "GRD-NC", "ALL"):
+            assert evaluation.satisfied_percentage == pytest.approx(100.0)
+
+    def test_isp_not_worse_than_repair_all(self):
+        supply, demand = _geometric_instance()
+        isp = _solve("ISP", supply, demand)
+        everything = _solve("ALL", supply, demand)
+        assert isp.total_repairs <= everything.total_repairs

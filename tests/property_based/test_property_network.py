@@ -1,0 +1,134 @@
+"""Property-based tests for the network substrate (hypothesis)."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.network.demand import DemandGraph
+from repro.network.supply import SupplyGraph, canonical_edge
+
+NODE_NAMES = ["n0", "n1", "n2", "n3", "n4", "n5"]
+
+
+@st.composite
+def demand_operations(draw):
+    """A random sequence of (add / reduce / split) operations on a DemandGraph."""
+    operations = []
+    for _ in range(draw(st.integers(min_value=1, max_value=12))):
+        kind = draw(st.sampled_from(["add", "reduce", "split"]))
+        u, v = draw(
+            st.tuples(st.sampled_from(NODE_NAMES), st.sampled_from(NODE_NAMES)).filter(
+                lambda pair: pair[0] != pair[1]
+            )
+        )
+        amount = draw(st.floats(min_value=0.1, max_value=20.0, allow_nan=False))
+        via = draw(st.sampled_from(NODE_NAMES))
+        operations.append((kind, u, v, amount, via))
+    return operations
+
+
+class TestDemandGraphProperties:
+    @given(demand_operations())
+    @settings(max_examples=60, deadline=None)
+    def test_demands_stay_positive_and_consistent(self, operations):
+        demand = DemandGraph()
+        for kind, u, v, amount, via in operations:
+            if kind == "add":
+                demand.add(u, v, amount)
+            elif kind == "reduce":
+                current = demand.demand(u, v)
+                if current > 0:
+                    demand.reduce(u, v, min(amount, current))
+            elif kind == "split":
+                current = demand.demand(u, v)
+                if current > 0 and via not in (u, v):
+                    demand.split(u, v, via, min(amount, current))
+        # Invariants: every stored pair has positive demand, endpoints are
+        # exactly the nodes of stored pairs, total equals the sum of pairs.
+        pairs = demand.pairs()
+        assert all(pair.demand > 0 for pair in pairs)
+        assert demand.total_demand == pytest.approx(sum(p.demand for p in pairs))
+        endpoint_union = set()
+        for pair in pairs:
+            endpoint_union.update((pair.source, pair.target))
+        assert demand.endpoints == endpoint_union
+
+    @given(
+        st.floats(min_value=0.1, max_value=100.0),
+        st.floats(min_value=0.01, max_value=0.99),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_split_conserves_leg_symmetry(self, total, fraction):
+        demand = DemandGraph()
+        demand.add("s", "t", total)
+        amount = total * fraction
+        demand.split("s", "t", "v", amount)
+        assert demand.demand("s", "v") == pytest.approx(amount)
+        assert demand.demand("v", "t") == pytest.approx(amount)
+        assert demand.demand("s", "t") == pytest.approx(total - amount, abs=1e-7)
+
+    @given(st.floats(min_value=0.1, max_value=50.0), st.integers(min_value=1, max_value=8))
+    @settings(max_examples=40, deadline=None)
+    def test_repeated_reduce_terminates_at_zero(self, total, chunks):
+        demand = DemandGraph()
+        demand.add("a", "b", total)
+        step = total / chunks
+        for _ in range(chunks):
+            if demand.has_pair("a", "b"):
+                demand.reduce("a", "b", min(step, demand.demand("a", "b")))
+        assert demand.demand("a", "b") == pytest.approx(0.0, abs=1e-6)
+
+
+@st.composite
+def capacity_operations(draw):
+    operations = []
+    for _ in range(draw(st.integers(min_value=1, max_value=15))):
+        kind = draw(st.sampled_from(["consume", "release"]))
+        amount = draw(st.floats(min_value=0.0, max_value=8.0, allow_nan=False))
+        operations.append((kind, amount))
+    return operations
+
+
+class TestSupplyGraphProperties:
+    @given(capacity_operations())
+    @settings(max_examples=60, deadline=None)
+    def test_residual_stays_within_bounds(self, operations):
+        supply = SupplyGraph()
+        supply.add_edge("a", "b", capacity=10.0)
+        for kind, amount in operations:
+            if kind == "consume":
+                available = supply.residual("a", "b")
+                supply.consume_capacity("a", "b", min(amount, available))
+            else:
+                supply.release_capacity("a", "b", amount)
+            residual = supply.residual("a", "b")
+            assert -1e-9 <= residual <= 10.0 + 1e-9
+
+    @given(st.lists(st.sampled_from(NODE_NAMES), min_size=2, max_size=6, unique=True))
+    @settings(max_examples=50, deadline=None)
+    def test_break_all_then_repair_all_restores(self, nodes):
+        supply = SupplyGraph()
+        for node in nodes:
+            supply.add_node(node)
+        for u, v in zip(nodes, nodes[1:]):
+            supply.add_edge(u, v, capacity=5.0)
+        supply.break_all()
+        assert len(supply.broken_nodes) == len(nodes)
+        for node in list(supply.broken_nodes):
+            supply.repair_node(node)
+        for u, v in list(supply.broken_edges):
+            supply.repair_edge(u, v)
+        assert not supply.broken_nodes and not supply.broken_edges
+        working = supply.working_graph()
+        assert working.number_of_nodes() == len(nodes)
+        assert working.number_of_edges() == len(nodes) - 1
+
+    @given(
+        st.sampled_from(NODE_NAMES),
+        st.sampled_from(NODE_NAMES),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_canonical_edge_symmetry(self, u, v):
+        if u == v:
+            return
+        assert canonical_edge(u, v) == canonical_edge(v, u)

@@ -1,0 +1,157 @@
+"""Tests for the demand-based centrality metric (Section IV-B)."""
+
+import pytest
+
+from repro.core.centrality import (
+    demand_based_centrality,
+    exhaustive_demand_based_centrality,
+)
+from repro.network.demand import DemandGraph
+from repro.topologies.grids import grid_topology
+
+
+class TestBasicProperties:
+    def test_endpoints_and_path_nodes_get_full_demand(self, line_supply):
+        demand = DemandGraph()
+        demand.add("a", "e", 5.0)
+        result = demand_based_centrality(line_supply, demand)
+        # Only one path exists, so every node on it carries the full demand.
+        for node in ("a", "b", "c", "d", "e"):
+            assert result.scores[node] == pytest.approx(5.0)
+
+    def test_off_path_node_gets_zero(self, diamond_supply):
+        demand = DemandGraph()
+        demand.add("s", "a", 5.0)
+        result = demand_based_centrality(diamond_supply, demand)
+        assert result.scores["b"] == pytest.approx(0.0)
+
+    def test_scores_scale_with_demand(self, line_supply):
+        small = DemandGraph()
+        small.add("a", "e", 2.0)
+        large = DemandGraph()
+        large.add("a", "e", 8.0)
+        small_result = demand_based_centrality(line_supply, small)
+        large_result = demand_based_centrality(line_supply, large)
+        assert large_result.scores["c"] == pytest.approx(4 * small_result.scores["c"])
+
+    def test_multiple_demands_accumulate(self, line_supply):
+        demand = DemandGraph()
+        demand.add("a", "c", 3.0)
+        demand.add("c", "e", 4.0)
+        result = demand_based_centrality(line_supply, demand)
+        assert result.scores["c"] == pytest.approx(7.0)
+        assert result.scores["a"] == pytest.approx(3.0)
+
+    def test_contributions_track_pairs(self, line_supply):
+        demand = DemandGraph()
+        demand.add("a", "c", 3.0)
+        demand.add("c", "e", 4.0)
+        result = demand_based_centrality(line_supply, demand)
+        assert result.contributions["b"] == {("a", "c")}
+        assert len(result.contributions["c"]) == 2
+
+    def test_covers_capacity(self, diamond_supply):
+        demand = DemandGraph()
+        demand.add("s", "t", 12.0)
+        result = demand_based_centrality(diamond_supply, demand)
+        cover = result.covers[("s", "t")]
+        assert sum(capacity for _, capacity in cover) >= 12.0
+
+    def test_empty_demand_all_zero(self, line_supply):
+        result = demand_based_centrality(line_supply, DemandGraph())
+        assert all(score == 0.0 for score in result.scores.values())
+        assert result.top_node() is None
+
+    def test_disconnected_pair_contributes_nothing(self, line_supply):
+        line_supply.graph.remove_edge("b", "c")
+        # Rebuild the supply to keep internal bookkeeping consistent.
+        demand = DemandGraph()
+        demand.add("a", "b", 5.0)
+        result = demand_based_centrality(line_supply, demand)
+        assert result.scores["d"] == 0.0
+
+
+class TestRanking:
+    def test_star_hub_is_most_central_for_leaf_demands(self):
+        from repro.topologies.grids import star_topology
+
+        supply = star_topology(5, capacity=10.0)
+        demand = DemandGraph()
+        demand.add(1, 2, 3.0)
+        demand.add(3, 4, 4.0)
+        result = demand_based_centrality(supply, demand)
+        # Every leaf-to-leaf path crosses the hub, so it accumulates all demand
+        # and outranks every leaf.
+        assert result.scores[0] == pytest.approx(7.0)
+        assert result.ranked_nodes()[0] == 0
+
+    def test_top_node_has_positive_score(self, line_supply):
+        demand = DemandGraph()
+        demand.add("a", "e", 5.0)
+        result = demand_based_centrality(line_supply, demand)
+        top = result.top_node()
+        assert result.scores[top] > 0
+
+    def test_ranking_is_deterministic(self, grid3_supply):
+        demand = DemandGraph()
+        demand.add((0, 0), (2, 2), 5.0)
+        a = demand_based_centrality(grid3_supply, demand).ranked_nodes()
+        b = demand_based_centrality(grid3_supply, demand).ranked_nodes()
+        assert a == b
+
+
+class TestBrokenElementsAndResiduals:
+    def test_centrality_considers_broken_elements(self, line_supply):
+        line_supply.break_all()
+        demand = DemandGraph()
+        demand.add("a", "e", 5.0)
+        result = demand_based_centrality(line_supply, demand)
+        assert result.scores["c"] == pytest.approx(5.0)
+
+    def test_repaired_elements_attract_paths(self, grid3_supply):
+        grid3_supply.break_all()
+        demand = DemandGraph()
+        demand.add((0, 0), (2, 2), 5.0)
+        baseline = demand_based_centrality(grid3_supply, demand)
+        biased = demand_based_centrality(
+            grid3_supply,
+            demand,
+            repaired_nodes={(0, 1), (1, 1), (2, 1)},
+            repaired_edges={((0, 0), (0, 1)), ((0, 1), (1, 1)), ((1, 1), (2, 1)), ((2, 1), (2, 2))},
+        )
+        # The repaired corridor is now cheaper, so its nodes gain centrality.
+        assert biased.scores[(1, 1)] >= baseline.scores[(1, 1)]
+
+    def test_residual_capacity_limits_cover(self, diamond_supply):
+        diamond_supply.consume_capacity("s", "a", 10.0)
+        diamond_supply.consume_capacity("a", "t", 10.0)
+        demand = DemandGraph()
+        demand.add("s", "t", 4.0)
+        result = demand_based_centrality(diamond_supply, demand)
+        # The wide branch is saturated: only the narrow branch can contribute.
+        assert result.scores["a"] == pytest.approx(0.0)
+        assert result.scores["b"] == pytest.approx(4.0)
+
+
+class TestExhaustiveVariant:
+    def test_matches_estimate_on_line(self, line_supply):
+        demand = DemandGraph()
+        demand.add("a", "e", 5.0)
+        estimate = demand_based_centrality(line_supply, demand)
+        exact = exhaustive_demand_based_centrality(line_supply, demand)
+        for node in line_supply.nodes:
+            assert estimate.scores[node] == pytest.approx(exact.scores[node])
+
+    def test_exhaustive_on_diamond(self, diamond_supply):
+        demand = DemandGraph()
+        demand.add("s", "t", 12.0)
+        exact = exhaustive_demand_based_centrality(diamond_supply, demand)
+        # Both branches are needed, each contributing its share of the demand.
+        assert exact.scores["a"] > exact.scores["b"] > 0
+
+    def test_exhaustive_handles_missing_path(self, line_supply):
+        line_supply.graph.remove_edge("c", "d")
+        demand = DemandGraph()
+        demand.add("a", "e", 1.0)
+        exact = exhaustive_demand_based_centrality(line_supply, demand)
+        assert exact.covers[("a", "e")] == []

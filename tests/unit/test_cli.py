@@ -1,0 +1,128 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_solve_defaults(self):
+        args = build_parser().parse_args(["solve"])
+        assert args.topology == "bell-canada"
+        assert args.disruption == "complete"
+        assert args.algorithms == ["ISP", "SRT", "ALL"]
+
+    def test_topology_args_parsed(self):
+        args = build_parser().parse_args(
+            ["solve", "--topology", "grid", "--topology-arg", "rows=3", "--topology-arg", "cols=4"]
+        )
+        assert args.topology_arg == ["rows=3", "cols=4"]
+
+
+class TestCommands:
+    def test_list_topologies(self, capsys):
+        assert main(["topologies"]) == 0
+        output = capsys.readouterr().out
+        assert "bell-canada" in output
+        assert "erdos-renyi" in output
+
+    def test_list_algorithms(self, capsys):
+        assert main(["algorithms"]) == 0
+        output = capsys.readouterr().out
+        assert "ISP" in output and "OPT" in output
+
+    def test_solve_on_small_grid(self, capsys):
+        exit_code = main(
+            [
+                "solve",
+                "--topology",
+                "grid",
+                "--topology-arg",
+                "rows=3",
+                "--topology-arg",
+                "cols=3",
+                "--disruption",
+                "complete",
+                "--pairs",
+                "1",
+                "--flow",
+                "5",
+                "--algorithms",
+                "ISP",
+                "ALL",
+                "--seed",
+                "3",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "ISP" in output and "ALL" in output
+        assert "total_repairs" in output
+
+    def test_assess_on_grid(self, capsys):
+        exit_code = main(
+            [
+                "assess",
+                "--topology",
+                "grid",
+                "--topology-arg",
+                "rows=3",
+                "--topology-arg",
+                "cols=3",
+                "--disruption",
+                "gaussian",
+                "--variance",
+                "2.0",
+                "--pairs",
+                "1",
+                "--flow",
+                "2",
+                "--seed",
+                "5",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "Damage assessment" in output
+        assert "broken_fraction" in output
+
+    def test_no_disruption(self, capsys):
+        exit_code = main(
+            [
+                "solve",
+                "--topology",
+                "grid",
+                "--topology-arg",
+                "rows=2",
+                "--topology-arg",
+                "cols=3",
+                "--disruption",
+                "none",
+                "--pairs",
+                "1",
+                "--flow",
+                "1",
+                "--algorithms",
+                "SRT",
+            ]
+        )
+        assert exit_code == 0
+        assert "SRT" in capsys.readouterr().out
+
+    def test_bad_topology_arg(self):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "solve",
+                    "--topology",
+                    "grid",
+                    "--topology-arg",
+                    "rows-3",
+                    "--pairs",
+                    "1",
+                ]
+            )

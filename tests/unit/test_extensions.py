@@ -1,0 +1,108 @@
+"""Tests for the progressive-recovery and damage-assessment extensions."""
+
+import pytest
+
+from repro.core.isp import iterative_split_prune
+from repro.extensions.assessment import assess_damage
+from repro.extensions.progressive import schedule_progressive_recovery
+from repro.failures.complete import CompleteDestruction
+from repro.network.demand import DemandGraph
+from repro.network.plan import RecoveryPlan
+from repro.topologies.grids import grid_topology
+
+
+class TestAssessDamage:
+    def test_intact_network(self, line_supply, single_demand):
+        assessment = assess_damage(line_supply, single_demand)
+        assert assessment.broken_nodes == 0
+        assert assessment.broken_fraction == 0.0
+        assert assessment.disconnected_pairs == []
+        assert assessment.pre_recovery_satisfied_fraction == pytest.approx(1.0)
+        assert not assessment.fully_cut_off
+
+    def test_complete_destruction(self, line_supply, single_demand):
+        line_supply.break_all()
+        assessment = assess_damage(line_supply, single_demand)
+        assert assessment.broken_nodes == 5
+        assert assessment.broken_edges == 4
+        assert assessment.broken_fraction == pytest.approx(1.0)
+        assert assessment.largest_working_component == 0
+        assert assessment.disconnected_pairs == [("a", "e")]
+        assert assessment.fully_cut_off
+
+    def test_partial_destruction(self, line_supply):
+        line_supply.break_node("c")
+        demand = DemandGraph()
+        demand.add("a", "e", 5.0)
+        demand.add("a", "b", 2.0)
+        assessment = assess_damage(line_supply, demand)
+        assert assessment.working_components == 2
+        assert assessment.largest_working_component == 2
+        assert assessment.disconnected_pairs == [("a", "e")]
+        # Only the (a, b) demand (2 of 7 units) survives without repairs.
+        assert assessment.pre_recovery_satisfied_fraction == pytest.approx(2.0 / 7.0)
+
+    def test_summary_keys(self, line_supply, single_demand):
+        summary = assess_damage(line_supply, single_demand).summary()
+        assert summary["broken_fraction"] == 0.0
+        assert summary["pre_recovery_satisfied_pct"] == 100.0
+
+
+class TestProgressiveSchedule:
+    def build_instance(self):
+        supply = grid_topology(3, 3, capacity=10.0)
+        CompleteDestruction().apply(supply)
+        demand = DemandGraph()
+        demand.add((0, 0), (2, 2), 5.0)
+        plan = iterative_split_prune(supply, demand)
+        return supply, demand, plan
+
+    def test_schedule_covers_entire_plan(self):
+        supply, demand, plan = self.build_instance()
+        schedule = schedule_progressive_recovery(supply, demand, plan, budget_per_stage=3)
+        assert schedule.total_repairs == plan.total_repairs
+        scheduled_nodes = {n for stage in schedule.stages for n in stage.repaired_nodes}
+        scheduled_edges = {e for stage in schedule.stages for e in stage.repaired_edges}
+        assert scheduled_nodes == plan.repaired_nodes
+        assert scheduled_edges == plan.repaired_edges
+
+    def test_budget_respected(self):
+        supply, demand, plan = self.build_instance()
+        schedule = schedule_progressive_recovery(supply, demand, plan, budget_per_stage=3)
+        assert all(stage.num_repairs <= 3 for stage in schedule.stages)
+        # All stages except possibly the last are full.
+        for stage in schedule.stages[:-1]:
+            assert stage.num_repairs == 3
+
+    def test_restoration_curve_is_monotone_and_reaches_plan_value(self):
+        supply, demand, plan = self.build_instance()
+        schedule = schedule_progressive_recovery(supply, demand, plan, budget_per_stage=2)
+        curve = schedule.restoration_curve()
+        assert curve[0] == pytest.approx(0.0)
+        assert all(b >= a - 1e-9 for a, b in zip(curve, curve[1:]))
+        assert curve[-1] == pytest.approx(1.0)
+
+    def test_single_stage_when_budget_is_huge(self):
+        supply, demand, plan = self.build_instance()
+        schedule = schedule_progressive_recovery(supply, demand, plan, budget_per_stage=1000)
+        assert schedule.num_stages == 1
+        assert schedule.stages[0].satisfied_fraction == pytest.approx(1.0)
+
+    def test_stage_of_lookup(self):
+        supply, demand, plan = self.build_instance()
+        schedule = schedule_progressive_recovery(supply, demand, plan, budget_per_stage=4)
+        some_node = next(iter(plan.repaired_nodes))
+        assert schedule.stage_of(some_node) is not None
+        assert schedule.stage_of("not-a-repair") is None
+
+    def test_empty_plan_gives_empty_schedule(self, line_supply, single_demand):
+        plan = RecoveryPlan(algorithm="NOOP")
+        schedule = schedule_progressive_recovery(line_supply, single_demand, plan, 2)
+        assert schedule.num_stages == 0
+        assert schedule.restoration_curve() == [pytest.approx(1.0)]
+
+    def test_invalid_budget(self, line_supply, single_demand):
+        with pytest.raises(ValueError):
+            schedule_progressive_recovery(
+                line_supply, single_demand, RecoveryPlan(algorithm="X"), 0
+            )

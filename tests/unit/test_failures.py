@@ -1,0 +1,124 @@
+"""Tests for the disruption models."""
+
+import pytest
+
+from repro.failures.base import FailureReport
+from repro.failures.complete import CompleteDestruction
+from repro.failures.geographic import GaussianDisruption, barycenter
+from repro.failures.random_failures import UniformRandomFailure
+from repro.topologies.grids import grid_topology
+
+
+class TestFailureReport:
+    def test_total_broken(self):
+        report = FailureReport(
+            broken_nodes=frozenset({"a"}), broken_edges=frozenset({("a", "b")})
+        )
+        assert report.total_broken == 2
+
+    def test_empty(self):
+        assert FailureReport().is_empty()
+
+
+class TestCompleteDestruction:
+    def test_everything_breaks(self, line_supply):
+        report = CompleteDestruction().apply(line_supply)
+        assert line_supply.broken_nodes == set(line_supply.nodes)
+        assert len(line_supply.broken_edges) == line_supply.number_of_edges
+        assert report.total_broken == 5 + 4
+
+    def test_sample_does_not_mutate(self, line_supply):
+        CompleteDestruction().sample(line_supply)
+        assert not line_supply.broken_nodes
+        assert not line_supply.broken_edges
+
+
+class TestGaussianDisruption:
+    def test_barycenter_of_grid(self):
+        supply = grid_topology(3, 3)
+        assert barycenter(supply) == pytest.approx((1.0, 1.0))
+
+    def test_barycenter_requires_positions(self):
+        from repro.network.supply import SupplyGraph
+
+        supply = SupplyGraph()
+        supply.add_node("a")
+        with pytest.raises(ValueError):
+            barycenter(supply)
+
+    def test_probability_peaks_at_epicenter(self):
+        model = GaussianDisruption(variance=10.0, intensity=0.8)
+        assert model.failure_probability((0, 0), (0, 0)) == pytest.approx(0.8)
+
+    def test_probability_decays_with_distance(self):
+        model = GaussianDisruption(variance=10.0)
+        near = model.failure_probability((1, 0), (0, 0))
+        far = model.failure_probability((10, 0), (0, 0))
+        assert near > far
+
+    def test_larger_variance_breaks_more(self):
+        supply = grid_topology(6, 6)
+        small = GaussianDisruption(variance=0.2).sample(supply, seed=1)
+        large = GaussianDisruption(variance=50.0).sample(supply, seed=1)
+        assert large.total_broken >= small.total_broken
+
+    def test_apply_marks_elements(self):
+        supply = grid_topology(5, 5)
+        report = GaussianDisruption(variance=100.0).apply(supply, seed=3)
+        assert supply.broken_nodes == set(report.broken_nodes)
+        assert supply.broken_edges == set(report.broken_edges)
+
+    def test_deterministic_with_seed(self):
+        supply = grid_topology(5, 5)
+        a = GaussianDisruption(variance=5.0).sample(supply, seed=42)
+        b = GaussianDisruption(variance=5.0).sample(supply, seed=42)
+        assert a.broken_nodes == b.broken_nodes
+        assert a.broken_edges == b.broken_edges
+
+    def test_explicit_epicenter(self):
+        supply = grid_topology(5, 5)
+        model = GaussianDisruption(variance=0.3, epicenter=(0.0, 0.0))
+        report = model.sample(supply, seed=2)
+        # Failures concentrate near the chosen corner.
+        assert all(
+            (node[0] + node[1]) <= 6 for node in report.broken_nodes
+        )
+
+    def test_nodes_only(self):
+        supply = grid_topology(4, 4)
+        model = GaussianDisruption(variance=100.0, affect_edges=False)
+        report = model.sample(supply, seed=1)
+        assert not report.broken_edges
+
+    def test_edges_only(self):
+        supply = grid_topology(4, 4)
+        model = GaussianDisruption(variance=100.0, affect_nodes=False)
+        report = model.sample(supply, seed=1)
+        assert not report.broken_nodes
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            GaussianDisruption(variance=0.0)
+        with pytest.raises(ValueError):
+            GaussianDisruption(variance=1.0, intensity=1.5)
+        with pytest.raises(ValueError):
+            GaussianDisruption(variance=1.0, affect_nodes=False, affect_edges=False)
+
+
+class TestUniformRandomFailure:
+    def test_zero_probability_breaks_nothing(self, line_supply):
+        report = UniformRandomFailure(0.0, 0.0).sample(line_supply, seed=1)
+        assert report.is_empty()
+
+    def test_probability_one_breaks_everything(self, line_supply):
+        report = UniformRandomFailure(1.0, 1.0).sample(line_supply, seed=1)
+        assert report.total_broken == 9
+
+    def test_deterministic_with_seed(self, grid3_supply):
+        a = UniformRandomFailure(0.5, 0.5).sample(grid3_supply, seed=11)
+        b = UniformRandomFailure(0.5, 0.5).sample(grid3_supply, seed=11)
+        assert a.broken_nodes == b.broken_nodes
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            UniformRandomFailure(node_probability=1.5)

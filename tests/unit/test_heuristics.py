@@ -1,0 +1,220 @@
+"""Tests for the baseline heuristics (Section VI)."""
+
+import pytest
+
+from repro.evaluation.metrics import evaluate_plan
+from repro.failures.complete import CompleteDestruction
+from repro.heuristics.all_repair import repair_all
+from repro.heuristics.base import RecoveryAlgorithm
+from repro.heuristics.greedy import (
+    enumerate_candidate_paths,
+    greedy_commitment,
+    greedy_no_commitment,
+)
+from repro.heuristics.registry import available_algorithms, get_algorithm, register_algorithm
+from repro.heuristics.srt import shortest_path_repair
+from repro.network.demand import DemandGraph
+from repro.topologies.grids import grid_topology
+
+
+class TestRepairAll:
+    def test_repairs_everything(self, line_supply, single_demand):
+        line_supply.break_all()
+        plan = repair_all(line_supply, single_demand)
+        assert plan.total_repairs == 9
+
+    def test_nothing_broken(self, line_supply, single_demand):
+        plan = repair_all(line_supply, single_demand)
+        assert plan.total_repairs == 0
+
+    def test_full_satisfaction_after_repairing_all(self, line_supply, single_demand):
+        line_supply.break_all()
+        plan = repair_all(line_supply, single_demand)
+        evaluation = evaluate_plan(line_supply, single_demand, plan)
+        assert evaluation.satisfied_percentage == pytest.approx(100.0)
+
+
+class TestSRT:
+    def test_repairs_shortest_path(self, line_supply, single_demand):
+        line_supply.break_all()
+        plan = shortest_path_repair(line_supply, single_demand)
+        assert plan.num_node_repairs == 5
+        assert plan.num_edge_repairs == 4
+
+    def test_accumulates_paths_until_demand_met(self, diamond_supply, diamond_demand):
+        diamond_supply.break_all()
+        plan = shortest_path_repair(diamond_supply, diamond_demand)
+        # 12 units need both branches: all 4 nodes and 4 edges.
+        assert plan.total_repairs == 8
+
+    def test_single_branch_for_low_demand(self, diamond_supply):
+        diamond_supply.break_all()
+        demand = DemandGraph()
+        demand.add("s", "t", 3.0)
+        plan = shortest_path_repair(diamond_supply, demand)
+        assert plan.total_repairs == 5  # 3 nodes + 2 edges of one branch
+
+    def test_independent_treatment_can_lose_demand(self, line_supply):
+        # Two demands both need 8 of the 10 units of the single shared path:
+        # SRT repairs that path once per demand and cannot satisfy both.
+        line_supply.break_all()
+        demand = DemandGraph()
+        demand.add("a", "c", 8.0)
+        demand.add("b", "e", 8.0)
+        plan = shortest_path_repair(line_supply, demand)
+        evaluation = evaluate_plan(line_supply, demand, plan)
+        assert evaluation.satisfied_percentage < 100.0
+
+    def test_unreachable_pair_skipped(self, line_supply):
+        line_supply.graph.remove_edge("c", "d")
+        line_supply.break_all()
+        demand = DemandGraph()
+        demand.add("a", "e", 5.0)
+        plan = shortest_path_repair(line_supply, demand)
+        assert plan.total_repairs == 0
+
+    def test_nothing_broken_repairs_nothing(self, line_supply, single_demand):
+        plan = shortest_path_repair(line_supply, single_demand)
+        assert plan.total_repairs == 0
+
+
+class TestGreedyCandidatePaths:
+    def test_paths_enumerated_per_pair(self, diamond_supply, diamond_demand):
+        paths = enumerate_candidate_paths(diamond_supply, diamond_demand)
+        assert len(paths) == 2
+        assert {p.path for p in paths} == {("s", "a", "t"), ("s", "b", "t")}
+
+    def test_weights_sorted_ascending(self, diamond_supply, diamond_demand):
+        diamond_supply.break_all()
+        paths = enumerate_candidate_paths(diamond_supply, diamond_demand)
+        weights = [p.weight for p in paths]
+        assert weights == sorted(weights)
+
+    def test_working_path_has_zero_weight(self, diamond_supply, diamond_demand):
+        paths = enumerate_candidate_paths(diamond_supply, diamond_demand)
+        assert all(p.weight == 0.0 for p in paths)
+
+    def test_max_paths_cap(self, grid3_supply):
+        demand = DemandGraph()
+        demand.add((0, 0), (2, 2), 5.0)
+        paths = enumerate_candidate_paths(grid3_supply, demand, max_paths_per_pair=3)
+        assert len(paths) <= 3
+
+
+class TestGreedyCommitment:
+    def test_satisfies_single_demand(self, line_supply, single_demand):
+        line_supply.break_all()
+        plan = greedy_commitment(line_supply, single_demand)
+        evaluation = evaluate_plan(line_supply, single_demand, plan)
+        assert evaluation.satisfied_percentage == pytest.approx(100.0)
+        assert plan.total_repairs == 9
+
+    def test_routing_respects_capacity(self, diamond_supply, diamond_demand):
+        diamond_supply.break_all()
+        plan = greedy_commitment(diamond_supply, diamond_demand)
+        assert plan.validate_routing(diamond_supply, diamond_demand) == []
+
+    def test_skips_paths_for_satisfied_demands(self, diamond_supply):
+        diamond_supply.break_all()
+        demand = DemandGraph()
+        demand.add("s", "t", 3.0)
+        plan = greedy_commitment(diamond_supply, demand)
+        # One branch suffices; the second branch must not be repaired.
+        assert plan.total_repairs == 5
+
+    def test_opportunistic_routing_of_other_demands(self, line_supply):
+        line_supply.break_all()
+        demand = DemandGraph()
+        demand.add("a", "e", 5.0)
+        demand.add("b", "d", 2.0)
+        plan = greedy_commitment(line_supply, demand)
+        evaluation = evaluate_plan(line_supply, demand, plan)
+        assert evaluation.satisfied_percentage == pytest.approx(100.0)
+
+    def test_nothing_to_do(self, line_supply, single_demand):
+        plan = greedy_commitment(line_supply, single_demand)
+        assert plan.total_repairs == 0
+        assert plan.total_satisfied() == pytest.approx(5.0)
+
+
+class TestGreedyNoCommitment:
+    def test_repairs_until_routable(self, line_supply, single_demand):
+        line_supply.break_all()
+        plan = greedy_no_commitment(line_supply, single_demand)
+        assert plan.metadata["routable"]
+        evaluation = evaluate_plan(line_supply, single_demand, plan)
+        assert evaluation.satisfied_percentage == pytest.approx(100.0)
+
+    def test_no_demand_loss_when_original_was_routable(self, grid3_supply):
+        CompleteDestruction().apply(grid3_supply)
+        demand = DemandGraph()
+        demand.add((0, 0), (2, 2), 8.0)
+        demand.add((0, 2), (2, 0), 8.0)
+        plan = greedy_no_commitment(grid3_supply, demand)
+        evaluation = evaluate_plan(grid3_supply, demand, plan)
+        assert evaluation.satisfied_percentage == pytest.approx(100.0)
+
+    def test_repairs_at_least_as_many_as_grd_com(self, grid3_supply):
+        CompleteDestruction().apply(grid3_supply)
+        demand = DemandGraph()
+        demand.add((0, 0), (2, 2), 5.0)
+        nc = greedy_no_commitment(grid3_supply, demand)
+        com = greedy_commitment(grid3_supply, demand)
+        assert nc.total_repairs >= com.total_repairs
+
+    def test_stops_immediately_when_already_routable(self, line_supply, single_demand):
+        plan = greedy_no_commitment(line_supply, single_demand)
+        assert plan.metadata["paths_repaired"] == 0
+        assert plan.total_repairs == 0
+
+
+class TestRegistry:
+    def test_all_paper_algorithms_registered(self):
+        names = available_algorithms()
+        for expected in ("ISP", "OPT", "SRT", "GRD-COM", "GRD-NC", "MCB", "MCW", "ALL"):
+            assert expected in names
+
+    def test_get_algorithm_case_insensitive(self):
+        assert get_algorithm("isp").name == "ISP"
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(KeyError, match="unknown algorithm"):
+            get_algorithm("does-not-exist")
+
+    def test_solve_stamps_name(self, line_supply, single_demand):
+        line_supply.break_all()
+        plan = get_algorithm("ALL").solve(line_supply, single_demand)
+        assert plan.algorithm == "ALL"
+
+    def test_kwargs_forwarded(self, line_supply, single_demand):
+        line_supply.break_edge("a", "b")
+        algorithm = get_algorithm("OPT", time_limit=30.0)
+        plan = algorithm.solve(line_supply, single_demand)
+        assert plan.total_repairs == 1
+
+    def test_isp_config_kwargs(self, grid3_supply):
+        CompleteDestruction().apply(grid3_supply)
+        demand = DemandGraph()
+        demand.add((0, 0), (2, 2), 5.0)
+        algorithm = get_algorithm("ISP", split_amount_mode="bottleneck")
+        plan = algorithm.solve(grid3_supply, demand)
+        assert plan.algorithm == "ISP"
+
+    def test_register_custom_algorithm(self, line_supply, single_demand):
+        def lazy(supply, demand):
+            from repro.network.plan import RecoveryPlan
+
+            return RecoveryPlan(algorithm="LAZY")
+
+        register_algorithm("LAZY-TEST", lazy, overwrite=True)
+        plan = get_algorithm("LAZY-TEST").solve(line_supply, single_demand)
+        assert plan.algorithm == "LAZY-TEST"
+
+    def test_register_duplicate_rejected(self):
+        with pytest.raises(ValueError):
+            register_algorithm("ISP", lambda s, d: None)
+
+    def test_recovery_algorithm_callable(self, line_supply, single_demand):
+        line_supply.break_all()
+        algorithm = RecoveryAlgorithm(name="ALL", solver=repair_all)
+        assert algorithm(line_supply, single_demand).total_repairs == 9

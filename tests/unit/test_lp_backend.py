@@ -1,0 +1,108 @@
+"""Tests for repro.flows.lp_backend.FlowProblem."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.flows.lp_backend import Commodity, FlowProblem
+
+
+def build_triangle() -> nx.Graph:
+    graph = nx.Graph()
+    graph.add_edge("a", "b", capacity=5.0)
+    graph.add_edge("b", "c", capacity=3.0)
+    graph.add_edge("a", "c", capacity=2.0)
+    return graph
+
+
+class TestCommodity:
+    def test_rejects_loop(self):
+        with pytest.raises(ValueError):
+            Commodity("a", "a", 1.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            Commodity("a", "b", -1.0)
+
+    def test_zero_demand_allowed(self):
+        assert Commodity("a", "b", 0.0).demand == 0.0
+
+
+class TestIndexing:
+    def test_variable_count(self):
+        problem = FlowProblem(build_triangle(), [Commodity("a", "c", 1.0)])
+        assert problem.num_arcs == 6
+        assert problem.num_flow_variables == 6
+
+    def test_two_commodities_double_variables(self):
+        problem = FlowProblem(
+            build_triangle(), [Commodity("a", "c", 1.0), Commodity("b", "c", 1.0)]
+        )
+        assert problem.num_flow_variables == 12
+
+    def test_flow_index_roundtrip(self):
+        problem = FlowProblem(build_triangle(), [Commodity("a", "c", 1.0)])
+        column = problem.flow_index(0, "b", "a")
+        assert problem.edge_of_index(column) == (0, "b", "a")
+
+    def test_directed_graph_rejected(self):
+        with pytest.raises(ValueError):
+            FlowProblem(nx.DiGraph(), [])
+
+    def test_infeasible_commodity_detected(self):
+        problem = FlowProblem(build_triangle(), [Commodity("a", "zzz", 1.0)])
+        assert len(problem.infeasible_commodities) == 1
+
+
+class TestConstraintMatrices:
+    def test_capacity_matrix_shape(self):
+        problem = FlowProblem(build_triangle(), [Commodity("a", "c", 1.0)])
+        matrix, rhs = problem.capacity_matrix()
+        assert matrix.shape == (3, 6)
+        assert sorted(rhs) == [2.0, 3.0, 5.0]
+
+    def test_capacity_row_sums_both_directions(self):
+        problem = FlowProblem(build_triangle(), [Commodity("a", "c", 1.0)])
+        matrix, _ = problem.capacity_matrix()
+        # Every row touches exactly two flow variables per commodity (both directions).
+        row_counts = np.diff(matrix.indptr)
+        assert all(count == 2 for count in row_counts)
+
+    def test_conservation_matrix_shape(self):
+        problem = FlowProblem(build_triangle(), [Commodity("a", "c", 4.0)])
+        matrix, rhs = problem.conservation_matrix()
+        assert matrix.shape == (3, 6)
+        assert sorted(rhs) == [-4.0, 0.0, 4.0]
+
+    def test_conservation_rhs_signs(self):
+        problem = FlowProblem(build_triangle(), [Commodity("a", "c", 4.0)])
+        _, rhs = problem.conservation_matrix()
+        source_row = problem.nodes.index("a")
+        target_row = problem.nodes.index("c")
+        assert rhs[source_row] == 4.0
+        assert rhs[target_row] == -4.0
+
+
+class TestSolutionInterpretation:
+    def test_flows_by_commodity_nets_out_opposites(self):
+        problem = FlowProblem(build_triangle(), [Commodity("a", "c", 1.0)])
+        solution = np.zeros(problem.num_flow_variables)
+        solution[problem.flow_index(0, "a", "c")] = 3.0
+        solution[problem.flow_index(0, "c", "a")] = 1.0
+        flows = problem.flows_by_commodity(solution)
+        assert flows[0] == {("a", "c"): pytest.approx(2.0)}
+
+    def test_edge_loads_aggregate_commodities(self):
+        problem = FlowProblem(
+            build_triangle(), [Commodity("a", "c", 1.0), Commodity("b", "c", 1.0)]
+        )
+        solution = np.zeros(problem.num_flow_variables)
+        solution[problem.flow_index(0, "a", "c")] = 2.0
+        solution[problem.flow_index(1, "c", "a")] = 1.0
+        loads = problem.edge_loads(solution)
+        assert loads[("a", "c")] == pytest.approx(3.0)
+
+    def test_small_flows_filtered(self):
+        problem = FlowProblem(build_triangle(), [Commodity("a", "c", 1.0)])
+        solution = np.full(problem.num_flow_variables, 1e-9)
+        assert problem.edge_loads(solution) == {}

@@ -1,0 +1,130 @@
+"""Tests for the MinR MILP (the paper's OPT)."""
+
+import pytest
+
+from repro.flows.milp import minr_solution_to_plan, solve_minimum_recovery
+from repro.network.demand import DemandGraph
+from repro.network.supply import SupplyGraph
+from repro.topologies.grids import grid_topology, ring_topology
+
+
+class TestSimpleInstances:
+    def test_no_demand_costs_nothing(self, line_supply):
+        line_supply.break_all()
+        solution = solve_minimum_recovery(line_supply, DemandGraph())
+        assert solution.optimal
+        assert solution.objective == pytest.approx(0.0)
+
+    def test_nothing_broken_costs_nothing(self, line_supply, single_demand):
+        solution = solve_minimum_recovery(line_supply, single_demand)
+        assert solution.optimal
+        assert solution.objective == pytest.approx(0.0)
+        assert not solution.repaired_nodes and not solution.repaired_edges
+
+    def test_line_complete_destruction(self, line_supply, single_demand):
+        line_supply.break_all()
+        solution = solve_minimum_recovery(line_supply, single_demand)
+        assert solution.optimal
+        # The only way to connect a and e is the full path: 5 nodes + 4 edges.
+        assert len(solution.repaired_nodes) == 5
+        assert len(solution.repaired_edges) == 4
+        assert solution.objective == pytest.approx(9.0)
+
+    def test_single_broken_edge(self, line_supply, single_demand):
+        line_supply.break_edge("b", "c")
+        solution = solve_minimum_recovery(line_supply, single_demand)
+        assert solution.optimal
+        assert solution.repaired_edges == {("b", "c")}
+        assert solution.objective == pytest.approx(1.0)
+
+    def test_infeasible_when_capacity_insufficient(self, line_supply):
+        demand = DemandGraph()
+        demand.add("a", "e", 100.0)
+        solution = solve_minimum_recovery(line_supply, demand)
+        assert solution.status == "infeasible"
+
+    def test_costs_influence_choice(self):
+        # Two parallel broken 2-hop paths; the cheap one must be chosen.
+        supply = SupplyGraph()
+        for node in ("s", "cheap", "pricey", "t"):
+            supply.add_node(node)
+        supply.add_edge("s", "cheap", capacity=10.0, repair_cost=1.0)
+        supply.add_edge("cheap", "t", capacity=10.0, repair_cost=1.0)
+        supply.add_edge("s", "pricey", capacity=10.0, repair_cost=10.0)
+        supply.add_edge("pricey", "t", capacity=10.0, repair_cost=10.0)
+        supply.break_edge("s", "cheap")
+        supply.break_edge("cheap", "t")
+        supply.break_edge("s", "pricey")
+        supply.break_edge("pricey", "t")
+        demand = DemandGraph()
+        demand.add("s", "t", 5.0)
+        solution = solve_minimum_recovery(supply, demand)
+        assert solution.optimal
+        assert solution.objective == pytest.approx(2.0)
+        assert all("pricey" not in edge for edge in solution.repaired_edges)
+
+    def test_capacity_forces_both_paths(self, diamond_supply, diamond_demand):
+        diamond_supply.break_all()
+        solution = solve_minimum_recovery(diamond_supply, diamond_demand)
+        assert solution.optimal
+        # 12 units need both the capacity-10 and the capacity-4 branch.
+        assert len(solution.repaired_nodes) == 4
+        assert len(solution.repaired_edges) == 4
+
+    def test_low_demand_uses_single_branch(self, diamond_supply):
+        diamond_supply.break_all()
+        demand = DemandGraph()
+        demand.add("s", "t", 8.0)
+        solution = solve_minimum_recovery(diamond_supply, demand)
+        assert solution.optimal
+        assert len(solution.repaired_nodes) == 3
+        assert len(solution.repaired_edges) == 2
+
+
+class TestSteinerLikeInstances:
+    def test_ring_shortcut(self):
+        # On a broken 6-ring, connecting neighbours 0 and 1 needs one edge.
+        supply = ring_topology(6, capacity=100.0)
+        supply.break_all()
+        demand = DemandGraph()
+        demand.add(0, 1, 1.0)
+        solution = solve_minimum_recovery(supply, demand)
+        assert solution.optimal
+        assert len(solution.repaired_edges) == 1
+        assert len(solution.repaired_nodes) == 2
+
+    def test_grid_two_pairs_share_repairs(self):
+        supply = grid_topology(3, 3, capacity=100.0)
+        supply.break_all()
+        demand = DemandGraph()
+        demand.add((0, 0), (2, 2), 1.0)
+        demand.add((0, 2), (2, 0), 1.0)
+        solution = solve_minimum_recovery(supply, demand)
+        assert solution.optimal
+        # Sharing the centre keeps the repair count below two disjoint paths.
+        total = len(solution.repaired_nodes) + len(solution.repaired_edges)
+        assert total <= 16
+
+
+class TestPlanConversion:
+    def test_plan_has_routes(self, line_supply, single_demand):
+        line_supply.break_all()
+        solution = solve_minimum_recovery(line_supply, single_demand)
+        plan = minr_solution_to_plan(solution)
+        assert plan.algorithm == "OPT"
+        assert plan.total_repairs == 9
+        assert plan.total_satisfied() == pytest.approx(5.0)
+        assert plan.validate_routing(line_supply, single_demand) == []
+
+    def test_infeasible_plan_is_empty(self, line_supply):
+        demand = DemandGraph()
+        demand.add("a", "e", 1000.0)
+        solution = solve_minimum_recovery(line_supply, demand)
+        plan = minr_solution_to_plan(solution)
+        assert plan.total_repairs == 0
+        assert plan.metadata["status"] == "infeasible"
+
+    def test_metadata_carries_objective(self, line_supply, single_demand):
+        line_supply.break_edge("a", "b")
+        plan = minr_solution_to_plan(solve_minimum_recovery(line_supply, single_demand))
+        assert plan.metadata["objective"] == pytest.approx(1.0)

@@ -1,0 +1,63 @@
+"""Tests for the multi-commodity relaxation (Section VI-A)."""
+
+import pytest
+
+from repro.flows.multicommodity import solve_multicommodity_recovery
+from repro.network.demand import DemandGraph
+from repro.network.supply import SupplyGraph
+
+
+class TestRelaxation:
+    def test_empty_demand(self, line_supply):
+        line_supply.break_all()
+        result = solve_multicommodity_recovery(line_supply, DemandGraph())
+        assert result.feasible
+        assert result.best.total_repairs == 0
+        assert result.worst.total_repairs == 0
+
+    def test_forced_path_is_repaired(self, line_supply, single_demand):
+        line_supply.break_all()
+        result = solve_multicommodity_recovery(line_supply, single_demand)
+        assert result.feasible
+        # Only one possible routing: the whole path must be repaired by both.
+        assert result.best.total_repairs == 9
+        assert result.worst.total_repairs == 9
+
+    def test_best_at_most_worst(self, grid3_supply):
+        grid3_supply.break_all()
+        demand = DemandGraph()
+        demand.add((0, 0), (2, 2), 5.0)
+        demand.add((0, 2), (2, 0), 5.0)
+        result = solve_multicommodity_recovery(grid3_supply, demand)
+        assert result.feasible
+        assert result.best.total_repairs <= result.worst.total_repairs
+
+    def test_infeasible_demand(self, line_supply):
+        line_supply.break_all()
+        demand = DemandGraph()
+        demand.add("a", "e", 1000.0)
+        result = solve_multicommodity_recovery(line_supply, demand)
+        assert not result.feasible
+        assert result.best.metadata["status"] == "infeasible"
+
+    def test_avoids_broken_edges_when_working_alternative_exists(self, diamond_supply):
+        # Only the narrow branch is broken; the wide working branch suffices.
+        diamond_supply.break_edge("s", "b")
+        diamond_supply.break_edge("b", "t")
+        demand = DemandGraph()
+        demand.add("s", "t", 8.0)
+        result = solve_multicommodity_recovery(diamond_supply, demand)
+        assert result.feasible
+        assert result.best.total_repairs == 0
+
+    def test_plans_have_routes(self, line_supply, single_demand):
+        line_supply.break_all()
+        result = solve_multicommodity_recovery(line_supply, single_demand)
+        assert result.best.total_satisfied() == pytest.approx(5.0)
+        assert result.worst.total_satisfied() == pytest.approx(5.0)
+
+    def test_algorithm_labels(self, line_supply, single_demand):
+        line_supply.break_all()
+        result = solve_multicommodity_recovery(line_supply, single_demand)
+        assert result.best.algorithm == "MCB"
+        assert result.worst.algorithm == "MCW"

@@ -1,0 +1,154 @@
+"""Tests for repro.network.paths."""
+
+import networkx as nx
+import pytest
+
+from repro.network.paths import (
+    attach_dynamic_lengths,
+    dynamic_edge_length,
+    path_broken_elements,
+    path_capacity,
+    path_edges,
+    path_repair_cost,
+    shortest_path_cover,
+)
+from repro.network.supply import SupplyGraph
+
+
+class TestPathEdges:
+    def test_simple_path(self):
+        assert path_edges(["a", "b", "c"]) == [("a", "b"), ("b", "c")]
+
+    def test_single_node(self):
+        assert path_edges(["a"]) == []
+
+    def test_empty(self):
+        assert path_edges([]) == []
+
+
+class TestPathCapacity:
+    def test_bottleneck(self, diamond_supply):
+        graph = diamond_supply.full_graph()
+        assert path_capacity(graph, ["s", "b", "t"]) == pytest.approx(4.0)
+
+    def test_single_node_infinite(self, diamond_supply):
+        graph = diamond_supply.full_graph()
+        assert path_capacity(graph, ["s"]) == float("inf")
+
+
+class TestPathRepairCost:
+    def test_no_broken_elements(self, line_supply):
+        assert path_repair_cost(line_supply, ["a", "b", "c"]) == 0.0
+
+    def test_counts_broken_nodes_and_edges(self, line_supply):
+        line_supply.break_node("b")
+        line_supply.break_edge("b", "c")
+        assert path_repair_cost(line_supply, ["a", "b", "c"]) == pytest.approx(2.0)
+
+    def test_counts_each_element_once(self, line_supply):
+        line_supply.break_node("b")
+        # Node b appears twice in a back-and-forth path; cost counted once.
+        assert path_repair_cost(line_supply, ["a", "b", "a", "b", "c"]) == pytest.approx(1.0)
+
+    def test_respects_heterogeneous_costs(self, line_supply):
+        line_supply.set_node_repair_cost("b", 7.0)
+        line_supply.break_node("b")
+        assert path_repair_cost(line_supply, ["a", "b"]) == pytest.approx(7.0)
+
+
+class TestPathBrokenElements:
+    def test_lists_broken(self, line_supply):
+        line_supply.break_node("c")
+        line_supply.break_edge("a", "b")
+        nodes, edges = path_broken_elements(line_supply, ["a", "b", "c", "d"])
+        assert nodes == ["c"]
+        assert edges == [("a", "b")]
+
+    def test_empty_when_working(self, line_supply):
+        nodes, edges = path_broken_elements(line_supply, ["a", "b", "c"])
+        assert nodes == [] and edges == []
+
+
+class TestDynamicEdgeLength:
+    def test_working_edge_length(self, line_supply):
+        # const / capacity for a fully working edge.
+        assert dynamic_edge_length(line_supply, "a", "b") == pytest.approx(1.0 / 10.0)
+
+    def test_broken_edge_adds_cost(self, line_supply):
+        line_supply.break_edge("a", "b")
+        assert dynamic_edge_length(line_supply, "a", "b") == pytest.approx((1.0 + 1.0) / 10.0)
+
+    def test_broken_endpoint_adds_half_cost(self, line_supply):
+        line_supply.break_node("a")
+        assert dynamic_edge_length(line_supply, "a", "b") == pytest.approx((1.0 + 0.5) / 10.0)
+
+    def test_repaired_elements_do_not_count(self, line_supply):
+        line_supply.break_edge("a", "b")
+        line_supply.break_node("a")
+        length = dynamic_edge_length(
+            line_supply, "a", "b", repaired_nodes={"a"}, repaired_edges={("a", "b")}
+        )
+        assert length == pytest.approx(1.0 / 10.0)
+
+    def test_length_decreases_with_capacity(self, diamond_supply):
+        diamond_supply.break_all()
+        narrow = dynamic_edge_length(diamond_supply, "s", "b")
+        wide = dynamic_edge_length(diamond_supply, "s", "a")
+        assert wide < narrow
+
+    def test_custom_constant(self, line_supply):
+        assert dynamic_edge_length(line_supply, "a", "b", const=5.0) == pytest.approx(0.5)
+
+    def test_attach_dynamic_lengths_annotates_all_edges(self, line_supply):
+        graph = line_supply.full_graph()
+        attach_dynamic_lengths(line_supply, graph)
+        assert all("length" in data for _, _, data in graph.edges(data=True))
+
+
+class TestShortestPathCover:
+    def test_single_path_suffices(self, line_supply):
+        graph = line_supply.full_graph()
+        cover = shortest_path_cover(graph, "a", "e", 5.0, weight="missing")
+        assert len(cover) == 1
+        path, capacity = cover[0]
+        assert path == ("a", "b", "c", "d", "e")
+        assert capacity == pytest.approx(10.0)
+
+    def test_multiple_paths_needed(self, diamond_supply):
+        graph = diamond_supply.full_graph()
+        cover = shortest_path_cover(graph, "s", "t", 12.0, weight="missing")
+        assert len(cover) == 2
+        assert sum(capacity for _, capacity in cover) == pytest.approx(14.0)
+
+    def test_insufficient_capacity_returns_partial_cover(self, diamond_supply):
+        graph = diamond_supply.full_graph()
+        cover = shortest_path_cover(graph, "s", "t", 100.0, weight="missing")
+        assert sum(capacity for _, capacity in cover) == pytest.approx(14.0)
+
+    def test_disconnected_returns_empty(self, line_supply):
+        graph = line_supply.full_graph()
+        graph.remove_edge("b", "c")
+        assert shortest_path_cover(graph, "a", "e", 1.0) == []
+
+    def test_same_endpoint_returns_empty(self, line_supply):
+        graph = line_supply.full_graph()
+        assert shortest_path_cover(graph, "a", "a", 1.0) == []
+
+    def test_missing_node_returns_empty(self, line_supply):
+        graph = line_supply.full_graph()
+        assert shortest_path_cover(graph, "a", "zzz", 1.0) == []
+
+    def test_max_paths_cap(self, diamond_supply):
+        graph = diamond_supply.full_graph()
+        cover = shortest_path_cover(graph, "s", "t", 100.0, max_paths=1)
+        assert len(cover) == 1
+
+    def test_respects_weight_attribute(self, diamond_supply):
+        graph = diamond_supply.full_graph()
+        # Make the low-capacity path much "shorter" so it is picked first.
+        for u, v in graph.edges:
+            graph.edges[u, v]["length"] = 1.0
+        graph.edges["s", "b"]["length"] = 0.01
+        graph.edges["b", "t"]["length"] = 0.01
+        cover = shortest_path_cover(graph, "s", "t", 2.0, weight="length")
+        assert cover[0][0] == ("s", "b", "t")

@@ -1,0 +1,141 @@
+"""Tests for repro.network.plan.RecoveryPlan."""
+
+import pytest
+
+from repro.network.demand import DemandGraph
+from repro.network.plan import RecoveryPlan, RouteAssignment
+
+
+class TestRouteAssignment:
+    def test_requires_positive_flow(self):
+        with pytest.raises(ValueError):
+            RouteAssignment(pair=("a", "b"), path=("a", "b"), flow=0.0)
+
+    def test_requires_at_least_one_edge(self):
+        with pytest.raises(ValueError):
+            RouteAssignment(pair=("a", "b"), path=("a",), flow=1.0)
+
+
+class TestRepairBookkeeping:
+    def test_counts(self):
+        plan = RecoveryPlan(algorithm="X")
+        plan.add_node_repair("a")
+        plan.add_node_repair("a")
+        plan.add_edge_repair("a", "b")
+        plan.add_edge_repair("b", "a")
+        assert plan.num_node_repairs == 1
+        assert plan.num_edge_repairs == 1
+        assert plan.total_repairs == 2
+
+    def test_repair_cost(self, line_supply):
+        line_supply.set_node_repair_cost("a", 3.0)
+        line_supply.set_edge_repair_cost("a", "b", 2.0)
+        plan = RecoveryPlan(algorithm="X")
+        plan.add_node_repair("a")
+        plan.add_edge_repair("a", "b")
+        assert plan.repair_cost(line_supply) == pytest.approx(5.0)
+
+
+class TestRoutes:
+    def test_add_route_accumulates_satisfied(self):
+        plan = RecoveryPlan(algorithm="X")
+        plan.add_route(("a", "c"), ("a", "b", "c"), 3.0)
+        plan.add_route(("c", "a"), ("c", "b", "a"), 2.0)
+        assert plan.total_satisfied() == pytest.approx(5.0)
+
+    def test_routed_load_aggregates_edges(self):
+        plan = RecoveryPlan(algorithm="X")
+        plan.add_route(("a", "c"), ("a", "b", "c"), 3.0)
+        plan.add_route(("a", "c"), ("a", "b", "c"), 2.0)
+        load = plan.routed_load()
+        assert load[("a", "b")] == pytest.approx(5.0)
+        assert load[("b", "c")] == pytest.approx(5.0)
+
+    def test_satisfied_fraction_caps_at_one(self):
+        demand = DemandGraph()
+        demand.add("a", "c", 4.0)
+        plan = RecoveryPlan(algorithm="X")
+        plan.record_satisfied(("a", "c"), 100.0)
+        assert plan.satisfied_fraction(demand) == pytest.approx(1.0)
+
+    def test_satisfied_fraction_partial(self):
+        demand = DemandGraph()
+        demand.add("a", "c", 4.0)
+        demand.add("x", "y", 4.0)
+        plan = RecoveryPlan(algorithm="X")
+        plan.record_satisfied(("a", "c"), 4.0)
+        assert plan.satisfied_fraction(demand) == pytest.approx(0.5)
+        assert plan.demand_loss(demand) == pytest.approx(0.5)
+
+    def test_empty_demand_is_fully_satisfied(self):
+        plan = RecoveryPlan(algorithm="X")
+        assert plan.satisfied_fraction(DemandGraph()) == 1.0
+
+
+class TestValidation:
+    def test_valid_routing_passes(self, line_supply):
+        demand = DemandGraph()
+        demand.add("a", "c", 5.0)
+        plan = RecoveryPlan(algorithm="X")
+        plan.add_route(("a", "c"), ("a", "b", "c"), 5.0)
+        assert plan.validate_routing(line_supply, demand) == []
+
+    def test_route_through_unrepaired_broken_node_flagged(self, line_supply):
+        line_supply.break_node("b")
+        demand = DemandGraph()
+        demand.add("a", "c", 5.0)
+        plan = RecoveryPlan(algorithm="X")
+        plan.add_route(("a", "c"), ("a", "b", "c"), 5.0)
+        problems = plan.validate_routing(line_supply, demand)
+        assert any("broken node" in p for p in problems)
+
+    def test_route_through_repaired_broken_node_ok(self, line_supply):
+        line_supply.break_node("b")
+        demand = DemandGraph()
+        demand.add("a", "c", 5.0)
+        plan = RecoveryPlan(algorithm="X")
+        plan.add_node_repair("b")
+        plan.add_route(("a", "c"), ("a", "b", "c"), 5.0)
+        assert plan.validate_routing(line_supply, demand) == []
+
+    def test_route_through_unrepaired_broken_edge_flagged(self, line_supply):
+        line_supply.break_edge("a", "b")
+        demand = DemandGraph()
+        demand.add("a", "c", 5.0)
+        plan = RecoveryPlan(algorithm="X")
+        plan.add_route(("a", "c"), ("a", "b", "c"), 5.0)
+        problems = plan.validate_routing(line_supply, demand)
+        assert any("broken edge" in p for p in problems)
+
+    def test_capacity_violation_flagged(self, line_supply):
+        demand = DemandGraph()
+        demand.add("a", "c", 50.0)
+        plan = RecoveryPlan(algorithm="X")
+        plan.add_route(("a", "c"), ("a", "b", "c"), 50.0)
+        problems = plan.validate_routing(line_supply, demand)
+        assert any("capacity" in p for p in problems)
+
+    def test_nonexistent_edge_flagged(self, line_supply):
+        demand = DemandGraph()
+        demand.add("a", "e", 5.0)
+        plan = RecoveryPlan(algorithm="X")
+        plan.add_route(("a", "e"), ("a", "e"), 5.0)
+        problems = plan.validate_routing(line_supply, demand)
+        assert any("non-existent" in p for p in problems)
+
+    def test_over_delivery_flagged(self, line_supply):
+        demand = DemandGraph()
+        demand.add("a", "c", 1.0)
+        plan = RecoveryPlan(algorithm="X")
+        plan.add_route(("a", "c"), ("a", "b", "c"), 5.0)
+        problems = plan.validate_routing(line_supply, demand)
+        assert any("requested only" in p for p in problems)
+
+
+class TestSummary:
+    def test_summary_keys(self):
+        plan = RecoveryPlan(algorithm="X", elapsed_seconds=1.5, iterations=3)
+        summary = plan.summary()
+        assert summary["algorithm"] == "X"
+        assert summary["iterations"] == 3
+        assert summary["total_repairs"] == 0

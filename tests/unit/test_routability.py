@@ -1,0 +1,119 @@
+"""Tests for the routability test (Section IV-A)."""
+
+import networkx as nx
+import pytest
+
+from repro.flows.routability import (
+    cut_condition_violated,
+    is_routable,
+    routability_test,
+    vertex_surplus,
+)
+from repro.network.demand import DemandGraph
+
+
+class TestRoutabilityBasics:
+    def test_empty_demand_is_routable(self, line_supply):
+        assert is_routable(line_supply.working_graph(), DemandGraph())
+
+    def test_single_path_routable(self, line_supply, single_demand):
+        assert is_routable(line_supply.working_graph(), single_demand)
+
+    def test_demand_above_capacity_not_routable(self, line_supply):
+        demand = DemandGraph()
+        demand.add("a", "e", 11.0)
+        assert not is_routable(line_supply.working_graph(), demand)
+
+    def test_demand_exactly_at_capacity_routable(self, line_supply):
+        demand = DemandGraph()
+        demand.add("a", "e", 10.0)
+        assert is_routable(line_supply.working_graph(), demand)
+
+    def test_missing_endpoint_not_routable(self, line_supply):
+        demand = DemandGraph()
+        demand.add("a", "missing", 1.0)
+        result = routability_test(line_supply.working_graph(), demand)
+        assert not result.routable
+        assert "missing" in result.reason
+
+    def test_disconnected_endpoints_not_routable(self, line_supply):
+        line_supply.break_node("c")
+        demand = DemandGraph()
+        demand.add("a", "e", 1.0)
+        result = routability_test(line_supply.working_graph(), demand)
+        assert not result.routable
+        assert "no working path" in result.reason
+
+    def test_result_is_truthy(self, line_supply, single_demand):
+        assert bool(routability_test(line_supply.working_graph(), single_demand))
+
+
+class TestMultiCommodityInteraction:
+    def test_two_demands_sharing_an_edge(self, diamond_supply):
+        # Total 14 units fit (10 + 4); 15 do not.
+        demand_ok = DemandGraph()
+        demand_ok.add("s", "t", 14.0)
+        demand_over = DemandGraph()
+        demand_over.add("s", "t", 15.0)
+        graph = diamond_supply.working_graph()
+        assert is_routable(graph, demand_ok)
+        assert not is_routable(graph, demand_over)
+
+    def test_conflicting_demands(self, line_supply):
+        # Two demands of 6 units both need the single capacity-10 path: infeasible.
+        demand = DemandGraph()
+        demand.add("a", "c", 6.0)
+        demand.add("b", "e", 6.0)
+        assert not is_routable(line_supply.working_graph(), demand)
+
+    def test_flows_returned_when_requested(self, line_supply, single_demand):
+        result = routability_test(line_supply.working_graph(), single_demand, want_flows=True)
+        assert result.routable
+        assert len(result.flows) == 1
+        total_out_of_a = sum(
+            flow for (u, v), flow in result.flows[0].items() if u == "a"
+        )
+        assert total_out_of_a == pytest.approx(5.0)
+
+    def test_edge_loads_respect_capacity(self, diamond_supply, diamond_demand):
+        graph = diamond_supply.working_graph()
+        result = routability_test(graph, diamond_demand, want_flows=True)
+        assert result.routable
+        for (u, v), load in result.edge_loads.items():
+            assert load <= graph.edges[u, v]["capacity"] + 1e-6
+
+
+class TestCutCondition:
+    def test_violated_cut_detected(self, line_supply):
+        demand = DemandGraph()
+        demand.add("a", "e", 20.0)
+        graph = line_supply.working_graph()
+        assert cut_condition_violated(graph, demand, {"a", "b"})
+
+    def test_satisfied_cut(self, line_supply):
+        demand = DemandGraph()
+        demand.add("a", "e", 5.0)
+        graph = line_supply.working_graph()
+        assert not cut_condition_violated(graph, demand, {"a", "b"})
+
+    def test_cut_with_no_crossing_demand(self, line_supply):
+        demand = DemandGraph()
+        demand.add("a", "b", 5.0)
+        graph = line_supply.working_graph()
+        assert not cut_condition_violated(graph, demand, {"a", "b"})
+
+
+class TestVertexSurplus:
+    def test_surplus_of_intermediate_node(self, line_supply, single_demand):
+        graph = line_supply.working_graph()
+        # Node c has two incident capacity-10 edges and no crossing demand.
+        assert vertex_surplus(graph, single_demand, "c") == pytest.approx(20.0)
+
+    def test_surplus_of_endpoint(self, line_supply, single_demand):
+        graph = line_supply.working_graph()
+        # Node a has one incident edge (10) and 5 units of crossing demand.
+        assert vertex_surplus(graph, single_demand, "a") == pytest.approx(5.0)
+
+    def test_surplus_of_missing_node(self, line_supply, single_demand):
+        graph = line_supply.working_graph()
+        assert vertex_surplus(graph, single_demand, "zzz") == pytest.approx(0.0)

@@ -1,0 +1,114 @@
+"""Tests for the per-figure scenario functions (reduced-scale runs)."""
+
+import pytest
+
+from repro.evaluation.scenarios import (
+    figure3_multicommodity,
+    figure4_demand_pairs,
+    figure5_demand_intensity,
+    figure6_disruption_extent,
+    figure7_scalability,
+    figure8_topology_report,
+    figure9_caida,
+)
+
+
+class TestFigure3:
+    def test_rows_and_algorithms(self):
+        result = figure3_multicommodity(demand_values=(2,), runs=1, seed=1, opt_time_limit=30.0)
+        assert result.figure == "Figure 3"
+        algorithms = {row["algorithm"] for row in result.rows}
+        assert algorithms == {"OPT", "MCW", "MCB", "ALL"}
+
+    def test_series_pivot(self):
+        result = figure3_multicommodity(
+            demand_values=(2,), runs=1, seed=1, opt_time_limit=30.0,
+            algorithm_names=("MCB", "ALL"),
+        )
+        series = result.series("total_repairs")
+        assert set(series) == {"MCB", "ALL"}
+
+
+class TestFigure4:
+    def test_sweep_structure(self):
+        result = figure4_demand_pairs(
+            pair_counts=(1, 2),
+            runs=1,
+            seed=2,
+            opt_time_limit=30.0,
+            algorithm_names=("ISP", "SRT", "ALL"),
+        )
+        sweep_values = {row["num_pairs"] for row in result.rows}
+        assert sweep_values == {1, 2}
+        assert len(result.rows) == 2 * 3
+
+    def test_isp_never_exceeds_all(self):
+        result = figure4_demand_pairs(
+            pair_counts=(2,), runs=1, seed=3, algorithm_names=("ISP", "ALL")
+        )
+        series = result.series("total_repairs")
+        assert series["ISP"][2] <= series["ALL"][2]
+
+
+class TestFigure5:
+    def test_reduced_run(self):
+        result = figure5_demand_intensity(
+            demand_values=(4,), num_pairs=2, runs=1, seed=4, algorithm_names=("ISP", "SRT")
+        )
+        assert {row["algorithm"] for row in result.rows} == {"ISP", "SRT"}
+        assert all(row["satisfied_pct"] <= 100.0 for row in result.rows)
+
+
+class TestFigure6:
+    def test_geographic_sweep(self):
+        result = figure6_disruption_extent(
+            variances=(5.0, 200.0),
+            num_pairs=2,
+            runs=1,
+            seed=5,
+            algorithm_names=("ISP", "ALL"),
+        )
+        series = result.series("total_repairs")
+        # A wider disruption destroys (and therefore repairs) at least as much.
+        assert series["ALL"][200.0] >= series["ALL"][5.0]
+
+
+class TestFigure7:
+    def test_scalability_rows(self):
+        result = figure7_scalability(
+            edge_probabilities=(0.08,),
+            num_nodes=25,
+            num_pairs=2,
+            runs=1,
+            seed=6,
+            algorithm_names=("ISP", "SRT"),
+        )
+        assert {row["algorithm"] for row in result.rows} == {"ISP", "SRT"}
+        assert all(row["elapsed_seconds"] >= 0 for row in result.rows)
+
+
+class TestFigure8:
+    def test_topology_report(self):
+        stats = figure8_topology_report(num_nodes=200, num_edges=246, seed=7)
+        assert stats["nodes"] == 200
+        assert stats["edges"] == 246
+        assert stats["connected"]
+        assert len(stats["top_degrees"]) == 10
+        assert 0.0 <= stats["degree_one_fraction"] <= 1.0
+
+
+class TestFigure9:
+    def test_reduced_caida_run(self):
+        result = figure9_caida(
+            pair_counts=(1,),
+            flow_per_pair=10.0,
+            num_nodes=60,
+            num_edges=75,
+            runs=1,
+            seed=8,
+            opt_time_limit=20.0,
+            algorithm_names=("ISP", "SRT"),
+        )
+        assert {row["algorithm"] for row in result.rows} == {"ISP", "SRT"}
+        for row in result.rows:
+            assert row["total_repairs"] >= 0

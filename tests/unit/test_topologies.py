@@ -1,0 +1,201 @@
+"""Tests for the topology builders."""
+
+import networkx as nx
+import pytest
+
+from repro.topologies.bellcanada import (
+    ACCESS_CAPACITY,
+    EXPECTED_EDGES,
+    EXPECTED_NODES,
+    PRIMARY_BACKBONE,
+    PRIMARY_BACKBONE_CAPACITY,
+    SECONDARY_BACKBONE_CAPACITY,
+    bell_canada,
+)
+from repro.topologies.caida_like import caida_like
+from repro.topologies.grids import grid_topology, ring_topology, star_topology
+from repro.topologies.random_graphs import erdos_renyi, geometric_graph
+from repro.topologies.registry import (
+    available_topologies,
+    build_topology,
+    register_topology,
+)
+
+
+class TestBellCanada:
+    def test_size_matches_topology_zoo(self):
+        supply = bell_canada()
+        assert supply.number_of_nodes == EXPECTED_NODES == 48
+        assert supply.number_of_edges == EXPECTED_EDGES == 64
+
+    def test_connected(self):
+        assert bell_canada().stats()["connected"]
+
+    def test_deterministic(self):
+        a, b = bell_canada(), bell_canada()
+        assert set(a.edges) == set(b.edges)
+
+    def test_every_node_has_position(self):
+        supply = bell_canada()
+        assert all(supply.position(node) is not None for node in supply.nodes)
+
+    def test_capacity_tiers(self):
+        supply = bell_canada()
+        capacities = {supply.capacity(u, v) for u, v in supply.edges}
+        assert capacities == {
+            ACCESS_CAPACITY,
+            SECONDARY_BACKBONE_CAPACITY,
+            PRIMARY_BACKBONE_CAPACITY,
+        }
+
+    def test_primary_backbone_capacity(self):
+        supply = bell_canada()
+        for u, v in zip(PRIMARY_BACKBONE, PRIMARY_BACKBONE[1:]):
+            assert supply.capacity(u, v) == PRIMARY_BACKBONE_CAPACITY
+
+    def test_unit_repair_costs_by_default(self):
+        supply = bell_canada()
+        assert all(supply.node_repair_cost(n) == 1.0 for n in supply.nodes)
+        assert all(supply.edge_repair_cost(u, v) == 1.0 for u, v in supply.edges)
+
+    def test_custom_capacities(self):
+        supply = bell_canada(primary_capacity=99.0, secondary_capacity=55.0, access_capacity=11.0)
+        capacities = {supply.capacity(u, v) for u, v in supply.edges}
+        assert capacities == {99.0, 55.0, 11.0}
+
+
+class TestCaidaLike:
+    def test_default_size(self):
+        supply = caida_like(seed=0)
+        assert supply.number_of_nodes == 825
+        assert supply.number_of_edges == 1018
+
+    def test_connected(self):
+        assert caida_like(num_nodes=120, num_edges=150, seed=1).stats()["connected"]
+
+    def test_deterministic_with_seed(self):
+        a = caida_like(num_nodes=100, num_edges=130, seed=5)
+        b = caida_like(num_nodes=100, num_edges=130, seed=5)
+        assert set(a.edges) == set(b.edges)
+
+    def test_heavy_tailed_degrees(self):
+        supply = caida_like(num_nodes=300, num_edges=380, seed=2)
+        degrees = sorted((supply.degree(n) for n in supply.nodes), reverse=True)
+        assert degrees[0] >= 10  # a few hubs
+        assert sum(1 for d in degrees if d <= 2) > len(degrees) / 2  # many leaves
+
+    def test_two_capacity_tiers(self):
+        supply = caida_like(num_nodes=200, num_edges=260, seed=3)
+        capacities = {supply.capacity(u, v) for u, v in supply.edges}
+        assert capacities <= {25.0, 100.0}
+
+    def test_rejects_too_few_edges(self):
+        with pytest.raises(ValueError):
+            caida_like(num_nodes=10, num_edges=5)
+
+    def test_positions_present(self):
+        supply = caida_like(num_nodes=50, num_edges=60, seed=4)
+        assert all(supply.position(n) is not None for n in supply.nodes)
+
+
+class TestErdosRenyi:
+    def test_node_count(self):
+        supply = erdos_renyi(num_nodes=40, edge_probability=0.2, seed=1)
+        assert supply.number_of_nodes == 40
+
+    def test_connected_by_default(self):
+        supply = erdos_renyi(num_nodes=40, edge_probability=0.15, seed=2)
+        assert supply.stats()["connected"]
+
+    def test_uniform_capacity(self):
+        supply = erdos_renyi(num_nodes=20, edge_probability=0.3, capacity=123.0, seed=3)
+        assert all(supply.capacity(u, v) == 123.0 for u, v in supply.edges)
+
+    def test_deterministic_with_seed(self):
+        a = erdos_renyi(num_nodes=25, edge_probability=0.3, seed=9)
+        b = erdos_renyi(num_nodes=25, edge_probability=0.3, seed=9)
+        assert set(a.edges) == set(b.edges)
+
+    def test_rejects_invalid_probability(self):
+        with pytest.raises(ValueError):
+            erdos_renyi(num_nodes=10, edge_probability=1.5)
+
+    def test_rejects_tiny_graph(self):
+        with pytest.raises(ValueError):
+            erdos_renyi(num_nodes=1)
+
+    def test_low_probability_falls_back_to_giant_component(self):
+        supply = erdos_renyi(num_nodes=30, edge_probability=0.02, seed=4, max_attempts=3)
+        assert supply.stats()["connected"] or supply.number_of_nodes <= 30
+
+
+class TestGeometric:
+    def test_connected(self):
+        supply = geometric_graph(num_nodes=40, radius=0.3, seed=1)
+        assert supply.stats()["connected"]
+
+    def test_positions_scaled(self):
+        supply = geometric_graph(num_nodes=20, radius=0.4, seed=2)
+        xs = [supply.position(n)[0] for n in supply.nodes]
+        assert max(xs) <= 100.0 and min(xs) >= 0.0
+
+
+class TestRegularTopologies:
+    def test_grid_size(self):
+        supply = grid_topology(3, 4)
+        assert supply.number_of_nodes == 12
+        assert supply.number_of_edges == 3 * 3 + 4 * 2  # rows*(cols-1) + cols*(rows-1)
+
+    def test_grid_positions(self):
+        supply = grid_topology(2, 2)
+        assert supply.position((1, 1)) == (1.0, 1.0)
+
+    def test_grid_rejects_zero(self):
+        with pytest.raises(ValueError):
+            grid_topology(0, 3)
+
+    def test_ring_size(self):
+        supply = ring_topology(6)
+        assert supply.number_of_nodes == 6
+        assert supply.number_of_edges == 6
+
+    def test_ring_minimum_size(self):
+        with pytest.raises(ValueError):
+            ring_topology(2)
+
+    def test_star_size(self):
+        supply = star_topology(5)
+        assert supply.number_of_nodes == 6
+        assert supply.number_of_edges == 5
+        assert supply.degree(0) == 5
+
+    def test_star_minimum(self):
+        with pytest.raises(ValueError):
+            star_topology(0)
+
+
+class TestRegistry:
+    def test_available_contains_paper_topologies(self):
+        names = available_topologies()
+        assert "bell-canada" in names
+        assert "erdos-renyi" in names
+        assert "caida-like" in names
+
+    def test_build_by_name(self):
+        supply = build_topology("grid", rows=2, cols=2)
+        assert supply.number_of_nodes == 4
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError, match="unknown topology"):
+            build_topology("does-not-exist")
+
+    def test_register_custom(self):
+        def tiny(**kwargs):
+            return grid_topology(1, 2)
+
+        register_topology("tiny-test-topology", tiny, overwrite=True)
+        assert build_topology("tiny-test-topology").number_of_nodes == 2
+
+    def test_register_duplicate_rejected(self):
+        with pytest.raises(ValueError):
+            register_topology("grid", grid_topology)

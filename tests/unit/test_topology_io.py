@@ -1,0 +1,127 @@
+"""Tests for topology/demand serialisation (JSON and GraphML)."""
+
+import networkx as nx
+import pytest
+
+from repro.network.demand import DemandGraph
+from repro.topologies.grids import grid_topology
+from repro.topologies.io import (
+    demand_from_dict,
+    demand_to_dict,
+    load_demand_json,
+    load_supply_json,
+    load_topology_zoo_graphml,
+    save_demand_json,
+    save_supply_json,
+    supply_from_dict,
+    supply_to_dict,
+)
+from repro.network.supply import SupplyGraph
+
+
+def build_small_supply() -> SupplyGraph:
+    supply = SupplyGraph()
+    supply.add_node("a", pos=(0.0, 1.0), repair_cost=2.0)
+    supply.add_node("b", pos=(1.0, 1.0))
+    supply.add_node("c")
+    supply.add_edge("a", "b", capacity=7.5, repair_cost=3.0)
+    supply.add_edge("b", "c", capacity=2.0)
+    supply.break_node("c")
+    supply.break_edge("a", "b")
+    return supply
+
+
+class TestSupplyJsonRoundTrip:
+    def test_round_trip_preserves_structure(self):
+        original = build_small_supply()
+        restored = supply_from_dict(supply_to_dict(original))
+        assert set(restored.nodes) == set(original.nodes)
+        assert set(restored.edges) == set(original.edges)
+
+    def test_round_trip_preserves_attributes(self):
+        original = build_small_supply()
+        restored = supply_from_dict(supply_to_dict(original))
+        assert restored.capacity("a", "b") == 7.5
+        assert restored.edge_repair_cost("a", "b") == 3.0
+        assert restored.node_repair_cost("a") == 2.0
+        assert restored.position("a") == (0.0, 1.0)
+        assert restored.position("c") is None
+
+    def test_round_trip_preserves_failures(self):
+        original = build_small_supply()
+        restored = supply_from_dict(supply_to_dict(original))
+        assert restored.is_broken_node("c")
+        assert restored.is_broken_edge("a", "b")
+        assert not restored.is_broken_edge("b", "c")
+
+    def test_file_round_trip(self, tmp_path):
+        original = build_small_supply()
+        path = tmp_path / "supply.json"
+        save_supply_json(original, path)
+        restored = load_supply_json(path)
+        assert set(restored.edges) == set(original.edges)
+        assert restored.is_broken_node("c")
+
+    def test_unsupported_version_rejected(self):
+        data = supply_to_dict(build_small_supply())
+        data["format_version"] = 99
+        with pytest.raises(ValueError, match="format version"):
+            supply_from_dict(data)
+
+
+class TestDemandJsonRoundTrip:
+    def test_round_trip(self):
+        demand = DemandGraph()
+        demand.add("a", "b", 4.0)
+        demand.add("b", "c", 2.5)
+        restored = demand_from_dict(demand_to_dict(demand))
+        assert restored.as_dict() == demand.as_dict()
+
+    def test_file_round_trip(self, tmp_path):
+        demand = DemandGraph()
+        demand.add("x", "y", 1.5)
+        path = tmp_path / "demand.json"
+        save_demand_json(demand, path)
+        restored = load_demand_json(path)
+        assert restored.demand("x", "y") == 1.5
+
+    def test_empty_demand(self):
+        assert demand_from_dict(demand_to_dict(DemandGraph())).is_empty
+
+
+class TestTopologyZooGraphml:
+    def write_zoo_file(self, tmp_path):
+        graph = nx.Graph()
+        graph.add_node("0", label="Toronto", Latitude=43.65, Longitude=-79.38)
+        graph.add_node("1", label="Ottawa", Latitude=45.42, Longitude=-75.70)
+        graph.add_node("2", label="Montreal", Latitude=45.50, Longitude=-73.57)
+        graph.add_edge("0", "1")
+        graph.add_edge("1", "2")
+        path = tmp_path / "zoo.graphml"
+        nx.write_graphml(graph, path)
+        return path
+
+    def test_loads_nodes_with_positions(self, tmp_path):
+        supply = load_topology_zoo_graphml(self.write_zoo_file(tmp_path))
+        assert supply.number_of_nodes == 3
+        assert supply.number_of_edges == 2
+        assert supply.position("Toronto") == (-79.38, 43.65)
+
+    def test_default_capacity_applied(self, tmp_path):
+        supply = load_topology_zoo_graphml(self.write_zoo_file(tmp_path), default_capacity=33.0)
+        assert supply.capacity("Toronto", "Ottawa") == 33.0
+
+    def test_duplicate_labels_get_unique_names(self, tmp_path):
+        graph = nx.Graph()
+        graph.add_node("0", label="PoP")
+        graph.add_node("1", label="PoP")
+        graph.add_edge("0", "1")
+        path = tmp_path / "dup.graphml"
+        nx.write_graphml(graph, path)
+        supply = load_topology_zoo_graphml(path)
+        assert supply.number_of_nodes == 2
+        assert supply.number_of_edges == 1
+
+    def test_invalid_capacity_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            load_topology_zoo_graphml(self.write_zoo_file(tmp_path), default_capacity=0.0)

@@ -1,0 +1,60 @@
+"""Tests for repro.utils.rng."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import ensure_rng, spawn_rng
+
+
+class TestEnsureRng:
+    def test_none_returns_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_is_deterministic(self):
+        a = ensure_rng(42).integers(0, 1_000_000, size=10)
+        b = ensure_rng(42).integers(0, 1_000_000, size=10)
+        assert list(a) == list(b)
+
+    def test_different_seeds_differ(self):
+        a = ensure_rng(1).integers(0, 1_000_000, size=10)
+        b = ensure_rng(2).integers(0, 1_000_000, size=10)
+        assert list(a) != list(b)
+
+    def test_existing_generator_passthrough(self):
+        rng = np.random.default_rng(7)
+        assert ensure_rng(rng) is rng
+
+    def test_numpy_integer_seed_accepted(self):
+        seed = np.int64(5)
+        assert isinstance(ensure_rng(seed), np.random.Generator)
+
+    def test_rejects_strings(self):
+        with pytest.raises(TypeError):
+            ensure_rng("not a seed")
+
+    def test_rejects_floats(self):
+        with pytest.raises(TypeError):
+            ensure_rng(3.14)
+
+
+class TestSpawnRng:
+    def test_spawn_is_deterministic(self):
+        parent = ensure_rng(99)
+        child_a = spawn_rng(parent, 0)
+        parent2 = ensure_rng(99)
+        child_b = spawn_rng(parent2, 0)
+        assert list(child_a.integers(0, 1000, 5)) == list(child_b.integers(0, 1000, 5))
+
+    def test_different_streams_differ(self):
+        parent = ensure_rng(99)
+        a = spawn_rng(parent, 0).integers(0, 1_000_000, size=10)
+        b = spawn_rng(parent, 1).integers(0, 1_000_000, size=10)
+        assert list(a) != list(b)
+
+    def test_negative_stream_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rng(ensure_rng(1), -1)
+
+    def test_requires_generator(self):
+        with pytest.raises(TypeError):
+            spawn_rng(42, 0)

@@ -1,0 +1,61 @@
+"""Tests for repro.utils.timing."""
+
+import time
+
+import pytest
+
+from repro.utils.timing import Timer, timed
+
+
+class TestTimer:
+    def test_elapsed_after_exit(self):
+        with Timer() as timer:
+            time.sleep(0.01)
+        assert timer.elapsed >= 0.005
+
+    def test_elapsed_while_running(self):
+        with Timer() as timer:
+            first = timer.elapsed
+            time.sleep(0.005)
+            second = timer.elapsed
+        assert second >= first >= 0.0
+
+    def test_unstarted_timer_raises(self):
+        timer = Timer()
+        with pytest.raises(RuntimeError):
+            _ = timer.elapsed
+
+    def test_reusable(self):
+        timer = Timer()
+        with timer:
+            pass
+        first = timer.elapsed
+        with timer:
+            time.sleep(0.01)
+        assert timer.elapsed >= first
+
+
+class TestTimed:
+    def test_returns_result_and_duration(self):
+        @timed
+        def add(a, b):
+            return a + b
+
+        result, elapsed = add(2, 3)
+        assert result == 5
+        assert elapsed >= 0.0
+
+    def test_preserves_function_name(self):
+        @timed
+        def my_function():
+            return None
+
+        assert my_function.__name__ == "my_function"
+
+    def test_kwargs_forwarded(self):
+        @timed
+        def concat(a, b=""):
+            return a + b
+
+        result, _ = concat("x", b="y")
+        assert result == "xy"
