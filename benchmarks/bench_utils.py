@@ -24,6 +24,15 @@ from repro.evaluation.reporting import format_table
 #: Set REPRO_BENCH_SCALE=full to run the paper-scale parameters.
 FULL_SCALE = os.environ.get("REPRO_BENCH_SCALE", "quick").lower() == "full"
 
+#: Worker processes for the sweep benches (they run through the experiment
+#: engine).  1 keeps everything in-process; 0 means one worker per CPU.
+#: Results are bit-identical for any value — only wall-clock changes.
+BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
+
+#: Optional result-cache directory: set REPRO_BENCH_CACHE to a path to make
+#: interrupted/repeated bench runs resume from completed cells.
+BENCH_CACHE = os.environ.get("REPRO_BENCH_CACHE") or None
+
 #: Reproduced figure tables are also written here so they survive pytest's
 #: output capturing and can be diffed across runs / quoted in EXPERIMENTS.md.
 RESULTS_DIR = Path(__file__).resolve().parent / "results"

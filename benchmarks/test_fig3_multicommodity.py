@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import pytest
 
-from bench_utils import FULL_SCALE, print_figure
+from bench_utils import BENCH_CACHE, BENCH_JOBS, FULL_SCALE, print_figure
 from repro.evaluation.scenarios import figure3_multicommodity
 
 COLUMNS = ["demand_per_pair", "algorithm", "total_repairs", "satisfied_pct", "elapsed_seconds"]
@@ -24,9 +24,12 @@ def run_figure3():
             demand_values=(2, 4, 6, 8, 10, 12, 14, 16, 18),
             runs=20,
             opt_time_limit=None,
+            jobs=BENCH_JOBS,
+            cache_dir=BENCH_CACHE,
         )
     return figure3_multicommodity(
-        demand_values=(2, 10, 18), runs=1, opt_time_limit=60.0
+        demand_values=(2, 10, 18), runs=1, opt_time_limit=60.0,
+        jobs=BENCH_JOBS, cache_dir=BENCH_CACHE,
     )
 
 

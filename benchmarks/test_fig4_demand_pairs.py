@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import pytest
 
-from bench_utils import FULL_SCALE, print_figure
+from bench_utils import BENCH_CACHE, BENCH_JOBS, FULL_SCALE, print_figure
 from repro.evaluation.scenarios import figure4_demand_pairs
 
 COLUMNS = [
@@ -31,9 +31,13 @@ COLUMNS = [
 def run_figure4():
     if FULL_SCALE:
         return figure4_demand_pairs(
-            pair_counts=(1, 2, 3, 4, 5, 6, 7), runs=20, opt_time_limit=None
+            pair_counts=(1, 2, 3, 4, 5, 6, 7), runs=20, opt_time_limit=None,
+            jobs=BENCH_JOBS, cache_dir=BENCH_CACHE,
         )
-    return figure4_demand_pairs(pair_counts=(1, 3, 5), runs=1, opt_time_limit=90.0)
+    return figure4_demand_pairs(
+        pair_counts=(1, 3, 5), runs=1, opt_time_limit=90.0,
+        jobs=BENCH_JOBS, cache_dir=BENCH_CACHE,
+    )
 
 
 def test_figure4_demand_pairs(benchmark):

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import pytest
 
-from bench_utils import FULL_SCALE, print_figure
+from bench_utils import BENCH_CACHE, BENCH_JOBS, FULL_SCALE, print_figure
 from repro.evaluation.scenarios import figure5_demand_intensity
 
 COLUMNS = ["demand_per_pair", "algorithm", "total_repairs", "satisfied_pct", "elapsed_seconds"]
@@ -23,9 +23,13 @@ COLUMNS = ["demand_per_pair", "algorithm", "total_repairs", "satisfied_pct", "el
 def run_figure5():
     if FULL_SCALE:
         return figure5_demand_intensity(
-            demand_values=(2, 4, 6, 8, 10, 12, 14, 16, 18), runs=20, opt_time_limit=None
+            demand_values=(2, 4, 6, 8, 10, 12, 14, 16, 18), runs=20, opt_time_limit=None,
+            jobs=BENCH_JOBS, cache_dir=BENCH_CACHE,
         )
-    return figure5_demand_intensity(demand_values=(2, 10, 18), runs=1, opt_time_limit=90.0)
+    return figure5_demand_intensity(
+        demand_values=(2, 10, 18), runs=1, opt_time_limit=90.0,
+        jobs=BENCH_JOBS, cache_dir=BENCH_CACHE,
+    )
 
 
 def test_figure5_demand_intensity(benchmark):

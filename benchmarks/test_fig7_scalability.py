@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import pytest
 
-from bench_utils import FULL_SCALE, print_figure
+from bench_utils import BENCH_CACHE, BENCH_JOBS, FULL_SCALE, print_figure
 from repro.evaluation.scenarios import figure7_scalability
 
 COLUMNS = ["edge_probability", "algorithm", "total_repairs", "elapsed_seconds", "satisfied_pct"]
@@ -28,6 +28,8 @@ def run_figure7():
             num_nodes=100,
             runs=5,
             opt_time_limit=3600.0,
+            jobs=BENCH_JOBS,
+            cache_dir=BENCH_CACHE,
         )
     # Reduced scale: smaller graphs and a tight MILP time limit so the bench
     # finishes quickly while still showing the widening OPT/ISP time gap.
@@ -36,6 +38,8 @@ def run_figure7():
         num_nodes=40,
         runs=1,
         opt_time_limit=60.0,
+        jobs=BENCH_JOBS,
+        cache_dir=BENCH_CACHE,
     )
 
 

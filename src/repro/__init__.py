@@ -25,6 +25,19 @@ for the per-figure reproduction harness.
 
 from repro.core.centrality import CentralityResult, demand_based_centrality
 from repro.core.isp import ISPConfig, iterative_split_prune
+from repro.engine import (
+    DemandSpec,
+    DisruptionSpec,
+    ExperimentSpec,
+    ResultCache,
+    ScenarioResult,
+    SweepAxis,
+    TopologySpec,
+    available_specs,
+    get_spec,
+    register_spec,
+    run_experiment,
+)
 from repro.evaluation.demand_builder import (
     far_apart_demand,
     random_demand,
@@ -82,6 +95,18 @@ __all__ = [
     "CompleteDestruction",
     "GaussianDisruption",
     "UniformRandomFailure",
+    # experiment engine
+    "ExperimentSpec",
+    "TopologySpec",
+    "DisruptionSpec",
+    "DemandSpec",
+    "SweepAxis",
+    "ScenarioResult",
+    "ResultCache",
+    "run_experiment",
+    "available_specs",
+    "get_spec",
+    "register_spec",
     # evaluation
     "far_apart_demand",
     "random_demand",

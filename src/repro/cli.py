@@ -1,17 +1,25 @@
 """Command-line interface for the recovery library.
 
-Three sub-commands cover the everyday workflows:
+Sub-commands cover the everyday workflows:
 
 ``solve``
     Build (or load) a topology, apply a disruption, generate a demand graph
     and run one or more recovery algorithms, printing the comparison table.
 
+``sweep``
+    Run one of the registered sweep experiments (the paper's figures)
+    through the parallel experiment engine: ``--jobs`` fans the task cells
+    out to worker processes, ``--resume`` persists completed cells to an
+    on-disk cache so interrupted or extended sweeps pick up where they left
+    off instead of recomputing (MILP solves are never repeated).
+
 ``assess``
     Print the damage-assessment report of a disrupted instance without
     running any recovery algorithm.
 
-``topologies`` / ``algorithms``
-    List the registered topology builders and recovery algorithms.
+``topologies`` / ``algorithms`` / ``scenarios``
+    List the registered topology builders, recovery algorithms and sweep
+    experiment specs.
 
 Examples
 --------
@@ -19,8 +27,8 @@ Examples
 
     python -m repro.cli solve --topology bell-canada --disruption complete \
         --pairs 4 --flow 10 --algorithms ISP SRT ALL
-    python -m repro.cli solve --topology grid --topology-arg rows=4 \
-        --topology-arg cols=4 --disruption gaussian --variance 2.0 --pairs 2 --flow 5
+    python -m repro.cli sweep figure4 --jobs 4 --seed 11 --runs 5 --resume
+    python -m repro.cli sweep erdos-renyi-scalability --jobs 0 --opt-time-limit 30
     python -m repro.cli assess --topology bell-canada --disruption gaussian --variance 60
 """
 
@@ -30,6 +38,8 @@ import argparse
 import sys
 from typing import Dict, List, Optional, Sequence
 
+from repro.engine.experiment import run_experiment
+from repro.engine.registry import available_specs, get_spec
 from repro.evaluation.demand_builder import routable_far_apart_demand
 from repro.evaluation.metrics import evaluate_plan
 from repro.evaluation.reporting import format_table
@@ -41,6 +51,9 @@ from repro.heuristics.registry import available_algorithms, get_algorithm
 from repro.network.demand import DemandGraph
 from repro.network.supply import SupplyGraph
 from repro.topologies.registry import available_topologies, build_topology
+
+#: Default cache directory for ``sweep --resume``.
+DEFAULT_CACHE_DIR = ".repro-cache"
 
 
 def _parse_value(text: str) -> object:
@@ -119,6 +132,86 @@ def _command_assess(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_sweep(args: argparse.Namespace) -> int:
+    if args.jobs < 0:
+        raise SystemExit("--jobs must be a positive integer, or 0 for one per CPU")
+    try:
+        spec = get_spec(args.spec)
+    except KeyError as error:
+        raise SystemExit(error.args[0]) from None
+
+    changes: Dict[str, object] = {}
+    if args.values:
+        changes["sweep_values"] = tuple(_parse_value(value) for value in args.values)
+    if args.runs is not None:
+        changes["runs"] = args.runs
+    if args.algorithms:
+        changes["algorithms"] = tuple(args.algorithms)
+    if args.opt_time_limit is not None:
+        limit = args.opt_time_limit
+        changes["opt_time_limit"] = None if limit <= 0 else limit
+    if changes:
+        spec = spec.replace(**changes)
+
+    cache_dir = args.cache_dir if args.cache_dir else (DEFAULT_CACHE_DIR if args.resume else None)
+
+    def progress(completed: int, total: int, result) -> None:
+        source = "cache" if result.cached else f"{result.wall_seconds:.2f}s"
+        print(
+            f"[{completed}/{total}] {spec.sweep.parameter}={result.sweep_value} "
+            f"run={result.run_index} {result.algorithm} ({source})",
+            file=sys.stderr,
+        )
+
+    result = run_experiment(
+        spec,
+        seed=args.seed,
+        jobs=args.jobs,
+        cache_dir=cache_dir,
+        progress=progress if not args.quiet else None,
+    )
+    print(
+        format_table(
+            result.rows,
+            columns=[
+                spec.sweep.parameter,
+                "algorithm",
+                "runs",
+                "node_repairs",
+                "edge_repairs",
+                "total_repairs",
+                "satisfied_pct",
+                "elapsed_seconds",
+            ],
+            title=f"{result.figure} — {spec.name} (seed={args.seed}, jobs={args.jobs})",
+        )
+    )
+    return 0
+
+
+def _command_scenarios(_: argparse.Namespace) -> int:
+    rows = []
+    for name in available_specs():
+        spec = get_spec(name)
+        rows.append(
+            {
+                "name": name,
+                "figure": spec.figure,
+                "sweep": f"{spec.sweep.parameter} ({spec.sweep.target})",
+                "values": len(spec.sweep.values),
+                "algorithms": " ".join(spec.algorithms),
+            }
+        )
+    print(
+        format_table(
+            rows,
+            columns=["name", "figure", "sweep", "values", "algorithms"],
+            title="Registered experiment specs",
+        )
+    )
+    return 0
+
+
 def _command_topologies(_: argparse.Namespace) -> int:
     for name in available_topologies():
         print(name)
@@ -180,6 +273,51 @@ def build_parser() -> argparse.ArgumentParser:
     )
     solve.set_defaults(handler=_command_solve)
 
+    sweep = subparsers.add_parser(
+        "sweep", help="run a registered sweep experiment through the parallel engine"
+    )
+    sweep.add_argument(
+        "spec",
+        help="experiment spec name or figure alias (see the 'scenarios' sub-command)",
+    )
+    sweep.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes (1 = in-process, 0 = one per CPU)",
+    )
+    sweep.add_argument("--seed", type=int, default=1, help="root random seed")
+    sweep.add_argument("--runs", type=int, default=None, help="repetitions per sweep value")
+    sweep.add_argument(
+        "--values",
+        nargs="+",
+        metavar="VALUE",
+        help="override the sweep values (numbers parsed automatically)",
+    )
+    sweep.add_argument(
+        "--algorithms", nargs="+", help="override the spec's algorithm list"
+    )
+    sweep.add_argument(
+        "--opt-time-limit",
+        type=float,
+        default=None,
+        help="time limit per MILP solve (<= 0 means exact)",
+    )
+    sweep.add_argument(
+        "--resume",
+        action="store_true",
+        help=f"cache completed cells under {DEFAULT_CACHE_DIR!r} and reuse them",
+    )
+    sweep.add_argument(
+        "--cache-dir",
+        default=None,
+        help="cache completed cells under this directory (implies --resume)",
+    )
+    sweep.add_argument(
+        "--quiet", action="store_true", help="suppress per-cell progress on stderr"
+    )
+    sweep.set_defaults(handler=_command_sweep)
+
     assess = subparsers.add_parser("assess", help="print a damage assessment report")
     _add_instance_arguments(assess)
     assess.set_defaults(handler=_command_assess)
@@ -189,6 +327,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     algorithms = subparsers.add_parser("algorithms", help="list registered algorithms")
     algorithms.set_defaults(handler=_command_algorithms)
+
+    scenarios = subparsers.add_parser(
+        "scenarios", help="list registered sweep experiment specs"
+    )
+    scenarios.set_defaults(handler=_command_scenarios)
     return parser
 
 

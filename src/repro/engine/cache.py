@@ -1,0 +1,90 @@
+"""On-disk result cache for experiment task cells.
+
+Every completed cell is stored as one small JSON file named after the
+digest of everything that determines its result: the resolved instance
+configuration (topology / disruption / demand with the sweep value applied),
+the algorithm (plus its MILP time limit, for OPT), the root seed entropy and
+the cell's spawn key.  Interrupted sweeps therefore resume where they
+stopped, extended sweeps (more values, more runs) only compute the new
+cells, and completed MILP solves are never repeated.
+
+The format is deliberately flat and human-inspectable: one file per cell
+with the task description next to the metrics, so a cache directory doubles
+as a raw experiment log that can be grepped or post-processed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Iterator, Optional, Union
+
+from repro.engine.tasks import Task, TaskResult
+
+
+class ResultCache:
+    """A directory of per-cell JSON results keyed by task digest."""
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def get(self, task: Task) -> Optional[TaskResult]:
+        """The cached result of ``task``, or ``None`` on a miss.
+
+        Unreadable or truncated entries (e.g. from a run killed mid-write,
+        although writes are atomic) count as misses and are recomputed.
+        """
+        path = self._path(task.cache_key())
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return None
+        try:
+            return TaskResult.from_payload(payload["result"])
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def put(self, task: Task, result: TaskResult) -> None:
+        """Store ``result`` for ``task`` atomically (write + rename)."""
+        key = task.cache_key()
+        payload = {
+            "key": key,
+            "task": {
+                "spec": task.spec.name,
+                "cell": task.spec.cell_config(task.sweep_value, task.algorithm),
+                "root_entropy": task.root_entropy,
+                "spawn_key": list(task.spawn_key),
+            },
+            "result": result.to_payload(),
+        }
+        fd, tmp_name = tempfile.mkstemp(dir=self.directory, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle, indent=2, default=str)
+            os.replace(tmp_name, self._path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*.json"))
+
+    def __contains__(self, task: Task) -> bool:
+        return self._path(task.cache_key()).exists()
+
+    def entries(self) -> Iterator[Dict[str, object]]:
+        """Iterate over the raw stored payloads (for inspection/tests)."""
+        for path in sorted(self.directory.glob("*.json")):
+            try:
+                yield json.loads(path.read_text())
+            except (OSError, ValueError):
+                continue

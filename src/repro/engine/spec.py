@@ -1,0 +1,275 @@
+"""Declarative experiment specifications.
+
+An :class:`ExperimentSpec` describes one of the paper's sweep experiments as
+pure data: which topology to build, which disruption to apply, how to draw
+the demand, which parameter the x-axis sweeps, and which algorithms to
+compare.  Because a spec is data (names + keyword arguments, no closures) it
+can be
+
+* executed cell by cell in worker *processes* (everything pickles),
+* hashed stably for the on-disk result cache, and
+* listed/inspected by the CLI (``repro.cli scenarios``).
+
+:func:`build_instance` is the single place that turns a spec plus a sweep
+value plus an RNG into a concrete ``(supply, demand)`` instance; serial and
+parallel execution share it, which is what makes them bit-identical.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import inspect
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.evaluation.demand_builder import (
+    far_apart_demand,
+    random_demand,
+    routable_far_apart_demand,
+)
+from repro.failures.complete import CompleteDestruction
+from repro.failures.geographic import GaussianDisruption
+from repro.failures.random_failures import UniformRandomFailure
+from repro.heuristics.base import RecoveryAlgorithm
+from repro.heuristics.registry import get_algorithm
+from repro.network.demand import DemandGraph
+from repro.network.supply import SupplyGraph
+from repro.topologies.registry import build_topology, get_topology_builder
+
+#: Demand builders addressable by name from a spec.
+_DEMAND_BUILDERS = {
+    "routable-far-apart": routable_far_apart_demand,
+    "far-apart": far_apart_demand,
+    "random": random_demand,
+}
+
+#: Disruption kinds addressable by name from a spec.
+_DISRUPTION_KINDS = ("complete", "gaussian", "random", "none")
+
+
+def _frozen_kwargs(kwargs: Optional[Mapping[str, Any]]) -> Tuple[Tuple[str, Any], ...]:
+    """Normalise a kwargs mapping into a sorted hashable tuple of pairs."""
+    return tuple(sorted((kwargs or {}).items()))
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """Which registered topology to build, with static keyword arguments."""
+
+    name: str
+    kwargs: Tuple[Tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        get_topology_builder(self.name)  # validate the name eagerly
+        object.__setattr__(self, "kwargs", _frozen_kwargs(dict(self.kwargs)))
+
+    def build(self, rng: np.random.Generator, overrides: Mapping[str, Any]) -> SupplyGraph:
+        kwargs = dict(self.kwargs)
+        kwargs.update(overrides)
+        if "seed" in inspect.signature(get_topology_builder(self.name)).parameters:
+            kwargs.setdefault("seed", rng)
+        return build_topology(self.name, **kwargs)
+
+
+@dataclass(frozen=True)
+class DisruptionSpec:
+    """Which disruption model to apply after the topology is built."""
+
+    kind: str = "complete"
+    kwargs: Tuple[Tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.kind not in _DISRUPTION_KINDS:
+            raise ValueError(
+                f"unknown disruption {self.kind!r}; available: {', '.join(_DISRUPTION_KINDS)}"
+            )
+        object.__setattr__(self, "kwargs", _frozen_kwargs(dict(self.kwargs)))
+
+    def apply(
+        self, supply: SupplyGraph, rng: np.random.Generator, overrides: Mapping[str, Any]
+    ) -> None:
+        kwargs = dict(self.kwargs)
+        kwargs.update(overrides)
+        if self.kind == "complete":
+            CompleteDestruction().apply(supply)
+        elif self.kind == "gaussian":
+            GaussianDisruption(**kwargs).apply(supply, seed=rng)
+        elif self.kind == "random":
+            UniformRandomFailure(**kwargs).apply(supply, seed=rng)
+        # "none": leave the supply intact.
+
+
+@dataclass(frozen=True)
+class DemandSpec:
+    """How to draw the demand graph on the (disrupted) supply."""
+
+    builder: str = "routable-far-apart"
+    num_pairs: int = 4
+    flow_per_pair: float = 10.0
+    kwargs: Tuple[Tuple[str, Any], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.builder not in _DEMAND_BUILDERS:
+            raise KeyError(
+                f"unknown demand builder {self.builder!r}; "
+                f"available: {', '.join(sorted(_DEMAND_BUILDERS))}"
+            )
+        object.__setattr__(self, "kwargs", _frozen_kwargs(dict(self.kwargs)))
+
+    def build(
+        self, supply: SupplyGraph, rng: np.random.Generator, overrides: Mapping[str, Any]
+    ) -> DemandGraph:
+        merged: Dict[str, Any] = dict(self.kwargs)
+        merged.update(overrides)
+        num_pairs = int(merged.pop("num_pairs", self.num_pairs))
+        flow_per_pair = float(merged.pop("flow_per_pair", self.flow_per_pair))
+        builder = _DEMAND_BUILDERS[self.builder]
+        return builder(supply, num_pairs, flow_per_pair, seed=rng, **merged)
+
+
+@dataclass(frozen=True)
+class SweepAxis:
+    """The x-axis of a figure: a named parameter swept over values.
+
+    ``target`` is a dotted path naming the spec field the value is injected
+    into — ``"topology.<kwarg>"``, ``"disruption.<kwarg>"`` or
+    ``"demand.<kwarg>"`` (where ``num_pairs`` and ``flow_per_pair`` address
+    the spec's own fields and any other key is forwarded to the builder).
+    """
+
+    parameter: str
+    values: Tuple[Any, ...]
+    target: str
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "values", tuple(self.values))
+        if not self.values:
+            raise ValueError("a sweep needs at least one value")
+        section, _, key = self.target.partition(".")
+        if section not in ("topology", "disruption", "demand") or not key:
+            raise ValueError(
+                f"sweep target must look like 'topology.<kwarg>', 'disruption.<kwarg>' "
+                f"or 'demand.<kwarg>', got {self.target!r}"
+            )
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One declarative sweep experiment (one figure of the paper)."""
+
+    name: str
+    figure: str
+    topology: TopologySpec
+    sweep: SweepAxis
+    algorithms: Tuple[str, ...]
+    disruption: DisruptionSpec = DisruptionSpec()
+    demand: DemandSpec = DemandSpec()
+    runs: int = 1
+    opt_time_limit: Optional[float] = None
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "algorithms", tuple(self.algorithms))
+        if not self.algorithms:
+            raise ValueError("a spec needs at least one algorithm")
+        if self.runs < 1:
+            raise ValueError("runs must be at least 1")
+
+    def replace(self, **changes: Any) -> "ExperimentSpec":
+        """A copy of this spec with the given fields replaced.
+
+        Convenience fields ``sweep_values``, ``runs`` etc. let callers scale
+        a registered spec up or down without rebuilding it from scratch.
+        """
+        sweep_values = changes.pop("sweep_values", None)
+        if sweep_values is not None:
+            changes["sweep"] = dataclasses.replace(self.sweep, values=tuple(sweep_values))
+        return dataclasses.replace(self, **changes)
+
+    def overrides_for(self, sweep_value: Any) -> Dict[str, Dict[str, Any]]:
+        """Map a sweep value onto per-section keyword overrides."""
+        section, _, key = self.sweep.target.partition(".")
+        overrides: Dict[str, Dict[str, Any]] = {"topology": {}, "disruption": {}, "demand": {}}
+        overrides[section][key] = sweep_value
+        return overrides
+
+    def resolve_algorithm(self, name: str) -> RecoveryAlgorithm:
+        """Instantiate one of the spec's algorithms (OPT gets the time limit)."""
+        if name.upper() == "OPT" and self.opt_time_limit is not None:
+            return get_algorithm("OPT", time_limit=self.opt_time_limit)
+        return get_algorithm(name)
+
+    def to_config(self) -> Dict[str, Any]:
+        """A canonical JSON-serialisable description of this spec."""
+        return {
+            "name": self.name,
+            "figure": self.figure,
+            "topology": {"name": self.topology.name, "kwargs": dict(self.topology.kwargs)},
+            "disruption": {"kind": self.disruption.kind, "kwargs": dict(self.disruption.kwargs)},
+            "demand": {
+                "builder": self.demand.builder,
+                "num_pairs": self.demand.num_pairs,
+                "flow_per_pair": self.demand.flow_per_pair,
+                "kwargs": dict(self.demand.kwargs),
+            },
+            "sweep": {
+                "parameter": self.sweep.parameter,
+                "target": self.sweep.target,
+                "values": list(self.sweep.values),
+            },
+            "algorithms": list(self.algorithms),
+            "runs": self.runs,
+            "opt_time_limit": self.opt_time_limit,
+        }
+
+    def cell_config(self, sweep_value: Any, algorithm: str) -> Dict[str, Any]:
+        """The part of the configuration that determines one task's result.
+
+        Excludes the sweep's value list and the run count, so extending a
+        sweep or adding repetitions still hits the cache for existing cells.
+        The OPT time limit only enters for OPT — changing it must not
+        invalidate cached heuristic cells.
+        """
+        overrides = self.overrides_for(sweep_value)
+        topology_kwargs = {**dict(self.topology.kwargs), **overrides["topology"]}
+        disruption_kwargs = {**dict(self.disruption.kwargs), **overrides["disruption"]}
+        demand_kwargs = {**dict(self.demand.kwargs), **overrides["demand"]}
+        return {
+            "topology": {"name": self.topology.name, "kwargs": topology_kwargs},
+            "disruption": {"kind": self.disruption.kind, "kwargs": disruption_kwargs},
+            "demand": {
+                "builder": self.demand.builder,
+                "num_pairs": self.demand.num_pairs,
+                "flow_per_pair": self.demand.flow_per_pair,
+                "kwargs": demand_kwargs,
+            },
+            "algorithm": algorithm.upper(),
+            "time_limit": self.opt_time_limit if algorithm.upper() == "OPT" else None,
+        }
+
+
+def config_digest(config: Mapping[str, Any]) -> str:
+    """Stable hex digest of a JSON-serialisable configuration mapping."""
+    canonical = json.dumps(config, sort_keys=True, default=str)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def build_instance(
+    spec: ExperimentSpec, sweep_value: Any, rng: np.random.Generator
+) -> Tuple[SupplyGraph, DemandGraph]:
+    """Materialise one experiment instance for a sweep value.
+
+    The three stochastic stages consume the *same* generator in a fixed
+    order (topology, disruption, demand), mirroring the imperative instance
+    factories this layer replaced; every task that derives an identical
+    generator rebuilds the identical instance.
+    """
+    overrides = spec.overrides_for(sweep_value)
+    supply = spec.topology.build(rng, overrides["topology"])
+    spec.disruption.apply(supply, rng, overrides["disruption"])
+    demand = spec.demand.build(supply, rng, overrides["demand"])
+    return supply, demand

@@ -1,0 +1,174 @@
+"""Decomposition of an experiment into independent task cells.
+
+A sweep experiment is a cube of cells ``(sweep value, run index, algorithm)``
+— every cell can be computed independently, which is what the parallel
+executor exploits.  Cells that share a ``(sweep value, run index)`` must see
+the *same* random instance (the paper compares algorithms on identical
+instances), so each cell derives its generator from a per-cell
+:class:`~numpy.random.SeedSequence` spawned from the root seed:
+
+``SeedSequence(root).spawn`` children are keyed by ``(value_index,)`` and
+spawn once more into ``(value_index, run_index)``.  The resulting streams are
+
+* independent of each other (SeedSequence's guarantee),
+* identical for all algorithms of a cell,
+* stable under *extending* the sweep (appending values or adding runs never
+  reseeds existing cells), and
+* identical whether the cell runs serially or in a worker process.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.engine.spec import ExperimentSpec, build_instance, config_digest
+from repro.evaluation.metrics import evaluate_plan
+from repro.utils.rng import SeedLike, ensure_seed_sequence
+
+#: Metric keys every task reports (aggregated into ComparisonRow columns).
+METRIC_KEYS = (
+    "node_repairs",
+    "edge_repairs",
+    "total_repairs",
+    "repair_cost",
+    "satisfied_pct",
+    "elapsed_seconds",
+)
+
+
+@dataclass(frozen=True)
+class Task:
+    """One independent experiment cell."""
+
+    spec: ExperimentSpec
+    sweep_value: Any
+    value_index: int
+    run_index: int
+    algorithm: str
+    root_entropy: int
+
+    @property
+    def spawn_key(self) -> Tuple[int, int]:
+        return (self.value_index, self.run_index)
+
+    def seed_sequence(self) -> np.random.SeedSequence:
+        """The per-cell seed sequence (shared by all algorithms of the cell).
+
+        Derived with ``SeedSequence.spawn`` so the child carries the canonical
+        spawn key ``(value_index, run_index)`` — re-deriving it from the root
+        entropy in a worker process yields the identical sequence.
+        """
+        value_seq = np.random.SeedSequence(self.root_entropy, spawn_key=(self.value_index,))
+        return value_seq.spawn(self.run_index + 1)[self.run_index]
+
+    def cache_key(self) -> str:
+        """Stable digest of everything that determines this task's result."""
+        config = self.spec.cell_config(self.sweep_value, self.algorithm)
+        config["root_entropy"] = self.root_entropy
+        config["spawn_key"] = list(self.spawn_key)
+        return config_digest(config)
+
+
+@dataclass
+class TaskResult:
+    """The outcome of one task cell."""
+
+    sweep_value: Any
+    value_index: int
+    run_index: int
+    algorithm: str
+    metrics: Dict[str, float]
+    broken_elements: int
+    wall_seconds: float
+    cached: bool = False
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    def to_payload(self) -> Dict[str, Any]:
+        """JSON-serialisable form stored in the result cache."""
+        return {
+            "sweep_value": self.sweep_value,
+            "value_index": self.value_index,
+            "run_index": self.run_index,
+            "algorithm": self.algorithm,
+            "metrics": dict(self.metrics),
+            "broken_elements": self.broken_elements,
+            "wall_seconds": self.wall_seconds,
+            "extras": dict(self.extras),
+        }
+
+    @classmethod
+    def from_payload(cls, payload: Dict[str, Any]) -> "TaskResult":
+        return cls(
+            sweep_value=payload["sweep_value"],
+            value_index=int(payload["value_index"]),
+            run_index=int(payload["run_index"]),
+            algorithm=str(payload["algorithm"]),
+            metrics={key: float(value) for key, value in payload["metrics"].items()},
+            broken_elements=int(payload["broken_elements"]),
+            wall_seconds=float(payload["wall_seconds"]),
+            cached=True,
+            extras={key: float(value) for key, value in payload.get("extras", {}).items()},
+        )
+
+
+def expand_tasks(spec: ExperimentSpec, seed: SeedLike = None) -> List[Task]:
+    """Unroll ``spec`` into its (value x run x algorithm) task cells.
+
+    Tasks carry only the root entropy and their cell indices; each re-derives
+    its own :class:`~numpy.random.SeedSequence` on demand, so they stay
+    self-contained (and picklable) for worker processes.
+
+    The root entropy is condensed from the sequence's *generated state*, not
+    its ``entropy`` attribute: two sequences spawned from one parent share
+    the parent's entropy and differ only in spawn key, so hashing the state
+    keeps them (and their cache keys) distinct.
+    """
+    root = ensure_seed_sequence(seed)
+    entropy = int.from_bytes(root.generate_state(4, np.uint32).tobytes(), "little")
+    tasks: List[Task] = []
+    for value_index, sweep_value in enumerate(spec.sweep.values):
+        for run_index in range(spec.runs):
+            for algorithm in spec.algorithms:
+                tasks.append(
+                    Task(
+                        spec=spec,
+                        sweep_value=sweep_value,
+                        value_index=value_index,
+                        run_index=run_index,
+                        algorithm=algorithm,
+                        root_entropy=entropy,
+                    )
+                )
+    return tasks
+
+
+def execute_task(task: Task) -> TaskResult:
+    """Run one cell: rebuild its instance, solve, evaluate, time it."""
+    started = time.perf_counter()
+    rng = np.random.default_rng(task.seed_sequence())
+    supply, demand = build_instance(task.spec, task.sweep_value, rng)
+    broken = len(supply.broken_nodes) + len(supply.broken_edges)
+    algorithm = task.spec.resolve_algorithm(task.algorithm)
+    plan = algorithm.solve(supply, demand)
+    evaluation = evaluate_plan(supply, demand, plan)
+    metrics = {
+        "node_repairs": float(evaluation.node_repairs),
+        "edge_repairs": float(evaluation.edge_repairs),
+        "total_repairs": float(evaluation.total_repairs),
+        "repair_cost": float(evaluation.repair_cost),
+        "satisfied_pct": float(evaluation.satisfied_percentage),
+        "elapsed_seconds": float(evaluation.elapsed_seconds),
+    }
+    return TaskResult(
+        sweep_value=task.sweep_value,
+        value_index=task.value_index,
+        run_index=task.run_index,
+        algorithm=algorithm.name,
+        metrics=metrics,
+        broken_elements=broken,
+        wall_seconds=time.perf_counter() - started,
+    )

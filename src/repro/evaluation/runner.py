@@ -19,7 +19,7 @@ from repro.evaluation.metrics import PlanEvaluation, evaluate_plan
 from repro.heuristics.base import RecoveryAlgorithm
 from repro.network.demand import DemandGraph
 from repro.network.supply import SupplyGraph
-from repro.utils.rng import RandomState, ensure_rng
+from repro.utils.rng import RandomState, ensure_seed_sequence
 
 #: A factory producing one experiment instance: (supply with failures, demand).
 InstanceFactory = Callable[[np.random.Generator], Tuple[SupplyGraph, DemandGraph]]
@@ -40,17 +40,23 @@ class ComparisonRow:
     extras: Dict[str, float] = field(default_factory=dict)
 
     def as_dict(self) -> Dict[str, object]:
+        """Flat row with *raw* metric values.
+
+        No rounding happens here — aggregation consumers (series pivots,
+        caching, assertions) need full precision; display rounding is the
+        job of :func:`repro.evaluation.reporting.format_table`.
+        """
         row: Dict[str, object] = {
             "algorithm": self.algorithm,
             "runs": self.runs,
-            "node_repairs": round(self.node_repairs, 2),
-            "edge_repairs": round(self.edge_repairs, 2),
-            "total_repairs": round(self.total_repairs, 2),
-            "repair_cost": round(self.repair_cost, 2),
-            "satisfied_pct": round(self.satisfied_pct, 2),
-            "elapsed_seconds": round(self.elapsed_seconds, 4),
+            "node_repairs": self.node_repairs,
+            "edge_repairs": self.edge_repairs,
+            "total_repairs": self.total_repairs,
+            "repair_cost": self.repair_cost,
+            "satisfied_pct": self.satisfied_pct,
+            "elapsed_seconds": self.elapsed_seconds,
         }
-        row.update({key: round(value, 4) for key, value in self.extras.items()})
+        row.update(self.extras)
         return row
 
 
@@ -81,12 +87,15 @@ def run_repetitions(
     """
     if runs < 1:
         raise ValueError("runs must be at least 1")
-    rng = ensure_rng(seed)
+    # Child seeds come from SeedSequence.spawn, not from integers drawn off a
+    # parent generator: spawned streams are statistically independent,
+    # platform-stable, and adding runs never perturbs earlier ones.
+    children = ensure_seed_sequence(seed).spawn(runs)
 
     per_algorithm: Dict[str, List[PlanEvaluation]] = {a.name: [] for a in algorithms}
     broken_counts: List[int] = []
-    for _ in range(runs):
-        run_rng = np.random.default_rng(int(rng.integers(0, 2**63 - 1)))
+    for child in children:
+        run_rng = np.random.default_rng(child)
         supply, demand = instance_factory(run_rng)
         broken_counts.append(len(supply.broken_nodes) + len(supply.broken_edges))
         for algorithm, evaluation in zip(

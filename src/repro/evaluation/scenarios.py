@@ -1,11 +1,19 @@
-"""The paper's experiments, one function per figure (Section VII).
+"""The paper's experiments (Section VII), backed by the experiment engine.
 
-Every function returns a :class:`ScenarioResult` whose ``rows`` are flat
-dictionaries — one row per (sweep value, algorithm) with the averaged
-metrics — i.e. exactly the series plotted in the corresponding figure.  The
-benchmark modules under ``benchmarks/`` call these functions (with reduced
-repetition counts so they finish quickly) and print the resulting tables;
-EXPERIMENTS.md records a full run.
+Each figure is a declarative :class:`~repro.engine.spec.ExperimentSpec`
+registered in :mod:`repro.engine.registry`; the functions here scale a
+registered spec to the caller's parameters and hand it to
+:func:`~repro.engine.experiment.run_experiment`, which decomposes the sweep
+into independent task cells, runs them serially or across worker processes
+(``jobs``), optionally resumes from an on-disk result cache (``cache_dir``),
+and aggregates the averaged rows the figure plots.
+
+Every function returns a :class:`~repro.engine.experiment.ScenarioResult`
+whose ``rows`` are flat dictionaries — one row per (sweep value, algorithm)
+with the averaged metrics — i.e. exactly the series plotted in the
+corresponding figure.  The benchmark modules under ``benchmarks/`` call
+these functions (with reduced repetition counts so they finish quickly) and
+print the resulting tables; EXPERIMENTS.md records a full run.
 
 Scale knobs
 -----------
@@ -14,7 +22,9 @@ topology can be expensive.  All scenario functions therefore accept
 
 * ``runs`` — number of random repetitions to average (the paper uses 20),
 * ``opt_time_limit`` — wall-clock limit per MILP solve (``None`` = exact),
-* explicit sweep ranges, so callers can trade fidelity for speed.
+* explicit sweep ranges, so callers can trade fidelity for speed,
+* ``jobs`` — worker processes (1 = in-process; 0 = one per CPU),
+* ``cache_dir`` — persist completed cells and resume instead of recomputing.
 
 The defaults are chosen to finish on a laptop in minutes while still showing
 the qualitative results; pass the paper's parameters for a full
@@ -23,79 +33,33 @@ reproduction.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+import dataclasses
+from pathlib import Path
+from typing import Dict, Optional, Sequence, Union
 
-import numpy as np
-
-from repro.evaluation.demand_builder import far_apart_demand, routable_far_apart_demand
-from repro.evaluation.runner import ComparisonRow, run_repetitions
-from repro.failures.complete import CompleteDestruction
-from repro.failures.geographic import GaussianDisruption
-from repro.heuristics.base import RecoveryAlgorithm
-from repro.heuristics.registry import get_algorithm
-from repro.network.demand import DemandGraph
-from repro.network.supply import SupplyGraph
-from repro.topologies.bellcanada import bell_canada
+from repro.engine.experiment import ScenarioResult, run_experiment
+from repro.engine.registry import get_spec
+from repro.engine.spec import DemandSpec, ExperimentSpec
 from repro.topologies.caida_like import caida_like
-from repro.topologies.random_graphs import erdos_renyi
-from repro.utils.rng import RandomState, ensure_rng
+from repro.utils.rng import SeedLike
+
+__all__ = [
+    "ScenarioResult",
+    "figure3_multicommodity",
+    "figure4_demand_pairs",
+    "figure5_demand_intensity",
+    "figure6_disruption_extent",
+    "figure7_scalability",
+    "figure8_topology_report",
+    "figure9_caida",
+]
+
+CacheDir = Optional[Union[str, Path]]
 
 
-@dataclass
-class ScenarioResult:
-    """Rows of one reproduced figure."""
-
-    name: str
-    figure: str
-    sweep_parameter: str
-    rows: List[Dict[str, object]] = field(default_factory=list)
-
-    def series(self, value_key: str = "total_repairs") -> Dict[str, Dict[object, object]]:
-        """Pivot the rows into ``{algorithm: {sweep value: metric}}``."""
-        series: Dict[str, Dict[object, object]] = {}
-        for row in self.rows:
-            series.setdefault(str(row["algorithm"]), {})[row[self.sweep_parameter]] = row[
-                value_key
-            ]
-        return series
-
-
-def _algorithms(names: Sequence[str], opt_time_limit: Optional[float]) -> List[RecoveryAlgorithm]:
-    algorithms = []
-    for name in names:
-        if name.upper() == "OPT" and opt_time_limit is not None:
-            algorithms.append(get_algorithm("OPT", time_limit=opt_time_limit))
-        else:
-            algorithms.append(get_algorithm(name))
-    return algorithms
-
-
-def _sweep(
-    name: str,
-    figure: str,
-    sweep_parameter: str,
-    sweep_values: Iterable[object],
-    factory_for_value: Callable[[object], Callable[[np.random.Generator], Tuple[SupplyGraph, DemandGraph]]],
-    algorithms: List[RecoveryAlgorithm],
-    runs: int,
-    seed: RandomState,
-) -> ScenarioResult:
-    """Shared sweep driver: one ``run_repetitions`` call per sweep value."""
-    rng = ensure_rng(seed)
-    result = ScenarioResult(name=name, figure=figure, sweep_parameter=sweep_parameter)
-    for value in sweep_values:
-        rows = run_repetitions(
-            factory_for_value(value),
-            algorithms,
-            runs=runs,
-            seed=int(rng.integers(0, 2**63 - 1)),
-        )
-        for row in rows:
-            flat = {sweep_parameter: value}
-            flat.update(row.as_dict())
-            result.rows.append(flat)
-    return result
+def _demand(spec: ExperimentSpec, **changes: object) -> DemandSpec:
+    """The spec's demand spec with the given fields replaced."""
+    return dataclasses.replace(spec.demand, **changes)
 
 
 # --------------------------------------------------------------------- #
@@ -105,36 +69,26 @@ def figure3_multicommodity(
     demand_values: Sequence[float] = (2, 6, 10, 14, 18),
     num_pairs: int = 4,
     runs: int = 1,
-    seed: RandomState = 7,
+    seed: SeedLike = 7,
     opt_time_limit: Optional[float] = 60.0,
     algorithm_names: Sequence[str] = ("OPT", "MCW", "MCB", "ALL"),
+    jobs: int = 1,
+    cache_dir: CacheDir = None,
 ) -> ScenarioResult:
     """Total repairs of OPT / MCW / MCB / ALL as the demand per pair grows.
 
     Paper setting: Bell-Canada, 4 far-apart pairs, complete destruction,
     demand per pair swept from 2 to 18 flow units.
     """
-    algorithms = _algorithms(algorithm_names, opt_time_limit)
-
-    def factory_for(flow: object):
-        def factory(rng: np.random.Generator) -> Tuple[SupplyGraph, DemandGraph]:
-            supply = bell_canada()
-            CompleteDestruction().apply(supply)
-            demand = routable_far_apart_demand(supply, num_pairs, float(flow), seed=rng)
-            return supply, demand
-
-        return factory
-
-    return _sweep(
-        name="multicommodity-extremes",
-        figure="Figure 3",
-        sweep_parameter="demand_per_pair",
+    base = get_spec("multicommodity-extremes")
+    spec = base.replace(
         sweep_values=demand_values,
-        factory_for_value=factory_for,
-        algorithms=algorithms,
+        demand=_demand(base, num_pairs=num_pairs),
+        algorithms=tuple(algorithm_names),
         runs=runs,
-        seed=seed,
+        opt_time_limit=opt_time_limit,
     )
+    return run_experiment(spec, seed=seed, jobs=jobs, cache_dir=cache_dir)
 
 
 # --------------------------------------------------------------------- #
@@ -144,36 +98,26 @@ def figure4_demand_pairs(
     pair_counts: Sequence[int] = (1, 2, 3, 4, 5, 6, 7),
     flow_per_pair: float = 10.0,
     runs: int = 1,
-    seed: RandomState = 11,
+    seed: SeedLike = 11,
     opt_time_limit: Optional[float] = 120.0,
     algorithm_names: Sequence[str] = ("ISP", "OPT", "SRT", "GRD-COM", "GRD-NC", "ALL"),
+    jobs: int = 1,
+    cache_dir: CacheDir = None,
 ) -> ScenarioResult:
     """Edge/node/total repairs and satisfied demand vs number of demand pairs.
 
     Paper setting: Bell-Canada, 10 flow units per pair, complete destruction,
     1–7 demand pairs.
     """
-    algorithms = _algorithms(algorithm_names, opt_time_limit)
-
-    def factory_for(count: object):
-        def factory(rng: np.random.Generator) -> Tuple[SupplyGraph, DemandGraph]:
-            supply = bell_canada()
-            CompleteDestruction().apply(supply)
-            demand = routable_far_apart_demand(supply, int(count), flow_per_pair, seed=rng)
-            return supply, demand
-
-        return factory
-
-    return _sweep(
-        name="bellcanada-demand-pairs",
-        figure="Figure 4",
-        sweep_parameter="num_pairs",
+    base = get_spec("bellcanada-demand-pairs")
+    spec = base.replace(
         sweep_values=pair_counts,
-        factory_for_value=factory_for,
-        algorithms=algorithms,
+        demand=_demand(base, flow_per_pair=flow_per_pair),
+        algorithms=tuple(algorithm_names),
         runs=runs,
-        seed=seed,
+        opt_time_limit=opt_time_limit,
     )
+    return run_experiment(spec, seed=seed, jobs=jobs, cache_dir=cache_dir)
 
 
 # --------------------------------------------------------------------- #
@@ -183,32 +127,22 @@ def figure5_demand_intensity(
     demand_values: Sequence[float] = (2, 4, 6, 8, 10, 12, 14, 16, 18),
     num_pairs: int = 4,
     runs: int = 1,
-    seed: RandomState = 13,
+    seed: SeedLike = 13,
     opt_time_limit: Optional[float] = 120.0,
     algorithm_names: Sequence[str] = ("ISP", "OPT", "SRT", "GRD-COM", "GRD-NC", "ALL"),
+    jobs: int = 1,
+    cache_dir: CacheDir = None,
 ) -> ScenarioResult:
     """Total repairs and satisfied demand vs demand intensity (4 pairs)."""
-    algorithms = _algorithms(algorithm_names, opt_time_limit)
-
-    def factory_for(flow: object):
-        def factory(rng: np.random.Generator) -> Tuple[SupplyGraph, DemandGraph]:
-            supply = bell_canada()
-            CompleteDestruction().apply(supply)
-            demand = routable_far_apart_demand(supply, num_pairs, float(flow), seed=rng)
-            return supply, demand
-
-        return factory
-
-    return _sweep(
-        name="bellcanada-demand-intensity",
-        figure="Figure 5",
-        sweep_parameter="demand_per_pair",
+    base = get_spec("bellcanada-demand-intensity")
+    spec = base.replace(
         sweep_values=demand_values,
-        factory_for_value=factory_for,
-        algorithms=algorithms,
+        demand=_demand(base, num_pairs=num_pairs),
+        algorithms=tuple(algorithm_names),
         runs=runs,
-        seed=seed,
+        opt_time_limit=opt_time_limit,
     )
+    return run_experiment(spec, seed=seed, jobs=jobs, cache_dir=cache_dir)
 
 
 # --------------------------------------------------------------------- #
@@ -219,9 +153,11 @@ def figure6_disruption_extent(
     num_pairs: int = 4,
     flow_per_pair: float = 10.0,
     runs: int = 2,
-    seed: RandomState = 17,
+    seed: SeedLike = 17,
     opt_time_limit: Optional[float] = 120.0,
     algorithm_names: Sequence[str] = ("ISP", "OPT", "SRT", "GRD-COM", "GRD-NC", "ALL"),
+    jobs: int = 1,
+    cache_dir: CacheDir = None,
 ) -> ScenarioResult:
     """Total repairs and satisfied demand vs the variance of the disruption.
 
@@ -231,27 +167,15 @@ def figure6_disruption_extent(
     variances that sweep from "local" to "near-total" destruction are in
     squared degrees (the paper's axis is in its own arbitrary units).
     """
-    algorithms = _algorithms(algorithm_names, opt_time_limit)
-
-    def factory_for(variance: object):
-        def factory(rng: np.random.Generator) -> Tuple[SupplyGraph, DemandGraph]:
-            supply = bell_canada()
-            GaussianDisruption(variance=float(variance)).apply(supply, seed=rng)
-            demand = routable_far_apart_demand(supply, num_pairs, flow_per_pair, seed=rng)
-            return supply, demand
-
-        return factory
-
-    return _sweep(
-        name="bellcanada-disruption-extent",
-        figure="Figure 6",
-        sweep_parameter="variance",
+    base = get_spec("bellcanada-disruption-extent")
+    spec = base.replace(
         sweep_values=variances,
-        factory_for_value=factory_for,
-        algorithms=algorithms,
+        demand=_demand(base, num_pairs=num_pairs, flow_per_pair=flow_per_pair),
+        algorithms=tuple(algorithm_names),
         runs=runs,
-        seed=seed,
+        opt_time_limit=opt_time_limit,
     )
+    return run_experiment(spec, seed=seed, jobs=jobs, cache_dir=cache_dir)
 
 
 # --------------------------------------------------------------------- #
@@ -264,9 +188,11 @@ def figure7_scalability(
     flow_per_pair: float = 1.0,
     capacity: float = 1000.0,
     runs: int = 1,
-    seed: RandomState = 19,
+    seed: SeedLike = 19,
     opt_time_limit: Optional[float] = 60.0,
     algorithm_names: Sequence[str] = ("ISP", "SRT", "OPT"),
+    jobs: int = 1,
+    cache_dir: CacheDir = None,
 ) -> ScenarioResult:
     """Execution time and total repairs vs the edge probability ``p``.
 
@@ -275,34 +201,20 @@ def figure7_scalability(
     execution time of each algorithm is in the ``elapsed_seconds`` column of
     the rows — the paper's Figure 7(a); total repairs is Figure 7(b).
     """
-    algorithms = _algorithms(algorithm_names, opt_time_limit)
-
-    def factory_for(probability: object):
-        def factory(rng: np.random.Generator) -> Tuple[SupplyGraph, DemandGraph]:
-            supply = erdos_renyi(
-                num_nodes=num_nodes,
-                edge_probability=float(probability),
-                capacity=capacity,
-                seed=rng,
-            )
-            CompleteDestruction().apply(supply)
-            demand = far_apart_demand(
-                supply, num_pairs, flow_per_pair, min_fraction_of_diameter=0.5, seed=rng
-            )
-            return supply, demand
-
-        return factory
-
-    return _sweep(
-        name="erdos-renyi-scalability",
-        figure="Figure 7",
-        sweep_parameter="edge_probability",
-        sweep_values=edge_probabilities,
-        factory_for_value=factory_for,
-        algorithms=algorithms,
-        runs=runs,
-        seed=seed,
+    base = get_spec("erdos-renyi-scalability")
+    topology = dataclasses.replace(
+        base.topology,
+        kwargs={**dict(base.topology.kwargs), "num_nodes": num_nodes, "capacity": capacity},
     )
+    spec = base.replace(
+        sweep_values=edge_probabilities,
+        topology=topology,
+        demand=_demand(base, num_pairs=num_pairs, flow_per_pair=flow_per_pair),
+        algorithms=tuple(algorithm_names),
+        runs=runs,
+        opt_time_limit=opt_time_limit,
+    )
+    return run_experiment(spec, seed=seed, jobs=jobs, cache_dir=cache_dir)
 
 
 # --------------------------------------------------------------------- #
@@ -311,13 +223,14 @@ def figure7_scalability(
 def figure8_topology_report(
     num_nodes: int = 825,
     num_edges: int = 1018,
-    seed: RandomState = 23,
+    seed: SeedLike = 23,
 ) -> Dict[str, object]:
     """Statistics of the CAIDA-like topology (the paper shows it as a picture).
 
-    Returns the node/edge counts, degree statistics and connectivity flag of
-    the generated graph so the substitution can be compared with the
-    original AS28717 figures (825 nodes, 1018 edges, heavy-tailed degrees).
+    Not a sweep — this stays outside the engine.  Returns the node/edge
+    counts, degree statistics and connectivity flag of the generated graph so
+    the substitution can be compared with the original AS28717 figures
+    (825 nodes, 1018 edges, heavy-tailed degrees).
     """
     supply = caida_like(num_nodes=num_nodes, num_edges=num_edges, seed=seed)
     stats = supply.stats()
@@ -336,9 +249,11 @@ def figure9_caida(
     num_nodes: int = 825,
     num_edges: int = 1018,
     runs: int = 1,
-    seed: RandomState = 29,
+    seed: SeedLike = 29,
     opt_time_limit: Optional[float] = 300.0,
     algorithm_names: Sequence[str] = ("ISP", "OPT", "SRT"),
+    jobs: int = 1,
+    cache_dir: CacheDir = None,
 ) -> ScenarioResult:
     """Total repairs and satisfied demand on the large topology.
 
@@ -346,24 +261,17 @@ def figure9_caida(
     22 flow units per pair, 1–7 pairs.  Pass smaller ``num_nodes`` /
     ``num_edges`` to run a scaled-down version quickly (the benchmark does).
     """
-    algorithms = _algorithms(algorithm_names, opt_time_limit)
-
-    def factory_for(count: object):
-        def factory(rng: np.random.Generator) -> Tuple[SupplyGraph, DemandGraph]:
-            supply = caida_like(num_nodes=num_nodes, num_edges=num_edges, seed=rng)
-            CompleteDestruction().apply(supply)
-            demand = routable_far_apart_demand(supply, int(count), flow_per_pair, seed=rng)
-            return supply, demand
-
-        return factory
-
-    return _sweep(
-        name="caida-demand-pairs",
-        figure="Figure 9",
-        sweep_parameter="num_pairs",
-        sweep_values=pair_counts,
-        factory_for_value=factory_for,
-        algorithms=algorithms,
-        runs=runs,
-        seed=seed,
+    base = get_spec("caida-demand-pairs")
+    topology = dataclasses.replace(
+        base.topology,
+        kwargs={**dict(base.topology.kwargs), "num_nodes": num_nodes, "num_edges": num_edges},
     )
+    spec = base.replace(
+        sweep_values=pair_counts,
+        topology=topology,
+        demand=_demand(base, flow_per_pair=flow_per_pair),
+        algorithms=tuple(algorithm_names),
+        runs=runs,
+        opt_time_limit=opt_time_limit,
+    )
+    return run_experiment(spec, seed=seed, jobs=jobs, cache_dir=cache_dir)

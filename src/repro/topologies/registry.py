@@ -34,6 +34,22 @@ def available_topologies() -> List[str]:
     return sorted(_REGISTRY)
 
 
+def get_topology_builder(name: str) -> TopologyBuilder:
+    """Return the builder callable registered under ``name``.
+
+    Raises
+    ------
+    KeyError
+        If ``name`` is not registered; the error message lists the valid names.
+    """
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown topology {name!r}; available: {', '.join(available_topologies())}"
+        ) from None
+
+
 def build_topology(name: str, **kwargs: object) -> SupplyGraph:
     """Build the topology registered under ``name`` with ``kwargs``.
 
@@ -42,13 +58,7 @@ def build_topology(name: str, **kwargs: object) -> SupplyGraph:
     KeyError
         If ``name`` is not registered; the error message lists the valid names.
     """
-    try:
-        builder = _REGISTRY[name]
-    except KeyError:
-        raise KeyError(
-            f"unknown topology {name!r}; available: {', '.join(available_topologies())}"
-        ) from None
-    return builder(**kwargs)
+    return get_topology_builder(name)(**kwargs)
 
 
 def register_topology(name: str, builder: TopologyBuilder, overwrite: bool = False) -> None:

@@ -14,6 +14,40 @@ import numpy as np
 
 RandomState = Union[None, int, np.random.Generator]
 
+SeedLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
+
+
+def ensure_seed_sequence(seed: SeedLike = None) -> np.random.SeedSequence:
+    """Return a :class:`numpy.random.SeedSequence` for ``seed``.
+
+    The experiment layer derives every per-run / per-task stream from a root
+    :class:`~numpy.random.SeedSequence` via ``spawn`` so that streams are
+    independent and reproducible across platforms and across serial vs
+    parallel execution.  This is the single conversion point from the loose
+    ``RandomState`` convention to that root sequence.
+
+    ``None`` yields a fresh sequence with OS entropy; an ``int`` seeds the
+    sequence directly; an existing sequence is returned unchanged; a
+    :class:`~numpy.random.Generator` contributes the seed sequence of its bit
+    generator (falling back to entropy drawn from the generator itself when
+    the bit generator does not expose one).
+    """
+    if seed is None:
+        return np.random.SeedSequence()
+    if isinstance(seed, np.random.SeedSequence):
+        return seed
+    if isinstance(seed, (int, np.integer)):
+        return np.random.SeedSequence(int(seed))
+    if isinstance(seed, np.random.Generator):
+        seed_seq = getattr(seed.bit_generator, "seed_seq", None)
+        if isinstance(seed_seq, np.random.SeedSequence):
+            return seed_seq
+        return np.random.SeedSequence(int(seed.integers(0, 2**63 - 1)))
+    raise TypeError(
+        "seed must be None, an int, a numpy Generator or a SeedSequence, "
+        f"got {type(seed).__name__}"
+    )
+
 
 def ensure_rng(seed: RandomState = None) -> np.random.Generator:
     """Return a :class:`numpy.random.Generator` for ``seed``.

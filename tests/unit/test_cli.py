@@ -126,3 +126,85 @@ class TestCommands:
                     "1",
                 ]
             )
+
+
+class TestSweepCommands:
+    def test_list_scenarios(self, capsys):
+        assert main(["scenarios"]) == 0
+        output = capsys.readouterr().out
+        assert "bellcanada-demand-pairs" in output
+        assert "Figure 4" in output
+        assert "num_pairs" in output
+
+    def test_sweep_by_alias(self, capsys):
+        exit_code = main(
+            [
+                "sweep",
+                "figure4",
+                "--values",
+                "1",
+                "2",
+                "--runs",
+                "1",
+                "--seed",
+                "2",
+                "--algorithms",
+                "SRT",
+                "ALL",
+                "--quiet",
+            ]
+        )
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "bellcanada-demand-pairs" in output
+        assert "SRT" in output and "ALL" in output
+
+    def test_sweep_with_jobs_and_cache(self, capsys, tmp_path):
+        argv = [
+            "sweep",
+            "bellcanada-demand-pairs",
+            "--values",
+            "1",
+            "--runs",
+            "1",
+            "--seed",
+            "4",
+            "--algorithms",
+            "SRT",
+            "--jobs",
+            "2",
+            "--cache-dir",
+            str(tmp_path),
+            "--quiet",
+        ]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert len(list(tmp_path.glob("*.json"))) == 1
+        # Re-running resumes from the cache and prints the same table.
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+
+    def test_sweep_progress_on_stderr(self, capsys):
+        assert (
+            main(
+                [
+                    "sweep",
+                    "figure4",
+                    "--values",
+                    "1",
+                    "--runs",
+                    "1",
+                    "--seed",
+                    "2",
+                    "--algorithms",
+                    "SRT",
+                ]
+            )
+            == 0
+        )
+        captured = capsys.readouterr()
+        assert "[1/1]" in captured.err
+
+    def test_sweep_unknown_spec_exits(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "no-such-spec", "--quiet"])

@@ -1,0 +1,130 @@
+"""Tests for the resumable on-disk result cache."""
+
+import json
+
+import pytest
+
+from repro.engine import executor as executor_module
+from repro.engine.cache import ResultCache
+from repro.engine.executor import run_tasks
+from repro.engine.experiment import run_experiment
+from repro.engine.spec import (
+    DemandSpec,
+    DisruptionSpec,
+    ExperimentSpec,
+    SweepAxis,
+    TopologySpec,
+)
+from repro.engine.tasks import execute_task, expand_tasks
+
+
+def grid_spec(**changes):
+    spec = ExperimentSpec(
+        name="cache-grid",
+        figure="Unit",
+        topology=TopologySpec("grid", kwargs={"rows": 3, "cols": 3, "capacity": 10.0}),
+        disruption=DisruptionSpec("complete"),
+        demand=DemandSpec("random", num_pairs=1, flow_per_pair=5.0),
+        sweep=SweepAxis(parameter="num_pairs", values=(1, 2), target="demand.num_pairs"),
+        algorithms=("SRT", "ALL"),
+        runs=2,
+    )
+    return spec.replace(**changes) if changes else spec
+
+
+def strip_timing(rows):
+    return [
+        {key: value for key, value in row.items() if key != "elapsed_seconds"}
+        for row in rows
+    ]
+
+
+class TestResultCache:
+    def test_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        task = expand_tasks(grid_spec(), seed=3)[0]
+        assert cache.get(task) is None
+        result = execute_task(task)
+        cache.put(task, result)
+        restored = cache.get(task)
+        assert restored is not None
+        assert restored.cached
+        assert restored.metrics == result.metrics
+        assert restored.broken_elements == result.broken_elements
+        assert len(cache) == 1
+        assert task in cache
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        task = expand_tasks(grid_spec(), seed=3)[0]
+        cache.put(task, execute_task(task))
+        path = next(tmp_path.glob("*.json"))
+        path.write_text("{ not json")
+        assert cache.get(task) is None
+
+    def test_entries_expose_task_description(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        task = expand_tasks(grid_spec(), seed=3)[0]
+        cache.put(task, execute_task(task))
+        (entry,) = cache.entries()
+        assert entry["task"]["spec"] == "cache-grid"
+        assert entry["task"]["cell"]["algorithm"] == "SRT"
+        json.dumps(entry)  # stays JSON-serialisable end to end
+
+    def test_different_seeds_use_different_keys(self, tmp_path):
+        a = expand_tasks(grid_spec(), seed=3)[0]
+        b = expand_tasks(grid_spec(), seed=4)[0]
+        assert a.cache_key() != b.cache_key()
+
+
+class TestResume:
+    def test_second_run_never_recomputes(self, tmp_path, monkeypatch):
+        spec = grid_spec()
+        first = run_experiment(spec, seed=3, cache_dir=tmp_path)
+
+        def boom(task):
+            raise AssertionError("cache should have served every cell")
+
+        monkeypatch.setattr(executor_module, "execute_task", boom)
+        second = run_experiment(spec, seed=3, cache_dir=tmp_path)
+        assert strip_timing(second.rows) == strip_timing(first.rows)
+
+    def test_extended_sweep_computes_only_new_cells(self, tmp_path, monkeypatch):
+        run_experiment(grid_spec(), seed=3, cache_dir=tmp_path)
+        cells_before = len(list(tmp_path.glob("*.json")))
+
+        computed = []
+        real_execute = executor_module.execute_task
+
+        def counting(task):
+            computed.append(task)
+            return real_execute(task)
+
+        monkeypatch.setattr(executor_module, "execute_task", counting)
+        extended = grid_spec(sweep_values=(1, 2, 3))
+        tasks = expand_tasks(extended, seed=3)
+        run_tasks(tasks, jobs=1, cache=ResultCache(tmp_path))
+        # Only the cells of the new sweep value ran; the rest came from disk.
+        assert all(task.sweep_value == 3 for task in computed)
+        assert len(computed) == len(extended.algorithms) * extended.runs
+        assert len(list(tmp_path.glob("*.json"))) == cells_before + len(computed)
+
+    def test_interrupted_run_resumes(self, tmp_path):
+        spec = grid_spec()
+        tasks = expand_tasks(spec, seed=3)
+        cache = ResultCache(tmp_path)
+        # Simulate an interrupted sweep: only half the cells completed.
+        for task in tasks[: len(tasks) // 2]:
+            cache.put(task, execute_task(task))
+        result = run_experiment(spec, seed=3, cache_dir=tmp_path)
+        assert len(result.rows) == 2 * 2  # every (value, algorithm) cell present
+        assert len(list(tmp_path.glob("*.json"))) == len(tasks)
+
+    def test_cache_ignores_opt_time_limit_for_heuristics(self, tmp_path, monkeypatch):
+        run_experiment(grid_spec(opt_time_limit=30.0), seed=3, cache_dir=tmp_path)
+
+        def boom(task):
+            raise AssertionError("heuristic cells must not depend on the MILP limit")
+
+        monkeypatch.setattr(executor_module, "execute_task", boom)
+        run_experiment(grid_spec(opt_time_limit=99.0), seed=3, cache_dir=tmp_path)

@@ -1,0 +1,191 @@
+"""Tests for the declarative spec layer of the experiment engine."""
+
+import numpy as np
+import pytest
+
+from repro.engine.registry import available_specs, get_spec, register_spec
+from repro.engine.spec import (
+    DemandSpec,
+    DisruptionSpec,
+    ExperimentSpec,
+    SweepAxis,
+    TopologySpec,
+    build_instance,
+    config_digest,
+)
+from repro.engine.tasks import expand_tasks
+
+
+def small_spec(**changes):
+    spec = ExperimentSpec(
+        name="unit-grid",
+        figure="Unit",
+        topology=TopologySpec("grid", kwargs={"rows": 3, "cols": 3, "capacity": 10.0}),
+        disruption=DisruptionSpec("complete"),
+        demand=DemandSpec("random", num_pairs=1, flow_per_pair=5.0),
+        sweep=SweepAxis(parameter="num_pairs", values=(1, 2), target="demand.num_pairs"),
+        algorithms=("SRT", "ALL"),
+        runs=2,
+    )
+    return spec.replace(**changes) if changes else spec
+
+
+class TestSpecValidation:
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(KeyError):
+            TopologySpec("no-such-topology")
+
+    def test_unknown_disruption_rejected(self):
+        with pytest.raises(ValueError):
+            DisruptionSpec("meteor")
+
+    def test_unknown_demand_builder_rejected(self):
+        with pytest.raises(KeyError):
+            DemandSpec("wishful")
+
+    def test_sweep_needs_values_and_valid_target(self):
+        with pytest.raises(ValueError):
+            SweepAxis(parameter="x", values=(), target="demand.num_pairs")
+        with pytest.raises(ValueError):
+            SweepAxis(parameter="x", values=(1,), target="nowhere")
+        with pytest.raises(ValueError):
+            SweepAxis(parameter="x", values=(1,), target="demand")
+
+    def test_spec_needs_algorithms_and_runs(self):
+        with pytest.raises(ValueError):
+            small_spec(algorithms=())
+        with pytest.raises(ValueError):
+            small_spec(runs=0)
+
+
+class TestSweepTargets:
+    def test_demand_target_overrides_pairs(self):
+        spec = small_spec()
+        supply, demand = build_instance(spec, 2, np.random.default_rng(1))
+        assert len(demand) == 2
+
+    def test_topology_target(self):
+        spec = small_spec(
+            sweep=SweepAxis(parameter="rows", values=(2, 4), target="topology.rows")
+        )
+        supply, _ = build_instance(spec, 4, np.random.default_rng(1))
+        assert len(list(supply.nodes)) == 4 * 3
+
+    def test_disruption_target(self):
+        spec = small_spec(
+            topology=TopologySpec("bell-canada"),
+            disruption=DisruptionSpec("gaussian", kwargs={"variance": 1.0}),
+            sweep=SweepAxis(
+                parameter="variance", values=(1.0, 500.0), target="disruption.variance"
+            ),
+        )
+        rng = np.random.default_rng(3)
+        wide_supply, _ = build_instance(spec, 500.0, rng)
+        narrow_supply, _ = build_instance(spec, 1.0, np.random.default_rng(3))
+        wide = len(wide_supply.broken_nodes) + len(wide_supply.broken_edges)
+        narrow = len(narrow_supply.broken_nodes) + len(narrow_supply.broken_edges)
+        assert wide >= narrow
+
+    def test_instance_deterministic_per_rng(self):
+        spec = small_spec()
+        a_supply, a_demand = build_instance(spec, 2, np.random.default_rng(7))
+        b_supply, b_demand = build_instance(spec, 2, np.random.default_rng(7))
+        assert a_demand.as_dict() == b_demand.as_dict()
+        assert a_supply.broken_nodes == b_supply.broken_nodes
+
+
+class TestReplaceAndConfig:
+    def test_replace_sweep_values(self):
+        spec = small_spec(sweep_values=(3, 4, 5))
+        assert spec.sweep.values == (3, 4, 5)
+        assert spec.sweep.parameter == "num_pairs"
+
+    def test_to_config_is_json_stable(self):
+        spec = small_spec()
+        assert config_digest(spec.to_config()) == config_digest(small_spec().to_config())
+
+    def test_cell_config_ignores_sweep_list_and_runs(self):
+        wide = small_spec(sweep_values=(1, 2, 3, 4), runs=10)
+        narrow = small_spec()
+        assert wide.cell_config(2, "SRT") == narrow.cell_config(2, "SRT")
+
+    def test_opt_time_limit_only_keys_opt_cells(self):
+        fast = small_spec(opt_time_limit=10.0)
+        slow = small_spec(opt_time_limit=600.0)
+        assert fast.cell_config(1, "SRT") == slow.cell_config(1, "SRT")
+        assert fast.cell_config(1, "OPT") != slow.cell_config(1, "OPT")
+
+
+class TestTaskExpansion:
+    def test_cube_size_and_order(self):
+        tasks = expand_tasks(small_spec(), seed=5)
+        assert len(tasks) == 2 * 2 * 2
+        assert [t.algorithm for t in tasks[:2]] == ["SRT", "ALL"]
+
+    def test_cell_mates_share_seed_sequence(self):
+        tasks = expand_tasks(small_spec(), seed=5)
+        by_cell = {}
+        for task in tasks:
+            by_cell.setdefault(task.spawn_key, []).append(task)
+        for mates in by_cell.values():
+            states = {tuple(m.seed_sequence().generate_state(4)) for m in mates}
+            assert len(states) == 1
+
+    def test_distinct_cells_get_distinct_streams(self):
+        tasks = expand_tasks(small_spec(), seed=5)
+        states = {
+            tuple(task.seed_sequence().generate_state(4))
+            for task in tasks
+            if task.algorithm == "SRT"
+        }
+        assert len(states) == 4  # 2 values x 2 runs
+
+    def test_spawned_roots_yield_distinct_experiments(self):
+        # Children spawned from one parent share its entropy and differ only
+        # in spawn key — the engine must still treat them as distinct roots.
+        child_a, child_b = np.random.SeedSequence(42).spawn(2)
+        tasks_a = expand_tasks(small_spec(), seed=child_a)
+        tasks_b = expand_tasks(small_spec(), seed=child_b)
+        assert tasks_a[0].root_entropy != tasks_b[0].root_entropy
+        assert tasks_a[0].cache_key() != tasks_b[0].cache_key()
+        state_a = tuple(tasks_a[0].seed_sequence().generate_state(4))
+        state_b = tuple(tasks_b[0].seed_sequence().generate_state(4))
+        assert state_a != state_b
+
+    def test_list_entropy_seed_sequence_accepted(self):
+        tasks = expand_tasks(small_spec(), seed=np.random.SeedSequence([1, 2, 3]))
+        assert tasks[0].root_entropy == expand_tasks(
+            small_spec(), seed=np.random.SeedSequence([1, 2, 3])
+        )[0].root_entropy
+
+    def test_extending_sweep_keeps_existing_seeds(self):
+        base = {
+            (t.spawn_key, t.algorithm): tuple(t.seed_sequence().generate_state(2))
+            for t in expand_tasks(small_spec(), seed=5)
+        }
+        extended = {
+            (t.spawn_key, t.algorithm): tuple(t.seed_sequence().generate_state(2))
+            for t in expand_tasks(small_spec(sweep_values=(1, 2, 3), runs=4), seed=5)
+        }
+        for key, state in base.items():
+            assert extended[key] == state
+
+
+class TestRegistry:
+    def test_paper_specs_registered(self):
+        names = available_specs()
+        assert "bellcanada-demand-pairs" in names
+        assert "erdos-renyi-scalability" in names
+        assert len(names) >= 6
+
+    def test_alias_resolution(self):
+        assert get_spec("figure4").name == "bellcanada-demand-pairs"
+
+    def test_unknown_spec_raises(self):
+        with pytest.raises(KeyError):
+            get_spec("no-such-experiment")
+
+    def test_register_refuses_duplicates(self):
+        spec = get_spec("figure4")
+        with pytest.raises(ValueError):
+            register_spec(spec)

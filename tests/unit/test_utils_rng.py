@@ -58,3 +58,48 @@ class TestSpawnRng:
     def test_requires_generator(self):
         with pytest.raises(TypeError):
             spawn_rng(42, 0)
+
+
+class TestEnsureSeedSequence:
+    def test_none_gives_fresh_entropy(self):
+        from repro.utils.rng import ensure_seed_sequence
+
+        a = ensure_seed_sequence(None)
+        b = ensure_seed_sequence(None)
+        assert isinstance(a, np.random.SeedSequence)
+        assert a.entropy != b.entropy
+
+    def test_int_seed_is_deterministic(self):
+        from repro.utils.rng import ensure_seed_sequence
+
+        a = ensure_seed_sequence(42).generate_state(4)
+        b = ensure_seed_sequence(42).generate_state(4)
+        assert list(a) == list(b)
+
+    def test_sequence_passthrough(self):
+        from repro.utils.rng import ensure_seed_sequence
+
+        seq = np.random.SeedSequence(7)
+        assert ensure_seed_sequence(seq) is seq
+
+    def test_generator_uses_its_seed_sequence(self):
+        from repro.utils.rng import ensure_seed_sequence
+
+        rng = np.random.default_rng(11)
+        seq = ensure_seed_sequence(rng)
+        assert list(seq.generate_state(2)) == list(
+            np.random.SeedSequence(11).generate_state(2)
+        )
+
+    def test_spawned_children_are_independent(self):
+        from repro.utils.rng import ensure_seed_sequence
+
+        children = ensure_seed_sequence(3).spawn(4)
+        states = {tuple(child.generate_state(2)) for child in children}
+        assert len(states) == 4
+
+    def test_rejects_strings(self):
+        from repro.utils.rng import ensure_seed_sequence
+
+        with pytest.raises(TypeError):
+            ensure_seed_sequence("nope")
