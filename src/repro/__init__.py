@@ -51,6 +51,14 @@ from repro.failures.random_failures import UniformRandomFailure
 from repro.flows.milp import solve_minimum_recovery
 from repro.flows.multicommodity import solve_multicommodity_recovery
 from repro.flows.routability import is_routable, routability_test
+from repro.flows.solver import (
+    SolverStats,
+    available_backends,
+    collect_solver_stats,
+    default_backend_name,
+    get_backend,
+    set_default_backend,
+)
 from repro.heuristics.registry import available_algorithms, get_algorithm
 from repro.network.demand import DemandGraph, DemandPair
 from repro.network.plan import RecoveryPlan, RouteAssignment
@@ -80,6 +88,13 @@ __all__ = [
     "solve_multicommodity_recovery",
     "is_routable",
     "routability_test",
+    # solver substrate
+    "SolverStats",
+    "available_backends",
+    "collect_solver_stats",
+    "default_backend_name",
+    "get_backend",
+    "set_default_backend",
     # heuristics
     "available_algorithms",
     "get_algorithm",

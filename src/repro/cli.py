@@ -11,7 +11,9 @@ Sub-commands cover the everyday workflows:
     through the parallel experiment engine: ``--jobs`` fans the task cells
     out to worker processes, ``--resume`` persists completed cells to an
     on-disk cache so interrupted or extended sweeps pick up where they left
-    off instead of recomputing (MILP solves are never repeated).
+    off instead of recomputing (MILP solves are never repeated).  Per-cell
+    progress lines include solver effort (``lp=<solves>x<ms>``), and
+    ``--lp-backend`` / ``REPRO_LP_BACKEND`` select the LP solver backend.
 
 ``assess``
     Print the damage-assessment report of a disrupted instance without
@@ -35,6 +37,7 @@ Examples
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import Dict, List, Optional, Sequence
 
@@ -43,6 +46,12 @@ from repro.engine.registry import available_specs, get_spec
 from repro.evaluation.demand_builder import routable_far_apart_demand
 from repro.evaluation.metrics import evaluate_plan
 from repro.evaluation.reporting import format_table
+from repro.flows.solver.backends import (
+    BACKEND_ENV_VAR,
+    available_backends,
+    get_backend,
+    set_default_backend,
+)
 from repro.extensions.assessment import assess_damage
 from repro.failures.complete import CompleteDestruction
 from repro.failures.geographic import GaussianDisruption
@@ -96,7 +105,28 @@ def _build_instance(args: argparse.Namespace) -> tuple[SupplyGraph, DemandGraph]
     return supply, demand
 
 
+def _apply_lp_backend(args: argparse.Namespace) -> None:
+    """Make ``--lp-backend`` the default for every solve, workers included.
+
+    The environment variable is set as well so that ``sweep --jobs N``
+    worker processes (which re-resolve the backend themselves) follow the
+    same selection.
+    """
+    backend = getattr(args, "lp_backend", None)
+    if backend:
+        set_default_backend(backend)
+        os.environ[BACKEND_ENV_VAR] = backend
+    else:
+        # Validate an env-var selection upfront: failing here beats an
+        # uncaught KeyError from a worker process halfway into a sweep.
+        try:
+            get_backend()
+        except KeyError as error:
+            raise SystemExit(str(error.args[0])) from None
+
+
 def _command_solve(args: argparse.Namespace) -> int:
+    _apply_lp_backend(args)
     supply, demand = _build_instance(args)
     rows: List[Dict[str, object]] = []
     for name in args.algorithms:
@@ -133,6 +163,7 @@ def _command_assess(args: argparse.Namespace) -> int:
 
 
 def _command_sweep(args: argparse.Namespace) -> int:
+    _apply_lp_backend(args)
     if args.jobs < 0:
         raise SystemExit("--jobs must be a positive integer, or 0 for one per CPU")
     try:
@@ -157,9 +188,26 @@ def _command_sweep(args: argparse.Namespace) -> int:
 
     def progress(completed: int, total: int, result) -> None:
         source = "cache" if result.cached else f"{result.wall_seconds:.2f}s"
+        solver = ""
+        lp_solves = result.extras.get("solver_lp_solves", 0)
+        milp_solves = result.extras.get("solver_milp_solves", 0)
+        solves = lp_solves + milp_solves
+        if solves:
+            solve_seconds = result.extras.get("solver_solve_seconds", 0.0)
+            counts = " ".join(
+                f"{kind}={int(count)}"
+                for kind, count in (("lp", lp_solves), ("milp", milp_solves))
+                if count
+            )
+            if lp_solves and milp_solves:
+                # Mixed cell: a pooled per-solve average would misattribute
+                # the MILP's cost, so report the total instead.
+                solver = f" {counts} tot={1000.0 * solve_seconds:.0f}ms"
+            else:
+                solver = f" {counts}x{1000.0 * solve_seconds / solves:.0f}ms"
         print(
             f"[{completed}/{total}] {spec.sweep.parameter}={result.sweep_value} "
-            f"run={result.run_index} {result.algorithm} ({source})",
+            f"run={result.run_index} {result.algorithm} ({source}{solver})",
             file=sys.stderr,
         )
 
@@ -224,6 +272,18 @@ def _command_algorithms(_: argparse.Namespace) -> int:
     return 0
 
 
+def _add_lp_backend_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--lp-backend",
+        choices=list(available_backends()),
+        default=None,
+        help=(
+            "LP/MILP solver backend for every solve "
+            f"(default: ${BACKEND_ENV_VAR} or 'scipy')"
+        ),
+    )
+
+
 def _add_instance_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--topology", default="bell-canada", help="registered topology name")
     parser.add_argument(
@@ -271,6 +331,7 @@ def build_parser() -> argparse.ArgumentParser:
         default=120.0,
         help="time limit in seconds for the exact MILP (OPT)",
     )
+    _add_lp_backend_argument(solve)
     solve.set_defaults(handler=_command_solve)
 
     sweep = subparsers.add_parser(
@@ -316,6 +377,7 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument(
         "--quiet", action="store_true", help="suppress per-cell progress on stderr"
     )
+    _add_lp_backend_argument(sweep)
     sweep.set_defaults(handler=_command_sweep)
 
     assess = subparsers.add_parser("assess", help="print a damage assessment report")

@@ -37,6 +37,9 @@ from repro.flows.maxflow import max_flow_value
 from repro.flows.routability import routability_test
 from repro.flows.splitting_lp import maximum_splittable_amount
 from repro.flows.decomposition import decompose_flows
+from repro.flows.solver.incremental import SolverContext
+from repro.flows.solver.stats import collect_solver_stats
+from repro.flows.solver.tolerances import EPSILON
 from repro.network.demand import DemandGraph
 from repro.network.paths import (
     DEFAULT_LENGTH_CONSTANT,
@@ -50,9 +53,6 @@ from repro.utils.timing import Timer
 
 Node = Hashable
 Pair = Tuple[Node, Node]
-
-#: Flow / demand amounts below this value are treated as zero.
-EPSILON = 1e-9
 
 
 @dataclass
@@ -110,6 +110,8 @@ class _ISPState:
         self.direct_repairs = 0
         self.fallback_used = False
         self.unsatisfiable_pairs: List[Pair] = []
+        #: Warm-start store shared by the run's routability and split solves.
+        self.solver_context = SolverContext()
 
     # ------------------------------------------------------------------ #
     def working_graph(self) -> nx.Graph:
@@ -169,7 +171,7 @@ def iterative_split_prune(
     config = config or ISPConfig()
     state = _ISPState(supply, demand, config)
 
-    with Timer() as timer:
+    with Timer() as timer, collect_solver_stats() as solver_stats:
         _initialise(state)
         iterations = _main_loop(state)
         _finalise_routing(state)
@@ -184,6 +186,7 @@ def iterative_split_prune(
             "direct_edge_repairs": state.direct_repairs,
             "fallback_used": state.fallback_used,
             "unsatisfiable_pairs": list(state.unsatisfiable_pairs),
+            "solver": solver_stats.as_dict(),
         }
     )
     return plan
@@ -229,7 +232,7 @@ def _main_loop(state: _ISPState) -> int:
         if state.demand.is_empty:
             return iterations
         working = state.working_graph()
-        if routability_test(working, state.demand).routable:
+        if routability_test(working, state.demand, context=state.solver_context).routable:
             return iterations
 
         if _prune_phase(state, working):
@@ -338,7 +341,9 @@ def _split_amount(
     if mode == "auto":
         mode = "lp" if state.supply.number_of_edges <= config.lp_edge_threshold else "bottleneck"
     if mode == "lp":
-        return maximum_splittable_amount(full_graph, state.demand, pair, via)
+        return maximum_splittable_amount(
+            full_graph, state.demand, pair, via, context=state.solver_context
+        )
     # Bottleneck approximation: what the covering paths through the node can
     # carry, capped by the pair's residual demand.
     source, target = pair
@@ -390,7 +395,9 @@ def _finalise_routing(state: _ISPState) -> None:
     if state.demand.is_empty:
         return
     working = state.working_graph()
-    outcome = routability_test(working, state.demand, want_flows=True)
+    outcome = routability_test(
+        working, state.demand, want_flows=True, context=state.solver_context
+    )
     if not outcome.routable:
         return
     for commodity, arc_flows in zip(outcome.commodities, outcome.flows):

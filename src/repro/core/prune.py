@@ -21,15 +21,13 @@ from typing import Dict, Hashable, List, Optional, Set, Tuple
 import networkx as nx
 
 from repro.flows.decomposition import decompose_flows
+from repro.flows.solver.tolerances import PRUNE_EPSILON
 from repro.network.demand import DemandGraph, DemandPair
 from repro.network.supply import canonical_edge
 
 Node = Hashable
 Pair = Tuple[Node, Node]
 Path = Tuple[Node, ...]
-
-#: Prune amounts below this threshold are ignored (numerical noise).
-PRUNE_EPSILON = 1e-9
 
 
 @dataclass

@@ -22,6 +22,7 @@ import networkx as nx
 
 from repro.core.centrality import CentralityResult
 from repro.flows.maxflow import max_flow_value
+from repro.flows.solver.tolerances import EPSILON
 from repro.network.demand import DemandGraph
 
 Node = Hashable
@@ -73,13 +74,13 @@ def select_demand_to_split(
         if node in (source, target):
             continue
         current_demand = demand.demand(source, target)
-        if current_demand <= 0:
+        if current_demand <= EPSILON:
             continue
         through_node = centrality.cover_capacity_through(pair, node)
-        if through_node <= 0:
+        if through_node <= EPSILON:
             continue
         flow_limit = max_flow_value(graph, source, target)
-        if flow_limit <= 0:
+        if flow_limit <= EPSILON:
             continue
         routable = min(current_demand, through_node)
         score = routable / flow_limit

@@ -65,6 +65,19 @@ def aggregate_results(
             def mean(key: str) -> float:
                 return float(np.mean([result.metrics[key] for result in cell]))
 
+            extras: Dict[str, float] = {
+                "broken_elements": float(
+                    np.mean([result.broken_elements for result in cell])
+                )
+            }
+            # Average whatever per-cell extras the tasks reported (solver
+            # effort counters etc.); cached cells from older runs may lack
+            # some keys, so average over the cells that have each key.
+            extra_keys = sorted({key for result in cell for key in result.extras})
+            for key in extra_keys:
+                values = [result.extras[key] for result in cell if key in result.extras]
+                extras[key] = float(np.mean(values))
+
             row = ComparisonRow(
                 algorithm=name.upper(),
                 runs=len(cell),
@@ -74,11 +87,7 @@ def aggregate_results(
                 repair_cost=mean("repair_cost"),
                 satisfied_pct=mean("satisfied_pct"),
                 elapsed_seconds=mean("elapsed_seconds"),
-                extras={
-                    "broken_elements": float(
-                        np.mean([result.broken_elements for result in cell])
-                    )
-                },
+                extras=extras,
             )
             flat: Dict[str, object] = {spec.sweep.parameter: sweep_value}
             flat.update(row.as_dict())

@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.engine.spec import ExperimentSpec, build_instance, config_digest
 from repro.evaluation.metrics import evaluate_plan
+from repro.flows.solver.stats import collect_solver_stats
 from repro.utils.rng import SeedLike, ensure_seed_sequence
 
 #: Metric keys every task reports (aggregated into ComparisonRow columns).
@@ -147,14 +148,21 @@ def expand_tasks(spec: ExperimentSpec, seed: SeedLike = None) -> List[Task]:
 
 
 def execute_task(task: Task) -> TaskResult:
-    """Run one cell: rebuild its instance, solve, evaluate, time it."""
+    """Run one cell: rebuild its instance, solve, evaluate, time it.
+
+    Solver effort (LP/MILP solve counts, build vs solve wall time,
+    warm-start hits) for the whole cell — the algorithm run *and* the
+    evaluation LP — is collected and reported in the result's ``extras``,
+    prefixed with ``solver_``.
+    """
     started = time.perf_counter()
     rng = np.random.default_rng(task.seed_sequence())
     supply, demand = build_instance(task.spec, task.sweep_value, rng)
     broken = len(supply.broken_nodes) + len(supply.broken_edges)
     algorithm = task.spec.resolve_algorithm(task.algorithm)
-    plan = algorithm.solve(supply, demand)
-    evaluation = evaluate_plan(supply, demand, plan)
+    with collect_solver_stats() as solver_stats:
+        plan = algorithm.solve(supply, demand)
+        evaluation = evaluate_plan(supply, demand, plan)
     metrics = {
         "node_repairs": float(evaluation.node_repairs),
         "edge_repairs": float(evaluation.edge_repairs),
@@ -162,6 +170,9 @@ def execute_task(task: Task) -> TaskResult:
         "repair_cost": float(evaluation.repair_cost),
         "satisfied_pct": float(evaluation.satisfied_percentage),
         "elapsed_seconds": float(evaluation.elapsed_seconds),
+    }
+    extras = {
+        f"solver_{key}": value for key, value in solver_stats.as_dict().items()
     }
     return TaskResult(
         sweep_value=task.sweep_value,
@@ -171,4 +182,5 @@ def execute_task(task: Task) -> TaskResult:
         metrics=metrics,
         broken_elements=broken,
         wall_seconds=time.perf_counter() - started,
+        extras=extras,
     )

@@ -16,7 +16,11 @@ paper relies on:
 * :mod:`~repro.flows.milp` — the exact MinR MILP of Eq. 1 (the paper's OPT),
   solved with the HiGHS branch-and-cut backend;
 * :mod:`~repro.flows.splitting_lp` — the LP that computes the maximum
-  splittable amount ``dx`` used by ISP's split action (Section IV-C).
+  splittable amount ``dx`` used by ISP's split action (Section IV-C);
+* :mod:`~repro.flows.solver` — the solver substrate every solve goes
+  through: pluggable LP/MILP backends, the cached topology structure behind
+  incremental re-solves, warm-start contexts, per-solve statistics and the
+  library's numeric tolerances.
 """
 
 from repro.flows.lp_backend import Commodity, FlowProblem
@@ -26,6 +30,17 @@ from repro.flows.multicommodity import MultiCommodityResult, solve_multicommodit
 from repro.flows.routability import RoutabilityResult, is_routable, routability_test
 from repro.flows.splitting_lp import maximum_splittable_amount
 from repro.flows.decomposition import decompose_flows
+from repro.flows.solver import (
+    IncrementalFlowProblem,
+    SolverContext,
+    SolverStats,
+    available_backends,
+    build_flow_problem,
+    collect_solver_stats,
+    default_backend_name,
+    get_backend,
+    set_default_backend,
+)
 
 __all__ = [
     "Commodity",
@@ -41,4 +56,13 @@ __all__ = [
     "MinRSolution",
     "solve_minimum_recovery",
     "maximum_splittable_amount",
+    "IncrementalFlowProblem",
+    "SolverContext",
+    "SolverStats",
+    "available_backends",
+    "build_flow_problem",
+    "collect_solver_stats",
+    "default_backend_name",
+    "get_backend",
+    "set_default_backend",
 ]

@@ -7,25 +7,28 @@ routed on the resulting network?  Heuristics such as SRT and GRD-COM may
 repair too little (or make conflicting routing commitments), so this value
 can be below 100%.
 
-This module computes that number exactly with a concurrent-flow LP: every
-commodity ``h`` gets an auxiliary variable ``y_h in [0, d_h]`` for the amount
-actually delivered, flow conservation uses ``y_h`` as the supply/consumption
-at the endpoints, and the objective maximises ``sum_h y_h`` subject to the
-shared capacity constraints.
+This module computes that number exactly with a concurrent-flow LP solved
+through the solver substrate: every commodity ``h`` gets an auxiliary
+variable ``y_h in [0, d_h]`` for the amount actually delivered, flow
+conservation uses ``y_h`` as the supply/consumption at the endpoints, and
+the objective maximises ``sum_h y_h`` subject to the shared capacity
+constraints.  The flow blocks come from the topology-structure cache; only
+the ``y`` columns are instance-specific.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Tuple
+from typing import Dict, Hashable, List, Optional, Tuple, Union
 
 import networkx as nx
 import numpy as np
 from scipy import sparse
-from scipy.optimize import linprog
 
-from repro.flows.lp_backend import Commodity, FlowProblem
-from repro.network.demand import DemandGraph, canonical_pair
+from repro.flows.lp_backend import Commodity
+from repro.flows.solver.backends import LinearProgram, SolverBackend, get_backend
+from repro.flows.solver.incremental import build_flow_problem
+from repro.network.demand import DemandGraph
 
 Node = Hashable
 Pair = Tuple[Node, Node]
@@ -47,7 +50,11 @@ class SatisfactionResult:
         return self.total_satisfied / self.total_demand
 
 
-def max_satisfiable_flow(graph: nx.Graph, demand: DemandGraph) -> SatisfactionResult:
+def max_satisfiable_flow(
+    graph: nx.Graph,
+    demand: DemandGraph,
+    backend: Optional[Union[str, SolverBackend]] = None,
+) -> SatisfactionResult:
     """Maximum simultaneously routable portion of ``demand`` over ``graph``.
 
     Parameters
@@ -57,6 +64,8 @@ def max_satisfiable_flow(graph: nx.Graph, demand: DemandGraph) -> SatisfactionRe
         ``capacity`` attribute.
     demand:
         The original demand graph.
+    backend:
+        Explicit backend name/instance; defaults to the configured backend.
 
     Returns
     -------
@@ -84,7 +93,7 @@ def max_satisfiable_flow(graph: nx.Graph, demand: DemandGraph) -> SatisfactionRe
     if not commodities:
         return result
 
-    problem = FlowProblem(graph, commodities)
+    problem = build_flow_problem(graph, commodities)
     num_flow = problem.num_flow_variables
     num_commodities = len(commodities)
     num_vars = num_flow + num_commodities
@@ -96,14 +105,22 @@ def max_satisfiable_flow(graph: nx.Graph, demand: DemandGraph) -> SatisfactionRe
     # Conservation with the delivered amount as a variable:
     #   sum_j f_ij - sum_k f_ki - y_h * [i == source] + y_h * [i == target] = 0
     a_eq, _ = problem.conservation_matrix()
-    a_eq = sparse.lil_matrix(sparse.hstack([a_eq, sparse.csr_matrix((a_eq.shape[0], num_commodities))]))
     num_nodes = len(problem.nodes)
     node_row = {node: i for i, node in enumerate(problem.nodes)}
+    rows: List[int] = []
+    cols: List[int] = []
+    data: List[float] = []
     for index, commodity in enumerate(commodities):
-        source_row = index * num_nodes + node_row[commodity.source]
-        target_row = index * num_nodes + node_row[commodity.target]
-        a_eq[source_row, y_column[index]] = -1.0
-        a_eq[target_row, y_column[index]] = 1.0
+        rows.append(index * num_nodes + node_row[commodity.source])
+        cols.append(index)
+        data.append(-1.0)
+        rows.append(index * num_nodes + node_row[commodity.target])
+        cols.append(index)
+        data.append(1.0)
+    y_block = sparse.csr_matrix(
+        (data, (rows, cols)), shape=(a_eq.shape[0], num_commodities)
+    )
+    a_eq = sparse.hstack([a_eq, y_block]).tocsr()
     b_eq = np.zeros(a_eq.shape[0])
 
     objective = np.zeros(num_vars)
@@ -112,20 +129,15 @@ def max_satisfiable_flow(graph: nx.Graph, demand: DemandGraph) -> SatisfactionRe
 
     bounds = [(0, None)] * num_flow + [(0, commodity.demand) for commodity in commodities]
 
-    lp = linprog(
-        c=objective,
-        A_ub=a_ub,
-        b_ub=b_ub,
-        A_eq=a_eq.tocsr(),
-        b_eq=b_eq,
-        bounds=bounds,
-        method="highs",
+    program = LinearProgram(
+        c=objective, a_ub=a_ub, b_ub=b_ub, a_eq=a_eq, b_eq=b_eq, bounds=bounds
     )
-    if not lp.success:
+    solution = get_backend(backend).solve_lp(program)
+    if not solution.success:
         return result
 
     for index, pair_key in enumerate(reachable_pairs):
-        delivered = float(lp.x[y_column[index]])
+        delivered = float(solution.x[y_column[index]])
         result.satisfied[pair_key] = max(0.0, delivered)
     result.total_satisfied = sum(result.satisfied.values())
     return result

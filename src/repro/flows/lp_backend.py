@@ -27,13 +27,11 @@ import networkx as nx
 import numpy as np
 from scipy import sparse
 
+from repro.flows.solver.tolerances import FLOW_TOLERANCE
 from repro.network.supply import canonical_edge
 
 Node = Hashable
 Edge = Tuple[Node, Node]
-
-#: Numerical tolerance used when interpreting LP solutions.
-FLOW_TOLERANCE = 1e-6
 
 
 @dataclass(frozen=True)
@@ -77,11 +75,9 @@ class FlowProblem:
         self._edge_index: Dict[Edge, int] = {edge: i for i, edge in enumerate(self.edges)}
 
         #: Commodities whose endpoints are not both present in the graph.
-        self.infeasible_commodities: List[Commodity] = [
-            c
-            for c in self.commodities
-            if c.source not in self._node_index or c.target not in self._node_index
-        ]
+        self.infeasible_commodities: List[Commodity] = self.find_infeasible(
+            self.commodities, self._node_index
+        )
 
         # Directed arcs: both orientations of every undirected edge.
         self.arcs: List[Tuple[Node, Node]] = []
@@ -91,6 +87,22 @@ class FlowProblem:
         self._arc_index: Dict[Tuple[Node, Node], int] = {
             arc: i for i, arc in enumerate(self.arcs)
         }
+
+    @staticmethod
+    def find_infeasible(
+        commodities: Sequence[Commodity], node_index: Dict[Node, int]
+    ) -> List[Commodity]:
+        """Commodities structurally infeasible on the indexed node set.
+
+        Shared with :class:`~repro.flows.solver.incremental.
+        IncrementalFlowProblem`, which builds its indexing from cached
+        structure — both paths must agree on what "infeasible" means.
+        """
+        return [
+            c
+            for c in commodities
+            if c.source not in node_index or c.target not in node_index
+        ]
 
     # ------------------------------------------------------------------ #
     # Variable indexing

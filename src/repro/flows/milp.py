@@ -11,8 +11,9 @@ that all demand flows can be routed simultaneously:
   (``delta_i * eta_max >= sum_j delta_ij``);
 * constraint 1(d): flow conservation.
 
-The paper solves this model with Gurobi; we use :func:`scipy.optimize.milp`
-(the HiGHS branch-and-cut solver), which is also exact.  A time limit can be
+The paper solves this model with Gurobi; we dispatch the model through the
+solver substrate (HiGHS branch-and-cut via scipy by default, direct
+``highspy`` when selected), which is also exact.  A time limit can be
 passed for the scalability experiments, in which case the best incumbent is
 returned together with its optimality gap.
 """
@@ -20,14 +21,16 @@ returned together with its optimality gap.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Optional, Tuple
+from typing import Dict, Hashable, List, Optional, Tuple, Union
 
 import numpy as np
 from scipy import sparse
-from scipy.optimize import Bounds, LinearConstraint, milp
 
 from repro.flows.decomposition import decompose_flows
-from repro.flows.lp_backend import Commodity, FlowProblem
+from repro.flows.lp_backend import Commodity
+from repro.flows.solver.backends import MILProgram, SolverBackend, get_backend
+from repro.flows.solver.incremental import build_flow_problem
+from repro.flows.solver.tolerances import BINARY_THRESHOLD, FLOW_THRESHOLD
 from repro.network.demand import DemandGraph
 from repro.network.plan import RecoveryPlan
 from repro.network.supply import SupplyGraph, canonical_edge
@@ -35,11 +38,6 @@ from repro.utils.timing import Timer
 
 Node = Hashable
 Edge = Tuple[Node, Node]
-
-#: Threshold above which a relaxed binary is interpreted as 1.
-BINARY_THRESHOLD = 0.5
-#: Threshold above which a flow value is considered non-zero.
-FLOW_THRESHOLD = 1e-6
 
 
 @dataclass
@@ -69,6 +67,7 @@ def solve_minimum_recovery(
     demand: DemandGraph,
     time_limit: Optional[float] = None,
     mip_rel_gap: float = 0.0,
+    backend: Optional[Union[str, SolverBackend]] = None,
 ) -> MinRSolution:
     """Solve the MinR MILP for ``supply`` and ``demand``.
 
@@ -83,6 +82,8 @@ def solve_minimum_recovery(
         Optional wall-clock limit in seconds handed to HiGHS.
     mip_rel_gap:
         Relative optimality gap at which the solver may stop early.
+    backend:
+        Explicit backend name/instance; defaults to the configured backend.
 
     Returns
     -------
@@ -97,7 +98,7 @@ def solve_minimum_recovery(
         return MinRSolution(status="optimal", objective=0.0)
 
     graph = supply.full_graph(use_residual=False)
-    problem = FlowProblem(graph, commodities)
+    problem = build_flow_problem(graph, commodities)
 
     edges = problem.edges
     nodes = problem.nodes
@@ -118,7 +119,7 @@ def solve_minimum_recovery(
         if supply.is_broken_node(node):
             objective[node_column[node]] = supply.node_repair_cost(node)
 
-    constraints: List[LinearConstraint] = []
+    constraints: List[Tuple[sparse.spmatrix, np.ndarray, np.ndarray]] = []
 
     # Constraint 1(b): sum_h (f_ij + f_ji) - c_ij * delta_ij <= 0.
     cap_matrix, cap_rhs = problem.capacity_matrix()
@@ -127,7 +128,7 @@ def solve_minimum_recovery(
     for row, edge in enumerate(edges):
         cap_block[row, edge_column[edge]] = -cap_rhs[row]
     constraints.append(
-        LinearConstraint(cap_block.tocsr(), ub=np.zeros(num_edges), lb=-np.inf)
+        (cap_block.tocsr(), np.full(num_edges, -np.inf), np.zeros(num_edges))
     )
 
     # Constraint 1(c): sum_j delta_ij - eta_max * delta_i <= 0.
@@ -138,7 +139,7 @@ def solve_minimum_recovery(
             deg_block[row, edge_column[canonical_edge(node, neighbor)]] = 1.0
         deg_block[row, node_column[node]] = -float(eta_max)
     constraints.append(
-        LinearConstraint(deg_block.tocsr(), ub=np.zeros(num_nodes), lb=-np.inf)
+        (deg_block.tocsr(), np.full(num_nodes, -np.inf), np.zeros(num_nodes))
     )
 
     # Constraint 1(d): flow conservation.
@@ -146,7 +147,7 @@ def solve_minimum_recovery(
     eq_block = sparse.hstack(
         [eq_matrix, sparse.csr_matrix((eq_matrix.shape[0], num_edges + num_nodes))]
     ).tocsr()
-    constraints.append(LinearConstraint(eq_block, lb=eq_rhs, ub=eq_rhs))
+    constraints.append((eq_block, eq_rhs, eq_rhs))
 
     integrality = np.zeros(num_vars)
     integrality[num_flow:] = 1  # delta variables are binary
@@ -154,25 +155,22 @@ def solve_minimum_recovery(
     lower = np.zeros(num_vars)
     upper = np.full(num_vars, np.inf)
     upper[num_flow:] = 1.0
-    bounds = Bounds(lb=lower, ub=upper)
 
-    options: Dict[str, object] = {"mip_rel_gap": mip_rel_gap}
-    if time_limit is not None:
-        options["time_limit"] = float(time_limit)
+    program = MILProgram(
+        c=objective,
+        constraints=constraints,
+        integrality=integrality,
+        lb=lower,
+        ub=upper,
+        time_limit=float(time_limit) if time_limit is not None else None,
+        mip_rel_gap=mip_rel_gap,
+    )
 
     with Timer() as timer:
-        result = milp(
-            c=objective,
-            constraints=constraints,
-            integrality=integrality,
-            bounds=bounds,
-            options=options,
-        )
+        result = get_backend(backend).solve_milp(program)
 
-    if result.status == 2:
-        return MinRSolution(status="infeasible", elapsed_seconds=timer.elapsed)
-    if result.x is None:
-        status = "infeasible" if result.status == 2 else "error"
+    if not result.feasible or result.x is None:
+        status = result.status if result.status in ("infeasible", "error") else "error"
         return MinRSolution(status=status, elapsed_seconds=timer.elapsed)
 
     solution = result.x
@@ -188,15 +186,14 @@ def solve_minimum_recovery(
     }
     flows = problem.flows_by_commodity(solution[:num_flow])
 
-    status = "optimal" if result.status == 0 else "feasible"
     return MinRSolution(
-        status=status,
-        objective=float(result.fun),
+        status=result.status,
+        objective=float(result.objective),
         repaired_nodes=repaired_nodes,
         repaired_edges=repaired_edges,
         flows=flows,
         commodities=commodities,
-        mip_gap=float(result.mip_gap) if getattr(result, "mip_gap", None) is not None else None,
+        mip_gap=result.mip_gap,
         elapsed_seconds=timer.elapsed,
     )
 

@@ -29,13 +29,20 @@ illustrates.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Hashable, List, Optional, Set, Tuple
+from typing import Dict, Hashable, List, Optional, Set, Tuple, Union
 
 import numpy as np
-from scipy.optimize import linprog
 
 from repro.flows.decomposition import decompose_flows
 from repro.flows.lp_backend import Commodity, FlowProblem
+from repro.flows.solver.backends import (
+    LinearProgram,
+    LPSolution,
+    SolverBackend,
+    get_backend,
+)
+from repro.flows.solver.incremental import SolverContext, build_flow_problem
+from repro.flows.solver.tolerances import USAGE_THRESHOLD
 from repro.network.demand import DemandGraph
 from repro.network.plan import RecoveryPlan
 from repro.network.supply import SupplyGraph, canonical_edge
@@ -44,10 +51,13 @@ from repro.utils.timing import Timer
 Node = Hashable
 Edge = Tuple[Node, Node]
 
-#: Load threshold above which a broken element counts as "used" (repaired).
-USAGE_THRESHOLD = 1e-6
 #: Number of reweighting rounds used to sparsify the MCB solution.
 REWEIGHTING_ROUNDS = 4
+
+#: Purpose tag under which reweighting solutions are remembered (the
+#: reweighted LPs share constraints and differ only in the objective — the
+#: ideal warm-start sequence for backends that support it).
+_WARM_START_TAG = "multicommodity-reweighting"
 
 
 @dataclass
@@ -72,18 +82,25 @@ def _broken_edge_costs(supply: SupplyGraph, problem: FlowProblem) -> np.ndarray:
     return costs
 
 
-def _solve(problem: FlowProblem, objective: np.ndarray, method: str):
+def _solve(
+    problem: FlowProblem,
+    objective: np.ndarray,
+    backend: SolverBackend,
+    method_hint: str = "auto",
+    warm_start: Optional[np.ndarray] = None,
+) -> LPSolution:
     a_ub, b_ub = problem.capacity_matrix()
     a_eq, b_eq = problem.conservation_matrix()
-    return linprog(
+    program = LinearProgram(
         c=objective,
-        A_ub=a_ub,
+        a_ub=a_ub,
         b_ub=b_ub,
-        A_eq=a_eq,
+        a_eq=a_eq,
         b_eq=b_eq,
         bounds=(0, None),
-        method=method,
+        method_hint=method_hint,
     )
+    return backend.solve_lp(program, warm_start=warm_start)
 
 
 def _plan_from_solution(
@@ -124,6 +141,7 @@ def solve_multicommodity_recovery(
     supply: SupplyGraph,
     demand: DemandGraph,
     reweighting_rounds: int = REWEIGHTING_ROUNDS,
+    backend: Optional[Union[str, SolverBackend]] = None,
 ) -> MultiCommodityResult:
     """Solve the multi-commodity relaxation and extract the MCB / MCW plans.
 
@@ -138,13 +156,17 @@ def solve_multicommodity_recovery(
         empty_worst = RecoveryPlan(algorithm="MCW")
         return MultiCommodityResult(best=empty_best, worst=empty_worst, objective=0.0)
 
+    solver = get_backend(backend)
+    context = SolverContext()
     graph = supply.full_graph(use_residual=False)
-    problem = FlowProblem(graph, commodities)
+    problem = build_flow_problem(graph, commodities)
     base_objective = _broken_edge_costs(supply, problem)
 
     # MCW: interior-point solution of the plain relaxation (spreads flow).
     with Timer() as worst_timer:
-        worst_result = _solve(problem, base_objective, method="highs-ipm")
+        worst_result = _solve(
+            problem, base_objective, solver, method_hint="interior-point"
+        )
     if not worst_result.success:
         infeasible = RecoveryPlan(algorithm="MCB", metadata={"status": "infeasible"})
         infeasible_w = RecoveryPlan(algorithm="MCW", metadata={"status": "infeasible"})
@@ -155,9 +177,12 @@ def solve_multicommodity_recovery(
         supply, problem, worst_result.x, algorithm="MCW", elapsed=worst_timer.elapsed
     )
 
-    # MCB: iteratively reweighted LP that concentrates flow on few broken edges.
+    # MCB: iteratively reweighted LP that concentrates flow on few broken
+    # edges.  The rounds share the constraint system and differ only in the
+    # objective, so each one warm-starts from the previous optimum.
     with Timer() as best_timer:
         best_solution = worst_result.x
+        context.remember(_WARM_START_TAG, problem, best_solution)
         weights = base_objective.copy()
         for _ in range(max(1, reweighting_rounds)):
             loads = problem.edge_loads(best_solution)
@@ -173,9 +198,15 @@ def solve_multicommodity_recovery(
                     for a, b in ((u, v), (v, u)):
                         column = problem.flow_index(commodity_index, a, b)
                         weights[column] = base_objective[column] * scale
-            refined = _solve(problem, weights, method="highs")
+            refined = _solve(
+                problem,
+                weights,
+                solver,
+                warm_start=context.warm_start_for(_WARM_START_TAG, problem),
+            )
             if refined.success:
                 best_solution = refined.x
+                context.remember(_WARM_START_TAG, problem, best_solution)
     best_plan = _plan_from_solution(
         supply, problem, best_solution, algorithm="MCB", elapsed=best_timer.elapsed
     )
@@ -183,6 +214,6 @@ def solve_multicommodity_recovery(
     return MultiCommodityResult(
         best=best_plan,
         worst=worst_plan,
-        objective=float(worst_result.fun),
+        objective=float(worst_result.objective),
         feasible=True,
     )

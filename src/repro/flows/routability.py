@@ -7,8 +7,13 @@ ISP uses this test both as its termination condition and inside the GRD-NC
 heuristic; the evaluation harness uses it to verify that a recovery plan
 really supports the demand.
 
-The test is implemented as an LP feasibility problem solved with HiGHS.  A
-small objective (minimising the total routed flow) is used instead of a zero
+The test is implemented as an LP feasibility problem dispatched through the
+solver substrate (:mod:`repro.flows.solver`): constraint matrices come from
+the topology-structure cache, the solve goes to the active backend, and a
+:class:`~repro.flows.solver.incremental.SolverContext` (threaded in by the
+ISP loop and GRD-NC, whose consecutive tests differ only by small deltas)
+lets warm-start-capable backends reuse the previous solution.  A small
+objective (minimising the total routed flow) is used instead of a zero
 objective so the returned routing contains no gratuitous cycles, which keeps
 the derived per-edge loads meaningful.
 """
@@ -16,19 +21,22 @@ the derived per-edge loads meaningful.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+from typing import Dict, Hashable, List, Optional, Tuple, Union
 
 import networkx as nx
 import numpy as np
-from scipy import sparse
-from scipy.optimize import linprog
 
-from repro.flows.lp_backend import Commodity, FlowProblem
+from repro.flows.lp_backend import Commodity
+from repro.flows.solver.backends import LinearProgram, SolverBackend, get_backend
+from repro.flows.solver.incremental import SolverContext, build_flow_problem
+from repro.flows.solver.tolerances import EPSILON
 from repro.network.demand import DemandGraph
-from repro.network.supply import canonical_edge
 
 Node = Hashable
 Edge = Tuple[Node, Node]
+
+#: Purpose tag under which routability solutions are remembered for warm starts.
+_WARM_START_TAG = "routability"
 
 
 @dataclass
@@ -71,6 +79,8 @@ def routability_test(
     graph: nx.Graph,
     demand: DemandGraph,
     want_flows: bool = False,
+    context: Optional[SolverContext] = None,
+    backend: Optional[Union[str, SolverBackend]] = None,
 ) -> RoutabilityResult:
     """Check whether ``demand`` is routable over ``graph``.
 
@@ -84,6 +94,12 @@ def routability_test(
     want_flows:
         When true, a feasible routing (per-commodity arc flows and per-edge
         loads) is returned alongside the verdict.
+    context:
+        Optional warm-start store of the calling algorithm run; consecutive
+        tests on the same topology reuse the previous solution on backends
+        that support warm starts.
+    backend:
+        Explicit backend name/instance; defaults to the configured backend.
 
     Returns
     -------
@@ -93,7 +109,7 @@ def routability_test(
     if not commodities:
         return RoutabilityResult(routable=True, commodities=[])
 
-    problem = FlowProblem(graph, commodities)
+    problem = build_flow_problem(graph, commodities)
     if problem.infeasible_commodities:
         missing = [
             (c.source, c.target) for c in problem.infeasible_commodities
@@ -119,30 +135,33 @@ def routability_test(
 
     a_ub, b_ub = problem.capacity_matrix()
     a_eq, b_eq = problem.conservation_matrix()
-    # Minimise total flow: keeps the feasible routing cycle free.
-    objective = np.ones(problem.num_flow_variables)
-
-    result = linprog(
-        c=objective,
-        A_ub=a_ub,
+    program = LinearProgram(
+        # Minimise total flow: keeps the feasible routing cycle free.
+        c=np.ones(problem.num_flow_variables),
+        a_ub=a_ub,
         b_ub=b_ub,
-        A_eq=a_eq,
+        a_eq=a_eq,
         b_eq=b_eq,
         bounds=(0, None),
-        method="highs",
     )
+    warm_start = (
+        context.warm_start_for(_WARM_START_TAG, problem) if context is not None else None
+    )
+    solution = get_backend(backend).solve_lp(program, warm_start=warm_start)
 
-    if not result.success:
+    if not solution.success:
         return RoutabilityResult(
             routable=False,
             commodities=commodities,
-            reason=f"LP infeasible ({result.message})",
+            reason=f"LP infeasible ({solution.message})",
         )
 
+    if context is not None:
+        context.remember(_WARM_START_TAG, problem, solution.x)
     outcome = RoutabilityResult(routable=True, commodities=commodities)
     if want_flows:
-        outcome.flows = problem.flows_by_commodity(result.x)
-        outcome.edge_loads = problem.edge_loads(result.x)
+        outcome.flows = problem.flows_by_commodity(solution.x)
+        outcome.edge_loads = problem.edge_loads(solution.x)
     return outcome
 
 
@@ -171,7 +190,7 @@ def cut_condition_violated(graph: nx.Graph, demand: DemandGraph, cut_nodes: set)
         for pair in demand.pairs()
         if (pair.source in cut_nodes) != (pair.target in cut_nodes)
     )
-    return demand_crossing > supply_crossing + 1e-9
+    return demand_crossing > supply_crossing + EPSILON
 
 
 def vertex_surplus(graph: nx.Graph, demand: DemandGraph, node: Node) -> float:

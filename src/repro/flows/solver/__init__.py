@@ -1,0 +1,83 @@
+"""Solver substrate: pluggable backends, cached structure, warm re-solves.
+
+This package owns every LP/MILP solve in the library:
+
+* :mod:`repro.flows.solver.backends` — the :class:`SolverBackend` protocol,
+  the default scipy/HiGHS backend, the optional direct ``highspy`` backend
+  and the registry (``--lp-backend`` / ``REPRO_LP_BACKEND`` selection);
+* :mod:`repro.flows.solver.incremental` — cached constraint structure per
+  graph topology, :class:`IncrementalFlowProblem` delta re-assembly and the
+  :class:`SolverContext` warm-start store;
+* :mod:`repro.flows.solver.stats` — per-solve effort accounting threaded up
+  to plan metadata, experiment cells and the CLI;
+* :mod:`repro.flows.solver.tolerances` — the library's two numeric
+  tolerance scales, documented once.
+"""
+
+from repro.flows.solver.backends import (
+    BACKEND_ENV_VAR,
+    HighspyBackend,
+    LinearProgram,
+    LPSolution,
+    MILProgram,
+    MILPSolution,
+    ScipyHighsBackend,
+    SolverBackend,
+    available_backends,
+    default_backend_name,
+    get_backend,
+    register_backend,
+    set_default_backend,
+)
+from repro.flows.solver.stats import SolverStats, collect_solver_stats
+from repro.flows.solver.tolerances import EPSILON, FLOW_TOLERANCE
+
+#: Symbols of :mod:`repro.flows.solver.incremental`, loaded lazily (PEP 562):
+#: that module depends on :mod:`repro.flows.lp_backend`, which itself imports
+#: this package's tolerances — eager loading here would be circular.
+_INCREMENTAL_EXPORTS = (
+    "IncrementalFlowProblem",
+    "SolverContext",
+    "StructureCache",
+    "TopologyStructure",
+    "build_flow_problem",
+    "clear_structure_cache",
+    "shared_structure_cache",
+    "topology_signature",
+)
+
+
+def __getattr__(name: str):
+    if name in _INCREMENTAL_EXPORTS:
+        from repro.flows.solver import incremental
+
+        return getattr(incremental, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+__all__ = [
+    "BACKEND_ENV_VAR",
+    "LinearProgram",
+    "LPSolution",
+    "MILProgram",
+    "MILPSolution",
+    "SolverBackend",
+    "ScipyHighsBackend",
+    "HighspyBackend",
+    "available_backends",
+    "default_backend_name",
+    "get_backend",
+    "register_backend",
+    "set_default_backend",
+    "IncrementalFlowProblem",
+    "SolverContext",
+    "StructureCache",
+    "TopologyStructure",
+    "build_flow_problem",
+    "clear_structure_cache",
+    "shared_structure_cache",
+    "topology_signature",
+    "SolverStats",
+    "collect_solver_stats",
+    "EPSILON",
+    "FLOW_TOLERANCE",
+]

@@ -1,0 +1,445 @@
+"""Pluggable LP/MILP solver backends.
+
+Every optimisation problem in the library — the routability test, the
+split-amount LP, the concurrent-flow satisfaction LP, the multi-commodity
+relaxation and the exact MinR MILP — is expressed as a backend-neutral
+:class:`LinearProgram` / :class:`MILProgram` and dispatched through a
+:class:`SolverBackend`:
+
+* :class:`ScipyHighsBackend` (name ``"scipy"``) — the default, always
+  available: ``scipy.optimize.linprog``/``milp`` driving the vendored HiGHS.
+  It re-solves every program from scratch (scipy exposes no warm-start API).
+* :class:`HighspyBackend` (name ``"highs"``) — registered only when the
+  optional ``highspy`` package is importable (``pip install repro[highs]``).
+  It talks to HiGHS directly and accepts the previous solution as a warm
+  start, which is what makes incremental re-solves across the ISP inner
+  loop cheap.
+
+The active backend is resolved per solve: an explicit argument wins, then a
+process-wide override (:func:`set_default_backend`, set by the CLI's
+``--lp-backend``), then the ``REPRO_LP_BACKEND`` environment variable, then
+``"scipy"``.  All registered backends are interchangeable — the backend
+parity suite asserts identical verdicts and metrics on the tier-1 scenarios.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+from scipy import sparse
+from scipy.optimize import Bounds, LinearConstraint, linprog, milp
+
+from repro.flows.solver.stats import record_solve
+
+#: Environment variable naming the default backend.
+BACKEND_ENV_VAR = "REPRO_LP_BACKEND"
+
+#: Per-variable bounds: one (lo, hi) for all variables, or one per variable.
+BoundsLike = Union[Tuple[Optional[float], Optional[float]], Sequence[Tuple[Optional[float], Optional[float]]]]
+
+
+@dataclass
+class LinearProgram:
+    """A backend-neutral LP: ``min c @ x`` s.t. ``A_ub x <= b_ub``, ``A_eq x = b_eq``."""
+
+    c: np.ndarray
+    a_ub: Optional[sparse.spmatrix] = None
+    b_ub: Optional[np.ndarray] = None
+    a_eq: Optional[sparse.spmatrix] = None
+    b_eq: Optional[np.ndarray] = None
+    bounds: BoundsLike = (0, None)
+    #: ``"auto"`` lets the backend choose (simplex for HiGHS);
+    #: ``"interior-point"`` requests an IPM solve (used by MCW, whose optimal
+    #: face interior is the point of the exercise).
+    method_hint: str = "auto"
+
+    @property
+    def num_variables(self) -> int:
+        return len(self.c)
+
+
+@dataclass
+class LPSolution:
+    """Outcome of one LP solve, normalised across backends."""
+
+    status: str  #: ``"optimal"``, ``"infeasible"``, ``"unbounded"`` or ``"error"``
+    x: Optional[np.ndarray] = None
+    objective: Optional[float] = None
+    message: str = ""
+    warm_started: bool = False
+
+    @property
+    def success(self) -> bool:
+        return self.status == "optimal"
+
+
+@dataclass
+class MILProgram:
+    """A backend-neutral MILP: objective, linear constraints, integrality."""
+
+    c: np.ndarray
+    #: Constraints as ``(matrix, lb, ub)`` triples (row bounds may be ±inf).
+    constraints: List[Tuple[sparse.spmatrix, np.ndarray, np.ndarray]] = field(default_factory=list)
+    integrality: Optional[np.ndarray] = None
+    lb: Union[float, np.ndarray] = 0.0
+    ub: Union[float, np.ndarray] = np.inf
+    time_limit: Optional[float] = None
+    mip_rel_gap: float = 0.0
+
+    @property
+    def num_variables(self) -> int:
+        return len(self.c)
+
+
+@dataclass
+class MILPSolution:
+    """Outcome of one MILP solve, normalised across backends."""
+
+    status: str  #: ``"optimal"``, ``"feasible"``, ``"infeasible"`` or ``"error"``
+    x: Optional[np.ndarray] = None
+    objective: Optional[float] = None
+    mip_gap: Optional[float] = None
+
+    @property
+    def feasible(self) -> bool:
+        return self.status in ("optimal", "feasible")
+
+
+def _bounds_arrays(bounds: BoundsLike, n: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Normalise :attr:`LinearProgram.bounds` into dense (lower, upper) arrays."""
+    lower = np.zeros(n)
+    upper = np.full(n, np.inf)
+    if isinstance(bounds, tuple) and len(bounds) == 2 and not isinstance(bounds[0], (tuple, list)):
+        pairs: Sequence[Tuple[Optional[float], Optional[float]]] = [bounds] * n
+    else:
+        pairs = list(bounds)  # type: ignore[arg-type]
+        if len(pairs) != n:
+            raise ValueError(f"expected {n} bound pairs, got {len(pairs)}")
+    for i, (lo, hi) in enumerate(pairs):
+        lower[i] = -np.inf if lo is None else float(lo)
+        upper[i] = np.inf if hi is None else float(hi)
+    return lower, upper
+
+
+class SolverBackend(ABC):
+    """Interface every LP/MILP backend implements."""
+
+    name: str = "abstract"
+    supports_warm_start: bool = False
+
+    @abstractmethod
+    def solve_lp(
+        self, program: LinearProgram, warm_start: Optional[np.ndarray] = None
+    ) -> LPSolution:
+        """Solve ``program``, optionally starting from ``warm_start``."""
+
+    @abstractmethod
+    def solve_milp(self, program: MILProgram) -> MILPSolution:
+        """Solve the mixed-integer ``program``."""
+
+
+class ScipyHighsBackend(SolverBackend):
+    """Default backend: ``scipy.optimize`` driving the vendored HiGHS."""
+
+    name = "scipy"
+    supports_warm_start = False
+
+    def solve_lp(
+        self, program: LinearProgram, warm_start: Optional[np.ndarray] = None
+    ) -> LPSolution:
+        method = "highs-ipm" if program.method_hint == "interior-point" else "highs"
+        started = time.perf_counter()
+        result = linprog(
+            c=program.c,
+            A_ub=program.a_ub,
+            b_ub=program.b_ub,
+            A_eq=program.a_eq,
+            b_eq=program.b_eq,
+            bounds=program.bounds,
+            method=method,
+        )
+        record_solve(time.perf_counter() - started, kind="lp")
+        if result.success:
+            return LPSolution(
+                status="optimal",
+                x=np.asarray(result.x),
+                objective=float(result.fun),
+                message=str(result.message),
+            )
+        status = {2: "infeasible", 3: "unbounded"}.get(result.status, "error")
+        return LPSolution(status=status, message=str(result.message))
+
+    def solve_milp(self, program: MILProgram) -> MILPSolution:
+        constraints = [
+            LinearConstraint(matrix, lb=lb, ub=ub)
+            for matrix, lb, ub in program.constraints
+        ]
+        options: Dict[str, object] = {"mip_rel_gap": program.mip_rel_gap}
+        if program.time_limit is not None:
+            options["time_limit"] = float(program.time_limit)
+        started = time.perf_counter()
+        result = milp(
+            c=program.c,
+            constraints=constraints,
+            integrality=program.integrality,
+            bounds=Bounds(lb=program.lb, ub=program.ub),
+            options=options,
+        )
+        record_solve(time.perf_counter() - started, kind="milp")
+        # scipy/HiGHS status codes: 0 optimal, 1 iteration/time limit,
+        # 2 infeasible, 3 unbounded, 4 numerical trouble.
+        if result.status == 2:
+            return MILPSolution(status="infeasible")
+        if result.x is None:
+            return MILPSolution(status="error")
+        mip_gap = getattr(result, "mip_gap", None)
+        return MILPSolution(
+            status="optimal" if result.status == 0 else "feasible",
+            x=np.asarray(result.x),
+            objective=float(result.fun),
+            mip_gap=float(mip_gap) if mip_gap is not None else None,
+        )
+
+
+class HighspyBackend(SolverBackend):
+    """Direct HiGHS backend via the optional ``highspy`` package.
+
+    Talks to one :class:`highspy.Highs` instance per solve (models are small;
+    the win is the warm start, not instance reuse) and offers the caller's
+    previous solution as a primal starting point when one is available.
+    """
+
+    name = "highs"
+    supports_warm_start = True
+
+    @staticmethod
+    def is_available() -> bool:
+        try:  # pragma: no cover - exercised only where highspy is installed
+            import highspy  # noqa: F401
+        except ImportError:
+            return False
+        return True
+
+    # The whole backend is exercised only in environments with highspy
+    # installed (the CI parity leg); the container running the tier-1 suite
+    # may not have it.
+    def _stack_rows(
+        self, program: Union[LinearProgram, MILProgram]
+    ) -> Tuple[sparse.csc_matrix, np.ndarray, np.ndarray]:  # pragma: no cover
+        """Combine <=/== constraint blocks into one row system with bounds."""
+        blocks: List[sparse.spmatrix] = []
+        lowers: List[np.ndarray] = []
+        uppers: List[np.ndarray] = []
+        if isinstance(program, LinearProgram):
+            if program.a_ub is not None:
+                rows = program.a_ub.shape[0]
+                blocks.append(program.a_ub)
+                lowers.append(np.full(rows, -np.inf))
+                uppers.append(np.asarray(program.b_ub, dtype=float))
+            if program.a_eq is not None:
+                rhs = np.asarray(program.b_eq, dtype=float)
+                blocks.append(program.a_eq)
+                lowers.append(rhs)
+                uppers.append(rhs)
+        else:
+            for matrix, lb, ub in program.constraints:
+                rows = matrix.shape[0]
+                blocks.append(matrix)
+                lowers.append(np.broadcast_to(np.asarray(lb, dtype=float), (rows,)))
+                uppers.append(np.broadcast_to(np.asarray(ub, dtype=float), (rows,)))
+        if not blocks:
+            empty = sparse.csc_matrix((0, program.num_variables))
+            return empty, np.zeros(0), np.zeros(0)
+        stacked = sparse.vstack(blocks).tocsc()
+        return stacked, np.concatenate(lowers), np.concatenate(uppers)
+
+    def _build_model(
+        self,
+        program: Union[LinearProgram, MILProgram],
+        col_lower: np.ndarray,
+        col_upper: np.ndarray,
+    ):  # pragma: no cover
+        import highspy
+
+        matrix, row_lower, row_upper = self._stack_rows(program)
+        lp = highspy.HighsLp()
+        lp.num_col_ = program.num_variables
+        lp.num_row_ = matrix.shape[0]
+        lp.col_cost_ = np.asarray(program.c, dtype=float)
+        lp.col_lower_ = col_lower
+        lp.col_upper_ = col_upper
+        lp.row_lower_ = row_lower
+        lp.row_upper_ = row_upper
+        lp.a_matrix_.format_ = highspy.MatrixFormat.kColwise
+        lp.a_matrix_.start_ = matrix.indptr
+        lp.a_matrix_.index_ = matrix.indices
+        lp.a_matrix_.value_ = matrix.data
+        if isinstance(program, MILProgram) and program.integrality is not None:
+            lp.integrality_ = [
+                highspy.HighsVarType.kInteger if flag else highspy.HighsVarType.kContinuous
+                for flag in np.asarray(program.integrality)
+            ]
+        solver = highspy.Highs()
+        solver.setOptionValue("output_flag", False)
+        solver.passModel(lp)
+        return solver
+
+    def solve_lp(
+        self, program: LinearProgram, warm_start: Optional[np.ndarray] = None
+    ) -> LPSolution:  # pragma: no cover
+        import highspy
+
+        col_lower, col_upper = _bounds_arrays(program.bounds, program.num_variables)
+        solver = self._build_model(program, col_lower, col_upper)
+        if program.method_hint == "interior-point":
+            solver.setOptionValue("solver", "ipm")
+        warm_started = False
+        if warm_start is not None and program.method_hint != "interior-point":
+            try:
+                solution = highspy.HighsSolution()
+                solution.col_value = np.asarray(warm_start, dtype=float)
+                warm_started = solver.setSolution(solution) == highspy.HighsStatus.kOk
+            except (AttributeError, TypeError, ValueError):
+                warm_started = False
+        started = time.perf_counter()
+        solver.run()
+        record_solve(
+            time.perf_counter() - started,
+            kind="lp",
+            warm_start_attempted=warm_start is not None,
+            warm_start_used=warm_started,
+        )
+        status = solver.getModelStatus()
+        if status == highspy.HighsModelStatus.kOptimal:
+            values = np.array(solver.getSolution().col_value, dtype=float)
+            return LPSolution(
+                status="optimal",
+                x=values,
+                objective=float(solver.getInfo().objective_function_value),
+                message="Optimal",
+                warm_started=warm_started,
+            )
+        if status in (
+            highspy.HighsModelStatus.kInfeasible,
+            highspy.HighsModelStatus.kUnboundedOrInfeasible,
+        ):
+            return LPSolution(status="infeasible", message=str(status))
+        if status == highspy.HighsModelStatus.kUnbounded:
+            return LPSolution(status="unbounded", message=str(status))
+        return LPSolution(status="error", message=str(status))
+
+    def solve_milp(self, program: MILProgram) -> MILPSolution:  # pragma: no cover
+        import highspy
+
+        lower = np.broadcast_to(np.asarray(program.lb, dtype=float), (program.num_variables,))
+        upper = np.broadcast_to(np.asarray(program.ub, dtype=float), (program.num_variables,))
+        solver = self._build_model(program, np.array(lower), np.array(upper))
+        solver.setOptionValue("mip_rel_gap", float(program.mip_rel_gap))
+        if program.time_limit is not None:
+            solver.setOptionValue("time_limit", float(program.time_limit))
+        started = time.perf_counter()
+        solver.run()
+        record_solve(time.perf_counter() - started, kind="milp")
+        status = solver.getModelStatus()
+        info = solver.getInfo()
+        has_incumbent = info.primal_solution_status == highspy.kSolutionStatusFeasible
+        if status == highspy.HighsModelStatus.kInfeasible:
+            return MILPSolution(status="infeasible")
+        if not has_incumbent:
+            return MILPSolution(status="error")
+        values = np.array(solver.getSolution().col_value, dtype=float)
+        gap = getattr(info, "mip_gap", None)
+        return MILPSolution(
+            status="optimal" if status == highspy.HighsModelStatus.kOptimal else "feasible",
+            x=values,
+            objective=float(info.objective_function_value),
+            mip_gap=float(gap) if gap is not None else None,
+        )
+
+
+# --------------------------------------------------------------------------- #
+# Registry and default-backend resolution
+# --------------------------------------------------------------------------- #
+_REGISTRY: Dict[str, Tuple[Callable[[], SolverBackend], Callable[[], bool]]] = {}
+_INSTANCES: Dict[str, SolverBackend] = {}
+_DEFAULT_OVERRIDE: Optional[str] = None
+
+
+def register_backend(
+    name: str,
+    factory: Callable[[], SolverBackend],
+    available: Callable[[], bool] = lambda: True,
+) -> None:
+    """Register a backend ``factory`` under ``name`` (gated by ``available``)."""
+    _REGISTRY[name] = (factory, available)
+    _INSTANCES.pop(name, None)
+
+
+register_backend("scipy", ScipyHighsBackend)
+register_backend("highs", HighspyBackend, available=HighspyBackend.is_available)
+
+
+def available_backends() -> Tuple[str, ...]:
+    """Names of the registered backends usable in this environment."""
+    return tuple(name for name, (_, available) in _REGISTRY.items() if available())
+
+
+def set_default_backend(name: Optional[str]) -> None:
+    """Override the default backend process-wide (``None`` clears the override)."""
+    if name is not None:
+        _resolve(name)  # validate eagerly
+    global _DEFAULT_OVERRIDE
+    _DEFAULT_OVERRIDE = name
+
+
+def default_backend_name() -> str:
+    """The backend used when a solve site names none explicitly."""
+    if _DEFAULT_OVERRIDE is not None:
+        return _DEFAULT_OVERRIDE
+    return os.environ.get(BACKEND_ENV_VAR, "").strip() or "scipy"
+
+
+def _resolve(name: str) -> SolverBackend:
+    try:
+        factory, available = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown LP backend {name!r}; registered: {', '.join(sorted(_REGISTRY))}"
+        ) from None
+    if not available():
+        raise KeyError(
+            f"LP backend {name!r} is not available in this environment "
+            f"(available: {', '.join(available_backends())})"
+        )
+    if name not in _INSTANCES:
+        _INSTANCES[name] = factory()
+    return _INSTANCES[name]
+
+
+def get_backend(name: Optional[Union[str, SolverBackend]] = None) -> SolverBackend:
+    """Resolve a backend: explicit name/instance > override > env var > scipy."""
+    if isinstance(name, SolverBackend):
+        return name
+    return _resolve(name or default_backend_name())
+
+
+__all__ = [
+    "BACKEND_ENV_VAR",
+    "LinearProgram",
+    "LPSolution",
+    "MILProgram",
+    "MILPSolution",
+    "SolverBackend",
+    "ScipyHighsBackend",
+    "HighspyBackend",
+    "register_backend",
+    "available_backends",
+    "set_default_backend",
+    "default_backend_name",
+    "get_backend",
+]

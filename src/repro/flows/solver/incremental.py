@@ -1,0 +1,353 @@
+"""Cached problem structure and incremental re-solves.
+
+The multi-commodity constraint system of
+:class:`~repro.flows.lp_backend.FlowProblem` has a rigid block shape:
+
+* the capacity matrix of ``k`` commodities is ``[B B ... B]`` — ``k``
+  horizontal copies of a single-commodity block ``B`` (one row per edge, the
+  two direction columns of that edge set to 1);
+* the conservation matrix is ``blockdiag(C, ..., C)`` — ``k`` copies of a
+  single-commodity block ``C`` (one row per node, ±1 on its incident arcs).
+
+Both blocks depend **only on the graph topology** (node and edge sets) — not
+on capacities, not on demands, not on the number of commodities.  Every
+iteration of the ISP inner loop re-solves on the *same* topology (splits
+change commodities, prunes change capacities, only actual repairs change the
+edge set), so :class:`StructureCache` keeps the blocks per topology
+signature and :class:`IncrementalFlowProblem` reassembles a full system
+from them by applying only the **deltas**:
+
+* capacity updates        → rewrite the RHS vector ``b_ub`` (O(E));
+* demand-amount changes   → rewrite the RHS vector ``b_eq`` (O(k));
+* added split commodities → append one more ``B`` / ``C`` block;
+* node/edge (de)activation→ new topology signature, one fresh block build.
+
+:class:`SolverContext` complements this with a warm-start store: one
+algorithm run remembers the previous solution per (purpose, topology) and
+offers it to backends that support warm starts (the direct HiGHS backend),
+padding or truncating the flow block when commodities were added or removed
+in between.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
+
+import networkx as nx
+import numpy as np
+from scipy import sparse
+
+from repro.flows.lp_backend import Commodity, FlowProblem
+from repro.flows.solver.stats import record_build, record_structure_lookup
+from repro.network.supply import canonical_edge
+
+Node = Hashable
+Edge = Tuple[Node, Node]
+
+#: A topology signature: the exact node and (canonical) edge sets.
+Signature = Tuple[frozenset, frozenset]
+
+#: Retained topologies per cache (a sweep touches a handful per instance).
+DEFAULT_STRUCTURE_CACHE_SIZE = 32
+
+#: Retained assembled (k-commodity) systems per topology.
+_ASSEMBLED_CACHE_SIZE = 16
+
+
+def topology_signature(graph: nx.Graph) -> Signature:
+    """The cache key of a graph's topology (nodes + canonical edges)."""
+    return (
+        frozenset(graph.nodes),
+        frozenset(canonical_edge(u, v) for u, v in graph.edges),
+    )
+
+
+class TopologyStructure:
+    """Variable indexing and single-commodity constraint blocks of a topology.
+
+    Immutable once built; shared by every :class:`IncrementalFlowProblem`
+    whose graph has the same topology signature.
+    """
+
+    __slots__ = (
+        "signature",
+        "nodes",
+        "node_index",
+        "edges",
+        "edge_index",
+        "arcs",
+        "arc_index",
+        "capacity_block",
+        "conservation_block",
+        "_assembled",
+        "_lock",
+    )
+
+    def __init__(self, graph: nx.Graph, signature: Optional[Signature] = None) -> None:
+        self.signature = signature if signature is not None else topology_signature(graph)
+        self.nodes: List[Node] = list(graph.nodes)
+        self.node_index: Dict[Node, int] = {node: i for i, node in enumerate(self.nodes)}
+        self.edges: List[Edge] = [canonical_edge(u, v) for u, v in graph.edges]
+        self.edge_index: Dict[Edge, int] = {edge: i for i, edge in enumerate(self.edges)}
+        # Arc ordering matches FlowProblem: (u, v) then (v, u) per edge.
+        self.arcs: List[Tuple[Node, Node]] = []
+        for u, v in self.edges:
+            self.arcs.append((u, v))
+            self.arcs.append((v, u))
+        self.arc_index: Dict[Tuple[Node, Node], int] = {
+            arc: i for i, arc in enumerate(self.arcs)
+        }
+
+        num_edges = len(self.edges)
+        num_arcs = len(self.arcs)
+
+        # B: one row per edge, 1.0 on the edge's two direction columns.  The
+        # arc layout (2i, 2i+1) makes this a strided identity-like pattern.
+        self.capacity_block = sparse.csr_matrix(
+            (
+                np.ones(num_arcs),
+                np.arange(num_arcs),
+                np.arange(0, num_arcs + 1, 2),
+            ),
+            shape=(num_edges, num_arcs),
+        )
+
+        # C: one row per node, +1 on outgoing arcs, -1 on incoming arcs.
+        rows: List[int] = []
+        cols: List[int] = []
+        data: List[float] = []
+        for node, row in self.node_index.items():
+            for neighbor in graph.neighbors(node):
+                rows.append(row)
+                cols.append(self.arc_index[(node, neighbor)])
+                data.append(1.0)
+                rows.append(row)
+                cols.append(self.arc_index[(neighbor, node)])
+                data.append(-1.0)
+        self.conservation_block = sparse.csr_matrix(
+            (data, (rows, cols)), shape=(len(self.nodes), num_arcs)
+        )
+
+        self._assembled: "OrderedDict[int, Tuple[sparse.csr_matrix, sparse.csr_matrix]]" = (
+            OrderedDict()
+        )
+        self._lock = threading.Lock()
+
+    @property
+    def num_arcs(self) -> int:
+        return len(self.arcs)
+
+    def assembled(self, num_commodities: int) -> Tuple[sparse.csr_matrix, sparse.csr_matrix]:
+        """The full ``(A_ub, A_eq)`` system for ``num_commodities`` commodities."""
+        with self._lock:
+            cached = self._assembled.get(num_commodities)
+            if cached is not None:
+                self._assembled.move_to_end(num_commodities)
+                return cached
+        if num_commodities == 1:
+            system = (self.capacity_block, self.conservation_block)
+        else:
+            system = (
+                sparse.hstack([self.capacity_block] * num_commodities, format="csr"),
+                sparse.block_diag([self.conservation_block] * num_commodities, format="csr"),
+            )
+        with self._lock:
+            self._assembled[num_commodities] = system
+            while len(self._assembled) > _ASSEMBLED_CACHE_SIZE:
+                self._assembled.popitem(last=False)
+        return system
+
+    def capacity_rhs(self, graph: nx.Graph) -> np.ndarray:
+        """``b_ub``: the current capacity of every edge, in block row order."""
+        edge_data = graph.edges
+        return np.array(
+            [float(edge_data[u, v].get("capacity", 0.0)) for u, v in self.edges]
+        )
+
+    def conservation_rhs(self, commodities: Sequence[Commodity]) -> np.ndarray:
+        """``b_eq``: ±demand at each commodity's endpoints, in block row order."""
+        num_nodes = len(self.nodes)
+        b_eq = np.zeros(num_nodes * len(commodities))
+        for index, commodity in enumerate(commodities):
+            source_row = self.node_index.get(commodity.source)
+            if source_row is not None:
+                b_eq[index * num_nodes + source_row] = commodity.demand
+            target_row = self.node_index.get(commodity.target)
+            if target_row is not None:
+                b_eq[index * num_nodes + target_row] = -commodity.demand
+        return b_eq
+
+
+class StructureCache:
+    """LRU cache of :class:`TopologyStructure` objects keyed by signature."""
+
+    def __init__(self, maxsize: int = DEFAULT_STRUCTURE_CACHE_SIZE) -> None:
+        self.maxsize = maxsize
+        self._entries: "OrderedDict[Signature, TopologyStructure]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def structure_for(self, graph: nx.Graph) -> TopologyStructure:
+        """The (cached) structure of ``graph``'s topology."""
+        signature = topology_signature(graph)
+        with self._lock:
+            structure = self._entries.get(signature)
+            if structure is not None:
+                self._entries.move_to_end(signature)
+        record_structure_lookup(hit=structure is not None)
+        if structure is not None:
+            return structure
+        started = time.perf_counter()
+        structure = TopologyStructure(graph, signature)
+        record_build(time.perf_counter() - started)
+        with self._lock:
+            self._entries[signature] = structure
+            while len(self._entries) > self.maxsize:
+                self._entries.popitem(last=False)
+        return structure
+
+
+#: Process-wide structure cache shared by all solve sites.
+_SHARED_CACHE = StructureCache()
+
+
+def shared_structure_cache() -> StructureCache:
+    return _SHARED_CACHE
+
+
+def clear_structure_cache() -> None:
+    """Drop all cached topology structures (tests / memory pressure)."""
+    _SHARED_CACHE.clear()
+
+
+class IncrementalFlowProblem(FlowProblem):
+    """A :class:`FlowProblem` whose constraint system comes from cached blocks.
+
+    Behaviourally identical to the from-scratch parent (the property suite
+    asserts matrix equality), but :meth:`capacity_matrix` and
+    :meth:`conservation_matrix` only pay for the RHS vectors and — on the
+    first use of a (topology, commodity count) — one sparse block stack.
+    """
+
+    def __init__(
+        self,
+        graph: nx.Graph,
+        commodities: Sequence[Commodity],
+        structure: Optional[TopologyStructure] = None,
+    ) -> None:
+        if graph.is_directed():
+            raise ValueError("FlowProblem expects an undirected graph")
+        self.graph = graph
+        self.commodities = list(commodities)
+        if structure is None:
+            structure = shared_structure_cache().structure_for(graph)
+        self.structure = structure
+        # Reuse the cached indexing verbatim: with an identical signature the
+        # index maps are valid for this graph even if its iteration order
+        # differs from the graph the structure was first built from.
+        self.nodes = structure.nodes
+        self._node_index = structure.node_index
+        self.edges = structure.edges
+        self._edge_index = structure.edge_index
+        self.arcs = structure.arcs
+        self._arc_index = structure.arc_index
+        self.infeasible_commodities = FlowProblem.find_infeasible(
+            self.commodities, self._node_index
+        )
+
+    def capacity_matrix(self) -> Tuple[sparse.csr_matrix, np.ndarray]:
+        started = time.perf_counter()
+        a_ub = self.structure.assembled(self.num_commodities)[0]
+        b_ub = self.structure.capacity_rhs(self.graph)
+        record_build(time.perf_counter() - started)
+        return a_ub, b_ub
+
+    def conservation_matrix(self) -> Tuple[sparse.csr_matrix, np.ndarray]:
+        started = time.perf_counter()
+        a_eq = self.structure.assembled(self.num_commodities)[1]
+        b_eq = self.structure.conservation_rhs(self.commodities)
+        record_build(time.perf_counter() - started)
+        return a_eq, b_eq
+
+
+def build_flow_problem(
+    graph: nx.Graph,
+    commodities: Sequence[Commodity],
+    cache: Optional[StructureCache] = None,
+) -> IncrementalFlowProblem:
+    """Build a flow problem through the (shared) structure cache."""
+    cache = cache if cache is not None else shared_structure_cache()
+    return IncrementalFlowProblem(graph, commodities, cache.structure_for(graph))
+
+
+class SolverContext:
+    """Warm-start memory carried across the solves of one algorithm run.
+
+    Stored solutions are keyed by a caller-chosen purpose tag plus the
+    topology signature.  A lookup returns the remembered solution adapted to
+    the requested problem: exact-size matches verbatim, commodity-count
+    drifts (splits add commodities) by zero-padding or truncating the flow
+    block.  The adapted vector is a *starting point*, not a feasible
+    solution — backends treat it as a hint, so staleness is harmless.
+    """
+
+    def __init__(self) -> None:
+        #: (tag, signature) -> (solution, num_commodities, extra columns)
+        self._solutions: Dict[Tuple[str, Signature], Tuple[np.ndarray, int, int]] = {}
+
+    def remember(
+        self,
+        tag: str,
+        problem: IncrementalFlowProblem,
+        x: np.ndarray,
+        extra_columns: int = 0,
+    ) -> None:
+        key = (tag, problem.structure.signature)
+        self._solutions[key] = (np.asarray(x, dtype=float), problem.num_commodities, extra_columns)
+
+    def warm_start_for(
+        self,
+        tag: str,
+        problem: IncrementalFlowProblem,
+        extra_columns: int = 0,
+    ) -> Optional[np.ndarray]:
+        entry = self._solutions.get((tag, problem.structure.signature))
+        if entry is None:
+            return None
+        stored, stored_commodities, stored_extra = entry
+        num_arcs = problem.num_arcs
+        flow_columns = problem.num_commodities * num_arcs
+        if stored_extra != extra_columns:
+            return None
+        if stored_commodities == problem.num_commodities:
+            return stored
+        stored_flows = stored_commodities * num_arcs
+        flows = stored[:stored_flows]
+        extras = stored[stored_flows:]
+        if stored_commodities < problem.num_commodities:
+            flows = np.concatenate([flows, np.zeros(flow_columns - stored_flows)])
+        else:
+            flows = flows[:flow_columns]
+        return np.concatenate([flows, extras])
+
+
+__all__ = [
+    "DEFAULT_STRUCTURE_CACHE_SIZE",
+    "topology_signature",
+    "TopologyStructure",
+    "StructureCache",
+    "shared_structure_cache",
+    "clear_structure_cache",
+    "IncrementalFlowProblem",
+    "build_flow_problem",
+    "SolverContext",
+]

@@ -1,0 +1,134 @@
+"""Per-solve effort accounting for the solver substrate.
+
+Every LP/MILP solve that goes through :mod:`repro.flows.solver.backends`
+and every constraint-structure build that goes through
+:mod:`repro.flows.solver.incremental` reports into the *active* collectors:
+:class:`SolverStats` objects opened with :func:`collect_solver_stats`.
+
+Collectors nest — ``execute_task`` opens one around a whole experiment cell
+while ISP opens another around a single run; both see the solves in their
+scope — and cost nothing when none is active (module-level counters aside).
+The collected numbers travel with the results: ISP stores them in the plan
+metadata, the experiment engine in each cell's ``extras``, so ``repro.cli
+sweep`` can report solver effort per cell.
+"""
+
+from __future__ import annotations
+
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterator, List
+
+
+@dataclass(eq=False)  # identity semantics: collectors live on a LIFO stack
+class SolverStats:
+    """Counters describing the solver effort spent inside one scope.
+
+    Attributes
+    ----------
+    lp_solves / milp_solves:
+        Number of LP respectively MILP solves dispatched to a backend.
+    build_seconds:
+        Wall time spent constructing constraint matrices (the part the
+        incremental structure cache eliminates on a hit).
+    solve_seconds:
+        Wall time spent inside the backend's solve call.
+    warm_start_attempts / warm_start_hits:
+        How often a previous solution was offered to the backend, and how
+        often the backend actually consumed it (always 0 for backends with
+        ``supports_warm_start = False``).
+    structure_hits / structure_misses:
+        Topology-structure cache hits and misses (a miss pays the full
+        indexing + constraint-block construction, a hit only the RHS).
+    """
+
+    lp_solves: int = 0
+    milp_solves: int = 0
+    build_seconds: float = 0.0
+    solve_seconds: float = 0.0
+    warm_start_attempts: int = 0
+    warm_start_hits: int = 0
+    structure_hits: int = 0
+    structure_misses: int = 0
+
+    def as_dict(self) -> Dict[str, float]:
+        """Flat JSON-serialisable view (used in plan metadata / cell extras)."""
+        return {
+            "lp_solves": float(self.lp_solves),
+            "milp_solves": float(self.milp_solves),
+            "build_seconds": float(self.build_seconds),
+            "solve_seconds": float(self.solve_seconds),
+            "warm_start_attempts": float(self.warm_start_attempts),
+            "warm_start_hits": float(self.warm_start_hits),
+            "structure_hits": float(self.structure_hits),
+            "structure_misses": float(self.structure_misses),
+        }
+
+_ACTIVE = threading.local()
+
+
+def _stack() -> List[SolverStats]:
+    stack = getattr(_ACTIVE, "stack", None)
+    if stack is None:
+        stack = []
+        _ACTIVE.stack = stack
+    return stack
+
+
+@contextmanager
+def collect_solver_stats() -> Iterator[SolverStats]:
+    """Collect solver effort for everything solved inside the ``with`` block."""
+    stats = SolverStats()
+    stack = _stack()
+    stack.append(stats)
+    try:
+        yield stats
+    finally:
+        for index in range(len(stack) - 1, -1, -1):
+            if stack[index] is stats:
+                del stack[index]
+                break
+
+
+def record_solve(
+    seconds: float,
+    kind: str = "lp",
+    warm_start_attempted: bool = False,
+    warm_start_used: bool = False,
+) -> None:
+    """Report one backend solve of ``kind`` (``"lp"`` or ``"milp"``)."""
+    for stats in _stack():
+        if kind == "milp":
+            stats.milp_solves += 1
+        else:
+            stats.lp_solves += 1
+        stats.solve_seconds += seconds
+        if warm_start_attempted:
+            stats.warm_start_attempts += 1
+        if warm_start_used:
+            stats.warm_start_hits += 1
+
+
+def record_build(seconds: float) -> None:
+    """Report time spent building constraint matrices."""
+    for stats in _stack():
+        stats.build_seconds += seconds
+
+
+def record_structure_lookup(hit: bool) -> None:
+    """Report a topology-structure cache lookup outcome."""
+    for stats in _stack():
+        if hit:
+            stats.structure_hits += 1
+        else:
+            stats.structure_misses += 1
+
+
+__all__ = [
+    "SolverStats",
+    "collect_solver_stats",
+    "record_solve",
+    "record_build",
+    "record_structure_lookup",
+]

@@ -1,0 +1,58 @@
+"""Single source of truth for the numeric tolerances of the solver substrate.
+
+Historically every LP client carried its own threshold (``EPSILON = 1e-9`` in
+the ISP loop, ``FLOW_TOLERANCE = 1e-6`` in the flow-problem builder,
+``SPLIT_EPSILON`` / ``USAGE_THRESHOLD`` / ``FLOW_THRESHOLD`` sprinkled over
+the solve sites).  They encode exactly two distinct scales, documented here
+once and imported everywhere:
+
+``EPSILON`` (1e-9)
+    Exact-arithmetic noise.  Used for bookkeeping that never touches an LP
+    solution: demand amounts after splits/prunes, surplus comparisons, cut
+    conditions.  Anything below it is a rounding residue of plain float
+    arithmetic, not a solver artefact.
+
+``FLOW_TOLERANCE`` (1e-6)
+    LP-interpretation threshold.  HiGHS solves to a primal feasibility
+    tolerance of 1e-7, so components of a returned solution below 1e-6 are
+    solver noise: flows, split amounts and edge loads under this value are
+    treated as zero when a solution vector is turned back into routings,
+    repairs or split decisions.
+
+The remaining named constants are role-specific aliases of those two scales
+(kept so call sites read naturally and stay greppable), plus the one genuine
+outlier ``BINARY_THRESHOLD`` used to round the MILP's relaxed binaries.
+"""
+
+from __future__ import annotations
+
+#: Exact-arithmetic noise floor (non-LP bookkeeping).
+EPSILON = 1e-9
+
+#: Threshold below which a component of an LP solution is solver noise.
+FLOW_TOLERANCE = 1e-6
+
+#: Split amounts below this value are treated as "cannot split".
+SPLIT_EPSILON = FLOW_TOLERANCE
+
+#: Load threshold above which a broken element counts as "used" (repaired).
+USAGE_THRESHOLD = FLOW_TOLERANCE
+
+#: Threshold above which a flow value is considered non-zero.
+FLOW_THRESHOLD = FLOW_TOLERANCE
+
+#: Prune amounts below this threshold are ignored (numerical noise).
+PRUNE_EPSILON = EPSILON
+
+#: Threshold above which a relaxed MILP binary is interpreted as 1.
+BINARY_THRESHOLD = 0.5
+
+__all__ = [
+    "EPSILON",
+    "FLOW_TOLERANCE",
+    "SPLIT_EPSILON",
+    "USAGE_THRESHOLD",
+    "FLOW_THRESHOLD",
+    "PRUNE_EPSILON",
+    "BINARY_THRESHOLD",
+]

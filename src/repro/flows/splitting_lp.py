@@ -8,28 +8,31 @@ The paper defines this amount ``dx`` as the optimum of an LP: maximise
 obtained by replacing ``d_h`` with ``d_h - dx`` and adding the two derived
 demands ``(s_h, v_BC)`` and ``(v_BC, t_h)`` of value ``dx``.
 
-This module implements exactly that LP on top of the shared
-:class:`~repro.flows.lp_backend.FlowProblem` machinery by introducing ``dx``
-as one extra continuous variable that appears (with the appropriate signs) in
-the flow conservation rows of the three affected commodities.
+This module implements exactly that LP on top of the solver substrate: the
+multi-commodity constraint blocks come from the topology-structure cache
+(the split LP runs on the *same* full supply graph every ISP iteration, so
+after the first build only the RHS vectors and the one extra ``dx`` column
+are assembled) and the solve is dispatched to the active backend.
 """
 
 from __future__ import annotations
 
-from typing import Hashable, Tuple
+from typing import Hashable, Optional, Tuple, Union
 
 import networkx as nx
 import numpy as np
 from scipy import sparse
-from scipy.optimize import linprog
 
-from repro.flows.lp_backend import Commodity, FlowProblem
+from repro.flows.lp_backend import Commodity
+from repro.flows.solver.backends import LinearProgram, SolverBackend, get_backend
+from repro.flows.solver.incremental import SolverContext, build_flow_problem
+from repro.flows.solver.tolerances import SPLIT_EPSILON
 from repro.network.demand import DemandGraph
 
 Node = Hashable
 
-#: Split amounts below this value are treated as "cannot split".
-SPLIT_EPSILON = 1e-6
+#: Purpose tag under which split solutions are remembered for warm starts.
+_WARM_START_TAG = "split-amount"
 
 
 def maximum_splittable_amount(
@@ -37,6 +40,8 @@ def maximum_splittable_amount(
     demand: DemandGraph,
     pair: Tuple[Node, Node],
     via: Node,
+    context: Optional[SolverContext] = None,
+    backend: Optional[Union[str, SolverBackend]] = None,
 ) -> float:
     """Maximum amount ``dx`` of ``pair``'s demand splittable through ``via``.
 
@@ -53,6 +58,10 @@ def maximum_splittable_amount(
     via:
         The split node ``v_BC``; must be present in ``graph`` and different
         from both endpoints.
+    context:
+        Optional warm-start store of the calling ISP run.
+    backend:
+        Explicit backend name/instance; defaults to the configured backend.
 
     Returns
     -------
@@ -86,7 +95,7 @@ def maximum_splittable_amount(
     second_leg = len(commodities)
     commodities.append(Commodity(source=via, target=target, demand=0.0))
 
-    problem = FlowProblem(graph, commodities)
+    problem = build_flow_problem(graph, commodities)
     if problem.infeasible_commodities:
         return 0.0
 
@@ -98,39 +107,51 @@ def maximum_splittable_amount(
     a_ub = sparse.hstack([a_ub, sparse.csr_matrix((a_ub.shape[0], 1))]).tocsr()
 
     a_eq, b_eq = problem.conservation_matrix()
-    a_eq = sparse.lil_matrix(sparse.hstack([a_eq, sparse.csr_matrix((a_eq.shape[0], 1))]))
-
+    # One extra sparse column carrying dx's coefficients in the conservation
+    # rows of the three affected commodities (cheaper than densifying a_eq).
     num_nodes = len(problem.nodes)
     node_row = {node: i for i, node in enumerate(problem.nodes)}
 
     def row_of(commodity_index: int, node: Node) -> int:
         return commodity_index * num_nodes + node_row[node]
 
-    # Original pair: net outflow at source must equal d_h - dx  =>  +dx on LHS.
-    a_eq[row_of(split_index, source), dx_column] = 1.0
-    a_eq[row_of(split_index, target), dx_column] = -1.0
-    # First leg (source -> via): net outflow at source must equal dx.
-    a_eq[row_of(first_leg, source), dx_column] = -1.0
-    a_eq[row_of(first_leg, via), dx_column] = 1.0
-    # Second leg (via -> target): net outflow at via must equal dx.
-    a_eq[row_of(second_leg, via), dx_column] = -1.0
-    a_eq[row_of(second_leg, target), dx_column] = 1.0
+    dx_rows = [
+        # Original pair: net outflow at source must equal d_h - dx => +dx on LHS.
+        (row_of(split_index, source), 1.0),
+        (row_of(split_index, target), -1.0),
+        # First leg (source -> via): net outflow at source must equal dx.
+        (row_of(first_leg, source), -1.0),
+        (row_of(first_leg, via), 1.0),
+        # Second leg (via -> target): net outflow at via must equal dx.
+        (row_of(second_leg, via), -1.0),
+        (row_of(second_leg, target), 1.0),
+    ]
+    dx_column_matrix = sparse.csr_matrix(
+        (
+            [value for _, value in dx_rows],
+            ([row for row, _ in dx_rows], [0] * len(dx_rows)),
+        ),
+        shape=(a_eq.shape[0], 1),
+    )
+    a_eq = sparse.hstack([a_eq, dx_column_matrix]).tocsr()
 
     objective = np.zeros(num_vars)
     objective[dx_column] = -1.0  # maximise dx
 
     bounds = [(0, None)] * num_flow + [(0, original)]
 
-    result = linprog(
-        c=objective,
-        A_ub=a_ub,
-        b_ub=b_ub,
-        A_eq=a_eq.tocsr(),
-        b_eq=b_eq,
-        bounds=bounds,
-        method="highs",
+    program = LinearProgram(
+        c=objective, a_ub=a_ub, b_ub=b_ub, a_eq=a_eq, b_eq=b_eq, bounds=bounds
     )
-    if not result.success:
+    warm_start = (
+        context.warm_start_for(_WARM_START_TAG, problem, extra_columns=1)
+        if context is not None
+        else None
+    )
+    solution = get_backend(backend).solve_lp(program, warm_start=warm_start)
+    if not solution.success:
         return 0.0
-    dx = float(result.x[dx_column])
+    if context is not None:
+        context.remember(_WARM_START_TAG, problem, solution.x, extra_columns=1)
+    dx = float(solution.x[dx_column])
     return dx if dx > SPLIT_EPSILON else 0.0

@@ -30,6 +30,8 @@ import networkx as nx
 
 from repro.flows.decomposition import decompose_flows
 from repro.flows.routability import routability_test
+from repro.flows.solver.stats import collect_solver_stats
+from repro.flows.solver.tolerances import EPSILON
 from repro.network.demand import DemandGraph
 from repro.network.paths import path_broken_elements, path_capacity, path_edges, path_repair_cost
 from repro.network.plan import RecoveryPlan
@@ -42,8 +44,6 @@ Path = Tuple[Node, ...]
 
 #: Default cap on the number of candidate paths enumerated per demand pair.
 MAX_PATHS_PER_PAIR = 60
-#: Flow amounts below this value are ignored.
-EPSILON = 1e-9
 
 
 @dataclass(frozen=True)
@@ -206,7 +206,10 @@ def greedy_no_commitment(
 ) -> RecoveryPlan:
     """Run GRD-NC: greedy path repair driven by the routability test."""
     plan = RecoveryPlan(algorithm="GRD-NC")
-    with Timer() as timer:
+    # No warm-start context here: every repaired path changes the working
+    # graph's topology, so remembered solutions would never be reusable
+    # (unlike ISP, whose split/prune iterations keep the topology fixed).
+    with Timer() as timer, collect_solver_stats() as solver_stats:
         candidates = enumerate_candidate_paths(supply, demand, max_paths_per_pair)
 
         def repaired_working_graph() -> nx.Graph:
@@ -228,5 +231,6 @@ def greedy_no_commitment(
         plan.metadata["routable"] = routable
         plan.metadata["paths_repaired"] = used_paths
         plan.metadata["candidate_paths"] = len(candidates)
+        plan.metadata["solver"] = solver_stats.as_dict()
     plan.elapsed_seconds = timer.elapsed
     return plan

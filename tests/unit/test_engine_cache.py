@@ -62,6 +62,41 @@ class TestResultCache:
         path.write_text("{ not json")
         assert cache.get(task) is None
 
+    def test_truncated_entry_is_a_miss(self, tmp_path):
+        """A file cut off mid-write (e.g. a killed run) must read as a miss."""
+        cache = ResultCache(tmp_path)
+        task = expand_tasks(grid_spec(), seed=3)[0]
+        cache.put(task, execute_task(task))
+        path = next(tmp_path.glob("*.json"))
+        content = path.read_text()
+        for cut in (0, len(content) // 2):
+            path.write_text(content[:cut])
+            assert cache.get(task) is None
+        # A syntactically valid file missing the result payload is also a miss.
+        path.write_text(json.dumps({"key": "x", "task": {}}))
+        assert cache.get(task) is None
+
+    def test_entries_skip_corrupt_files(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        tasks = expand_tasks(grid_spec(), seed=3)
+        for task in tasks[:2]:
+            cache.put(task, execute_task(task))
+        (tmp_path / "zz-corrupt.json").write_text("{ cut off mid-wri")
+        assert len(list(cache.entries())) == 2
+
+    def test_atomic_put_leaves_no_temp_debris(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        task = expand_tasks(grid_spec(), seed=3)[0]
+        result = execute_task(task)
+        for _ in range(3):
+            cache.put(task, result)
+        assert list(tmp_path.glob("*.tmp")) == []
+        assert len(cache) == 1
+        # Leftover temp files from a crashed writer never shadow real entries.
+        (tmp_path / "orphan.tmp").write_text("partial")
+        assert len(cache) == 1
+        assert len(list(cache.entries())) == 1
+
     def test_entries_expose_task_description(self, tmp_path):
         cache = ResultCache(tmp_path)
         task = expand_tasks(grid_spec(), seed=3)[0]
