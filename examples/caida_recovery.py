@@ -2,10 +2,11 @@
 """Large-topology recovery (the paper's Scenario 3, CAIDA AS28717).
 
 Runs ISP and SRT on the CAIDA-like router-level topology after a complete
-destruction and reports repairs, demand satisfaction and running time.  The
-full-size topology (825 nodes / 1018 edges) takes a few minutes with the
-exact split LP; by default the example runs a scaled-down instance and the
-fast bottleneck split mode so it finishes quickly.
+destruction and reports repairs, demand satisfaction and running time — all
+through one :class:`RecoveryRequest`, whose ``algorithm_kwargs`` field binds
+ISP's fast bottleneck split mode.  The full-size topology (825 nodes / 1018
+edges) takes a few minutes with the exact split LP; by default the example
+runs a scaled-down instance so it finishes quickly.
 
 Run it with::
 
@@ -18,12 +19,11 @@ from __future__ import annotations
 import sys
 
 from repro import (
-    CompleteDestruction,
-    ISPConfig,
-    caida_like,
-    evaluate_plan,
-    get_algorithm,
-    routable_far_apart_demand,
+    DemandSpec,
+    DisruptionSpec,
+    RecoveryRequest,
+    RecoveryService,
+    TopologySpec,
 )
 from repro.evaluation.reporting import format_table
 
@@ -34,45 +34,44 @@ def main(full_size: bool = False) -> None:
     else:
         num_nodes, num_edges = 200, 246  # same |E|/|V| ratio as AS28717
 
-    supply = caida_like(num_nodes=num_nodes, num_edges=num_edges, seed=2016)
+    request = RecoveryRequest(
+        topology=TopologySpec(
+            "caida-like", kwargs={"num_nodes": num_nodes, "num_edges": num_edges, "seed": 2016}
+        ),
+        disruption=DisruptionSpec("complete"),
+        demand=DemandSpec("routable-far-apart", num_pairs=4, flow_per_pair=22.0),
+        algorithms=("ISP", "SRT"),
+        algorithm_kwargs={"ISP": {"split_amount_mode": "bottleneck"}},
+        seed=7,
+    )
+
+    service = RecoveryService()
+    supply, demand, _ = service.build_instance(request)
     stats = supply.stats()
     print(
         f"CAIDA-like topology: {stats['nodes']} routers, {stats['edges']} links, "
         f"max degree {stats['max_degree']}, mean degree {stats['mean_degree']:.2f}\n"
     )
-
-    CompleteDestruction().apply(supply)
-    demand = routable_far_apart_demand(supply, num_pairs=4, flow_per_pair=22.0, seed=7)
     print("Mission-critical flows (22 units each):")
     for pair in demand.pairs():
         print(f"  router {pair.source} <-> router {pair.target}")
     print()
 
-    rows = []
-    plans = {}
-    for name in ("ISP", "SRT"):
-        if name == "ISP":
-            algorithm = get_algorithm("ISP", config=ISPConfig(split_amount_mode="bottleneck"))
-        else:
-            algorithm = get_algorithm(name)
-        plan = algorithm.solve(supply, demand)
-        plans[name] = plan
-        evaluation = evaluate_plan(supply, demand, plan)
-        rows.append(evaluation.as_row())
-
+    result = service.solve(request)
     print(
         format_table(
-            rows,
+            result.rows(),
             columns=["algorithm", "total_repairs", "satisfied_pct", "elapsed_seconds"],
             title="Large-topology recovery (cf. paper Figure 9)",
         )
     )
 
-    isp = plans["ISP"]
+    isp = result.run("ISP")
     print(
-        f"ISP repaired {isp.total_repairs} of "
-        f"{num_nodes + num_edges} destroyed elements "
-        f"({100.0 * isp.total_repairs / (num_nodes + num_edges):.1f}%) with no demand loss."
+        f"ISP repaired {int(isp.metrics['total_repairs'])} of "
+        f"{result.broken_elements} destroyed elements "
+        f"({100.0 * isp.metrics['total_repairs'] / result.broken_elements:.1f}%) "
+        f"with {isp.metrics['satisfied_pct']:.0f}% of the demand satisfied."
     )
 
 

@@ -6,16 +6,19 @@ or earthquake footprint) hits the Bell-Canada network.  Mission-critical
 services — think emergency coordination between far-apart cities — must be
 restored with as few repairs as possible.
 
-The example compares every algorithm of the paper on one disaster instance
-and prints the figure-style comparison table, then shows ISP's actual repair
-list so an operator could hand it to field crews.
+The example is a thin client of :mod:`repro.api`: one
+:class:`AssessmentRequest` gives the operator's situational picture, one
+:class:`RecoveryRequest` compares every algorithm of the paper on the same
+disaster instance, and ISP's repair work-order is read straight out of the
+result envelope, ready to hand to field crews.
 
 Run it with::
 
-    python examples/disaster_bellcanada.py [variance]
+    python examples/disaster_bellcanada.py [variance] [--skip-opt]
 
 where the optional ``variance`` (default 60) controls the footprint size of
-the disaster in squared coordinate degrees.
+the disaster in squared coordinate degrees and ``--skip-opt`` drops the
+exact MILP (useful on slow machines / CI).
 """
 
 from __future__ import annotations
@@ -23,44 +26,52 @@ from __future__ import annotations
 import sys
 
 from repro import (
-    GaussianDisruption,
-    bell_canada,
-    compare_algorithms,
-    get_algorithm,
-    routable_far_apart_demand,
+    AssessmentRequest,
+    DemandSpec,
+    DisruptionSpec,
+    RecoveryRequest,
+    RecoveryService,
+    TopologySpec,
 )
 from repro.evaluation.reporting import format_table
 
 
-def main(variance: float = 60.0) -> None:
-    # Supply network and disaster.
-    supply = bell_canada()
-    disruption = GaussianDisruption(variance=variance)
-    report = disruption.apply(supply, seed=2016)
+def main(variance: float = 60.0, include_opt: bool = True) -> None:
+    topology = TopologySpec("bell-canada")
+    disruption = DisruptionSpec("gaussian", kwargs={"variance": variance})
+    demand = DemandSpec("routable-far-apart", num_pairs=4, flow_per_pair=10.0)
+    service = RecoveryService()
+
+    # Situational picture before committing to any repair.
+    assessment = service.assess(
+        AssessmentRequest(topology=topology, disruption=disruption, demand=demand, seed=2016)
+    )
+    summary = assessment.summary
     print(
         f"Gaussian disaster (variance={variance}): destroyed "
-        f"{len(report.broken_nodes)} nodes and {len(report.broken_edges)} links "
-        f"out of {supply.number_of_nodes}/{supply.number_of_edges}\n"
+        f"{summary['broken_nodes']} nodes and {summary['broken_edges']} links "
+        f"({100.0 * summary['broken_fraction']:.1f}% of the network); "
+        f"{summary['disconnected_pairs']} mission-critical pairs cut off, "
+        f"{summary['pre_recovery_satisfied_pct']:.1f}% of demand still routable\n"
     )
 
-    # Mission-critical demand: 4 far-apart city pairs, 10 units each.
-    demand = routable_far_apart_demand(supply, num_pairs=4, flow_per_pair=10.0, seed=2016)
-    print("Mission-critical flows:")
-    for pair in demand.pairs():
-        print(f"  {pair.source:>15} <-> {pair.target:<15} {pair.demand:.0f} units")
-    print()
-
     # Compare all algorithms of the paper on this instance.
-    names = ["ISP", "OPT", "SRT", "GRD-COM", "GRD-NC", "ALL"]
-    algorithms = [
-        get_algorithm(name, time_limit=120.0) if name == "OPT" else get_algorithm(name)
-        for name in names
-    ]
-    evaluations = compare_algorithms(supply, demand, algorithms)
-    rows = [evaluation.as_row() for evaluation in evaluations]
+    names = ("ISP", "OPT", "SRT", "GRD-COM", "GRD-NC", "ALL")
+    if not include_opt:
+        names = tuple(name for name in names if name != "OPT")
+    result = service.solve(
+        RecoveryRequest(
+            topology=topology,
+            disruption=disruption,
+            demand=demand,
+            algorithms=names,
+            opt_time_limit=120.0,
+            seed=2016,
+        )
+    )
     print(
         format_table(
-            rows,
+            result.rows(),
             columns=[
                 "algorithm",
                 "node_repairs",
@@ -73,14 +84,20 @@ def main(variance: float = 60.0) -> None:
         )
     )
 
-    # Show the deployable ISP plan.
-    isp_plan = get_algorithm("ISP").solve(supply, demand)
+    # Show the deployable ISP plan, straight from the result envelope.
+    isp = result.run("ISP")
+    nodes = isp.plan["repaired_nodes"]
+    edges = isp.plan["repaired_edges"]
     print("ISP repair work-order:")
-    print(f"  nodes to rebuild ({isp_plan.num_node_repairs}): {sorted(isp_plan.repaired_nodes)}")
-    print(f"  links to rebuild ({isp_plan.num_edge_repairs}):")
-    for u, v in sorted(isp_plan.repaired_edges):
+    print(f"  nodes to rebuild ({len(nodes)}): {nodes}")
+    print(f"  links to rebuild ({len(edges)}):")
+    for u, v in edges:
         print(f"    {u} <-> {v}")
 
 
 if __name__ == "__main__":
-    main(float(sys.argv[1]) if len(sys.argv) > 1 else 60.0)
+    numeric = [arg for arg in sys.argv[1:] if not arg.startswith("--")]
+    main(
+        variance=float(numeric[0]) if numeric else 60.0,
+        include_opt="--skip-opt" not in sys.argv,
+    )

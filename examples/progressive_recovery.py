@@ -2,12 +2,13 @@
 """Staged (progressive) recovery of the Bell-Canada network.
 
 The paper decides *which* elements to repair; field crews also need to know
-*in which order*.  This example combines both: ISP chooses the repair set for
-a Gaussian disaster on Bell-Canada, the damage-assessment extension reports
-the situation before any repair, and the progressive-recovery extension
-schedules the repairs into stages of a fixed crew budget, printing the
-restoration curve (how much mission-critical demand is back after each
-stage).
+*in which order*.  This example combines both through the service facade:
+the damage assessment and ISP's repair set come from a
+:class:`RecoveryService`, the live instance for the scheduling extension
+comes from the *same* construction path (``service.build_instance``), and
+the progressive-recovery extension schedules the repairs into stages of a
+fixed crew budget, printing the restoration curve (how much mission-critical
+demand is back after each stage).
 
 Run it with::
 
@@ -18,27 +19,48 @@ from __future__ import annotations
 
 import sys
 
-from repro import GaussianDisruption, bell_canada, get_algorithm, routable_far_apart_demand
-from repro.extensions import assess_damage, schedule_progressive_recovery
+from repro import (
+    AssessmentRequest,
+    DemandSpec,
+    DisruptionSpec,
+    RecoveryRequest,
+    RecoveryService,
+    TopologySpec,
+)
+from repro.extensions import schedule_progressive_recovery
 
 
 def main(budget_per_stage: int = 4) -> None:
-    supply = bell_canada()
-    GaussianDisruption(variance=50.0).apply(supply, seed=99)
-    demand = routable_far_apart_demand(supply, num_pairs=3, flow_per_pair=10.0, seed=99)
+    topology = TopologySpec("bell-canada")
+    disruption = DisruptionSpec("gaussian", kwargs={"variance": 50.0})
+    demand_spec = DemandSpec("routable-far-apart", num_pairs=3, flow_per_pair=10.0)
+    service = RecoveryService()
 
-    assessment = assess_damage(supply, demand)
+    assessment = service.assess(
+        AssessmentRequest(topology=topology, disruption=disruption, demand=demand_spec, seed=99)
+    )
     print("Damage assessment before recovery:")
-    for key, value in assessment.summary().items():
+    for key, value in assessment.summary.items():
         print(f"  {key:32}: {value}")
     print()
 
-    plan = get_algorithm("ISP").solve(supply, demand)
+    request = RecoveryRequest(
+        topology=topology,
+        disruption=disruption,
+        demand=demand_spec,
+        algorithms=("ISP",),
+        seed=99,
+    )
+    run = service.solve(request).run("ISP")
+    plan = run.to_plan()
     print(
         f"ISP selected {plan.total_repairs} repairs "
         f"({plan.num_node_repairs} nodes, {plan.num_edge_repairs} links).\n"
     )
 
+    # The scheduling extension needs the live instance; the service exposes
+    # the same construction path it solved the request on.
+    supply, demand, _ = service.build_instance(request)
     schedule = schedule_progressive_recovery(supply, demand, plan, budget_per_stage)
     print(f"Progressive schedule with {budget_per_stage} repairs per stage:")
     curve = schedule.restoration_curve()

@@ -1,13 +1,17 @@
 #!/usr/bin/env python3
-"""Quickstart: recover a small grid network after a complete destruction.
+"""Quickstart: recover a small grid network through the service facade.
 
-This example walks through the complete public API in a few dozen lines:
+This example walks through the public API (``repro.api``) in a few dozen
+lines:
 
-1. build a supply network (a 5x5 grid),
-2. destroy it completely,
-3. define two mission-critical demand flows,
-4. run the paper's ISP heuristic and the exact MILP optimum,
-5. compare repair counts, demand satisfaction and the actual repair lists.
+1. describe the instance declaratively — a 5x5 grid supply network, a
+   complete destruction, two explicit mission-critical demand flows,
+2. wrap it in a :class:`RecoveryRequest` together with the algorithms to
+   run (the paper's ISP heuristic and the exact MILP optimum),
+3. hand it to a :class:`RecoveryService` session,
+4. read repair counts, demand satisfaction and the actual repair lists out
+   of the versioned result envelope — the same JSON-ready structure
+   ``python -m repro.cli solve --json`` prints.
 
 Run it with::
 
@@ -16,48 +20,59 @@ Run it with::
 
 from __future__ import annotations
 
+import json
+
 from repro import (
-    CompleteDestruction,
-    DemandGraph,
-    evaluate_plan,
-    get_algorithm,
-    grid_topology,
+    DemandSpec,
+    DisruptionSpec,
+    RecoveryRequest,
+    RecoveryService,
+    TopologySpec,
 )
 
 
 def main() -> None:
-    # 1. Supply network: a 5x5 grid with 10 units of capacity per link.
-    supply = grid_topology(5, 5, capacity=10.0)
-    print(f"Supply network: {supply.number_of_nodes} nodes, {supply.number_of_edges} edges")
+    # 1. The instance, as pure data: topology + disruption + demand.
+    request = RecoveryRequest(
+        topology=TopologySpec("grid", kwargs={"rows": 5, "cols": 5, "capacity": 10.0}),
+        disruption=DisruptionSpec("complete"),
+        demand=DemandSpec(
+            "explicit",
+            flow_per_pair=6.0,
+            kwargs={"pairs": (((0, 0), (4, 4)), ((0, 4), (4, 0)))},
+        ),
+        algorithms=("ISP", "OPT"),
+        opt_time_limit=60.0,
+        seed=1,
+    )
 
-    # 2. Disaster: everything breaks.
-    report = CompleteDestruction().apply(supply)
-    print(f"Disruption destroyed {report.total_broken} elements\n")
+    # 2. A request round-trips through JSON — this is the wire format.
+    wire = json.dumps(request.to_dict())
+    print(f"Request on the wire ({len(wire)} bytes):\n  {wire}\n")
 
-    # 3. Mission-critical demand: two flows between opposite corners.
-    demand = DemandGraph()
-    demand.add((0, 0), (4, 4), 6.0)
-    demand.add((0, 4), (4, 0), 6.0)
-    print("Demand flows:")
-    for pair in demand.pairs():
-        print(f"  {pair.source} -> {pair.target}: {pair.demand} units")
-    print()
+    # 3. One service session answers any number of requests; repeated
+    #    requests on the same topology reuse cached problem structure.
+    service = RecoveryService()
+    result = service.solve(request)
+    print(
+        f"Disruption destroyed {result.broken_elements} elements; "
+        f"solved in {result.wall_seconds:.2f}s\n"
+    )
 
-    # 4. Recover with ISP (the paper's heuristic) and OPT (the exact MILP).
-    for name in ("ISP", "OPT"):
-        algorithm = get_algorithm(name, time_limit=60.0) if name == "OPT" else get_algorithm(name)
-        plan = algorithm.solve(supply, demand)
-        evaluation = evaluate_plan(supply, demand, plan)
-        print(f"--- {name} ---")
-        print(f"  repaired nodes : {plan.num_node_repairs}")
-        print(f"  repaired edges : {plan.num_edge_repairs}")
-        print(f"  total repairs  : {plan.total_repairs} (of {report.total_broken} destroyed)")
-        print(f"  satisfied      : {evaluation.satisfied_percentage:.1f}% of the demand")
-        print(f"  solve time     : {plan.elapsed_seconds:.3f}s")
-        if name == "ISP":
-            print(f"  split actions  : {plan.metadata['splits']}")
-            print(f"  prune actions  : {plan.metadata['prunes']}")
-        print(f"  repaired edges : {sorted(plan.repaired_edges)[:6]} ...")
+    # 4. The result is a versioned envelope: one run per algorithm.
+    for run in result.results:
+        metrics = run.metrics
+        print(f"--- {run.algorithm} ---")
+        print(f"  repaired nodes : {int(metrics['node_repairs'])}")
+        print(f"  repaired edges : {int(metrics['edge_repairs'])}")
+        print(
+            f"  total repairs  : {int(metrics['total_repairs'])} "
+            f"(of {result.broken_elements} destroyed)"
+        )
+        print(f"  satisfied      : {metrics['satisfied_pct']:.1f}% of the demand")
+        print(f"  solve time     : {metrics['elapsed_seconds']:.3f}s")
+        print(f"  LP solves      : {int(run.solver.get('lp_solves', 0))}")
+        print(f"  repaired edges : {run.plan['repaired_edges'][:6]} ...")
         print()
 
 

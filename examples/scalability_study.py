@@ -3,9 +3,10 @@
 
 The paper's Figure 7 shows that the exact MILP quickly becomes intractable
 as the supply graph gets denser, while ISP's running time stays flat.  This
-example reproduces that study at a configurable scale: it sweeps the edge
-probability of an Erdős–Rényi graph, runs ISP, SRT and (optionally) the
-time-limited MILP, and prints execution times and repair counts.
+example reproduces that study at a configurable scale as a thin client of
+the service facade: it asks :meth:`RecoveryService.sweep` to run the
+registered ``erdos-renyi-scalability`` spec (scaled to the caller's
+parameters), and prints execution times and repair counts.
 
 Run it with::
 
@@ -20,25 +21,29 @@ experiment engine — the metrics are identical, only the wall clock shrinks;
 
 from __future__ import annotations
 
+import dataclasses
 import sys
 
+from repro import RecoveryService, get_spec
 from repro.evaluation.reporting import format_table
-from repro.evaluation.scenarios import figure7_scalability
 
 
 def main(num_nodes: int = 40, include_opt: bool = True, jobs: int = 1) -> None:
     algorithms = ("ISP", "SRT", "OPT") if include_opt else ("ISP", "SRT")
-    result = figure7_scalability(
-        edge_probabilities=(0.08, 0.2, 0.4),
-        num_nodes=num_nodes,
-        num_pairs=5,
-        flow_per_pair=1.0,
-        capacity=1000.0,
-        runs=1,
+    base = get_spec("erdos-renyi-scalability")
+    topology = dataclasses.replace(
+        base.topology,
+        kwargs={**dict(base.topology.kwargs), "num_nodes": num_nodes, "capacity": 1000.0},
+    )
+    result = RecoveryService().sweep(
+        base,
         seed=42,
-        opt_time_limit=120.0,
-        algorithm_names=algorithms,
         jobs=jobs,
+        sweep_values=(0.08, 0.2, 0.4),
+        topology=topology,
+        algorithms=algorithms,
+        runs=1,
+        opt_time_limit=120.0,
     )
     print(
         format_table(

@@ -7,38 +7,55 @@ multi-commodity relaxation extremes MCB/MCW, ALL), the evaluation substrate
 (topologies, disruption models, demand builders) and an experiment harness
 that regenerates every figure of the paper's evaluation section.
 
+The public entry point is :mod:`repro.api`: declarative, JSON-serialisable
+requests answered by a :class:`RecoveryService` session.
+
 Quick start
 -----------
->>> from repro import (
-...     bell_canada, CompleteDestruction, far_apart_demand, iterative_split_prune,
+>>> from repro import DemandSpec, RecoveryRequest, RecoveryService, TopologySpec
+>>> service = RecoveryService()
+>>> request = RecoveryRequest(
+...     topology=TopologySpec("bell-canada"),
+...     demand=DemandSpec(num_pairs=2, flow_per_pair=10.0),
+...     algorithms=("ISP",),
+...     seed=1,
 ... )
->>> supply = bell_canada()
->>> _ = CompleteDestruction().apply(supply)
->>> demand = far_apart_demand(supply, num_pairs=2, flow_per_pair=10.0, seed=1)
->>> plan = iterative_split_prune(supply, demand)
->>> plan.total_repairs > 0
+>>> result = service.solve(request)
+>>> result.run("ISP").metrics["total_repairs"] > 0
 True
 
 See ``examples/`` for complete, runnable walk-throughs and ``benchmarks/``
 for the per-figure reproduction harness.
 """
 
+from repro.api import (
+    SCHEMA_VERSION,
+    AlgorithmRun,
+    AssessmentRequest,
+    AssessmentResult,
+    DemandSpec,
+    DisruptionSpec,
+    RecoveryRequest,
+    RecoveryResult,
+    RecoveryService,
+    TopologySpec,
+    config_digest,
+    request_from_dict,
+)
 from repro.core.centrality import CentralityResult, demand_based_centrality
 from repro.core.isp import ISPConfig, iterative_split_prune
 from repro.engine import (
-    DemandSpec,
-    DisruptionSpec,
     ExperimentSpec,
     ResultCache,
     ScenarioResult,
     SweepAxis,
-    TopologySpec,
     available_specs,
     get_spec,
     register_spec,
     run_experiment,
 )
 from repro.evaluation.demand_builder import (
+    explicit_demand,
     far_apart_demand,
     random_demand,
     routable_far_apart_demand,
@@ -68,10 +85,20 @@ from repro.topologies.caida_like import caida_like
 from repro.topologies.grids import grid_topology, ring_topology, star_topology
 from repro.topologies.random_graphs import erdos_renyi, geometric_graph
 
-__version__ = "1.0.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
+    # service facade (repro.api)
+    "SCHEMA_VERSION",
+    "RecoveryService",
+    "RecoveryRequest",
+    "AssessmentRequest",
+    "RecoveryResult",
+    "AssessmentResult",
+    "AlgorithmRun",
+    "request_from_dict",
+    "config_digest",
     # network substrate
     "SupplyGraph",
     "DemandGraph",
@@ -123,6 +150,7 @@ __all__ = [
     "get_spec",
     "register_spec",
     # evaluation
+    "explicit_demand",
     "far_apart_demand",
     "random_demand",
     "routable_far_apart_demand",

@@ -1,0 +1,329 @@
+"""The session layer: a long-lived service answering declarative requests.
+
+A :class:`RecoveryService` is what a recovery-planning server would hold per
+worker: it owns a :class:`~repro.flows.solver.SolverContext` (warm-start
+memory across requests), applies the LP backend selection once per process,
+and keeps a small LRU of built *pristine* topologies so repeated requests on
+the same network skip the build entirely — the disruption is applied to a
+copy (:meth:`~repro.api.requests.DisruptionSpec.applied`), so the cached
+graph is never corrupted between requests.
+
+Three entry points:
+
+* :meth:`RecoveryService.solve` — run the request's algorithms in-process
+  and return a :class:`~repro.api.results.RecoveryResult` envelope whose
+  per-run solver stats expose the session reuse (structure-cache hits,
+  warm-start offers);
+* :meth:`RecoveryService.assess` — the damage picture without recovery;
+* :meth:`RecoveryService.solve_batch` — fan a list of requests out through
+  the experiment engine's process pool, sharing its resumable on-disk cache
+  (request hashing *is* engine cell hashing, so a batch interrupted and
+  restarted recomputes only the missing requests).
+
+Instances are seeded exactly like engine cells (the canonical
+``SeedSequence`` derivation in :mod:`repro.engine.tasks`), so ``solve``,
+``solve_batch`` and a degenerate engine sweep all report identical metrics
+for the same request.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from collections import OrderedDict
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.api.requests import (
+    AssessmentRequest,
+    RecoveryRequest,
+    TopologySpec,
+    config_digest,
+    materialise_instance,
+)
+from repro.api.results import (
+    AlgorithmRun,
+    AssessmentResult,
+    RecoveryResult,
+    evaluation_metrics,
+    plan_payload,
+)
+from repro.engine.cache import ResultCache
+from repro.engine.executor import ProgressCallback, run_tasks
+from repro.engine.experiment import ScenarioResult, run_experiment
+from repro.engine.registry import get_spec
+from repro.engine.spec import ExperimentSpec
+from repro.engine.tasks import TaskResult, cell_seed_sequence, expand_tasks, root_entropy
+from repro.evaluation.metrics import evaluate_plan
+from repro.extensions.assessment import assess_damage
+from repro.flows.solver.backends import (
+    BACKEND_ENV_VAR,
+    default_backend_name,
+    get_backend,
+    set_default_backend,
+)
+from repro.flows.solver.incremental import SolverContext
+from repro.flows.solver.stats import collect_solver_stats
+from repro.network.supply import SupplyGraph
+
+#: Pristine topologies retained per service session.
+DEFAULT_TOPOLOGY_CACHE_SIZE = 8
+
+Request = Union[AssessmentRequest, RecoveryRequest]
+
+
+class RecoveryService:
+    """A session answering recovery and assessment requests.
+
+    Parameters
+    ----------
+    lp_backend:
+        Optional backend name applied as the process default (and exported
+        through ``REPRO_LP_BACKEND`` so batch worker processes follow).
+        ``None`` keeps the configured default, validating it eagerly.
+    topology_cache_size:
+        How many pristine built topologies to retain.  Only deterministic
+        topologies (builders without a ``seed`` parameter, or with the seed
+        pinned in the spec kwargs) are cached — otherwise the build draws
+        from the request's RNG stream and must be repeated so the stream
+        stays identical to the engine's.
+    """
+
+    def __init__(
+        self,
+        lp_backend: Optional[str] = None,
+        topology_cache_size: int = DEFAULT_TOPOLOGY_CACHE_SIZE,
+    ) -> None:
+        self._select_backend(lp_backend)
+        self.context = SolverContext()
+        self._topologies: "OrderedDict[str, SupplyGraph]" = OrderedDict()
+        self._topology_cache_size = topology_cache_size
+        self.topology_cache_hits = 0
+        self.topology_cache_misses = 0
+
+    # ------------------------------------------------------------------ #
+    # Backend selection
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _select_backend(name: Optional[str]) -> None:
+        if name:
+            set_default_backend(name)
+            os.environ[BACKEND_ENV_VAR] = name
+        else:
+            # Validate an env-var selection upfront: failing here beats an
+            # uncaught KeyError halfway into a batch.
+            get_backend()
+
+    @contextmanager
+    def _request_backend(self, request: Request):
+        """Apply a request-scoped backend for the duration of one call.
+
+        The process default (and the worker env var) is restored afterwards,
+        so one request's ``lp_backend`` never leaks into the next request or
+        into other sessions in the process.
+        """
+        name = request.lp_backend
+        previous = default_backend_name()
+        if not name or name == previous:
+            yield
+            return
+        previous_env = os.environ.get(BACKEND_ENV_VAR)
+        self._select_backend(name)
+        try:
+            yield
+        finally:
+            set_default_backend(previous)
+            if previous_env is None:
+                os.environ.pop(BACKEND_ENV_VAR, None)
+            else:
+                os.environ[BACKEND_ENV_VAR] = previous_env
+
+    # ------------------------------------------------------------------ #
+    # Instance construction (the one path, with a session topology cache)
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _instance_rng(seed: int) -> np.random.Generator:
+        """The RNG an engine cell with spawn key (0, 0) would derive."""
+        return np.random.default_rng(cell_seed_sequence(root_entropy(seed), 0, 0))
+
+    def _pristine_topology(self, spec: TopologySpec) -> Optional[SupplyGraph]:
+        """The cached pristine build of ``spec`` (deterministic builders only)."""
+        if not spec.deterministic:
+            return None
+        key = config_digest(spec.to_dict())
+        supply = self._topologies.get(key)
+        if supply is not None:
+            self._topologies.move_to_end(key)
+            self.topology_cache_hits += 1
+            return supply
+        self.topology_cache_misses += 1
+        supply = spec.build(np.random.default_rng(0), {})  # rng unused: deterministic
+        self._topologies[key] = supply
+        while len(self._topologies) > self._topology_cache_size:
+            self._topologies.popitem(last=False)
+        return supply
+
+    def build_instance(self, request: Request):
+        """Materialise ``request``'s instance: ``(supply, demand, report)``.
+
+        Public so thin clients that need live objects (e.g. the progressive
+        recovery extension) can get them through the same construction path
+        the service itself uses.
+        """
+        rng = self._instance_rng(request.seed)
+        supply = self._pristine_topology(request.topology)
+        return materialise_instance(
+            request.topology, request.disruption, request.demand, rng, supply=supply
+        )
+
+    # ------------------------------------------------------------------ #
+    # Entry points
+    # ------------------------------------------------------------------ #
+    def solve(self, request: RecoveryRequest) -> RecoveryResult:
+        """Run the request's algorithms in-process and return the envelope.
+
+        The session's :class:`SolverContext` is threaded into the audit LP,
+        so a repeated solve on the same topology shows structure-cache hits
+        (and warm-start offers) in each run's ``solver`` stats.
+        """
+        started = time.perf_counter()
+        spec = request.to_experiment_spec()
+        runs: List[AlgorithmRun] = []
+        with self._request_backend(request):
+            supply, demand, _ = self.build_instance(request)
+            broken = len(supply.broken_nodes) + len(supply.broken_edges)
+            for name in request.algorithms:
+                algorithm = spec.resolve_algorithm(name)
+                with collect_solver_stats() as stats:
+                    plan = algorithm.solve(supply, demand)
+                    evaluation = evaluate_plan(supply, demand, plan, context=self.context)
+                runs.append(
+                    AlgorithmRun(
+                        algorithm=algorithm.name,
+                        metrics=evaluation_metrics(evaluation),
+                        plan=plan_payload(plan),
+                        solver=stats.as_dict(),
+                    )
+                )
+        return RecoveryResult(
+            request=request.to_dict(),
+            results=runs,
+            broken_elements=broken,
+            wall_seconds=time.perf_counter() - started,
+        )
+
+    def assess(self, request: Request) -> AssessmentResult:
+        """The damage picture of the request's instance, without recovery."""
+        started = time.perf_counter()
+        with self._request_backend(request):
+            supply, demand, _ = self.build_instance(request)
+            assessment = assess_damage(supply, demand, context=self.context)
+        return AssessmentResult(
+            request=request.to_dict(),
+            summary=assessment.summary(),
+            disconnected_pairs=list(assessment.disconnected_pairs),
+            wall_seconds=time.perf_counter() - started,
+        )
+
+    def solve_batch(
+        self,
+        requests: Sequence[RecoveryRequest],
+        jobs: int = 1,
+        cache_dir: Optional[Union[str, Path]] = None,
+        progress: Optional[ProgressCallback] = None,
+    ) -> List[RecoveryResult]:
+        """Solve many requests through the engine's process pool.
+
+        Every (request, algorithm) pair becomes one engine task cell whose
+        cache key is the request's cell digest, so a ``cache_dir`` makes the
+        batch resumable exactly like ``repro.cli sweep --resume``: rerunning
+        an interrupted batch recomputes only the missing requests, and a
+        request already solved by an earlier batch is served from disk.
+
+        The service's process-wide backend selection applies to all workers;
+        per-request ``lp_backend`` fields are ignored here (one pool, one
+        backend).  Plans are captured, so batch envelopes carry the same
+        repair lists as :meth:`solve` — only the solver stats differ (each
+        worker has its own fresh context).
+        """
+        tasks = []
+        spans: List[int] = []
+        for request in requests:
+            cells = expand_tasks(
+                request.to_experiment_spec(), seed=request.seed, capture_plan=True
+            )
+            spans.append(len(cells))
+            tasks.extend(cells)
+        cache = ResultCache(cache_dir) if cache_dir is not None else None
+        results = run_tasks(tasks, jobs=jobs, cache=cache, progress=progress)
+
+        envelopes: List[RecoveryResult] = []
+        cursor = 0
+        for request, span in zip(requests, spans):
+            cell_results = results[cursor : cursor + span]
+            cursor += span
+            envelopes.append(self._batch_envelope(request, cell_results))
+        return envelopes
+
+    @staticmethod
+    def _batch_envelope(
+        request: RecoveryRequest, cell_results: Sequence[TaskResult]
+    ) -> RecoveryResult:
+        runs = [
+            AlgorithmRun(
+                algorithm=result.algorithm,
+                metrics=dict(result.metrics),
+                plan=dict(result.plan or {}),
+                solver={
+                    key[len("solver_") :]: value
+                    for key, value in result.extras.items()
+                    if key.startswith("solver_")
+                },
+                cached=result.cached,
+            )
+            for result in cell_results
+        ]
+        return RecoveryResult(
+            request=request.to_dict(),
+            results=runs,
+            broken_elements=int(cell_results[0].broken_elements) if cell_results else 0,
+            wall_seconds=sum(result.wall_seconds for result in cell_results),
+        )
+
+    def sweep(
+        self,
+        spec: Union[str, ExperimentSpec],
+        seed=None,
+        jobs: int = 1,
+        cache_dir: Optional[Union[str, Path]] = None,
+        progress: Optional[ProgressCallback] = None,
+        **changes,
+    ) -> ScenarioResult:
+        """Run a (registered or given) sweep spec through the engine.
+
+        ``changes`` are forwarded to :meth:`ExperimentSpec.replace`, so
+        clients can scale a registered figure (``runs=20``,
+        ``sweep_values=...``) without touching the engine directly.
+        """
+        if isinstance(spec, str):
+            spec = get_spec(spec)
+        if changes:
+            spec = spec.replace(**changes)
+        return run_experiment(spec, seed=seed, jobs=jobs, cache_dir=cache_dir, progress=progress)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def cache_info(self) -> Dict[str, int]:
+        """Topology-session cache counters (hits, misses, current size)."""
+        return {
+            "topology_cache_hits": self.topology_cache_hits,
+            "topology_cache_misses": self.topology_cache_misses,
+            "topology_cache_size": len(self._topologies),
+        }
+
+
+__all__ = ["DEFAULT_TOPOLOGY_CACHE_SIZE", "RecoveryService"]

@@ -1,10 +1,15 @@
 """Command-line interface for the recovery library.
 
-Sub-commands cover the everyday workflows:
+Every sub-command is a thin client of :mod:`repro.api`: the arguments are
+parsed into a declarative request, handed to a
+:class:`~repro.api.service.RecoveryService`, and the versioned result
+envelope is printed as a table or — with ``--json`` — as the raw envelope
+for scripting and service smoke tests.
 
 ``solve``
     Build (or load) a topology, apply a disruption, generate a demand graph
-    and run one or more recovery algorithms, printing the comparison table.
+    and run one or more recovery algorithms, printing the comparison table
+    (or the JSON envelope).
 
 ``sweep``
     Run one of the registered sweep experiments (the paper's figures)
@@ -29,37 +34,32 @@ Examples
 
     python -m repro.cli solve --topology bell-canada --disruption complete \
         --pairs 4 --flow 10 --algorithms ISP SRT ALL
+    python -m repro.cli solve --topology grid --topology-arg rows=3 \
+        --topology-arg cols=3 --algorithms ISP --json | python -m json.tool
     python -m repro.cli sweep figure4 --jobs 4 --seed 11 --runs 5 --resume
-    python -m repro.cli sweep erdos-renyi-scalability --jobs 0 --opt-time-limit 30
     python -m repro.cli assess --topology bell-canada --disruption gaussian --variance 60
 """
 
 from __future__ import annotations
 
 import argparse
-import os
+import json
 import sys
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
-from repro.engine.experiment import run_experiment
-from repro.engine.registry import available_specs, get_spec
-from repro.evaluation.demand_builder import routable_far_apart_demand
-from repro.evaluation.metrics import evaluate_plan
-from repro.evaluation.reporting import format_table
-from repro.flows.solver.backends import (
-    BACKEND_ENV_VAR,
-    available_backends,
-    get_backend,
-    set_default_backend,
+from repro.api.requests import (
+    AssessmentRequest,
+    DemandSpec,
+    DisruptionSpec,
+    RecoveryRequest,
+    TopologySpec,
 )
-from repro.extensions.assessment import assess_damage
-from repro.failures.complete import CompleteDestruction
-from repro.failures.geographic import GaussianDisruption
-from repro.failures.random_failures import UniformRandomFailure
-from repro.heuristics.registry import available_algorithms, get_algorithm
-from repro.network.demand import DemandGraph
-from repro.network.supply import SupplyGraph
-from repro.topologies.registry import available_topologies, build_topology
+from repro.api.service import RecoveryService
+from repro.engine.registry import available_specs, get_spec
+from repro.evaluation.reporting import format_table
+from repro.flows.solver.backends import BACKEND_ENV_VAR, available_backends
+from repro.heuristics.registry import available_algorithms
+from repro.topologies.registry import available_topologies
 
 #: Default cache directory for ``sweep --resume``.
 DEFAULT_CACHE_DIR = ".repro-cache"
@@ -85,58 +85,57 @@ def _topology_kwargs(items: Optional[Sequence[str]]) -> Dict[str, object]:
     return kwargs
 
 
-def _build_instance(args: argparse.Namespace) -> tuple[SupplyGraph, DemandGraph]:
-    supply = build_topology(args.topology, **_topology_kwargs(args.topology_arg))
+def _instance_sections(args: argparse.Namespace):
+    """The (topology, disruption, demand) section specs an instance needs."""
+    try:
+        topology = TopologySpec(args.topology, kwargs=_topology_kwargs(args.topology_arg))
+        if args.disruption == "gaussian":
+            disruption = DisruptionSpec("gaussian", kwargs={"variance": args.variance})
+        elif args.disruption == "random":
+            disruption = DisruptionSpec(
+                "random",
+                kwargs={
+                    "node_probability": args.failure_probability,
+                    "edge_probability": args.failure_probability,
+                },
+            )
+        else:
+            disruption = DisruptionSpec(args.disruption)
+        demand = DemandSpec("routable-far-apart", num_pairs=args.pairs, flow_per_pair=args.flow)
+    except (KeyError, ValueError) as error:
+        raise SystemExit(str(error.args[0])) from None
+    return topology, disruption, demand
 
-    if args.disruption == "complete":
-        CompleteDestruction().apply(supply)
-    elif args.disruption == "gaussian":
-        GaussianDisruption(variance=args.variance).apply(supply, seed=args.seed)
-    elif args.disruption == "random":
-        UniformRandomFailure(args.failure_probability, args.failure_probability).apply(
-            supply, seed=args.seed
-        )
-    elif args.disruption != "none":
-        raise SystemExit(f"unknown disruption {args.disruption!r}")
 
-    demand = routable_far_apart_demand(
-        supply, num_pairs=args.pairs, flow_per_pair=args.flow, seed=args.seed
-    )
-    return supply, demand
-
-
-def _apply_lp_backend(args: argparse.Namespace) -> None:
-    """Make ``--lp-backend`` the default for every solve, workers included.
-
-    The environment variable is set as well so that ``sweep --jobs N``
-    worker processes (which re-resolve the backend themselves) follow the
-    same selection.
-    """
-    backend = getattr(args, "lp_backend", None)
-    if backend:
-        set_default_backend(backend)
-        os.environ[BACKEND_ENV_VAR] = backend
-    else:
-        # Validate an env-var selection upfront: failing here beats an
-        # uncaught KeyError from a worker process halfway into a sweep.
-        try:
-            get_backend()
-        except KeyError as error:
-            raise SystemExit(str(error.args[0])) from None
+def _service(args: argparse.Namespace) -> RecoveryService:
+    """A service session with the CLI's backend selection applied."""
+    try:
+        return RecoveryService(lp_backend=getattr(args, "lp_backend", None))
+    except KeyError as error:
+        raise SystemExit(str(error.args[0])) from None
 
 
 def _command_solve(args: argparse.Namespace) -> int:
-    _apply_lp_backend(args)
-    supply, demand = _build_instance(args)
-    rows: List[Dict[str, object]] = []
-    for name in args.algorithms:
-        kwargs = {"time_limit": args.opt_time_limit} if name.upper() == "OPT" else {}
-        algorithm = get_algorithm(name, **kwargs)
-        plan = algorithm.solve(supply, demand)
-        rows.append(evaluate_plan(supply, demand, plan).as_row())
+    topology, disruption, demand = _instance_sections(args)
+    try:
+        request = RecoveryRequest(
+            topology=topology,
+            disruption=disruption,
+            demand=demand,
+            algorithms=tuple(args.algorithms),
+            seed=args.seed,
+            opt_time_limit=args.opt_time_limit,
+            lp_backend=args.lp_backend,
+        )
+    except (KeyError, ValueError) as error:
+        raise SystemExit(str(error.args[0])) from None
+    result = _service(args).solve(request)
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2))
+        return 0
     print(
         format_table(
-            rows,
+            result.rows(),
             columns=[
                 "algorithm",
                 "node_repairs",
@@ -155,15 +154,20 @@ def _command_solve(args: argparse.Namespace) -> int:
 
 
 def _command_assess(args: argparse.Namespace) -> int:
-    supply, demand = _build_instance(args)
-    assessment = assess_damage(supply, demand)
-    rows = [{"metric": key, "value": value} for key, value in assessment.summary().items()]
-    print(format_table(rows, columns=["metric", "value"], title="Damage assessment"))
+    topology, disruption, demand = _instance_sections(args)
+    request = AssessmentRequest(
+        topology=topology, disruption=disruption, demand=demand, seed=args.seed
+    )
+    result = _service(args).assess(request)
+    if args.json:
+        print(json.dumps(result.to_dict(), indent=2))
+        return 0
+    print(format_table(result.rows(), columns=["metric", "value"], title="Damage assessment"))
     return 0
 
 
 def _command_sweep(args: argparse.Namespace) -> int:
-    _apply_lp_backend(args)
+    service = _service(args)
     if args.jobs < 0:
         raise SystemExit("--jobs must be a positive integer, or 0 for one per CPU")
     try:
@@ -181,8 +185,6 @@ def _command_sweep(args: argparse.Namespace) -> int:
     if args.opt_time_limit is not None:
         limit = args.opt_time_limit
         changes["opt_time_limit"] = None if limit <= 0 else limit
-    if changes:
-        spec = spec.replace(**changes)
 
     cache_dir = args.cache_dir if args.cache_dir else (DEFAULT_CACHE_DIR if args.resume else None)
 
@@ -211,12 +213,13 @@ def _command_sweep(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
 
-    result = run_experiment(
+    result = service.sweep(
         spec,
         seed=args.seed,
         jobs=args.jobs,
         cache_dir=cache_dir,
         progress=progress if not args.quiet else None,
+        **changes,
     )
     print(
         format_table(
@@ -310,6 +313,14 @@ def _add_instance_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=1, help="random seed")
 
 
+def _add_json_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--json",
+        action="store_true",
+        help="print the versioned result envelope as JSON instead of a table",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -332,6 +343,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="time limit in seconds for the exact MILP (OPT)",
     )
     _add_lp_backend_argument(solve)
+    _add_json_argument(solve)
     solve.set_defaults(handler=_command_solve)
 
     sweep = subparsers.add_parser(
@@ -382,6 +394,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     assess = subparsers.add_parser("assess", help="print a damage assessment report")
     _add_instance_arguments(assess)
+    _add_lp_backend_argument(assess)
+    _add_json_argument(assess)
     assess.set_defaults(handler=_command_assess)
 
     topologies = subparsers.add_parser("topologies", help="list registered topologies")

@@ -15,18 +15,12 @@ figure rows the paper plots:
 * :mod:`~repro.engine.registry` — the paper's figures as registered specs.
 """
 
+from repro.api.requests import DemandSpec, DisruptionSpec, TopologySpec
 from repro.engine.cache import ResultCache
 from repro.engine.executor import resolve_jobs, run_tasks
 from repro.engine.experiment import ScenarioResult, aggregate_results, run_experiment
 from repro.engine.registry import available_specs, get_spec, register_spec
-from repro.engine.spec import (
-    DemandSpec,
-    DisruptionSpec,
-    ExperimentSpec,
-    SweepAxis,
-    TopologySpec,
-    build_instance,
-)
+from repro.engine.spec import ExperimentSpec, SweepAxis, build_instance
 from repro.engine.tasks import Task, TaskResult, execute_task, expand_tasks
 
 __all__ = [

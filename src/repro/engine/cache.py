@@ -38,7 +38,11 @@ class ResultCache:
         """The cached result of ``task``, or ``None`` on a miss.
 
         Unreadable or truncated entries (e.g. from a run killed mid-write,
-        although writes are atomic) count as misses and are recomputed.
+        although writes are atomic) count as misses and are recomputed.  A
+        plan-capturing task also treats a plan-less entry (stored by a sweep,
+        which only keeps metrics) as a miss, so batch clients never receive
+        a silently empty repair plan; the recompute overwrites the entry
+        with one that carries the plan.
         """
         path = self._path(task.cache_key())
         try:
@@ -46,9 +50,12 @@ class ResultCache:
         except (OSError, ValueError):
             return None
         try:
-            return TaskResult.from_payload(payload["result"])
+            result = TaskResult.from_payload(payload["result"])
         except (KeyError, TypeError, ValueError):
             return None
+        if task.capture_plan and result.plan is None:
+            return None
+        return result
 
     def put(self, task: Task, result: TaskResult) -> None:
         """Store ``result`` for ``task`` atomically (write + rename)."""

@@ -11,13 +11,8 @@ from __future__ import annotations
 
 from typing import Dict, List
 
-from repro.engine.spec import (
-    DemandSpec,
-    DisruptionSpec,
-    ExperimentSpec,
-    SweepAxis,
-    TopologySpec,
-)
+from repro.api.requests import DemandSpec, DisruptionSpec, TopologySpec
+from repro.engine.spec import ExperimentSpec, SweepAxis
 
 _SPECS: Dict[str, ExperimentSpec] = {}
 

@@ -10,125 +10,61 @@ can be
 * hashed stably for the on-disk result cache, and
 * listed/inspected by the CLI (``repro.cli scenarios``).
 
-:func:`build_instance` is the single place that turns a spec plus a sweep
-value plus an RNG into a concrete ``(supply, demand)`` instance; serial and
-parallel execution share it, which is what makes them bit-identical.
+The instance schema itself — :class:`~repro.api.requests.TopologySpec`,
+:class:`~repro.api.requests.DisruptionSpec`,
+:class:`~repro.api.requests.DemandSpec` and the hashing/materialisation
+helpers — lives in :mod:`repro.api.requests`; an experiment spec is that
+schema plus a sweep axis and an algorithm list.  The old names are still
+importable from this module as deprecation shims.
+
+:func:`build_instance` turns a spec plus a sweep value plus an RNG into a
+concrete ``(supply, demand)`` instance by delegating to the api layer's
+:func:`~repro.api.requests.materialise_instance`; serial and parallel
+execution share it, which is what makes them bit-identical.
 """
 
 from __future__ import annotations
 
 import dataclasses
-import hashlib
-import inspect
-import json
-from dataclasses import dataclass, field
-from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
+import warnings
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional, Tuple
 
 import numpy as np
 
-from repro.evaluation.demand_builder import (
-    far_apart_demand,
-    random_demand,
-    routable_far_apart_demand,
+from repro.api.requests import DemandSpec as _DemandSpec
+from repro.api.requests import DisruptionSpec as _DisruptionSpec
+from repro.api.requests import TopologySpec as _TopologySpec
+from repro.api.requests import (
+    _frozen_algorithm_kwargs,
+    config_digest as _config_digest,
+    materialise_instance,
 )
-from repro.failures.complete import CompleteDestruction
-from repro.failures.geographic import GaussianDisruption
-from repro.failures.random_failures import UniformRandomFailure
 from repro.heuristics.base import RecoveryAlgorithm
 from repro.heuristics.registry import get_algorithm
 from repro.network.demand import DemandGraph
 from repro.network.supply import SupplyGraph
-from repro.topologies.registry import build_topology, get_topology_builder
 
-#: Demand builders addressable by name from a spec.
-_DEMAND_BUILDERS = {
-    "routable-far-apart": routable_far_apart_demand,
-    "far-apart": far_apart_demand,
-    "random": random_demand,
+#: Names that moved to :mod:`repro.api.requests`; accessing them through this
+#: module still works but warns (module ``__getattr__`` below).
+_MOVED_TO_API = {
+    "TopologySpec": _TopologySpec,
+    "DisruptionSpec": _DisruptionSpec,
+    "DemandSpec": _DemandSpec,
+    "config_digest": _config_digest,
 }
 
-#: Disruption kinds addressable by name from a spec.
-_DISRUPTION_KINDS = ("complete", "gaussian", "random", "none")
 
-
-def _frozen_kwargs(kwargs: Optional[Mapping[str, Any]]) -> Tuple[Tuple[str, Any], ...]:
-    """Normalise a kwargs mapping into a sorted hashable tuple of pairs."""
-    return tuple(sorted((kwargs or {}).items()))
-
-
-@dataclass(frozen=True)
-class TopologySpec:
-    """Which registered topology to build, with static keyword arguments."""
-
-    name: str
-    kwargs: Tuple[Tuple[str, Any], ...] = ()
-
-    def __post_init__(self) -> None:
-        get_topology_builder(self.name)  # validate the name eagerly
-        object.__setattr__(self, "kwargs", _frozen_kwargs(dict(self.kwargs)))
-
-    def build(self, rng: np.random.Generator, overrides: Mapping[str, Any]) -> SupplyGraph:
-        kwargs = dict(self.kwargs)
-        kwargs.update(overrides)
-        if "seed" in inspect.signature(get_topology_builder(self.name)).parameters:
-            kwargs.setdefault("seed", rng)
-        return build_topology(self.name, **kwargs)
-
-
-@dataclass(frozen=True)
-class DisruptionSpec:
-    """Which disruption model to apply after the topology is built."""
-
-    kind: str = "complete"
-    kwargs: Tuple[Tuple[str, Any], ...] = ()
-
-    def __post_init__(self) -> None:
-        if self.kind not in _DISRUPTION_KINDS:
-            raise ValueError(
-                f"unknown disruption {self.kind!r}; available: {', '.join(_DISRUPTION_KINDS)}"
-            )
-        object.__setattr__(self, "kwargs", _frozen_kwargs(dict(self.kwargs)))
-
-    def apply(
-        self, supply: SupplyGraph, rng: np.random.Generator, overrides: Mapping[str, Any]
-    ) -> None:
-        kwargs = dict(self.kwargs)
-        kwargs.update(overrides)
-        if self.kind == "complete":
-            CompleteDestruction().apply(supply)
-        elif self.kind == "gaussian":
-            GaussianDisruption(**kwargs).apply(supply, seed=rng)
-        elif self.kind == "random":
-            UniformRandomFailure(**kwargs).apply(supply, seed=rng)
-        # "none": leave the supply intact.
-
-
-@dataclass(frozen=True)
-class DemandSpec:
-    """How to draw the demand graph on the (disrupted) supply."""
-
-    builder: str = "routable-far-apart"
-    num_pairs: int = 4
-    flow_per_pair: float = 10.0
-    kwargs: Tuple[Tuple[str, Any], ...] = ()
-
-    def __post_init__(self) -> None:
-        if self.builder not in _DEMAND_BUILDERS:
-            raise KeyError(
-                f"unknown demand builder {self.builder!r}; "
-                f"available: {', '.join(sorted(_DEMAND_BUILDERS))}"
-            )
-        object.__setattr__(self, "kwargs", _frozen_kwargs(dict(self.kwargs)))
-
-    def build(
-        self, supply: SupplyGraph, rng: np.random.Generator, overrides: Mapping[str, Any]
-    ) -> DemandGraph:
-        merged: Dict[str, Any] = dict(self.kwargs)
-        merged.update(overrides)
-        num_pairs = int(merged.pop("num_pairs", self.num_pairs))
-        flow_per_pair = float(merged.pop("flow_per_pair", self.flow_per_pair))
-        builder = _DEMAND_BUILDERS[self.builder]
-        return builder(supply, num_pairs, flow_per_pair, seed=rng, **merged)
+def __getattr__(name: str) -> Any:
+    if name in _MOVED_TO_API:
+        warnings.warn(
+            f"repro.engine.spec.{name} moved to repro.api; "
+            f"import it from repro.api (or repro) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return _MOVED_TO_API[name]
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 @dataclass(frozen=True)
@@ -163,13 +99,14 @@ class ExperimentSpec:
 
     name: str
     figure: str
-    topology: TopologySpec
+    topology: _TopologySpec
     sweep: SweepAxis
     algorithms: Tuple[str, ...]
-    disruption: DisruptionSpec = DisruptionSpec()
-    demand: DemandSpec = DemandSpec()
+    disruption: _DisruptionSpec = _DisruptionSpec()
+    demand: _DemandSpec = _DemandSpec()
     runs: int = 1
     opt_time_limit: Optional[float] = None
+    algorithm_kwargs: Tuple[Tuple[str, Tuple[Tuple[str, Any], ...]], ...] = ()
     description: str = ""
 
     def __post_init__(self) -> None:
@@ -178,6 +115,9 @@ class ExperimentSpec:
             raise ValueError("a spec needs at least one algorithm")
         if self.runs < 1:
             raise ValueError("runs must be at least 1")
+        object.__setattr__(
+            self, "algorithm_kwargs", _frozen_algorithm_kwargs(self.algorithm_kwargs)
+        )
 
     def replace(self, **changes: Any) -> "ExperimentSpec":
         """A copy of this spec with the given fields replaced.
@@ -197,34 +137,72 @@ class ExperimentSpec:
         overrides[section][key] = sweep_value
         return overrides
 
+    def algorithm_options(self, name: str) -> Dict[str, Any]:
+        """The extra keyword arguments bound to ``name`` (empty by default)."""
+        wanted = name.upper()
+        for algorithm, kwargs in self.algorithm_kwargs:
+            if algorithm == wanted:
+                return dict(kwargs)
+        return {}
+
     def resolve_algorithm(self, name: str) -> RecoveryAlgorithm:
         """Instantiate one of the spec's algorithms (OPT gets the time limit)."""
+        kwargs = self.algorithm_options(name)
         if name.upper() == "OPT" and self.opt_time_limit is not None:
-            return get_algorithm("OPT", time_limit=self.opt_time_limit)
-        return get_algorithm(name)
+            kwargs.setdefault("time_limit", self.opt_time_limit)
+        return get_algorithm(name, **kwargs)
 
     def to_config(self) -> Dict[str, Any]:
-        """A canonical JSON-serialisable description of this spec."""
+        """A canonical JSON-serialisable description of this spec.
+
+        :meth:`from_config` parses it back; ``from_config(spec.to_config())``
+        equals ``spec``.
+        """
         return {
             "name": self.name,
             "figure": self.figure,
-            "topology": {"name": self.topology.name, "kwargs": dict(self.topology.kwargs)},
-            "disruption": {"kind": self.disruption.kind, "kwargs": dict(self.disruption.kwargs)},
-            "demand": {
-                "builder": self.demand.builder,
-                "num_pairs": self.demand.num_pairs,
-                "flow_per_pair": self.demand.flow_per_pair,
-                "kwargs": dict(self.demand.kwargs),
-            },
+            "topology": self.topology.to_dict(),
+            "disruption": self.disruption.to_dict(),
+            "demand": self.demand.to_dict(),
             "sweep": {
                 "parameter": self.sweep.parameter,
                 "target": self.sweep.target,
                 "values": list(self.sweep.values),
             },
             "algorithms": list(self.algorithms),
+            "algorithm_kwargs": {
+                name: dict(kwargs) for name, kwargs in self.algorithm_kwargs
+            },
             "runs": self.runs,
             "opt_time_limit": self.opt_time_limit,
+            "description": self.description,
         }
+
+    @classmethod
+    def from_config(cls, config: Mapping[str, Any]) -> "ExperimentSpec":
+        """Rebuild a spec from a :meth:`to_config` mapping (JSON round trip)."""
+        sweep = config["sweep"]
+        return cls(
+            name=str(config["name"]),
+            figure=str(config.get("figure", "")),
+            topology=_TopologySpec.from_dict(config["topology"]),
+            disruption=_DisruptionSpec.from_dict(config.get("disruption", {})),
+            demand=_DemandSpec.from_dict(config.get("demand", {})),
+            sweep=SweepAxis(
+                parameter=str(sweep["parameter"]),
+                values=tuple(sweep["values"]),
+                target=str(sweep["target"]),
+            ),
+            algorithms=tuple(config["algorithms"]),
+            algorithm_kwargs=config.get("algorithm_kwargs", {}),
+            runs=int(config.get("runs", 1)),
+            opt_time_limit=(
+                None
+                if config.get("opt_time_limit") is None
+                else float(config["opt_time_limit"])
+            ),
+            description=str(config.get("description", "")),
+        )
 
     def cell_config(self, sweep_value: Any, algorithm: str) -> Dict[str, Any]:
         """The part of the configuration that determines one task's result.
@@ -232,13 +210,14 @@ class ExperimentSpec:
         Excludes the sweep's value list and the run count, so extending a
         sweep or adding repetitions still hits the cache for existing cells.
         The OPT time limit only enters for OPT — changing it must not
-        invalidate cached heuristic cells.
+        invalidate cached heuristic cells.  Per-algorithm kwargs enter only
+        when bound, keeping keys stable for specs that bind none.
         """
         overrides = self.overrides_for(sweep_value)
         topology_kwargs = {**dict(self.topology.kwargs), **overrides["topology"]}
         disruption_kwargs = {**dict(self.disruption.kwargs), **overrides["disruption"]}
         demand_kwargs = {**dict(self.demand.kwargs), **overrides["demand"]}
-        return {
+        config = {
             "topology": {"name": self.topology.name, "kwargs": topology_kwargs},
             "disruption": {"kind": self.disruption.kind, "kwargs": disruption_kwargs},
             "demand": {
@@ -250,12 +229,10 @@ class ExperimentSpec:
             "algorithm": algorithm.upper(),
             "time_limit": self.opt_time_limit if algorithm.upper() == "OPT" else None,
         }
-
-
-def config_digest(config: Mapping[str, Any]) -> str:
-    """Stable hex digest of a JSON-serialisable configuration mapping."""
-    canonical = json.dumps(config, sort_keys=True, default=str)
-    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+        options = self.algorithm_options(algorithm)
+        if options:
+            config["algorithm_kwargs"] = options
+        return config
 
 
 def build_instance(
@@ -263,13 +240,23 @@ def build_instance(
 ) -> Tuple[SupplyGraph, DemandGraph]:
     """Materialise one experiment instance for a sweep value.
 
-    The three stochastic stages consume the *same* generator in a fixed
-    order (topology, disruption, demand), mirroring the imperative instance
-    factories this layer replaced; every task that derives an identical
-    generator rebuilds the identical instance.
+    Thin wrapper over :func:`repro.api.requests.materialise_instance` — the
+    single construction path shared with the service layer and the CLI.
     """
-    overrides = spec.overrides_for(sweep_value)
-    supply = spec.topology.build(rng, overrides["topology"])
-    spec.disruption.apply(supply, rng, overrides["disruption"])
-    demand = spec.demand.build(supply, rng, overrides["demand"])
+    supply, demand, _ = materialise_instance(
+        spec.topology,
+        spec.disruption,
+        spec.demand,
+        rng,
+        overrides=spec.overrides_for(sweep_value),
+    )
     return supply, demand
+
+
+__all__ = [
+    "ExperimentSpec",
+    "SweepAxis",
+    "build_instance",
+    # deprecated aliases (module __getattr__): TopologySpec, DisruptionSpec,
+    # DemandSpec, config_digest — canonical home is repro.api.
+]

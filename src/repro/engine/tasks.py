@@ -25,20 +25,40 @@ from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.engine.spec import ExperimentSpec, build_instance, config_digest
+from repro.api.requests import config_digest
+from repro.api.results import (
+    METRIC_KEYS,
+    evaluation_metrics,
+    normalise_plan_payload,
+    plan_payload,
+)
+from repro.engine.spec import ExperimentSpec, build_instance
 from repro.evaluation.metrics import evaluate_plan
 from repro.flows.solver.stats import collect_solver_stats
 from repro.utils.rng import SeedLike, ensure_seed_sequence
 
-#: Metric keys every task reports (aggregated into ComparisonRow columns).
-METRIC_KEYS = (
-    "node_repairs",
-    "edge_repairs",
-    "total_repairs",
-    "repair_cost",
-    "satisfied_pct",
-    "elapsed_seconds",
-)
+
+def root_entropy(seed: SeedLike = None) -> int:
+    """Condense a seed into the root entropy integer tasks carry.
+
+    Derived from the sequence's *generated state*, not its ``entropy``
+    attribute: two sequences spawned from one parent share the parent's
+    entropy and differ only in spawn key, so hashing the state keeps them
+    (and their cache keys) distinct.
+    """
+    root = ensure_seed_sequence(seed)
+    return int.from_bytes(root.generate_state(4, np.uint32).tobytes(), "little")
+
+
+def cell_seed_sequence(entropy: int, value_index: int, run_index: int) -> np.random.SeedSequence:
+    """The canonical per-cell seed sequence for a (value, run) spawn key.
+
+    Shared by every layer that materialises instances — engine tasks and the
+    service session — so a request with seed ``s`` builds the same instance
+    as the single cell of the equivalent degenerate sweep.
+    """
+    value_seq = np.random.SeedSequence(entropy, spawn_key=(value_index,))
+    return value_seq.spawn(run_index + 1)[run_index]
 
 
 @dataclass(frozen=True)
@@ -51,6 +71,7 @@ class Task:
     run_index: int
     algorithm: str
     root_entropy: int
+    capture_plan: bool = False
 
     @property
     def spawn_key(self) -> Tuple[int, int]:
@@ -63,8 +84,7 @@ class Task:
         spawn key ``(value_index, run_index)`` — re-deriving it from the root
         entropy in a worker process yields the identical sequence.
         """
-        value_seq = np.random.SeedSequence(self.root_entropy, spawn_key=(self.value_index,))
-        return value_seq.spawn(self.run_index + 1)[self.run_index]
+        return cell_seed_sequence(self.root_entropy, self.value_index, self.run_index)
 
     def cache_key(self) -> str:
         """Stable digest of everything that determines this task's result."""
@@ -87,10 +107,11 @@ class TaskResult:
     wall_seconds: float
     cached: bool = False
     extras: Dict[str, float] = field(default_factory=dict)
+    plan: Optional[Dict[str, Any]] = None
 
     def to_payload(self) -> Dict[str, Any]:
         """JSON-serialisable form stored in the result cache."""
-        return {
+        payload = {
             "sweep_value": self.sweep_value,
             "value_index": self.value_index,
             "run_index": self.run_index,
@@ -100,9 +121,13 @@ class TaskResult:
             "wall_seconds": self.wall_seconds,
             "extras": dict(self.extras),
         }
+        if self.plan is not None:
+            payload["plan"] = self.plan
+        return payload
 
     @classmethod
     def from_payload(cls, payload: Dict[str, Any]) -> "TaskResult":
+        plan = payload.get("plan")
         return cls(
             sweep_value=payload["sweep_value"],
             value_index=int(payload["value_index"]),
@@ -113,23 +138,22 @@ class TaskResult:
             wall_seconds=float(payload["wall_seconds"]),
             cached=True,
             extras={key: float(value) for key, value in payload.get("extras", {}).items()},
+            plan=None if plan is None else normalise_plan_payload(plan),
         )
 
 
-def expand_tasks(spec: ExperimentSpec, seed: SeedLike = None) -> List[Task]:
+def expand_tasks(
+    spec: ExperimentSpec, seed: SeedLike = None, capture_plan: bool = False
+) -> List[Task]:
     """Unroll ``spec`` into its (value x run x algorithm) task cells.
 
     Tasks carry only the root entropy and their cell indices; each re-derives
     its own :class:`~numpy.random.SeedSequence` on demand, so they stay
-    self-contained (and picklable) for worker processes.
-
-    The root entropy is condensed from the sequence's *generated state*, not
-    its ``entropy`` attribute: two sequences spawned from one parent share
-    the parent's entropy and differ only in spawn key, so hashing the state
-    keeps them (and their cache keys) distinct.
+    self-contained (and picklable) for worker processes.  ``capture_plan``
+    makes every cell include its serialised repair plan in the result (the
+    service batch path wants plans; sweeps aggregating metrics do not).
     """
-    root = ensure_seed_sequence(seed)
-    entropy = int.from_bytes(root.generate_state(4, np.uint32).tobytes(), "little")
+    entropy = root_entropy(seed)
     tasks: List[Task] = []
     for value_index, sweep_value in enumerate(spec.sweep.values):
         for run_index in range(spec.runs):
@@ -142,6 +166,7 @@ def expand_tasks(spec: ExperimentSpec, seed: SeedLike = None) -> List[Task]:
                         run_index=run_index,
                         algorithm=algorithm,
                         root_entropy=entropy,
+                        capture_plan=capture_plan,
                     )
                 )
     return tasks
@@ -163,14 +188,6 @@ def execute_task(task: Task) -> TaskResult:
     with collect_solver_stats() as solver_stats:
         plan = algorithm.solve(supply, demand)
         evaluation = evaluate_plan(supply, demand, plan)
-    metrics = {
-        "node_repairs": float(evaluation.node_repairs),
-        "edge_repairs": float(evaluation.edge_repairs),
-        "total_repairs": float(evaluation.total_repairs),
-        "repair_cost": float(evaluation.repair_cost),
-        "satisfied_pct": float(evaluation.satisfied_percentage),
-        "elapsed_seconds": float(evaluation.elapsed_seconds),
-    }
     extras = {
         f"solver_{key}": value for key, value in solver_stats.as_dict().items()
     }
@@ -179,8 +196,9 @@ def execute_task(task: Task) -> TaskResult:
         value_index=task.value_index,
         run_index=task.run_index,
         algorithm=algorithm.name,
-        metrics=metrics,
+        metrics=evaluation_metrics(evaluation),
         broken_elements=broken,
         wall_seconds=time.perf_counter() - started,
         extras=extras,
+        plan=plan_payload(plan) if task.capture_plan else None,
     )

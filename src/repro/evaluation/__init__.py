@@ -13,6 +13,7 @@
 """
 
 from repro.evaluation.demand_builder import (
+    explicit_demand,
     far_apart_demand,
     random_demand,
     routable_far_apart_demand,
@@ -22,6 +23,7 @@ from repro.evaluation.reporting import format_table, rows_to_csv
 from repro.evaluation.runner import ComparisonRow, compare_algorithms, run_repetitions
 
 __all__ = [
+    "explicit_demand",
     "far_apart_demand",
     "random_demand",
     "routable_far_apart_demand",

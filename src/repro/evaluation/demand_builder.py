@@ -174,3 +174,46 @@ def random_demand(
     if len(demand) < num_pairs:
         raise ValueError("could not sample enough distinct demand pairs")
     return demand
+
+
+def explicit_demand(
+    supply: SupplyGraph,
+    num_pairs: int = 0,
+    flow_per_pair: float = 0.0,
+    seed: RandomState = None,
+    pairs: Tuple = (),
+) -> DemandGraph:
+    """Build a demand graph from explicitly listed pairs.
+
+    ``pairs`` is a sequence of ``(source, target)`` tuples (each assigned
+    ``flow_per_pair`` units) or ``(source, target, amount)`` triples.  This
+    is the builder service clients use when the mission-critical pairs are
+    known up front rather than drawn at random; ``num_pairs`` and ``seed``
+    exist only for signature compatibility with the other builders and are
+    ignored.
+
+    Raises
+    ------
+    ValueError
+        If ``pairs`` is empty, an entry is malformed, or an endpoint is not
+        a node of the supply graph.
+    """
+    if not pairs:
+        raise ValueError("explicit demand needs at least one (source, target[, amount]) pair")
+    demand = DemandGraph()
+    for entry in pairs:
+        entry = tuple(entry)
+        if len(entry) == 2:
+            source, target = entry
+            amount = flow_per_pair
+        elif len(entry) == 3:
+            source, target, amount = entry
+        else:
+            raise ValueError(
+                f"demand pair must be (source, target) or (source, target, amount), got {entry!r}"
+            )
+        for endpoint in (source, target):
+            if endpoint not in supply:
+                raise ValueError(f"demand endpoint {endpoint!r} is not a supply node")
+        demand.add(source, target, float(amount))
+    return demand

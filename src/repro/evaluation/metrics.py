@@ -91,9 +91,15 @@ def evaluate_plan(
     demand: DemandGraph,
     plan: RecoveryPlan,
     check_routing: bool = True,
+    context=None,
 ) -> PlanEvaluation:
-    """Compute every figure metric for ``plan`` on the given instance."""
-    satisfaction = max_satisfiable_flow(recovered_graph(supply, plan), demand)
+    """Compute every figure metric for ``plan`` on the given instance.
+
+    ``context`` is an optional :class:`~repro.flows.solver.SolverContext`;
+    a long-lived session passes its own so repeated audit LPs on the same
+    topology are warm-started.
+    """
+    satisfaction = max_satisfiable_flow(recovered_graph(supply, plan), demand, context=context)
     violations: List[str] = []
     if check_routing and plan.routes:
         violations = plan.validate_routing(supply, demand)

@@ -1,12 +1,13 @@
 """The paper's experiments (Section VII), backed by the experiment engine.
 
 Each figure is a declarative :class:`~repro.engine.spec.ExperimentSpec`
-registered in :mod:`repro.engine.registry`; the functions here scale a
-registered spec to the caller's parameters and hand it to
-:func:`~repro.engine.experiment.run_experiment`, which decomposes the sweep
-into independent task cells, runs them serially or across worker processes
-(``jobs``), optionally resumes from an on-disk result cache (``cache_dir``),
-and aggregates the averaged rows the figure plots.
+registered in :mod:`repro.engine.registry`; the functions here are thin
+clients of :class:`~repro.api.service.RecoveryService`: they scale a
+registered spec to the caller's parameters and hand it to the service's
+``sweep`` entry point, which decomposes the sweep into independent task
+cells, runs them serially or across worker processes (``jobs``), optionally
+resumes from an on-disk result cache (``cache_dir``), and aggregates the
+averaged rows the figure plots.
 
 Every function returns a :class:`~repro.engine.experiment.ScenarioResult`
 whose ``rows`` are flat dictionaries — one row per (sweep value, algorithm)
@@ -37,9 +38,11 @@ import dataclasses
 from pathlib import Path
 from typing import Dict, Optional, Sequence, Union
 
-from repro.engine.experiment import ScenarioResult, run_experiment
+from repro.api.requests import DemandSpec
+from repro.api.service import RecoveryService
+from repro.engine.experiment import ScenarioResult
 from repro.engine.registry import get_spec
-from repro.engine.spec import DemandSpec, ExperimentSpec
+from repro.engine.spec import ExperimentSpec
 from repro.topologies.caida_like import caida_like
 from repro.utils.rng import SeedLike
 
@@ -88,7 +91,7 @@ def figure3_multicommodity(
         runs=runs,
         opt_time_limit=opt_time_limit,
     )
-    return run_experiment(spec, seed=seed, jobs=jobs, cache_dir=cache_dir)
+    return RecoveryService().sweep(spec, seed=seed, jobs=jobs, cache_dir=cache_dir)
 
 
 # --------------------------------------------------------------------- #
@@ -117,7 +120,7 @@ def figure4_demand_pairs(
         runs=runs,
         opt_time_limit=opt_time_limit,
     )
-    return run_experiment(spec, seed=seed, jobs=jobs, cache_dir=cache_dir)
+    return RecoveryService().sweep(spec, seed=seed, jobs=jobs, cache_dir=cache_dir)
 
 
 # --------------------------------------------------------------------- #
@@ -142,7 +145,7 @@ def figure5_demand_intensity(
         runs=runs,
         opt_time_limit=opt_time_limit,
     )
-    return run_experiment(spec, seed=seed, jobs=jobs, cache_dir=cache_dir)
+    return RecoveryService().sweep(spec, seed=seed, jobs=jobs, cache_dir=cache_dir)
 
 
 # --------------------------------------------------------------------- #
@@ -175,7 +178,7 @@ def figure6_disruption_extent(
         runs=runs,
         opt_time_limit=opt_time_limit,
     )
-    return run_experiment(spec, seed=seed, jobs=jobs, cache_dir=cache_dir)
+    return RecoveryService().sweep(spec, seed=seed, jobs=jobs, cache_dir=cache_dir)
 
 
 # --------------------------------------------------------------------- #
@@ -214,7 +217,7 @@ def figure7_scalability(
         runs=runs,
         opt_time_limit=opt_time_limit,
     )
-    return run_experiment(spec, seed=seed, jobs=jobs, cache_dir=cache_dir)
+    return RecoveryService().sweep(spec, seed=seed, jobs=jobs, cache_dir=cache_dir)
 
 
 # --------------------------------------------------------------------- #
@@ -274,4 +277,4 @@ def figure9_caida(
         runs=runs,
         opt_time_limit=opt_time_limit,
     )
-    return run_experiment(spec, seed=seed, jobs=jobs, cache_dir=cache_dir)
+    return RecoveryService().sweep(spec, seed=seed, jobs=jobs, cache_dir=cache_dir)

@@ -64,14 +64,17 @@ class DamageAssessment:
         }
 
 
-def assess_damage(supply: SupplyGraph, demand: DemandGraph) -> DamageAssessment:
+def assess_damage(
+    supply: SupplyGraph, demand: DemandGraph, context=None
+) -> DamageAssessment:
     """Compute a :class:`DamageAssessment` for a disrupted instance.
 
     The assessment only looks at the surviving network (no hypothetical
     repairs): disconnected pairs are demand pairs whose endpoints cannot
     reach each other on working elements, and the pre-recovery satisfied
     fraction is the share of the demand the surviving capacity can carry
-    simultaneously.
+    simultaneously.  ``context`` optionally warm-starts the satisfaction LP
+    from a session's :class:`~repro.flows.solver.SolverContext`.
     """
     working = supply.working_graph(use_residual=False)
 
@@ -91,7 +94,7 @@ def assess_damage(supply: SupplyGraph, demand: DemandGraph) -> DamageAssessment:
         ):
             disconnected.append(pair.pair)
 
-    satisfaction = max_satisfiable_flow(working, demand)
+    satisfaction = max_satisfiable_flow(working, demand, context=context)
 
     return DamageAssessment(
         total_nodes=supply.number_of_nodes,

@@ -51,3 +51,22 @@ class FailureModel(abc.ABC):
         for u, v in report.broken_edges:
             supply.break_edge(u, v)
         return report
+
+    def applied(
+        self, supply: SupplyGraph, seed: RandomState = None
+    ) -> Tuple[SupplyGraph, FailureReport]:
+        """Non-mutating :meth:`apply`: return a disrupted *copy* of ``supply``.
+
+        The random draws are identical to :meth:`apply` with the same seed,
+        so both paths produce the same disruption; only the mutation target
+        differs.  This is what lets a long-lived service keep one pristine
+        topology and derive a fresh disrupted instance per request without
+        the cached graph ever being corrupted between requests.
+        """
+        report = self.sample(supply, seed=ensure_rng(seed))
+        clone = supply.copy()
+        for node in report.broken_nodes:
+            clone.break_node(node)
+        for u, v in report.broken_edges:
+            clone.break_edge(u, v)
+        return clone, report

@@ -163,7 +163,13 @@ class ScipyHighsBackend(SolverBackend):
             bounds=program.bounds,
             method=method,
         )
-        record_solve(time.perf_counter() - started, kind="lp")
+        # A warm start cannot be consumed by linprog, but the *offer* is
+        # still recorded so session-level reuse is visible on every backend.
+        record_solve(
+            time.perf_counter() - started,
+            kind="lp",
+            warm_start_attempted=warm_start is not None,
+        )
         if result.success:
             return LPSolution(
                 status="optimal",

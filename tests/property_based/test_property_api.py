@@ -1,0 +1,197 @@
+"""Property tests: the api schema round-trips losslessly through JSON."""
+
+import json
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api.requests import (
+    AssessmentRequest,
+    DemandSpec,
+    DisruptionSpec,
+    RecoveryRequest,
+    TopologySpec,
+    request_from_dict,
+)
+from repro.api.results import (
+    AlgorithmRun,
+    RecoveryResult,
+    jsonify_plan,
+    plan_from_payload,
+    plan_payload,
+)
+from repro.heuristics.registry import available_algorithms
+from repro.network.plan import RecoveryPlan
+
+# ---------------------------------------------------------------------- #
+# Request strategies
+# ---------------------------------------------------------------------- #
+
+scalars = st.one_of(
+    st.integers(min_value=-(10**6), max_value=10**6),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(min_size=0, max_size=12),
+    st.booleans(),
+    st.none(),
+)
+
+kwarg_keys = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz_", min_size=1, max_size=10
+)
+
+kwargs_dicts = st.dictionaries(kwarg_keys, scalars, max_size=4)
+
+topology_specs = st.builds(
+    TopologySpec,
+    name=st.sampled_from(["bell-canada", "grid", "ring", "star", "erdos-renyi", "caida-like"]),
+    kwargs=kwargs_dicts,
+)
+
+disruption_specs = st.builds(
+    DisruptionSpec,
+    kind=st.sampled_from(["complete", "gaussian", "random", "none"]),
+    kwargs=kwargs_dicts,
+)
+
+demand_specs = st.builds(
+    DemandSpec,
+    builder=st.sampled_from(["routable-far-apart", "far-apart", "random", "explicit"]),
+    num_pairs=st.integers(min_value=1, max_value=16),
+    flow_per_pair=st.floats(min_value=0.25, max_value=100.0, allow_nan=False, width=32),
+    kwargs=kwargs_dicts,
+)
+
+algorithm_lists = st.lists(
+    st.sampled_from(available_algorithms()), min_size=1, max_size=4, unique=True
+).map(tuple)
+
+algorithm_kwargs_maps = st.dictionaries(
+    st.sampled_from(available_algorithms()), kwargs_dicts, max_size=2
+)
+
+recovery_requests = st.builds(
+    RecoveryRequest,
+    topology=topology_specs,
+    disruption=disruption_specs,
+    demand=demand_specs,
+    algorithms=algorithm_lists,
+    algorithm_kwargs=algorithm_kwargs_maps,
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    opt_time_limit=st.one_of(
+        st.none(), st.floats(min_value=0.1, max_value=3600.0, allow_nan=False)
+    ),
+)
+
+assessment_requests = st.builds(
+    AssessmentRequest,
+    topology=topology_specs,
+    disruption=disruption_specs,
+    demand=demand_specs,
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(request=recovery_requests)
+def test_recovery_request_round_trips_losslessly(request):
+    payload = json.loads(json.dumps(request.to_dict()))
+    assert RecoveryRequest.from_dict(payload) == request
+    assert request_from_dict(payload) == request
+
+
+@settings(max_examples=60, deadline=None)
+@given(request=recovery_requests)
+def test_recovery_request_digest_is_stable(request):
+    clone = RecoveryRequest.from_dict(json.loads(json.dumps(request.to_dict())))
+    assert clone.digest() == request.digest()
+
+
+@settings(max_examples=40, deadline=None)
+@given(request=assessment_requests)
+def test_assessment_request_round_trips_losslessly(request):
+    payload = json.loads(json.dumps(request.to_dict()))
+    assert AssessmentRequest.from_dict(payload) == request
+    assert request_from_dict(payload) == request
+
+
+# ---------------------------------------------------------------------- #
+# Result strategies
+# ---------------------------------------------------------------------- #
+
+node_ids = st.one_of(
+    st.integers(min_value=0, max_value=50),
+    st.text(alphabet="abcdefgh", min_size=1, max_size=6),
+    st.tuples(st.integers(min_value=0, max_value=9), st.integers(min_value=0, max_value=9)),
+)
+
+
+@st.composite
+def recovery_plans(draw):
+    plan = RecoveryPlan(algorithm=draw(st.sampled_from(available_algorithms())))
+    for node in draw(st.lists(node_ids, max_size=6, unique=True)):
+        plan.add_node_repair(node)
+    for u, v in draw(
+        st.lists(st.tuples(node_ids, node_ids), max_size=6, unique=True)
+    ):
+        if u != v:
+            plan.add_edge_repair(u, v)
+    plan.iterations = draw(st.integers(min_value=0, max_value=100))
+    return plan
+
+
+metric_dicts = st.fixed_dictionaries(
+    {
+        "node_repairs": st.integers(min_value=0, max_value=50).map(float),
+        "edge_repairs": st.integers(min_value=0, max_value=50).map(float),
+        "total_repairs": st.integers(min_value=0, max_value=100).map(float),
+        "repair_cost": st.floats(min_value=0, max_value=1000, allow_nan=False, width=32),
+        "satisfied_pct": st.floats(min_value=0, max_value=100, allow_nan=False, width=32),
+        "elapsed_seconds": st.floats(min_value=0, max_value=60, allow_nan=False, width=32),
+    }
+)
+
+solver_dicts = st.dictionaries(
+    st.sampled_from(
+        ["lp_solves", "milp_solves", "solve_seconds", "structure_hits", "warm_start_hits"]
+    ),
+    st.floats(min_value=0, max_value=1e6, allow_nan=False, width=32),
+    max_size=5,
+)
+
+
+@st.composite
+def algorithm_runs(draw):
+    plan = draw(recovery_plans())
+    return AlgorithmRun(
+        algorithm=plan.algorithm,
+        metrics=draw(metric_dicts),
+        plan=plan_payload(plan),
+        solver=draw(solver_dicts),
+        cached=draw(st.booleans()),
+    )
+
+
+recovery_results = st.builds(
+    RecoveryResult,
+    request=st.builds(lambda r: r.to_dict(), recovery_requests),
+    results=st.lists(algorithm_runs(), max_size=3),
+    broken_elements=st.integers(min_value=0, max_value=500),
+    wall_seconds=st.floats(min_value=0, max_value=600, allow_nan=False, width=32),
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(result=recovery_results)
+def test_recovery_result_round_trips_losslessly(result):
+    payload = json.loads(json.dumps(result.to_dict()))
+    assert RecoveryResult.from_dict(payload) == result
+
+
+@settings(max_examples=30, deadline=None)
+@given(plan=recovery_plans())
+def test_plan_payload_reconstruction_preserves_repairs(plan):
+    payload = json.loads(json.dumps(jsonify_plan(plan_payload(plan))))
+    rebuilt = plan_from_payload(payload, algorithm=plan.algorithm)
+    assert set(rebuilt.repaired_nodes) == set(plan.repaired_nodes)
+    assert set(rebuilt.repaired_edges) == set(plan.repaired_edges)
+    assert rebuilt.iterations == plan.iterations

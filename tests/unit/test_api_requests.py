@@ -1,0 +1,223 @@
+"""Tests for the request schema of the service facade (repro.api.requests)."""
+
+import json
+
+import pytest
+
+from repro.api.requests import (
+    SCHEMA_VERSION,
+    AssessmentRequest,
+    DemandSpec,
+    DisruptionSpec,
+    RecoveryRequest,
+    TopologySpec,
+    config_digest,
+    materialise_instance,
+    request_from_dict,
+)
+from repro.engine.spec import ExperimentSpec
+from repro.engine.tasks import expand_tasks
+
+
+def grid_request(**changes):
+    defaults = dict(
+        topology=TopologySpec("grid", kwargs={"rows": 3, "cols": 3, "capacity": 10.0}),
+        disruption=DisruptionSpec("complete"),
+        demand=DemandSpec("far-apart", num_pairs=1, flow_per_pair=5.0),
+        algorithms=("ISP", "ALL"),
+        seed=3,
+    )
+    defaults.update(changes)
+    return RecoveryRequest(**defaults)
+
+
+class TestValidation:
+    def test_unknown_topology_rejected(self):
+        with pytest.raises(KeyError):
+            TopologySpec("no-such-topology")
+
+    def test_unknown_disruption_rejected(self):
+        with pytest.raises(ValueError):
+            DisruptionSpec("meteor")
+
+    def test_unknown_demand_builder_rejected(self):
+        with pytest.raises(KeyError):
+            DemandSpec("no-such-builder")
+
+    def test_unknown_algorithm_rejected(self):
+        with pytest.raises(KeyError):
+            grid_request(algorithms=("ISP", "NO-SUCH"))
+
+    def test_empty_algorithms_rejected(self):
+        with pytest.raises(ValueError):
+            grid_request(algorithms=())
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(KeyError):
+            grid_request(lp_backend="no-such-backend")
+
+    def test_algorithm_names_canonicalised(self):
+        request = grid_request(algorithms=("isp", "all"))
+        assert request.algorithms == ("ISP", "ALL")
+
+    def test_mapping_kwargs_rejected(self):
+        # Dict-valued kwargs would silently break request hashability.
+        with pytest.raises(TypeError):
+            TopologySpec("grid", kwargs={"meta": {"a": 1}})
+
+    def test_other_unhashable_kwargs_rejected(self):
+        with pytest.raises(TypeError):
+            TopologySpec("grid", kwargs={"tags": {1, 2}})
+
+    def test_pinned_seed_controls_determinism(self):
+        seeded = TopologySpec("erdos-renyi", kwargs={"num_nodes": 10, "seed": 5})
+        entropy = TopologySpec("erdos-renyi", kwargs={"num_nodes": 10, "seed": None})
+        unseeded = TopologySpec("erdos-renyi", kwargs={"num_nodes": 10})
+        assert seeded.deterministic
+        assert not entropy.deterministic
+        assert not unseeded.deterministic
+        assert TopologySpec("grid").deterministic
+
+    def test_requests_are_hashable(self):
+        assert len({grid_request(), grid_request(), grid_request(seed=4)}) == 2
+
+
+class TestRoundTrip:
+    def test_recovery_request_json_round_trip(self):
+        request = grid_request(
+            algorithm_kwargs={"ISP": {"split_amount_mode": "bottleneck"}},
+            opt_time_limit=30,
+        )
+        payload = json.loads(json.dumps(request.to_dict()))
+        assert payload["schema_version"] == SCHEMA_VERSION
+        assert RecoveryRequest.from_dict(payload) == request
+
+    def test_assessment_request_json_round_trip(self):
+        request = AssessmentRequest(
+            topology=TopologySpec("bell-canada"),
+            disruption=DisruptionSpec("gaussian", kwargs={"variance": 60.0}),
+            demand=DemandSpec(num_pairs=2, flow_per_pair=10.0),
+            seed=7,
+        )
+        payload = json.loads(json.dumps(request.to_dict()))
+        assert AssessmentRequest.from_dict(payload) == request
+
+    def test_request_from_dict_dispatches_on_kind(self):
+        recovery = grid_request()
+        assessment = AssessmentRequest(topology=TopologySpec("bell-canada"))
+        assert request_from_dict(recovery.to_dict()) == recovery
+        assert request_from_dict(assessment.to_dict()) == assessment
+        with pytest.raises(ValueError):
+            request_from_dict({"kind": "unknown"})
+
+    def test_newer_schema_rejected(self):
+        payload = grid_request().to_dict()
+        payload["schema_version"] = SCHEMA_VERSION + 1
+        with pytest.raises(ValueError):
+            RecoveryRequest.from_dict(payload)
+
+    def test_nested_tuple_kwargs_survive_the_trip(self):
+        # Explicit demand pairs use nested tuples (grid nodes are tuples).
+        request = grid_request(
+            demand=DemandSpec(
+                "explicit",
+                num_pairs=2,
+                flow_per_pair=6.0,
+                kwargs={"pairs": (((0, 0), (2, 2)), ((0, 2), (2, 0)))},
+            )
+        )
+        payload = json.loads(json.dumps(request.to_dict()))
+        assert RecoveryRequest.from_dict(payload) == request
+
+    def test_digest_is_stable_and_discriminates(self):
+        request = grid_request()
+        assert request.digest() == grid_request().digest()
+        assert request.digest() != grid_request(seed=4).digest()
+
+
+class TestSharedHashing:
+    def test_request_tasks_share_engine_cache_hashing(self):
+        """solve_batch keys are engine cell keys: same digest pipeline."""
+        request = grid_request()
+        tasks = expand_tasks(request.to_experiment_spec(), seed=request.seed)
+        assert len(tasks) == len(request.algorithms)
+        for task in tasks:
+            config = task.spec.cell_config(task.sweep_value, task.algorithm)
+            config["root_entropy"] = task.root_entropy
+            config["spawn_key"] = list(task.spawn_key)
+            assert task.cache_key() == config_digest(config)
+
+    def test_algorithm_kwargs_change_the_cell_key(self):
+        plain = grid_request(algorithms=("ISP",))
+        tuned = grid_request(
+            algorithms=("ISP",),
+            algorithm_kwargs={"ISP": {"split_amount_mode": "bottleneck"}},
+        )
+        key = lambda request: expand_tasks(  # noqa: E731 - local shorthand
+            request.to_experiment_spec(), seed=request.seed
+        )[0].cache_key()
+        assert key(plain) != key(tuned)
+
+
+class TestExperimentSpecConfig:
+    def test_from_config_round_trips_to_config(self):
+        from repro.engine.registry import get_spec
+
+        for name in ("bellcanada-demand-pairs", "erdos-renyi-scalability"):
+            spec = get_spec(name)
+            assert ExperimentSpec.from_config(spec.to_config()) == spec
+
+    def test_from_config_round_trips_through_json(self):
+        from repro.engine.registry import get_spec
+
+        spec = get_spec("bellcanada-disruption-extent")
+        payload = json.loads(json.dumps(spec.to_config()))
+        assert ExperimentSpec.from_config(payload) == spec
+
+    def test_moved_names_still_importable_with_deprecation(self):
+        import warnings
+
+        import repro.engine.spec as legacy
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            assert legacy.TopologySpec is TopologySpec
+            assert legacy.config_digest is config_digest
+        assert any(issubclass(w.category, DeprecationWarning) for w in caught)
+
+
+class TestMaterialise:
+    def test_prebuilt_supply_is_not_mutated(self):
+        import numpy as np
+
+        topology = TopologySpec("grid", kwargs={"rows": 3, "cols": 3, "capacity": 10.0})
+        pristine = topology.build(np.random.default_rng(0), {})
+        supply, demand, report = materialise_instance(
+            topology,
+            DisruptionSpec("complete"),
+            DemandSpec("far-apart", num_pairs=1, flow_per_pair=5.0),
+            np.random.default_rng(1),
+            supply=pristine,
+        )
+        assert not pristine.broken_nodes and not pristine.broken_edges
+        assert supply.broken_nodes and report.total_broken > 0
+        assert len(demand) == 1
+
+    def test_prebuilt_and_fresh_paths_build_identical_instances(self):
+        import numpy as np
+
+        topology = TopologySpec("bell-canada")
+        disruption = DisruptionSpec("gaussian", kwargs={"variance": 60.0})
+        demand_spec = DemandSpec(num_pairs=2, flow_per_pair=10.0)
+        fresh_supply, fresh_demand, _ = materialise_instance(
+            topology, disruption, demand_spec, np.random.default_rng(5)
+        )
+        pristine = topology.build(np.random.default_rng(0), {})
+        cached_supply, cached_demand, _ = materialise_instance(
+            topology, disruption, demand_spec, np.random.default_rng(5), supply=pristine
+        )
+        assert fresh_supply.broken_nodes == cached_supply.broken_nodes
+        assert fresh_supply.broken_edges == cached_supply.broken_edges
+        assert {p.pair for p in fresh_demand.pairs()} == {
+            p.pair for p in cached_demand.pairs()
+        }

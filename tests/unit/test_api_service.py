@@ -1,0 +1,215 @@
+"""Tests for the RecoveryService session layer (repro.api.service)."""
+
+import json
+
+import pytest
+
+from repro.api import (
+    AssessmentRequest,
+    DemandSpec,
+    DisruptionSpec,
+    RecoveryRequest,
+    RecoveryResult,
+    RecoveryService,
+    TopologySpec,
+)
+from repro.flows.solver.incremental import clear_structure_cache
+
+
+def grid_request(**changes):
+    defaults = dict(
+        topology=TopologySpec("grid", kwargs={"rows": 3, "cols": 3, "capacity": 10.0}),
+        disruption=DisruptionSpec("complete"),
+        demand=DemandSpec("far-apart", num_pairs=1, flow_per_pair=5.0),
+        algorithms=("ISP", "ALL"),
+        seed=3,
+    )
+    defaults.update(changes)
+    return RecoveryRequest(**defaults)
+
+
+def deterministic_metrics(run):
+    return {k: v for k, v in run.metrics.items() if k != "elapsed_seconds"}
+
+
+class TestSolve:
+    def test_solve_returns_one_run_per_algorithm(self):
+        result = RecoveryService().solve(grid_request())
+        assert [run.algorithm for run in result.results] == ["ISP", "ALL"]
+        assert result.broken_elements > 0
+        for run in result.results:
+            assert run.metrics["total_repairs"] > 0
+            assert run.plan["repaired_nodes"] or run.plan["repaired_edges"]
+
+    def test_solve_is_deterministic_across_sessions(self):
+        first = RecoveryService().solve(grid_request())
+        second = RecoveryService().solve(grid_request())
+        for a, b in zip(first.results, second.results):
+            assert deterministic_metrics(a) == deterministic_metrics(b)
+            assert a.plan == b.plan
+
+    def test_result_envelope_round_trips_through_json(self):
+        result = RecoveryService().solve(grid_request())
+        payload = json.loads(json.dumps(result.to_dict()))
+        restored = RecoveryResult.from_dict(payload)
+        # Tuple-valued grid node ids come back as tuples, not lists.
+        assert restored.run("ISP").plan == result.run("ISP").plan
+        assert restored == result
+
+    def test_plan_reconstruction(self):
+        result = RecoveryService().solve(grid_request(algorithms=("ISP",)))
+        plan = result.run("ISP").to_plan()
+        assert plan.total_repairs == int(result.run("ISP").metrics["total_repairs"])
+
+    def test_algorithm_kwargs_are_honoured(self):
+        # Forcing the bottleneck split mode must still produce a working plan.
+        result = RecoveryService().solve(
+            grid_request(
+                algorithms=("ISP",),
+                algorithm_kwargs={"ISP": {"split_amount_mode": "bottleneck"}},
+            )
+        )
+        assert result.run("ISP").metrics["satisfied_pct"] == pytest.approx(100.0)
+
+
+class TestSessionReuse:
+    def test_repeated_solve_hits_structure_cache_and_warm_start_store(self):
+        clear_structure_cache()
+        service = RecoveryService()
+        request = grid_request(algorithms=("ISP",))
+        first = service.solve(request).run("ISP").solver
+        second = service.solve(request).run("ISP").solver
+        # First solve of the session pays the structure builds ...
+        assert first["structure_misses"] > 0
+        # ... the repeat is served entirely from the topology-structure cache
+        assert second["structure_misses"] == 0
+        assert second["structure_hits"] > 0
+        # and the session's context offers the remembered audit solution.
+        assert second["warm_start_attempts"] >= 1
+
+    def test_topology_lru_reuses_pristine_build(self):
+        service = RecoveryService()
+        service.solve(grid_request(seed=3))
+        service.solve(grid_request(seed=4))
+        info = service.cache_info()
+        assert info["topology_cache_misses"] == 1
+        assert info["topology_cache_hits"] == 1
+        assert info["topology_cache_size"] == 1
+
+    def test_request_backend_does_not_leak(self):
+        from repro.flows.solver.backends import default_backend_name
+
+        before = default_backend_name()
+        # 'scipy' always exists; a request naming it explicitly must leave
+        # the process default untouched afterwards.
+        RecoveryService().solve(grid_request(algorithms=("SRT",), lp_backend="scipy"))
+        assert default_backend_name() == before
+
+    def test_pinned_seed_topologies_are_cached(self):
+        service = RecoveryService()
+        request = grid_request(
+            topology=TopologySpec(
+                "erdos-renyi",
+                kwargs={"num_nodes": 12, "edge_probability": 0.4, "capacity": 100.0, "seed": 5},
+            ),
+            demand=DemandSpec("random", num_pairs=1, flow_per_pair=1.0),
+            algorithms=("SRT",),
+        )
+        first = service.solve(request)
+        second = service.solve(request)
+        info = service.cache_info()
+        assert info["topology_cache_misses"] == 1
+        assert info["topology_cache_hits"] == 1
+        assert deterministic_metrics(first.results[0]) == deterministic_metrics(
+            second.results[0]
+        )
+
+    def test_seeded_topologies_bypass_the_lru(self):
+        service = RecoveryService()
+        request = grid_request(
+            topology=TopologySpec(
+                "erdos-renyi",
+                kwargs={"num_nodes": 12, "edge_probability": 0.4, "capacity": 100.0},
+            ),
+            demand=DemandSpec("random", num_pairs=1, flow_per_pair=1.0),
+            algorithms=("SRT",),
+        )
+        service.solve(request)
+        service.solve(request)
+        assert service.cache_info()["topology_cache_size"] == 0
+
+
+class TestAssess:
+    def test_assess_matches_direct_assessment(self):
+        request = AssessmentRequest(
+            topology=TopologySpec("grid", kwargs={"rows": 3, "cols": 3}),
+            disruption=DisruptionSpec("gaussian", kwargs={"variance": 2.0}),
+            demand=DemandSpec("far-apart", num_pairs=1, flow_per_pair=2.0),
+            seed=5,
+        )
+        service = RecoveryService()
+        result = service.assess(request)
+        assert result.summary["broken_nodes"] + result.summary["broken_edges"] > 0
+        assert "pre_recovery_satisfied_pct" in result.summary
+        # The envelope round-trips.
+        from repro.api import AssessmentResult
+
+        restored = AssessmentResult.from_dict(json.loads(json.dumps(result.to_dict())))
+        assert restored == result
+
+
+class TestSolveBatch:
+    def test_batch_matches_in_process_solve(self):
+        requests = [grid_request(seed=3), grid_request(seed=9, algorithms=("SRT",))]
+        service = RecoveryService()
+        batch = service.solve_batch(requests, jobs=2)
+        for request, envelope in zip(requests, batch):
+            solo = service.solve(request)
+            assert [r.algorithm for r in envelope.results] == list(request.algorithms)
+            for run_b, run_s in zip(envelope.results, solo.results):
+                assert deterministic_metrics(run_b) == deterministic_metrics(run_s)
+                assert run_b.plan["repaired_nodes"] == run_s.plan["repaired_nodes"]
+                assert run_b.plan["repaired_edges"] == run_s.plan["repaired_edges"]
+
+    def test_batch_resumes_from_request_keyed_cache(self, tmp_path):
+        requests = [grid_request(seed=3), grid_request(seed=9)]
+        service = RecoveryService()
+        first = service.solve_batch(requests, cache_dir=tmp_path)
+        assert not any(run.cached for envelope in first for run in envelope.results)
+        stored = len(list(tmp_path.glob("*.json")))
+        assert stored == sum(len(request.algorithms) for request in requests)
+        second = service.solve_batch(requests, cache_dir=tmp_path)
+        assert all(run.cached for envelope in second for run in envelope.results)
+        for a, b in zip(first, second):
+            for run_a, run_b in zip(a.results, b.results):
+                assert run_a.metrics == run_b.metrics
+                assert run_a.plan == run_b.plan
+
+    def test_batch_recomputes_planless_sweep_cache_entries(self, tmp_path):
+        """A metrics-only cell cached by a sweep must not yield an empty plan."""
+        from repro.engine.cache import ResultCache
+        from repro.engine.tasks import expand_tasks, execute_task
+
+        request = grid_request(algorithms=("ISP",))
+        # Simulate a sweep run: same cell, cached without capture_plan.
+        cache = ResultCache(tmp_path)
+        task = expand_tasks(request.to_experiment_spec(), seed=request.seed)[0]
+        cache.put(task, execute_task(task))
+        envelope = RecoveryService().solve_batch([request], cache_dir=tmp_path)[0]
+        run = envelope.results[0]
+        assert not run.cached  # recomputed, not served plan-less
+        assert run.plan["repaired_nodes"] or run.plan["repaired_edges"]
+        # The recompute overwrote the entry; the next batch is served plans.
+        again = RecoveryService().solve_batch([request], cache_dir=tmp_path)[0]
+        assert again.results[0].cached
+        assert again.results[0].plan == run.plan
+
+    def test_cached_batch_plans_survive_json_storage(self, tmp_path):
+        # Grid node ids are tuples; the disk cache stores them as lists and
+        # the envelope canonicalises them back.
+        request = grid_request(algorithms=("ISP",))
+        service = RecoveryService()
+        fresh = service.solve_batch([request], cache_dir=tmp_path)[0]
+        cached = service.solve_batch([request], cache_dir=tmp_path)[0]
+        assert cached.results[0].cached
+        assert cached.results[0].plan == fresh.results[0].plan

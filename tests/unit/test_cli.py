@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -126,6 +128,108 @@ class TestCommands:
                     "1",
                 ]
             )
+
+
+GRID_SOLVE_ARGS = [
+    "solve",
+    "--topology",
+    "grid",
+    "--topology-arg",
+    "rows=3",
+    "--topology-arg",
+    "cols=3",
+    "--pairs",
+    "1",
+    "--flow",
+    "5",
+    "--algorithms",
+    "ISP",
+    "ALL",
+    "--seed",
+    "3",
+]
+
+
+class TestJsonOutput:
+    def test_solve_json_prints_versioned_envelope(self, capsys):
+        assert main(GRID_SOLVE_ARGS + ["--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "recovery-result"
+        assert payload["schema_version"] == 1
+        assert payload["request"]["kind"] == "recovery"
+        assert payload["request"]["algorithms"] == ["ISP", "ALL"]
+        algorithms = [run["algorithm"] for run in payload["results"]]
+        assert algorithms == ["ISP", "ALL"]
+        for run in payload["results"]:
+            assert set(run["metrics"]) >= {"total_repairs", "satisfied_pct"}
+            assert "repaired_nodes" in run["plan"]
+            assert "lp_solves" in run["solver"]
+
+    def test_solve_json_matches_direct_service_call(self, capsys):
+        """Golden check: the CLI envelope is the service envelope."""
+        from repro.api import (
+            DemandSpec,
+            DisruptionSpec,
+            RecoveryRequest,
+            RecoveryService,
+            TopologySpec,
+        )
+
+        assert main(GRID_SOLVE_ARGS + ["--json"]) == 0
+        cli_payload = json.loads(capsys.readouterr().out)
+        request = RecoveryRequest(
+            topology=TopologySpec("grid", kwargs={"rows": 3, "cols": 3}),
+            disruption=DisruptionSpec("complete"),
+            demand=DemandSpec("routable-far-apart", num_pairs=1, flow_per_pair=5.0),
+            algorithms=("ISP", "ALL"),
+            seed=3,
+            opt_time_limit=120.0,
+        )
+        service_payload = RecoveryService().solve(request).to_dict()
+        assert cli_payload["request"] == service_payload["request"]
+        for cli_run, service_run in zip(cli_payload["results"], service_payload["results"]):
+            assert cli_run["plan"] == service_run["plan"]
+            for key, value in service_run["metrics"].items():
+                if key != "elapsed_seconds":
+                    assert cli_run["metrics"][key] == value
+
+    def test_solve_json_round_trips_into_result(self, capsys):
+        from repro.api import RecoveryResult
+
+        assert main(GRID_SOLVE_ARGS + ["--json"]) == 0
+        result = RecoveryResult.from_dict(json.loads(capsys.readouterr().out))
+        assert result.run("ISP").metrics["total_repairs"] > 0
+
+    def test_assess_json_envelope(self, capsys):
+        assert (
+            main(
+                [
+                    "assess",
+                    "--topology",
+                    "grid",
+                    "--topology-arg",
+                    "rows=3",
+                    "--topology-arg",
+                    "cols=3",
+                    "--disruption",
+                    "gaussian",
+                    "--variance",
+                    "2.0",
+                    "--pairs",
+                    "1",
+                    "--flow",
+                    "2",
+                    "--seed",
+                    "5",
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "assessment-result"
+        assert payload["schema_version"] == 1
+        assert "pre_recovery_satisfied_pct" in payload["summary"]
 
 
 class TestSweepCommands:
