@@ -62,9 +62,11 @@ from repro.evaluation.demand_builder import (
 )
 from repro.evaluation.metrics import PlanEvaluation, evaluate_plan
 from repro.evaluation.runner import compare_algorithms, run_repetitions
+from repro.failures.cascading import CascadingFailure
 from repro.failures.complete import CompleteDestruction
-from repro.failures.geographic import GaussianDisruption
+from repro.failures.geographic import GaussianDisruption, MultiEpicenterDisruption
 from repro.failures.random_failures import UniformRandomFailure
+from repro.failures.targeted import TargetedAttack
 from repro.flows.milp import solve_minimum_recovery
 from repro.flows.multicommodity import solve_multicommodity_recovery
 from repro.flows.routability import is_routable, routability_test
@@ -80,10 +82,14 @@ from repro.heuristics.registry import available_algorithms, get_algorithm
 from repro.network.demand import DemandGraph, DemandPair
 from repro.network.plan import RecoveryPlan, RouteAssignment
 from repro.network.supply import SupplyGraph
+from repro.scenarios import FuzzReport, ScenarioGenerator, ScenarioSpace, run_fuzz
 from repro.topologies.bellcanada import bell_canada
 from repro.topologies.caida_like import caida_like
 from repro.topologies.grids import grid_topology, ring_topology, star_topology
+from repro.topologies.io import topology_from_file
 from repro.topologies.random_graphs import erdos_renyi, geometric_graph
+from repro.topologies.zoo import barabasi_albert, fat_tree, watts_strogatz
+from repro.verification import InvariantReport, Violation, audit_result, check_plan_invariants
 
 __version__ = "1.2.0"
 
@@ -133,10 +139,26 @@ __all__ = [
     "grid_topology",
     "ring_topology",
     "star_topology",
+    "barabasi_albert",
+    "watts_strogatz",
+    "fat_tree",
+    "topology_from_file",
     # failures
+    "CascadingFailure",
     "CompleteDestruction",
     "GaussianDisruption",
+    "MultiEpicenterDisruption",
+    "TargetedAttack",
     "UniformRandomFailure",
+    # scenario zoo + verification harness
+    "ScenarioSpace",
+    "ScenarioGenerator",
+    "FuzzReport",
+    "run_fuzz",
+    "InvariantReport",
+    "Violation",
+    "audit_result",
+    "check_plan_invariants",
     # experiment engine
     "ExperimentSpec",
     "TopologySpec",

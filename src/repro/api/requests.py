@@ -41,9 +41,11 @@ from repro.evaluation.demand_builder import (
     routable_far_apart_demand,
 )
 from repro.failures.base import FailureModel, FailureReport
+from repro.failures.cascading import CascadingFailure
 from repro.failures.complete import CompleteDestruction
-from repro.failures.geographic import GaussianDisruption
+from repro.failures.geographic import GaussianDisruption, MultiEpicenterDisruption
 from repro.failures.random_failures import UniformRandomFailure
+from repro.failures.targeted import TargetedAttack
 from repro.heuristics.registry import available_algorithms
 from repro.network.demand import DemandGraph
 from repro.network.supply import SupplyGraph
@@ -61,8 +63,37 @@ _DEMAND_BUILDERS = {
     "explicit": explicit_demand,
 }
 
-#: Disruption kinds addressable by name from a spec.
-_DISRUPTION_KINDS = ("complete", "gaussian", "random", "none")
+#: Disruption kinds addressable by name from a spec.  Existing kinds keep
+#: their position and spelling — spec dictionaries (and therefore engine
+#: cache keys) must not change when new kinds are appended.
+_DISRUPTION_KINDS = (
+    "complete",
+    "gaussian",
+    "random",
+    "none",
+    "cascading",
+    "multi-gaussian",
+    "targeted",
+)
+
+#: Model class per parameterised kind, for eager kwargs validation.
+_DISRUPTION_MODELS = {
+    "gaussian": GaussianDisruption,
+    "random": UniformRandomFailure,
+    "cascading": CascadingFailure,
+    "multi-gaussian": MultiEpicenterDisruption,
+    "targeted": TargetedAttack,
+}
+
+
+#: Topology builders whose output depends on external input (files) rather
+#: than only on the spec — never cached as "pristine" by service sessions.
+_EXTERNAL_INPUT_TOPOLOGIES = frozenset({"from-file"})
+
+
+def available_disruptions() -> Tuple[str, ...]:
+    """Disruption kinds a :class:`DisruptionSpec` accepts, in schema order."""
+    return _DISRUPTION_KINDS
 
 
 def freeze_value(value: Any) -> Any:
@@ -147,8 +178,13 @@ class TopologySpec:
         one in its kwargs (``build`` only defaults the seed when absent) —
         in both cases the same spec always yields the same graph, so a
         session may cache the pristine build.  A pinned ``seed=None`` means
-        OS entropy and is *not* deterministic.
+        OS entropy and is *not* deterministic.  Builders reading external
+        input are excluded: their output can change under an unchanged spec
+        (the file gets edited), so a session must re-read, not serve a
+        cached pristine copy.
         """
+        if self.name in _EXTERNAL_INPUT_TOPOLOGIES:
+            return False
         kwargs = dict(self.kwargs)
         if "seed" in kwargs:
             return kwargs["seed"] is not None
@@ -175,18 +211,51 @@ class DisruptionSpec:
                 f"unknown disruption {self.kind!r}; available: {', '.join(_DISRUPTION_KINDS)}"
             )
         object.__setattr__(self, "kwargs", _frozen_kwargs(dict(self.kwargs)))
+        self._validate_kwargs()
+
+    def _validate_kwargs(self) -> None:
+        """Reject keyword arguments the kind's model cannot accept.
+
+        Catching an unknown name here — instead of as a ``TypeError`` deep
+        inside a later solve — gives CLI/service clients a clean error, and
+        prevents silently-ignored kwargs from changing request digests
+        (``complete`` and ``none`` take no parameters at all).
+        """
+        keys = [key for key, _ in self.kwargs]
+        model_cls = _DISRUPTION_MODELS.get(self.kind)
+        if model_cls is None:
+            if keys:
+                raise ValueError(
+                    f"disruption {self.kind!r} takes no parameters, got: {', '.join(keys)}"
+                )
+            return
+        accepted = inspect.signature(model_cls.__init__).parameters
+        unknown = [key for key in keys if key not in accepted]
+        if unknown:
+            valid = [name for name in accepted if name != "self"]
+            raise ValueError(
+                f"unknown {self.kind} disruption parameter(s) {', '.join(unknown)}; "
+                f"valid: {', '.join(valid)}"
+            )
 
     def model(self, overrides: Optional[Mapping[str, Any]] = None) -> Optional[FailureModel]:
-        """The failure model this spec describes (``None`` for kind "none")."""
+        """The failure model this spec describes (``None`` for kind "none").
+
+        A parameter set the model rejects (a *missing* required argument —
+        unknown names are already rejected at spec construction) surfaces
+        as a ``ValueError``, the error type callers of the request schema
+        already handle, not a raw ``TypeError``.
+        """
         kwargs = dict(self.kwargs)
         kwargs.update(overrides or {})
         if self.kind == "complete":
             return CompleteDestruction()
-        if self.kind == "gaussian":
-            return GaussianDisruption(**kwargs)
-        if self.kind == "random":
-            return UniformRandomFailure(**kwargs)
-        return None  # "none": leave the supply intact.
+        if self.kind == "none":
+            return None  # leave the supply intact
+        try:
+            return _DISRUPTION_MODELS[self.kind](**kwargs)
+        except TypeError as error:
+            raise ValueError(f"invalid {self.kind} disruption parameters: {error}") from None
 
     def apply(
         self,
@@ -503,6 +572,7 @@ __all__ = [
     "DemandSpec",
     "AssessmentRequest",
     "RecoveryRequest",
+    "available_disruptions",
     "request_from_dict",
     "config_digest",
     "freeze_value",

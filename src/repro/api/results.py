@@ -46,22 +46,28 @@ def plan_payload(plan: RecoveryPlan) -> Dict[str, Any]:
 
     Routes are deliberately omitted — they can be recomputed from the
     repaired network and would dominate the envelope size on large
-    topologies.
+    topologies.  The solver ``status`` (OPT's "optimal"/"feasible"/...) is
+    kept: the verification harness must know whether an envelope's OPT run
+    is a *proven* optimum before using it as a differential baseline.
     """
-    return {
+    payload = {
         "repaired_nodes": sorted((freeze_value(node) for node in plan.repaired_nodes), key=repr),
         "repaired_edges": sorted(
             ((freeze_value(u), freeze_value(v)) for u, v in plan.repaired_edges), key=repr
         ),
         "iterations": int(plan.iterations),
     }
+    status = plan.metadata.get("status")
+    if status is not None:
+        payload["status"] = str(status)
+    return payload
 
 
 def normalise_plan_payload(payload: Optional[Mapping[str, Any]]) -> Dict[str, Any]:
     """Canonicalise a plan payload read back from JSON (lists -> tuples)."""
     if not payload:
         return {}
-    return {
+    normalised = {
         "repaired_nodes": [freeze_value(node) for node in payload.get("repaired_nodes", [])],
         "repaired_edges": [
             tuple(freeze_value(endpoint) for endpoint in edge)
@@ -69,6 +75,9 @@ def normalise_plan_payload(payload: Optional[Mapping[str, Any]]) -> Dict[str, An
         ],
         "iterations": int(payload.get("iterations", 0)),
     }
+    if payload.get("status") is not None:
+        normalised["status"] = str(payload["status"])
+    return normalised
 
 
 def plan_from_payload(payload: Mapping[str, Any], algorithm: str = "") -> RecoveryPlan:
@@ -80,6 +89,8 @@ def plan_from_payload(payload: Mapping[str, Any], algorithm: str = "") -> Recove
     for u, v in normalised.get("repaired_edges", []):
         plan.add_edge_repair(u, v)
     plan.iterations = normalised.get("iterations", 0)
+    if "status" in normalised:
+        plan.metadata["status"] = normalised["status"]
     return plan
 
 
@@ -136,11 +147,14 @@ def jsonify_plan(payload: Mapping[str, Any]) -> Dict[str, Any]:
     """JSON-safe view of a plan payload (tuple node ids become lists)."""
     if not payload:
         return {}
-    return {
+    jsonified = {
         "repaired_nodes": [jsonify_value(node) for node in payload.get("repaired_nodes", [])],
         "repaired_edges": [jsonify_value(list(edge)) for edge in payload.get("repaired_edges", [])],
         "iterations": int(payload.get("iterations", 0)),
     }
+    if payload.get("status") is not None:
+        jsonified["status"] = str(payload["status"])
+    return jsonified
 
 
 @dataclass

@@ -24,6 +24,14 @@ for scripting and service smoke tests.
     Print the damage-assessment report of a disrupted instance without
     running any recovery algorithm.
 
+``fuzz``
+    Sample a budget of scenarios from the declarative scenario space (zoo
+    topologies x compound failures x demand sizes), solve each with every
+    requested algorithm through the batch engine, and — with ``--verify`` —
+    audit every plan against the cross-algorithm invariants
+    (:mod:`repro.verification`).  Exits non-zero on any violation, which is
+    what makes it a CI gate.
+
 ``topologies`` / ``algorithms`` / ``scenarios``
     List the registered topology builders, recovery algorithms and sweep
     experiment specs.
@@ -38,6 +46,9 @@ Examples
         --topology-arg cols=3 --algorithms ISP --json | python -m json.tool
     python -m repro.cli sweep figure4 --jobs 4 --seed 11 --runs 5 --resume
     python -m repro.cli assess --topology bell-canada --disruption gaussian --variance 60
+    python -m repro.cli solve --topology barabasi-albert --disruption cascading \
+        --disruption-arg num_triggers=2 --disruption-arg propagation_factor=1.5
+    python -m repro.cli fuzz --budget 25 --verify --seed 7
 """
 
 from __future__ import annotations
@@ -53,6 +64,7 @@ from repro.api.requests import (
     DisruptionSpec,
     RecoveryRequest,
     TopologySpec,
+    available_disruptions,
 )
 from repro.api.service import RecoveryService
 from repro.engine.registry import available_specs, get_spec
@@ -66,7 +78,14 @@ DEFAULT_CACHE_DIR = ".repro-cache"
 
 
 def _parse_value(text: str) -> object:
-    """Parse a ``key=value`` value: int, then float, then plain string."""
+    """Parse a ``key=value`` value: bool, int, float, then plain string.
+
+    Booleans must be recognised here — a literal ``"false"`` forwarded as a
+    string would be *truthy* under the models' ``bool()`` coercion.
+    """
+    lowered = text.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
     for converter in (int, float):
         try:
             return converter(text)
@@ -75,11 +94,11 @@ def _parse_value(text: str) -> object:
     return text
 
 
-def _topology_kwargs(items: Optional[Sequence[str]]) -> Dict[str, object]:
+def _keyword_arguments(items: Optional[Sequence[str]], flag: str) -> Dict[str, object]:
     kwargs: Dict[str, object] = {}
     for item in items or []:
         if "=" not in item:
-            raise SystemExit(f"--topology-arg expects key=value, got {item!r}")
+            raise SystemExit(f"{flag} expects key=value, got {item!r}")
         key, value = item.split("=", 1)
         kwargs[key] = _parse_value(value)
     return kwargs
@@ -88,19 +107,16 @@ def _topology_kwargs(items: Optional[Sequence[str]]) -> Dict[str, object]:
 def _instance_sections(args: argparse.Namespace):
     """The (topology, disruption, demand) section specs an instance needs."""
     try:
-        topology = TopologySpec(args.topology, kwargs=_topology_kwargs(args.topology_arg))
-        if args.disruption == "gaussian":
-            disruption = DisruptionSpec("gaussian", kwargs={"variance": args.variance})
+        topology = TopologySpec(
+            args.topology, kwargs=_keyword_arguments(args.topology_arg, "--topology-arg")
+        )
+        disruption_kwargs = _keyword_arguments(args.disruption_arg, "--disruption-arg")
+        if args.disruption in ("gaussian", "multi-gaussian"):
+            disruption_kwargs.setdefault("variance", args.variance)
         elif args.disruption == "random":
-            disruption = DisruptionSpec(
-                "random",
-                kwargs={
-                    "node_probability": args.failure_probability,
-                    "edge_probability": args.failure_probability,
-                },
-            )
-        else:
-            disruption = DisruptionSpec(args.disruption)
+            disruption_kwargs.setdefault("node_probability", args.failure_probability)
+            disruption_kwargs.setdefault("edge_probability", args.failure_probability)
+        disruption = DisruptionSpec(args.disruption, kwargs=disruption_kwargs)
         demand = DemandSpec("routable-far-apart", num_pairs=args.pairs, flow_per_pair=args.flow)
     except (KeyError, ValueError) as error:
         raise SystemExit(str(error.args[0])) from None
@@ -129,7 +145,10 @@ def _command_solve(args: argparse.Namespace) -> int:
         )
     except (KeyError, ValueError) as error:
         raise SystemExit(str(error.args[0])) from None
-    result = _service(args).solve(request)
+    try:
+        result = _service(args).solve(request)
+    except (KeyError, ValueError) as error:
+        raise SystemExit(str(error.args[0])) from None
     if args.json:
         print(json.dumps(result.to_dict(), indent=2))
         return 0
@@ -158,7 +177,10 @@ def _command_assess(args: argparse.Namespace) -> int:
     request = AssessmentRequest(
         topology=topology, disruption=disruption, demand=demand, seed=args.seed
     )
-    result = _service(args).assess(request)
+    try:
+        result = _service(args).assess(request)
+    except (KeyError, ValueError) as error:
+        raise SystemExit(str(error.args[0])) from None
     if args.json:
         print(json.dumps(result.to_dict(), indent=2))
         return 0
@@ -240,6 +262,76 @@ def _command_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_fuzz(args: argparse.Namespace) -> int:
+    import dataclasses
+
+    from repro.scenarios import DEFAULT_SPACE, run_fuzz
+
+    if args.jobs < 0:
+        raise SystemExit("--jobs must be a positive integer, or 0 for one per CPU")
+    space = DEFAULT_SPACE
+    if args.algorithms:
+        space = dataclasses.replace(space, algorithms=tuple(args.algorithms))
+    if args.opt_time_limit is not None:
+        space = dataclasses.replace(space, opt_time_limit=args.opt_time_limit)
+
+    def progress(completed: int, total: int, result) -> None:
+        source = "cache" if result.cached else f"{result.wall_seconds:.2f}s"
+        print(f"[{completed}/{total}] {result.algorithm} ({source})", file=sys.stderr)
+
+    try:
+        report = run_fuzz(
+            budget=args.budget,
+            seed=args.seed,
+            space=space,
+            service=_service(args),
+            jobs=args.jobs,
+            verify=args.verify,
+            cache_dir=args.cache_dir,
+            progress=progress if not args.quiet else None,
+        )
+    except (KeyError, ValueError, RuntimeError) as error:
+        raise SystemExit(str(error.args[0])) from None
+
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(
+            format_table(
+                report.rows(),
+                columns=[
+                    "request",
+                    "topology",
+                    "disruption",
+                    "pairs",
+                    "broken",
+                    "algorithms",
+                    "violations",
+                ],
+                title=(
+                    f"Fuzz campaign (budget={args.budget}, seed={args.seed}, "
+                    f"verify={'on' if args.verify else 'off'}, "
+                    f"{report.wall_seconds:.1f}s)"
+                ),
+            )
+        )
+        for violation in report.violations:
+            print(f"VIOLATION {violation}", file=sys.stderr)
+        if args.verify:
+            downgraded = report.audit.unproven_baselines
+            baseline_note = (
+                f", {downgraded} request(s) without a proven OPT baseline"
+                if downgraded
+                else ""
+            )
+            print(
+                f"{report.audit.checked} plans audited, "
+                f"{len(report.violations)} invariant violation(s){baseline_note}",
+                file=sys.stderr,
+            )
+    return 0 if report.ok else 1
+
+
 def _command_scenarios(_: argparse.Namespace) -> int:
     rows = []
     for name in available_specs():
@@ -297,11 +389,22 @@ def _add_instance_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--disruption",
-        choices=["complete", "gaussian", "random", "none"],
+        choices=list(available_disruptions()),
         default="complete",
         help="disruption model applied to the topology",
     )
-    parser.add_argument("--variance", type=float, default=60.0, help="Gaussian disruption variance")
+    parser.add_argument(
+        "--disruption-arg",
+        action="append",
+        metavar="KEY=VALUE",
+        help="extra keyword argument for the disruption model (repeatable)",
+    )
+    parser.add_argument(
+        "--variance",
+        type=float,
+        default=60.0,
+        help="variance of the gaussian / multi-gaussian disruptions",
+    )
     parser.add_argument(
         "--failure-probability",
         type=float,
@@ -397,6 +500,47 @@ def build_parser() -> argparse.ArgumentParser:
     _add_lp_backend_argument(assess)
     _add_json_argument(assess)
     assess.set_defaults(handler=_command_assess)
+
+    fuzz = subparsers.add_parser(
+        "fuzz", help="sample scenarios from the zoo, solve and audit them"
+    )
+    fuzz.add_argument(
+        "--budget", type=int, default=10, help="number of scenarios to sample and solve"
+    )
+    fuzz.add_argument("--seed", type=int, default=0, help="seed of the scenario stream")
+    fuzz.add_argument(
+        "--verify",
+        action="store_true",
+        help="audit every plan against the cross-algorithm invariants",
+    )
+    fuzz.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the batch (1 = in-process, 0 = one per CPU)",
+    )
+    fuzz.add_argument(
+        "--algorithms",
+        nargs="+",
+        help="algorithms to run per scenario (default: every registered one)",
+    )
+    fuzz.add_argument(
+        "--opt-time-limit",
+        type=float,
+        default=None,
+        help="time limit per exact MILP solve within the campaign",
+    )
+    fuzz.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persist solved cells under this directory (resumable campaigns)",
+    )
+    fuzz.add_argument(
+        "--quiet", action="store_true", help="suppress per-cell progress on stderr"
+    )
+    _add_lp_backend_argument(fuzz)
+    _add_json_argument(fuzz)
+    fuzz.set_defaults(handler=_command_fuzz)
 
     topologies = subparsers.add_parser("topologies", help="list registered topologies")
     topologies.set_defaults(handler=_command_topologies)

@@ -182,3 +182,53 @@ register_spec(
     ),
     alias="figure9",
 )
+
+
+# --------------------------------------------------------------------- #
+# Scenario-zoo sweeps beyond the paper (zoo topologies x compound
+# failures); "attack" and "cascade" are their CLI aliases.
+# --------------------------------------------------------------------- #
+
+register_spec(
+    ExperimentSpec(
+        name="scalefree-targeted-attack",
+        figure="Zoo A",
+        topology=TopologySpec(
+            "barabasi-albert", kwargs={"num_nodes": 40, "attachment": 2, "capacity": 40.0}
+        ),
+        disruption=DisruptionSpec("targeted", kwargs={"metric": "degree", "node_budget": 2}),
+        demand=DemandSpec("routable-far-apart", num_pairs=3, flow_per_pair=5.0),
+        sweep=SweepAxis(
+            parameter="node_budget",
+            values=(2, 4, 6, 8),
+            target="disruption.node_budget",
+        ),
+        algorithms=("ISP", "SRT", "ALL"),
+        runs=3,
+        description="Recovery effort vs degree-targeted attack budget on a scale-free graph",
+    ),
+    alias="attack",
+)
+
+register_spec(
+    ExperimentSpec(
+        name="fattree-cascade",
+        figure="Zoo B",
+        topology=TopologySpec(
+            "fat-tree", kwargs={"pods": 4, "access_capacity": 10.0, "core_capacity": 20.0}
+        ),
+        disruption=DisruptionSpec(
+            "cascading", kwargs={"num_triggers": 1, "trigger": "degree", "tolerance": 0.2}
+        ),
+        demand=DemandSpec("routable-far-apart", num_pairs=3, flow_per_pair=4.0),
+        sweep=SweepAxis(
+            parameter="propagation_factor",
+            values=(0.5, 1.0, 1.5, 2.0),
+            target="disruption.propagation_factor",
+        ),
+        algorithms=("ISP", "SRT", "ALL"),
+        runs=3,
+        description="Recovery effort vs cascade propagation factor on a fat-tree fabric",
+    ),
+    alias="cascade",
+)

@@ -55,6 +55,8 @@ __all__ = [
     "figure7_scalability",
     "figure8_topology_report",
     "figure9_caida",
+    "zoo_targeted_attack",
+    "zoo_cascade",
 ]
 
 CacheDir = Optional[Union[str, Path]]
@@ -276,5 +278,59 @@ def figure9_caida(
         algorithms=tuple(algorithm_names),
         runs=runs,
         opt_time_limit=opt_time_limit,
+    )
+    return RecoveryService().sweep(spec, seed=seed, jobs=jobs, cache_dir=cache_dir)
+
+
+# --------------------------------------------------------------------- #
+# Scenario-zoo sweeps beyond the paper's evaluation
+# --------------------------------------------------------------------- #
+def zoo_targeted_attack(
+    attack_budgets: Sequence[int] = (2, 4, 6, 8),
+    num_pairs: int = 3,
+    runs: int = 3,
+    seed: SeedLike = 17,
+    algorithm_names: Sequence[str] = ("ISP", "SRT", "ALL"),
+    jobs: int = 1,
+    cache_dir: CacheDir = None,
+) -> ScenarioResult:
+    """Recovery effort vs degree-targeted attack budget on a scale-free graph.
+
+    Zoo setting: Barabási–Albert topology (40 nodes, attachment 2), the
+    adversary destroys the ``budget`` highest-degree hubs, demand between
+    far-apart pairs.  Hub attacks disconnect scale-free graphs quickly, so
+    the interesting range of budgets is small.
+    """
+    base = get_spec("scalefree-targeted-attack")
+    spec = base.replace(
+        sweep_values=tuple(int(value) for value in attack_budgets),
+        demand=_demand(base, num_pairs=num_pairs),
+        algorithms=tuple(algorithm_names),
+        runs=runs,
+    )
+    return RecoveryService().sweep(spec, seed=seed, jobs=jobs, cache_dir=cache_dir)
+
+
+def zoo_cascade(
+    propagation_factors: Sequence[float] = (0.5, 1.0, 1.5, 2.0),
+    num_pairs: int = 3,
+    runs: int = 3,
+    seed: SeedLike = 17,
+    algorithm_names: Sequence[str] = ("ISP", "SRT", "ALL"),
+    jobs: int = 1,
+    cache_dir: CacheDir = None,
+) -> ScenarioResult:
+    """Recovery effort vs cascade severity on a fat-tree fabric.
+
+    Zoo setting: 4-pod fat-tree, a degree-triggered Motter–Lai cascade
+    whose ``propagation_factor`` sweeps from benign to severe; the repairs
+    each algorithm schedules grow with the cascade's reach.
+    """
+    base = get_spec("fattree-cascade")
+    spec = base.replace(
+        sweep_values=tuple(float(value) for value in propagation_factors),
+        demand=_demand(base, num_pairs=num_pairs),
+        algorithms=tuple(algorithm_names),
+        runs=runs,
     )
     return RecoveryService().sweep(spec, seed=seed, jobs=jobs, cache_dir=cache_dir)

@@ -9,18 +9,27 @@ The paper evaluates recovery under two disruption regimes:
   destruction (Section VII-A3).
 
 A uniform random failure model is provided as an additional baseline used in
-tests and examples.
+tests and examples, and the scenario zoo adds three compound models beyond
+the paper's evaluation: load-redistribution cascades
+(:class:`CascadingFailure`), multi-epicentre geographic events
+(:class:`MultiEpicenterDisruption`) and centrality-ranked targeted attacks
+(:class:`TargetedAttack`).
 """
 
 from repro.failures.base import FailureModel, FailureReport
+from repro.failures.cascading import CascadingFailure
 from repro.failures.complete import CompleteDestruction
-from repro.failures.geographic import GaussianDisruption
+from repro.failures.geographic import GaussianDisruption, MultiEpicenterDisruption
 from repro.failures.random_failures import UniformRandomFailure
+from repro.failures.targeted import TargetedAttack
 
 __all__ = [
     "FailureModel",
     "FailureReport",
+    "CascadingFailure",
     "CompleteDestruction",
     "GaussianDisruption",
+    "MultiEpicenterDisruption",
+    "TargetedAttack",
     "UniformRandomFailure",
 ]

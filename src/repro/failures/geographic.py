@@ -47,6 +47,58 @@ def barycenter(supply: SupplyGraph) -> Point:
     return (x, y)
 
 
+def gaussian_failure_probability(
+    location: Point, epicenter: Point, variance: float, intensity: float
+) -> float:
+    """Failure probability of a component at ``location`` for one epicentre."""
+    dx = location[0] - epicenter[0]
+    dy = location[1] - epicenter[1]
+    squared_distance = dx * dx + dy * dy
+    probability = intensity * math.exp(-squared_distance / (2.0 * variance))
+    return min(1.0, max(0.0, probability))
+
+
+def _sample_located_elements(
+    supply: SupplyGraph,
+    rng,
+    probability,
+    affect_nodes: bool,
+    affect_edges: bool,
+) -> FailureReport:
+    """The shared location-based sampling protocol of the Gaussian models.
+
+    Exactly one uniform draw per located element, nodes first (in supply
+    order) then edges (at their midpoints), comparing against
+    ``probability(location)``.  Both the single- and multi-epicentre models
+    go through this, which is what keeps their draw sequences aligned — the
+    monotonicity-by-alignment guarantee of the multi-epicentre model
+    depends on this fixed protocol.
+    """
+    broken_nodes: Set[Node] = set()
+    broken_edges: Set[Tuple[Node, Node]] = set()
+
+    if affect_nodes:
+        for node in supply.nodes:
+            position = supply.position(node)
+            if position is None:
+                continue
+            if rng.random() < probability(position):
+                broken_nodes.add(node)
+
+    if affect_edges:
+        for u, v in supply.edges:
+            pu, pv = supply.position(u), supply.position(v)
+            if pu is None or pv is None:
+                continue
+            midpoint = ((pu[0] + pv[0]) / 2.0, (pu[1] + pv[1]) / 2.0)
+            if rng.random() < probability(midpoint):
+                broken_edges.add(canonical_edge(u, v))
+
+    return FailureReport(
+        broken_nodes=frozenset(broken_nodes), broken_edges=frozenset(broken_edges)
+    )
+
+
 class GaussianDisruption(FailureModel):
     """Bi-variate Gaussian disruption centred at an epicentre.
 
@@ -85,42 +137,115 @@ class GaussianDisruption(FailureModel):
     # ------------------------------------------------------------------ #
     def failure_probability(self, location: Point, epicenter: Point) -> float:
         """Failure probability of a component located at ``location``."""
-        dx = location[0] - epicenter[0]
-        dy = location[1] - epicenter[1]
-        squared_distance = dx * dx + dy * dy
-        probability = self.intensity * math.exp(-squared_distance / (2.0 * self.variance))
-        return min(1.0, max(0.0, probability))
+        return gaussian_failure_probability(location, epicenter, self.variance, self.intensity)
 
     def sample(self, supply: SupplyGraph, seed: RandomState = None) -> FailureReport:
         rng = ensure_rng(seed)
         epicenter = self.epicenter if self.epicenter is not None else barycenter(supply)
-
-        broken_nodes: Set[Node] = set()
-        broken_edges: Set[Tuple[Node, Node]] = set()
-
-        if self.affect_nodes:
-            for node in supply.nodes:
-                position = supply.position(node)
-                if position is None:
-                    continue
-                if rng.random() < self.failure_probability(position, epicenter):
-                    broken_nodes.add(node)
-
-        if self.affect_edges:
-            for u, v in supply.edges:
-                pu, pv = supply.position(u), supply.position(v)
-                if pu is None or pv is None:
-                    continue
-                midpoint = ((pu[0] + pv[0]) / 2.0, (pu[1] + pv[1]) / 2.0)
-                if rng.random() < self.failure_probability(midpoint, epicenter):
-                    broken_edges.add(canonical_edge(u, v))
-
-        return FailureReport(
-            broken_nodes=frozenset(broken_nodes), broken_edges=frozenset(broken_edges)
+        return _sample_located_elements(
+            supply,
+            rng,
+            lambda location: self.failure_probability(location, epicenter),
+            self.affect_nodes,
+            self.affect_edges,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return (
             f"GaussianDisruption(variance={self.variance}, epicenter={self.epicenter}, "
             f"intensity={self.intensity})"
+        )
+
+
+class MultiEpicenterDisruption(FailureModel):
+    """Several simultaneous Gaussian events (earthquake swarms, coordinated
+    attacks): a component survives only if it survives *every* epicentre.
+
+    The combined failure probability at location ``x`` is
+    ``1 - prod_k (1 - p_k(x))`` with ``p_k`` the single-epicentre Gaussian
+    kernel.  Exactly one uniform draw is spent per component, in a fixed
+    element order, so with explicit epicentres the failure set grows
+    monotonically as epicentres are appended — the property suite relies
+    on this alignment.
+
+    Parameters
+    ----------
+    variance, intensity:
+        Per-epicentre Gaussian parameters (shared by all epicentres).
+    num_epicenters:
+        How many epicentres to draw when none are given explicitly; they
+        are sampled uniformly inside the bounding box of the node
+        positions, *before* any per-element draw.
+    epicenters:
+        Optional explicit ``((x, y), ...)`` epicentres; overrides
+        ``num_epicenters`` and consumes no randomness.
+    affect_nodes, affect_edges:
+        Allow restricting the disruption to one element type.
+    """
+
+    def __init__(
+        self,
+        variance: float,
+        num_epicenters: int = 2,
+        epicenters: Optional[Tuple[Point, ...]] = None,
+        intensity: float = 1.0,
+        affect_nodes: bool = True,
+        affect_edges: bool = True,
+    ) -> None:
+        check_positive(variance, "variance")
+        check_probability(intensity, "intensity")
+        if epicenters is None and num_epicenters < 1:
+            raise ValueError("the disruption needs at least one epicentre")
+        if not (affect_nodes or affect_edges):
+            raise ValueError("the disruption must affect at least one element type")
+        self.variance = float(variance)
+        self.num_epicenters = int(num_epicenters)
+        self.epicenters = (
+            None
+            if epicenters is None
+            else tuple((float(x), float(y)) for x, y in epicenters)
+        )
+        self.intensity = float(intensity)
+        self.affect_nodes = affect_nodes
+        self.affect_edges = affect_edges
+
+    # ------------------------------------------------------------------ #
+    def _draw_epicenters(self, supply: SupplyGraph, rng) -> Tuple[Point, ...]:
+        if self.epicenters is not None:
+            return self.epicenters
+        positions = [supply.position(node) for node in supply.nodes]
+        positions = [p for p in positions if p is not None]
+        if not positions:
+            raise ValueError("the supply graph has no node positions")
+        xs = [p[0] for p in positions]
+        ys = [p[1] for p in positions]
+        return tuple(
+            (float(rng.uniform(min(xs), max(xs))), float(rng.uniform(min(ys), max(ys))))
+            for _ in range(self.num_epicenters)
+        )
+
+    def combined_probability(self, location: Point, epicenters: Tuple[Point, ...]) -> float:
+        """Probability that at least one epicentre destroys the component."""
+        survival = 1.0
+        for epicenter in epicenters:
+            survival *= 1.0 - gaussian_failure_probability(
+                location, epicenter, self.variance, self.intensity
+            )
+        return 1.0 - survival
+
+    def sample(self, supply: SupplyGraph, seed: RandomState = None) -> FailureReport:
+        rng = ensure_rng(seed)
+        epicenters = self._draw_epicenters(supply, rng)
+        return _sample_located_elements(
+            supply,
+            rng,
+            lambda location: self.combined_probability(location, epicenters),
+            self.affect_nodes,
+            self.affect_edges,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"MultiEpicenterDisruption(variance={self.variance}, "
+            f"epicenters={self.epicenters or self.num_epicenters}, intensity={self.intensity})"
         )

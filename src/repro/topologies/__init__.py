@@ -12,14 +12,18 @@ Three families of topologies appear in Section VII:
   a comparable degree profile.
 
 Additional simple topologies (grids, rings, stars) are provided for unit
-tests and examples.
+tests and examples, and the scenario zoo (:mod:`repro.topologies.zoo`) adds
+scale-free, small-world and fat-tree generators plus a GraphML/JSON file
+importer so recovery can be studied far beyond the paper's evaluation set.
 """
 
 from repro.topologies.bellcanada import bell_canada
 from repro.topologies.caida_like import caida_like
 from repro.topologies.grids import grid_topology, ring_topology, star_topology
+from repro.topologies.io import topology_from_file
 from repro.topologies.random_graphs import erdos_renyi, geometric_graph
 from repro.topologies.registry import available_topologies, build_topology
+from repro.topologies.zoo import barabasi_albert, fat_tree, watts_strogatz
 
 __all__ = [
     "bell_canada",
@@ -29,6 +33,10 @@ __all__ = [
     "grid_topology",
     "ring_topology",
     "star_topology",
+    "barabasi_albert",
+    "watts_strogatz",
+    "fat_tree",
+    "topology_from_file",
     "available_topologies",
     "build_topology",
 ]

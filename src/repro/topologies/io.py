@@ -175,3 +175,43 @@ def load_topology_zoo_graphml(
                 repair_cost=edge_repair_cost,
             )
     return supply
+
+
+# --------------------------------------------------------------------- #
+# Registry-addressable importer
+# --------------------------------------------------------------------- #
+def topology_from_file(
+    path: PathLike,
+    format: Optional[str] = None,
+    default_capacity: float = 20.0,
+    node_repair_cost: float = 1.0,
+    edge_repair_cost: float = 1.0,
+) -> SupplyGraph:
+    """Load a supply graph from disk — the registry's ``"from-file"`` builder.
+
+    ``format`` is ``"json"`` (the library's own round-trip format) or
+    ``"graphml"`` (Internet Topology Zoo); when omitted it is inferred from
+    the file suffix.  Scenario specs can sweep over a directory of
+    inventory files with ``TopologySpec("from-file", kwargs={"path": ...})``.
+
+    Caching caveat: request/cell digests cover the *path string*, not the
+    file contents — service sessions therefore re-read the file on every
+    build (``from-file`` is never cached as pristine), but an on-disk
+    result cache keyed before an edit will still serve pre-edit results;
+    clear the cache directory after changing an inventory file.
+    """
+    suffix = Path(path).suffix.lower().lstrip(".")
+    kind = (format or suffix or "").lower()
+    if kind == "json":
+        return load_supply_json(path)
+    if kind in ("graphml", "xml"):
+        return load_topology_zoo_graphml(
+            path,
+            default_capacity=default_capacity,
+            node_repair_cost=node_repair_cost,
+            edge_repair_cost=edge_repair_cost,
+        )
+    raise ValueError(
+        f"cannot infer topology format of {str(path)!r}; "
+        "pass format='json' or format='graphml'"
+    )

@@ -14,7 +14,9 @@ from repro.network.supply import SupplyGraph
 from repro.topologies.bellcanada import bell_canada
 from repro.topologies.caida_like import caida_like
 from repro.topologies.grids import grid_topology, ring_topology, star_topology
+from repro.topologies.io import topology_from_file
 from repro.topologies.random_graphs import erdos_renyi, geometric_graph
+from repro.topologies.zoo import barabasi_albert, fat_tree, watts_strogatz
 
 TopologyBuilder = Callable[..., SupplyGraph]
 
@@ -26,6 +28,10 @@ _REGISTRY: Dict[str, TopologyBuilder] = {
     "grid": grid_topology,
     "ring": ring_topology,
     "star": star_topology,
+    "barabasi-albert": barabasi_albert,
+    "watts-strogatz": watts_strogatz,
+    "fat-tree": fat_tree,
+    "from-file": topology_from_file,
 }
 
 

@@ -1,0 +1,189 @@
+"""Scenario-zoo topologies beyond the paper's evaluation set.
+
+The paper evaluates on Bell-Canada, a CAIDA-like topology and Erdős–Rényi
+graphs.  Real communication networks, however, exhibit structure those
+models miss: heavy-tailed degree distributions (transit backbones), high
+clustering with short paths (metro rings with chords) and the rigid
+multi-rooted trees of data centers.  This module adds one representative
+generator for each family:
+
+* :func:`barabasi_albert` — preferential-attachment scale-free graphs,
+  whose high-degree hubs make targeted attacks and cascades dramatic;
+* :func:`watts_strogatz` — small-world ring lattices with rewired chords,
+  the classic metro/regional topology model;
+* :func:`fat_tree` — the k-ary fat-tree (Clos) data-center fabric with
+  per-layer link capacities.
+
+All generators return a :class:`~repro.network.supply.SupplyGraph` with
+node positions assigned, so every geographic failure model applies to them,
+and accept the library's ``seed`` convention for deterministic builds.
+"""
+
+from __future__ import annotations
+
+import math
+
+import networkx as nx
+
+from repro.network.supply import SupplyGraph
+from repro.utils.rng import RandomState, ensure_rng
+from repro.utils.validation import check_positive, check_probability
+
+
+def barabasi_albert(
+    num_nodes: int = 50,
+    attachment: int = 2,
+    capacity: float = 20.0,
+    node_repair_cost: float = 1.0,
+    edge_repair_cost: float = 1.0,
+    seed: RandomState = None,
+) -> SupplyGraph:
+    """Build a Barabási–Albert preferential-attachment supply graph.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of nodes; must exceed ``attachment``.
+    attachment:
+        Edges attached from every new node to existing nodes (the classic
+        ``m`` parameter).  ``m >= 1`` guarantees a connected graph.
+    capacity:
+        Uniform edge capacity.
+    seed:
+        Deterministic seed or generator; also drives the uniform positions
+        in the ``[0, 100]^2`` square assigned for the geographic models.
+    """
+    if attachment < 1:
+        raise ValueError("attachment must be at least 1")
+    if num_nodes <= attachment:
+        raise ValueError("num_nodes must exceed the attachment count")
+    check_positive(capacity, "capacity")
+    rng = ensure_rng(seed)
+
+    graph = nx.barabasi_albert_graph(
+        num_nodes, attachment, seed=int(rng.integers(0, 2**31 - 1))
+    )
+    supply = SupplyGraph()
+    positions = rng.uniform(0.0, 100.0, size=(num_nodes, 2))
+    for index, node in enumerate(sorted(graph.nodes)):
+        supply.add_node(
+            node,
+            pos=(float(positions[index, 0]), float(positions[index, 1])),
+            repair_cost=node_repair_cost,
+        )
+    for u, v in graph.edges:
+        supply.add_edge(u, v, capacity=capacity, repair_cost=edge_repair_cost)
+    return supply
+
+
+def watts_strogatz(
+    num_nodes: int = 40,
+    nearest_neighbors: int = 4,
+    rewire_probability: float = 0.1,
+    capacity: float = 20.0,
+    node_repair_cost: float = 1.0,
+    edge_repair_cost: float = 1.0,
+    seed: RandomState = None,
+    max_attempts: int = 100,
+) -> SupplyGraph:
+    """Build a connected Watts–Strogatz small-world supply graph.
+
+    Parameters
+    ----------
+    num_nodes, nearest_neighbors, rewire_probability:
+        The classic ``(n, k, p)`` parameters: a ring lattice where every
+        node connects to its ``k`` nearest neighbours, each edge rewired
+        with probability ``p``.
+    seed:
+        Deterministic seed or generator.
+    max_attempts:
+        Resampling budget of :func:`networkx.connected_watts_strogatz_graph`.
+
+    Nodes are placed on a circle of radius 50 centred at ``(50, 50)`` —
+    the natural embedding of the underlying ring — so epicentre-based
+    failure models hit contiguous arcs of the ring.
+    """
+    if num_nodes < 3:
+        raise ValueError("num_nodes must be at least 3")
+    if not 0 < nearest_neighbors < num_nodes:
+        raise ValueError("nearest_neighbors must be between 1 and num_nodes - 1")
+    check_probability(rewire_probability, "rewire_probability")
+    check_positive(capacity, "capacity")
+    rng = ensure_rng(seed)
+
+    graph = nx.connected_watts_strogatz_graph(
+        num_nodes,
+        nearest_neighbors,
+        rewire_probability,
+        tries=max_attempts,
+        seed=int(rng.integers(0, 2**31 - 1)),
+    )
+    supply = SupplyGraph()
+    for node in sorted(graph.nodes):
+        angle = 2.0 * math.pi * node / num_nodes
+        supply.add_node(
+            node,
+            pos=(50.0 + 50.0 * math.cos(angle), 50.0 + 50.0 * math.sin(angle)),
+            repair_cost=node_repair_cost,
+        )
+    for u, v in graph.edges:
+        supply.add_edge(u, v, capacity=capacity, repair_cost=edge_repair_cost)
+    return supply
+
+
+def fat_tree(
+    pods: int = 4,
+    access_capacity: float = 10.0,
+    core_capacity: float = 20.0,
+    node_repair_cost: float = 1.0,
+    edge_repair_cost: float = 1.0,
+) -> SupplyGraph:
+    """Build the switch-level k-ary fat-tree (Clos) data-center fabric.
+
+    A fat-tree with ``k`` pods has ``(k/2)^2`` core switches and ``k``
+    pods of ``k/2`` aggregation plus ``k/2`` edge switches each.  Every
+    edge switch connects to every aggregation switch of its pod
+    (``access_capacity`` links); aggregation switch ``j`` of every pod
+    connects to core switches ``j*(k/2) .. (j+1)*(k/2)-1``
+    (``core_capacity`` links).  End hosts are omitted — recovery acts on
+    the switching fabric.
+
+    The build is fully deterministic (no ``seed`` parameter), so service
+    sessions cache the pristine fabric across requests.  Nodes are laid
+    out in layers (edge at y=0, aggregation at y=40, core at y=80) with
+    pods spread along x, giving the geographic models a meaningful
+    embedding where an epicentre takes out a rack row or a pod.
+    """
+    if pods < 2 or pods % 2:
+        raise ValueError("a fat-tree needs an even number of pods >= 2")
+    check_positive(access_capacity, "access_capacity")
+    check_positive(core_capacity, "core_capacity")
+    half = pods // 2
+
+    supply = SupplyGraph()
+    pod_width = 20.0 * half
+    for core in range(half * half):
+        x = (core + 0.5) * (pods * pod_width) / (half * half)
+        supply.add_node(f"core-{core}", pos=(x, 80.0), repair_cost=node_repair_cost)
+    for pod in range(pods):
+        for i in range(half):
+            x = pod * pod_width + (i + 0.5) * pod_width / half
+            supply.add_node(f"agg-{pod}-{i}", pos=(x, 40.0), repair_cost=node_repair_cost)
+            supply.add_node(f"edge-{pod}-{i}", pos=(x, 0.0), repair_cost=node_repair_cost)
+        for i in range(half):
+            for j in range(half):
+                supply.add_edge(
+                    f"edge-{pod}-{i}",
+                    f"agg-{pod}-{j}",
+                    capacity=access_capacity,
+                    repair_cost=edge_repair_cost,
+                )
+        for j in range(half):
+            for c in range(half):
+                supply.add_edge(
+                    f"agg-{pod}-{j}",
+                    f"core-{j * half + c}",
+                    capacity=core_capacity,
+                    repair_cost=edge_repair_cost,
+                )
+    return supply

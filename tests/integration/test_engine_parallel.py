@@ -13,14 +13,9 @@ are deterministic and stay in the comparison.
 
 import pytest
 
+from repro.api.requests import DemandSpec, DisruptionSpec, TopologySpec
 from repro.engine.experiment import run_experiment
-from repro.engine.spec import (
-    DemandSpec,
-    DisruptionSpec,
-    ExperimentSpec,
-    SweepAxis,
-    TopologySpec,
-)
+from repro.engine.spec import ExperimentSpec, SweepAxis
 from repro.evaluation.scenarios import figure4_demand_pairs
 
 #: Row keys that legitimately differ between runs of the same cells:

@@ -47,10 +47,32 @@ topology_specs = st.builds(
     kwargs=kwargs_dicts,
 )
 
-disruption_specs = st.builds(
-    DisruptionSpec,
-    kind=st.sampled_from(["complete", "gaussian", "random", "none"]),
-    kwargs=kwargs_dicts,
+# Disruption kwargs are validated eagerly against the model's signature,
+# so each kind draws from its own (possibly empty) parameter-name pool;
+# values stay arbitrary scalars — only names are validated.
+_DISRUPTION_KWARG_NAMES = {
+    "complete": (),
+    "none": (),
+    "gaussian": ("variance", "intensity"),
+    "random": ("node_probability", "edge_probability"),
+    "cascading": ("num_triggers", "propagation_factor", "tolerance", "max_rounds"),
+    "multi-gaussian": ("variance", "num_epicenters", "intensity"),
+    "targeted": ("node_budget", "edge_budget", "metric", "adaptive"),
+}
+
+
+def _disruption_spec_strategy(kind):
+    names = _DISRUPTION_KWARG_NAMES[kind]
+    kwargs = (
+        st.dictionaries(st.sampled_from(names), scalars, max_size=len(names))
+        if names
+        else st.just({})
+    )
+    return st.builds(DisruptionSpec, kind=st.just(kind), kwargs=kwargs)
+
+
+disruption_specs = st.sampled_from(sorted(_DISRUPTION_KWARG_NAMES)).flatmap(
+    _disruption_spec_strategy
 )
 
 demand_specs = st.builds(

@@ -221,3 +221,76 @@ class TestMaterialise:
         assert {p.pair for p in fresh_demand.pairs()} == {
             p.pair for p in cached_demand.pairs()
         }
+
+
+class TestZooSchemaStability:
+    """Acceptance pins for the scenario-zoo PR: new names round-trip, old
+    cache keys stay bit-identical."""
+
+    ZOO_TOPOLOGIES = {
+        "barabasi-albert": {"num_nodes": 14, "attachment": 2},
+        "watts-strogatz": {"num_nodes": 12, "nearest_neighbors": 4},
+        "fat-tree": {"pods": 4},
+    }
+    ZOO_DISRUPTIONS = {
+        "cascading": {"num_triggers": 2, "propagation_factor": 1.5},
+        "multi-gaussian": {"variance": 20.0, "num_epicenters": 2},
+        "targeted": {"node_budget": 2, "edge_budget": 1, "metric": "degree"},
+    }
+
+    def test_every_new_name_round_trips_through_recovery_request(self):
+        for topology_name, topology_kwargs in self.ZOO_TOPOLOGIES.items():
+            for kind, disruption_kwargs in self.ZOO_DISRUPTIONS.items():
+                request = RecoveryRequest(
+                    topology=TopologySpec(topology_name, kwargs=topology_kwargs),
+                    disruption=DisruptionSpec(kind, kwargs=disruption_kwargs),
+                    algorithms=("ISP",),
+                    seed=7,
+                )
+                payload = json.loads(json.dumps(request.to_dict()))
+                restored = RecoveryRequest.from_dict(payload)
+                assert restored == request
+                assert restored.digest() == request.digest()
+
+    def test_existing_request_digest_is_pinned(self):
+        # Golden value: adding zoo topologies/failures must never move the
+        # digest of a request that predates them (cache compatibility).
+        request = RecoveryRequest(
+            topology=TopologySpec("grid", kwargs={"rows": 3, "cols": 3}),
+            disruption=DisruptionSpec("complete"),
+            demand=DemandSpec("routable-far-apart", num_pairs=1, flow_per_pair=5.0),
+            algorithms=("ISP",),
+            seed=3,
+        )
+        assert request.digest() == (
+            "a5a767f512f4f5f9652e3be49480847a10c543ce8c86a5c51d49205fdb76e971"
+        )
+
+    def test_existing_engine_cache_key_is_pinned(self):
+        from repro.engine.registry import get_spec
+        from repro.engine.tasks import expand_tasks
+
+        task = expand_tasks(get_spec("bellcanada-demand-pairs"), seed=11)[0]
+        assert task.algorithm == "ISP" and task.sweep_value == 1
+        assert task.cache_key() == (
+            "a4861ab36ea4630d6083d4967a045877e68773f5f8c7c750f9b5c6d083fd6725"
+        )
+
+
+class TestDisruptionKwargsValidation:
+    def test_unknown_kwarg_rejected_eagerly(self):
+        with pytest.raises(ValueError, match="num_trigger"):
+            DisruptionSpec("cascading", kwargs={"num_trigger": 2})  # typo
+        with pytest.raises(ValueError, match="spread"):
+            DisruptionSpec("gaussian", kwargs={"spread": 3.0})
+
+    def test_parameterless_kinds_reject_kwargs(self):
+        with pytest.raises(ValueError, match="takes no parameters"):
+            DisruptionSpec("complete", kwargs={"variance": 3.0})
+        with pytest.raises(ValueError, match="takes no parameters"):
+            DisruptionSpec("none", kwargs={"x": 1})
+
+    def test_valid_kwargs_still_accepted(self):
+        DisruptionSpec("cascading", kwargs={"num_triggers": 2, "propagation_factor": 1.0})
+        DisruptionSpec("targeted", kwargs={"node_budget": 1, "metric": "degree"})
+        DisruptionSpec("gaussian", kwargs={"variance": 5.0})

@@ -312,3 +312,232 @@ class TestSweepCommands:
     def test_sweep_unknown_spec_exits(self):
         with pytest.raises(SystemExit):
             main(["sweep", "no-such-spec", "--quiet"])
+
+
+ZOO_SOLVE_ARGS = [
+    "solve",
+    "--topology",
+    "barabasi-albert",
+    "--topology-arg",
+    "num_nodes=14",
+    "--topology-arg",
+    "attachment=2",
+    "--disruption",
+    "cascading",
+    "--disruption-arg",
+    "num_triggers=2",
+    "--disruption-arg",
+    "propagation_factor=1.5",
+    "--pairs",
+    "1",
+    "--flow",
+    "3",
+    "--algorithms",
+    "ISP",
+    "ALL",
+    "--seed",
+    "5",
+]
+
+
+class TestZooJsonGolden:
+    """Golden envelope regression: zoo topology x compound failure."""
+
+    def test_solve_json_envelope_on_zoo_instance(self, capsys):
+        assert main(ZOO_SOLVE_ARGS + ["--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "recovery-result"
+        assert payload["schema_version"] == 1
+        request = payload["request"]
+        assert request["topology"]["name"] == "barabasi-albert"
+        assert request["topology"]["kwargs"] == {"attachment": 2, "num_nodes": 14}
+        assert request["disruption"]["kind"] == "cascading"
+        assert request["disruption"]["kwargs"] == {
+            "num_triggers": 2,
+            "propagation_factor": 1.5,
+        }
+        assert [run["algorithm"] for run in payload["results"]] == ["ISP", "ALL"]
+        assert payload["broken_elements"] > 2  # the cascade spread
+        for run in payload["results"]:
+            assert run["metrics"]["satisfied_pct"] == 100.0
+            assert run["plan"]["repaired_nodes"] or run["plan"]["repaired_edges"]
+
+    def test_zoo_envelope_matches_direct_service_call(self, capsys):
+        from repro.api import (
+            DemandSpec,
+            DisruptionSpec,
+            RecoveryRequest,
+            RecoveryService,
+            TopologySpec,
+        )
+
+        assert main(ZOO_SOLVE_ARGS + ["--json"]) == 0
+        cli_payload = json.loads(capsys.readouterr().out)
+        request = RecoveryRequest(
+            topology=TopologySpec("barabasi-albert", kwargs={"num_nodes": 14, "attachment": 2}),
+            disruption=DisruptionSpec(
+                "cascading", kwargs={"num_triggers": 2, "propagation_factor": 1.5}
+            ),
+            demand=DemandSpec("routable-far-apart", num_pairs=1, flow_per_pair=3.0),
+            algorithms=("ISP", "ALL"),
+            seed=5,
+            opt_time_limit=120.0,
+        )
+        service_payload = RecoveryService().solve(request).to_dict()
+        assert cli_payload["request"] == service_payload["request"]
+        for cli_run, service_run in zip(cli_payload["results"], service_payload["results"]):
+            assert cli_run["plan"] == service_run["plan"]
+
+    def test_targeted_assess_json(self, capsys):
+        assert (
+            main(
+                [
+                    "assess",
+                    "--topology",
+                    "fat-tree",
+                    "--topology-arg",
+                    "pods=4",
+                    "--disruption",
+                    "targeted",
+                    "--disruption-arg",
+                    "node_budget=2",
+                    "--pairs",
+                    "1",
+                    "--flow",
+                    "2",
+                    "--json",
+                ]
+            )
+            == 0
+        )
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "assessment-result"
+        assert payload["request"]["disruption"]["kind"] == "targeted"
+
+    def test_bad_disruption_arg(self):
+        with pytest.raises(SystemExit):
+            main(["solve", "--disruption", "targeted", "--disruption-arg", "node_budget:2"])
+
+
+class TestFuzzCommand:
+    def test_fuzz_budget_5_smoke(self, capsys):
+        exit_code = main(
+            [
+                "fuzz",
+                "--budget",
+                "5",
+                "--seed",
+                "7",
+                "--verify",
+                "--algorithms",
+                "ISP",
+                "SRT",
+                "ALL",
+                "--quiet",
+            ]
+        )
+        assert exit_code == 0
+        captured = capsys.readouterr()
+        assert "Fuzz campaign" in captured.out
+        assert "0 invariant violation(s)" in captured.err
+
+    def test_fuzz_json_envelope(self, capsys):
+        exit_code = main(
+            [
+                "fuzz",
+                "--budget",
+                "2",
+                "--seed",
+                "3",
+                "--verify",
+                "--algorithms",
+                "SRT",
+                "--quiet",
+                "--json",
+            ]
+        )
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "fuzz-report"
+        assert payload["ok"] is True
+        assert payload["plans_checked"] == 2
+        assert len(payload["requests"]) == 2
+
+    def test_fuzz_rejects_bad_jobs(self):
+        with pytest.raises(SystemExit):
+            main(["fuzz", "--budget", "1", "--jobs", "-2"])
+
+
+class TestArgumentParsingFixes:
+    def test_boolean_disruption_args_parse(self):
+        from repro.cli import _parse_value
+
+        assert _parse_value("false") is False
+        assert _parse_value("True") is True
+        assert _parse_value("3") == 3
+        assert _parse_value("1.5") == 1.5
+        assert _parse_value("degree") == "degree"
+
+    def test_adaptive_false_stays_false(self, capsys):
+        exit_code = main(
+            [
+                "solve",
+                "--topology",
+                "ring",
+                "--topology-arg",
+                "num_nodes=8",
+                "--disruption",
+                "targeted",
+                "--disruption-arg",
+                "node_budget=2",
+                "--disruption-arg",
+                "adaptive=false",
+                "--pairs",
+                "1",
+                "--algorithms",
+                "ALL",
+                "--json",
+            ]
+        )
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["request"]["disruption"]["kwargs"]["adaptive"] is False
+
+    def test_variance_flag_covers_multi_gaussian(self, capsys):
+        exit_code = main(
+            [
+                "assess",
+                "--topology",
+                "grid",
+                "--topology-arg",
+                "rows=3",
+                "--topology-arg",
+                "cols=3",
+                "--disruption",
+                "multi-gaussian",
+                "--variance",
+                "2.0",
+                "--pairs",
+                "1",
+                "--json",
+            ]
+        )
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["request"]["disruption"]["kwargs"]["variance"] == 2.0
+
+    def test_missing_required_disruption_parameter_exits_cleanly(self):
+        with pytest.raises(SystemExit, match="budget"):
+            main(
+                [
+                    "solve",
+                    "--topology",
+                    "ring",
+                    "--topology-arg",
+                    "num_nodes=6",
+                    "--disruption",
+                    "targeted",  # requires a budget
+                    "--pairs",
+                    "1",
+                ]
+            )

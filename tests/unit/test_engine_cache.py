@@ -4,17 +4,12 @@ import json
 
 import pytest
 
+from repro.api.requests import DemandSpec, DisruptionSpec, TopologySpec
 from repro.engine import executor as executor_module
 from repro.engine.cache import ResultCache
 from repro.engine.executor import run_tasks
 from repro.engine.experiment import run_experiment
-from repro.engine.spec import (
-    DemandSpec,
-    DisruptionSpec,
-    ExperimentSpec,
-    SweepAxis,
-    TopologySpec,
-)
+from repro.engine.spec import ExperimentSpec, SweepAxis
 from repro.engine.tasks import execute_task, expand_tasks
 
 

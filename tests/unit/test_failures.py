@@ -122,3 +122,206 @@ class TestUniformRandomFailure:
     def test_invalid_probability(self):
         with pytest.raises(ValueError):
             UniformRandomFailure(node_probability=1.5)
+
+
+class TestCascadingFailure:
+    def test_sample_does_not_mutate(self):
+        from repro.failures.cascading import CascadingFailure
+
+        supply = grid_topology(4, 4)
+        CascadingFailure(num_triggers=2).sample(supply, seed=3)
+        assert not supply.broken_nodes and not supply.broken_edges
+
+    def test_deterministic_for_seed(self):
+        from repro.failures.cascading import CascadingFailure
+
+        supply = grid_topology(4, 4)
+        model = CascadingFailure(num_triggers=2, propagation_factor=1.5)
+        assert model.sample(supply, seed=9) == model.sample(supply, seed=9)
+
+    def test_zero_propagation_is_just_the_trigger(self):
+        from repro.failures.cascading import CascadingFailure
+
+        supply = grid_topology(4, 4)
+        report = CascadingFailure(num_triggers=3, propagation_factor=0.0).sample(
+            supply, seed=5
+        )
+        assert len(report.broken_nodes) == 3
+        assert not report.broken_edges
+
+    def test_cascade_grows_beyond_trigger(self):
+        from repro.failures.cascading import CascadingFailure
+
+        from repro.topologies.zoo import barabasi_albert
+
+        supply = barabasi_albert(num_nodes=30, seed=5)
+        report = CascadingFailure(
+            num_triggers=2, propagation_factor=1.5, tolerance=0.2
+        ).sample(supply, seed=11)
+        assert report.total_broken > 2
+
+    def test_degree_trigger_hits_the_hub(self):
+        from repro.failures.cascading import CascadingFailure
+        from repro.topologies.grids import star_topology
+
+        supply = star_topology(6)
+        report = CascadingFailure(
+            num_triggers=1, trigger="degree", propagation_factor=0.0
+        ).sample(supply)
+        assert report.broken_nodes == frozenset({0})
+
+    def test_invalid_parameters(self):
+        from repro.failures.cascading import CascadingFailure
+
+        with pytest.raises(ValueError):
+            CascadingFailure(num_triggers=0)
+        with pytest.raises(ValueError):
+            CascadingFailure(trigger="storm")
+        with pytest.raises(ValueError):
+            CascadingFailure(propagation_factor=-1.0)
+
+
+class TestMultiEpicenterDisruption:
+    def test_explicit_epicenters_consume_no_randomness(self):
+        from repro.failures.geographic import MultiEpicenterDisruption
+
+        supply = grid_topology(4, 4)
+        model = MultiEpicenterDisruption(variance=1.0, epicenters=((0.0, 0.0), (3.0, 3.0)))
+        assert model.sample(supply, seed=4) == model.sample(supply, seed=4)
+
+    def test_combined_probability_dominates_each_epicenter(self):
+        from repro.failures.geographic import MultiEpicenterDisruption
+
+        model = MultiEpicenterDisruption(variance=4.0, epicenters=((0.0, 0.0), (2.0, 0.0)))
+        combined = model.combined_probability((1.0, 0.0), model.epicenters)
+        single = model.combined_probability((1.0, 0.0), model.epicenters[:1])
+        assert combined >= single
+
+    def test_drawn_epicenters_stay_in_bounding_box(self):
+        from repro.failures.geographic import MultiEpicenterDisruption
+        import numpy as np
+
+        supply = grid_topology(4, 4)
+        model = MultiEpicenterDisruption(variance=1.0, num_epicenters=3)
+        epicenters = model._draw_epicenters(supply, np.random.default_rng(0))
+        for x, y in epicenters:
+            assert 0.0 <= x <= 3.0 and 0.0 <= y <= 3.0
+
+    def test_sample_does_not_mutate(self):
+        from repro.failures.geographic import MultiEpicenterDisruption
+
+        supply = grid_topology(4, 4)
+        MultiEpicenterDisruption(variance=2.0).sample(supply, seed=1)
+        assert not supply.broken_nodes and not supply.broken_edges
+
+    def test_invalid_parameters(self):
+        from repro.failures.geographic import MultiEpicenterDisruption
+
+        with pytest.raises(ValueError):
+            MultiEpicenterDisruption(variance=0.0)
+        with pytest.raises(ValueError):
+            MultiEpicenterDisruption(variance=1.0, num_epicenters=0)
+
+
+class TestTargetedAttack:
+    def test_degree_attack_hits_the_hub(self):
+        from repro.failures.targeted import TargetedAttack
+        from repro.topologies.grids import star_topology
+
+        supply = star_topology(8)
+        report = TargetedAttack(node_budget=1).sample(supply)
+        assert report.broken_nodes == frozenset({0})
+
+    def test_betweenness_attack_hits_the_bridge(self):
+        from repro.failures.targeted import TargetedAttack
+
+        # Two triangles joined by the bridge node "m".
+        from repro.network.supply import SupplyGraph
+
+        supply = SupplyGraph()
+        for u, v in [("a", "b"), ("b", "c"), ("a", "c"), ("c", "m"), ("m", "d"),
+                     ("d", "e"), ("e", "f"), ("d", "f")]:
+            supply.add_edge(u, v)
+        report = TargetedAttack(node_budget=1, metric="betweenness").sample(supply)
+        assert report.broken_nodes == frozenset({"m"})
+
+    def test_deterministic_and_non_mutating(self):
+        from repro.failures.targeted import TargetedAttack
+
+        supply = grid_topology(4, 4)
+        model = TargetedAttack(node_budget=3, edge_budget=2)
+        assert model.sample(supply) == model.sample(supply)
+        assert not supply.broken_nodes and not supply.broken_edges
+
+    def test_budget_clipped_to_graph_size(self):
+        from repro.failures.targeted import TargetedAttack
+
+        supply = grid_topology(2, 2)
+        report = TargetedAttack(node_budget=100, edge_budget=100).sample(supply)
+        assert len(report.broken_nodes) == 4
+        assert len(report.broken_edges) == 4
+
+    def test_adaptive_attack_is_prefix_monotone(self):
+        from repro.failures.targeted import TargetedAttack
+        from repro.topologies.zoo import watts_strogatz
+
+        supply = watts_strogatz(num_nodes=16, seed=2)
+        small = TargetedAttack(node_budget=2, adaptive=True).sample(supply)
+        large = TargetedAttack(node_budget=5, adaptive=True).sample(supply)
+        assert small.broken_nodes <= large.broken_nodes
+
+    def test_invalid_parameters(self):
+        from repro.failures.targeted import TargetedAttack
+
+        with pytest.raises(ValueError):
+            TargetedAttack()
+        with pytest.raises(ValueError):
+            TargetedAttack(node_budget=-1)
+        with pytest.raises(ValueError):
+            TargetedAttack(node_budget=1, metric="pagerank")
+
+
+class TestDisruptionSpecZooKinds:
+    def test_new_kinds_resolve_to_models(self):
+        from repro.api.requests import DisruptionSpec
+        from repro.failures.cascading import CascadingFailure
+        from repro.failures.geographic import MultiEpicenterDisruption
+        from repro.failures.targeted import TargetedAttack
+
+        assert isinstance(
+            DisruptionSpec("cascading", kwargs={"num_triggers": 2}).model(), CascadingFailure
+        )
+        assert isinstance(
+            DisruptionSpec("multi-gaussian", kwargs={"variance": 5.0}).model(),
+            MultiEpicenterDisruption,
+        )
+        assert isinstance(
+            DisruptionSpec("targeted", kwargs={"node_budget": 1}).model(), TargetedAttack
+        )
+
+    def test_multi_gaussian_epicenters_survive_freezing(self):
+        from repro.api.requests import DisruptionSpec
+
+        spec = DisruptionSpec(
+            "multi-gaussian",
+            kwargs={"variance": 5.0, "epicenters": ((0.0, 1.0), (2.0, 3.0))},
+        )
+        model = spec.model()
+        assert model.epicenters == ((0.0, 1.0), (2.0, 3.0))
+
+    def test_applied_is_non_mutating_for_new_kinds(self):
+        import numpy as np
+
+        from repro.api.requests import DisruptionSpec
+
+        supply = grid_topology(4, 4)
+        for spec in (
+            DisruptionSpec("cascading", kwargs={"num_triggers": 1}),
+            DisruptionSpec("targeted", kwargs={"node_budget": 2}),
+            DisruptionSpec("multi-gaussian", kwargs={"variance": 2.0}),
+        ):
+            disrupted, report = spec.applied(supply, np.random.default_rng(3))
+            assert not supply.broken_nodes and not supply.broken_edges
+            assert disrupted.broken_nodes == {
+                node for node in report.broken_nodes
+            }

@@ -154,13 +154,8 @@ class TestBackendParity:
         )
 
     def test_engine_cell_metrics_match_reference(self, backend_name, monkeypatch):
-        from repro.engine.spec import (
-            DemandSpec,
-            DisruptionSpec,
-            ExperimentSpec,
-            SweepAxis,
-            TopologySpec,
-        )
+        from repro.api.requests import DemandSpec, DisruptionSpec, TopologySpec
+        from repro.engine.spec import ExperimentSpec, SweepAxis
 
         spec = ExperimentSpec(
             name="parity-grid",
@@ -318,13 +313,8 @@ class TestSolverStats:
         assert evaluation.solver_stats == stats
 
     def test_engine_cell_reports_solver_extras(self):
-        from repro.engine.spec import (
-            DemandSpec,
-            DisruptionSpec,
-            ExperimentSpec,
-            SweepAxis,
-            TopologySpec,
-        )
+        from repro.api.requests import DemandSpec, DisruptionSpec, TopologySpec
+        from repro.engine.spec import ExperimentSpec, SweepAxis
 
         spec = ExperimentSpec(
             name="stats-grid",

@@ -199,3 +199,184 @@ class TestRegistry:
     def test_register_duplicate_rejected(self):
         with pytest.raises(ValueError):
             register_topology("grid", grid_topology)
+
+
+class TestBarabasiAlbert:
+    def test_size_and_connectivity(self):
+        from repro.topologies.zoo import barabasi_albert
+
+        supply = barabasi_albert(num_nodes=30, attachment=2, seed=3)
+        assert supply.number_of_nodes == 30
+        # BA adds `attachment` edges per new node after the seed clique.
+        assert supply.number_of_edges == (30 - 2) * 2
+        assert supply.stats()["connected"]
+
+    def test_deterministic_for_seed(self):
+        from repro.topologies.zoo import barabasi_albert
+
+        a = barabasi_albert(num_nodes=25, seed=11)
+        b = barabasi_albert(num_nodes=25, seed=11)
+        assert set(a.edges) == set(b.edges)
+        assert all(a.position(n) == b.position(n) for n in a.nodes)
+
+    def test_positions_assigned(self):
+        from repro.topologies.zoo import barabasi_albert
+
+        supply = barabasi_albert(num_nodes=20, seed=1)
+        assert all(supply.position(n) is not None for n in supply.nodes)
+
+    def test_heavy_tail(self):
+        from repro.topologies.zoo import barabasi_albert
+
+        supply = barabasi_albert(num_nodes=80, attachment=2, seed=5)
+        stats = supply.stats()
+        assert stats["max_degree"] > 3 * stats["mean_degree"]
+
+    def test_invalid_parameters(self):
+        from repro.topologies.zoo import barabasi_albert
+
+        with pytest.raises(ValueError):
+            barabasi_albert(num_nodes=2, attachment=2)
+        with pytest.raises(ValueError):
+            barabasi_albert(attachment=0)
+
+
+class TestWattsStrogatz:
+    def test_size_and_connectivity(self):
+        from repro.topologies.zoo import watts_strogatz
+
+        supply = watts_strogatz(num_nodes=24, nearest_neighbors=4, seed=3)
+        assert supply.number_of_nodes == 24
+        # Rewiring preserves the edge count of the ring lattice.
+        assert supply.number_of_edges == 24 * 4 // 2
+        assert supply.stats()["connected"]
+
+    def test_deterministic_for_seed(self):
+        from repro.topologies.zoo import watts_strogatz
+
+        a = watts_strogatz(num_nodes=20, seed=7)
+        b = watts_strogatz(num_nodes=20, seed=7)
+        assert set(a.edges) == set(b.edges)
+
+    def test_positions_on_circle(self):
+        from repro.topologies.zoo import watts_strogatz
+
+        supply = watts_strogatz(num_nodes=12, seed=1)
+        for node in supply.nodes:
+            x, y = supply.position(node)
+            assert (x - 50.0) ** 2 + (y - 50.0) ** 2 == pytest.approx(50.0**2)
+
+    def test_invalid_parameters(self):
+        from repro.topologies.zoo import watts_strogatz
+
+        with pytest.raises(ValueError):
+            watts_strogatz(num_nodes=2)
+        with pytest.raises(ValueError):
+            watts_strogatz(rewire_probability=1.5)
+
+
+class TestFatTree:
+    def test_four_pod_fabric(self):
+        from repro.topologies.zoo import fat_tree
+
+        supply = fat_tree(pods=4)
+        # (k/2)^2 core + k * (k/2 agg + k/2 edge) switches.
+        assert supply.number_of_nodes == 4 + 4 * (2 + 2)
+        # Per pod: (k/2)^2 edge-agg + (k/2)^2 agg-core links.
+        assert supply.number_of_edges == 4 * (4 + 4)
+        assert supply.stats()["connected"]
+
+    def test_deterministic_without_seed(self):
+        from repro.topologies.zoo import fat_tree
+
+        assert set(fat_tree().edges) == set(fat_tree().edges)
+
+    def test_capacity_tiers(self):
+        from repro.topologies.zoo import fat_tree
+
+        supply = fat_tree(pods=4, access_capacity=10.0, core_capacity=40.0)
+        capacities = {supply.capacity(u, v) for u, v in supply.edges}
+        assert capacities == {10.0, 40.0}
+        assert supply.capacity("agg-0-0", "core-0") == 40.0
+        assert supply.capacity("edge-0-0", "agg-0-0") == 10.0
+
+    def test_odd_pod_count_rejected(self):
+        from repro.topologies.zoo import fat_tree
+
+        with pytest.raises(ValueError):
+            fat_tree(pods=3)
+
+
+class TestFromFile:
+    def test_json_round_trip(self, tmp_path):
+        from repro.topologies.io import save_supply_json, topology_from_file
+
+        # JSON node ids must be scalars, so use an integer-labelled ring.
+        original = ring_topology(8, capacity=7.0)
+        path = tmp_path / "ring.json"
+        save_supply_json(original, path)
+        loaded = topology_from_file(str(path))
+        assert loaded.number_of_nodes == original.number_of_nodes
+        assert loaded.number_of_edges == original.number_of_edges
+
+    def test_graphml(self, tmp_path):
+        from repro.topologies.io import topology_from_file
+
+        graph = nx.Graph()
+        graph.add_node("n0", label="A", Latitude=45.0, Longitude=-73.0)
+        graph.add_node("n1", label="B", Latitude=46.0, Longitude=-74.0)
+        graph.add_edge("n0", "n1")
+        path = tmp_path / "tiny.graphml"
+        nx.write_graphml(graph, path)
+        loaded = topology_from_file(str(path), default_capacity=5.0)
+        assert loaded.number_of_nodes == 2
+        assert loaded.capacity("A", "B") == 5.0
+
+    def test_unknown_format_rejected(self, tmp_path):
+        from repro.topologies.io import topology_from_file
+
+        with pytest.raises(ValueError):
+            topology_from_file(str(tmp_path / "net.bin"))
+
+    def test_registered_and_reachable_via_spec(self, tmp_path):
+        from repro.api.requests import TopologySpec
+        from repro.topologies.io import save_supply_json
+
+        path = tmp_path / "net.json"
+        save_supply_json(ring_topology(9), path)
+        spec = TopologySpec("from-file", kwargs={"path": str(path)})
+        # File-backed builds are never treated as cacheable-pristine: the
+        # file can change under an unchanged spec.
+        assert not spec.deterministic
+        import numpy as np
+
+        supply = spec.build(np.random.default_rng(0), {})
+        assert supply.number_of_nodes == 9
+
+    def test_edited_file_is_re_read_by_a_service_session(self, tmp_path):
+        from repro.api.requests import AssessmentRequest, TopologySpec
+        from repro.api.service import RecoveryService
+        from repro.topologies.io import save_supply_json
+
+        path = tmp_path / "net.json"
+        save_supply_json(ring_topology(6), path)
+        service = RecoveryService()
+        request = AssessmentRequest(
+            topology=TopologySpec("from-file", kwargs={"path": str(path)})
+        )
+        supply, _, _ = service.build_instance(request)
+        assert supply.number_of_nodes == 6
+        save_supply_json(ring_topology(10), path)
+        supply, _, _ = service.build_instance(request)
+        assert supply.number_of_nodes == 10
+
+
+class TestZooRegistry:
+    def test_zoo_names_registered(self):
+        names = available_topologies()
+        for name in ("barabasi-albert", "watts-strogatz", "fat-tree", "from-file"):
+            assert name in names
+
+    def test_build_via_registry(self):
+        supply = build_topology("barabasi-albert", num_nodes=15, seed=2)
+        assert supply.number_of_nodes == 15
