@@ -1,0 +1,138 @@
+"""Server overhead: end-to-end served solves/sec vs the direct batch path.
+
+The same request set is solved twice:
+
+* **direct** — :meth:`RecoveryService.solve_batch` with a 2-process pool,
+  the fastest in-process path a library client has;
+* **served** — submitted over HTTP to a live ``repro.cli serve`` daemon
+  with 2 workers, waiting until every job is ``done``.
+
+The gap between the two is the cost of the service layer (HTTP framing,
+durable store writes, claim polling); the printed table and the results
+artefact record it so regressions in the serving hot path show up as a
+growing overhead percentage.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import socket
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from bench_utils import print_figure
+
+from repro.api.service import RecoveryService
+from repro.scenarios import ScenarioGenerator
+from repro.server.client import ServiceClient
+from repro.server.loadtest import TINY_SPACE
+
+#: Solved requests per measured path (small: the point is the overhead
+#: ratio, not load — the loadtest harness covers sustained traffic).
+NUM_REQUESTS = int(os.environ.get("REPRO_BENCH_SERVER_REQUESTS", "8"))
+
+REPO_SRC = str(Path(__file__).resolve().parents[1] / "src")
+
+
+def _free_port() -> int:
+    with socket.socket() as probe:
+        probe.bind(("127.0.0.1", 0))
+        return probe.getsockname()[1]
+
+
+def _sample_requests():
+    return ScenarioGenerator(space=TINY_SPACE, seed=42).requests(NUM_REQUESTS)
+
+
+def _measure_direct(requests) -> float:
+    service = RecoveryService()
+    started = time.perf_counter()
+    envelopes = service.solve_batch(requests, jobs=2)
+    elapsed = time.perf_counter() - started
+    assert len(envelopes) == len(requests)
+    return elapsed
+
+
+def _measure_served(requests, tmp_path: Path) -> float:
+    port = _free_port()
+    env = dict(os.environ)
+    env["PYTHONPATH"] = REPO_SRC + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    daemon = subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.cli",
+            "serve",
+            "--db",
+            str(tmp_path / "bench.db"),
+            "--port",
+            str(port),
+            "--workers",
+            "2",
+            "--poll-interval",
+            "0.05",
+        ],
+        env=env,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+    client = ServiceClient(f"http://127.0.0.1:{port}", timeout=10.0)
+    try:
+        deadline = time.monotonic() + 60
+        while True:
+            try:
+                client.healthz()
+                break
+            except OSError:
+                if time.monotonic() > deadline or daemon.poll() is not None:
+                    raise RuntimeError("bench daemon failed to start") from None
+                time.sleep(0.2)
+        started = time.perf_counter()
+        client.batch(requests)
+        for request in requests:
+            view = client.wait(request.digest(), timeout=120)
+            assert view["state"] == "done", view.get("error")
+        return time.perf_counter() - started
+    finally:
+        daemon.send_signal(signal.SIGTERM)
+        try:
+            daemon.wait(timeout=30)
+        except subprocess.TimeoutExpired:
+            daemon.kill()
+            daemon.wait(timeout=5)
+
+
+def test_served_throughput_vs_direct_batch(tmp_path):
+    requests = _sample_requests()
+    direct_seconds = _measure_direct(requests)
+    served_seconds = _measure_served(requests, tmp_path)
+
+    rows = []
+    for path, seconds in (("direct", direct_seconds), ("served", served_seconds)):
+        rows.append(
+            {
+                "path": path,
+                "requests": len(requests),
+                "seconds": round(seconds, 3),
+                "solves_per_sec": round(len(requests) / seconds, 3),
+                "overhead_pct": round(100.0 * (seconds / direct_seconds - 1.0), 1),
+            }
+        )
+    print_figure(
+        "Server overhead — served solves vs direct solve_batch "
+        f"({len(requests)} ISP requests, 2 workers)",
+        rows,
+        columns=["path", "requests", "seconds", "solves_per_sec", "overhead_pct"],
+    )
+
+    assert direct_seconds > 0 and served_seconds > 0
+    # The served path must stay within an order of magnitude of direct:
+    # claim polling and HTTP framing cost milliseconds per job, so a 10x
+    # blow-up means the serving hot path regressed structurally.  The
+    # daemon's ~2s worker spawn is excluded (startup precedes the clock).
+    assert served_seconds < direct_seconds * 10 + 5.0

@@ -72,6 +72,32 @@ from repro.network.supply import SupplyGraph
 #: Pristine topologies retained per service session.
 DEFAULT_TOPOLOGY_CACHE_SIZE = 8
 
+#: Environment override for the pristine-topology LRU capacity; long-lived
+#: deployments (server workers) size it without touching code.
+TOPOLOGY_CACHE_ENV_VAR = "REPRO_TOPOLOGY_CACHE"
+
+
+def default_topology_cache_size() -> int:
+    """The session default LRU capacity: ``$REPRO_TOPOLOGY_CACHE`` or 8.
+
+    A malformed or negative value raises — a deployment that *tried* to
+    size the cache deserves a loud failure, not a silent default.
+    """
+    raw = os.environ.get(TOPOLOGY_CACHE_ENV_VAR)
+    if raw is None:
+        return DEFAULT_TOPOLOGY_CACHE_SIZE
+    try:
+        size = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"${TOPOLOGY_CACHE_ENV_VAR} must be a non-negative integer, got {raw!r}"
+        ) from None
+    if size < 0:
+        raise ValueError(
+            f"${TOPOLOGY_CACHE_ENV_VAR} must be a non-negative integer, got {raw!r}"
+        )
+    return size
+
 Request = Union[AssessmentRequest, RecoveryRequest]
 
 
@@ -85,22 +111,28 @@ class RecoveryService:
         through ``REPRO_LP_BACKEND`` so batch worker processes follow).
         ``None`` keeps the configured default, validating it eagerly.
     topology_cache_size:
-        How many pristine built topologies to retain.  Only deterministic
-        topologies (builders without a ``seed`` parameter, or with the seed
-        pinned in the spec kwargs) are cached — otherwise the build draws
-        from the request's RNG stream and must be repeated so the stream
-        stays identical to the engine's.
+        How many pristine built topologies to retain.  ``None`` (the
+        default) reads ``$REPRO_TOPOLOGY_CACHE``, falling back to
+        :data:`DEFAULT_TOPOLOGY_CACHE_SIZE`; ``0`` disables the cache.
+        Only deterministic topologies (builders without a ``seed``
+        parameter, or with the seed pinned in the spec kwargs) are cached —
+        otherwise the build draws from the request's RNG stream and must be
+        repeated so the stream stays identical to the engine's.
     """
 
     def __init__(
         self,
         lp_backend: Optional[str] = None,
-        topology_cache_size: int = DEFAULT_TOPOLOGY_CACHE_SIZE,
+        topology_cache_size: Optional[int] = None,
     ) -> None:
         self._select_backend(lp_backend)
         self.context = SolverContext()
         self._topologies: "OrderedDict[str, SupplyGraph]" = OrderedDict()
-        self._topology_cache_size = topology_cache_size
+        if topology_cache_size is None:
+            topology_cache_size = default_topology_cache_size()
+        if topology_cache_size < 0:
+            raise ValueError("topology_cache_size must be non-negative")
+        self._topology_cache_size = int(topology_cache_size)
         self.topology_cache_hits = 0
         self.topology_cache_misses = 0
 
@@ -318,12 +350,18 @@ class RecoveryService:
     # Introspection
     # ------------------------------------------------------------------ #
     def cache_info(self) -> Dict[str, int]:
-        """Topology-session cache counters (hits, misses, current size)."""
+        """Topology-session cache counters (hits, misses, size, capacity)."""
         return {
             "topology_cache_hits": self.topology_cache_hits,
             "topology_cache_misses": self.topology_cache_misses,
             "topology_cache_size": len(self._topologies),
+            "topology_cache_capacity": self._topology_cache_size,
         }
 
 
-__all__ = ["DEFAULT_TOPOLOGY_CACHE_SIZE", "RecoveryService"]
+__all__ = [
+    "DEFAULT_TOPOLOGY_CACHE_SIZE",
+    "TOPOLOGY_CACHE_ENV_VAR",
+    "RecoveryService",
+    "default_topology_cache_size",
+]

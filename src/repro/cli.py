@@ -32,9 +32,26 @@ for scripting and service smoke tests.
     (:mod:`repro.verification`).  Exits non-zero on any violation, which is
     what makes it a CI gate.
 
+``serve``
+    Run the recovery daemon: a durable SQLite job store, an asyncio JSON
+    API (``/v1/solve``, ``/v1/assess``, ``/v1/batch``, ``/v1/jobs/{id}``,
+    ``/healthz``, ``/metrics``) and a fleet of worker processes.  Jobs are
+    deduplicated by request digest and survive daemon restarts; SIGTERM
+    drains gracefully.
+
+``loadtest``
+    Replay generated scenario traffic against a running daemon at a target
+    request rate and write ``BENCH_server.json`` (achieved RPS, submit and
+    job latency percentiles, dedup hit rate).  Exits non-zero if any job
+    fails, which is what makes it a CI smoke gate.
+
 ``topologies`` / ``algorithms`` / ``scenarios``
     List the registered topology builders, recovery algorithms and sweep
     experiment specs.
+
+Every ``--json`` flag pairs with ``--out FILE``: the envelope is then
+written atomically (temp + rename) instead of printed, so artefact readers
+never observe a partial file.
 
 Examples
 --------
@@ -49,6 +66,8 @@ Examples
     python -m repro.cli solve --topology barabasi-albert --disruption cascading \
         --disruption-arg num_triggers=2 --disruption-arg propagation_factor=1.5
     python -m repro.cli fuzz --budget 25 --verify --seed 7
+    python -m repro.cli serve --db repro-server.db --port 8351 --workers 4
+    python -m repro.cli loadtest --rps 20 --duration 30 --out BENCH_server.json
 """
 
 from __future__ import annotations
@@ -72,9 +91,13 @@ from repro.evaluation.reporting import format_table
 from repro.flows.solver.backends import BACKEND_ENV_VAR, available_backends
 from repro.heuristics.registry import available_algorithms
 from repro.topologies.registry import available_topologies
+from repro.utils.jsonio import emit_json
 
 #: Default cache directory for ``sweep --resume``.
 DEFAULT_CACHE_DIR = ".repro-cache"
+
+#: Default artefact path of ``loadtest``.
+DEFAULT_BENCH_PATH = "BENCH_server.json"
 
 
 def _parse_value(text: str) -> object:
@@ -149,8 +172,8 @@ def _command_solve(args: argparse.Namespace) -> int:
         result = _service(args).solve(request)
     except (KeyError, ValueError) as error:
         raise SystemExit(str(error.args[0])) from None
-    if args.json:
-        print(json.dumps(result.to_dict(), indent=2))
+    if args.json or args.out:
+        emit_json(result.to_dict(), out=args.out)
         return 0
     print(
         format_table(
@@ -181,8 +204,8 @@ def _command_assess(args: argparse.Namespace) -> int:
         result = _service(args).assess(request)
     except (KeyError, ValueError) as error:
         raise SystemExit(str(error.args[0])) from None
-    if args.json:
-        print(json.dumps(result.to_dict(), indent=2))
+    if args.json or args.out:
+        emit_json(result.to_dict(), out=args.out)
         return 0
     print(format_table(result.rows(), columns=["metric", "value"], title="Damage assessment"))
     return 0
@@ -293,8 +316,8 @@ def _command_fuzz(args: argparse.Namespace) -> int:
     except (KeyError, ValueError, RuntimeError) as error:
         raise SystemExit(str(error.args[0])) from None
 
-    if args.json:
-        print(json.dumps(report.to_dict(), indent=2))
+    if args.json or args.out:
+        emit_json(report.to_dict(), out=args.out)
     else:
         print(
             format_table(
@@ -329,6 +352,69 @@ def _command_fuzz(args: argparse.Namespace) -> int:
                 f"{len(report.violations)} invariant violation(s){baseline_note}",
                 file=sys.stderr,
             )
+    return 0 if report.ok else 1
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    from repro.server.daemon import ServerConfig, run_server
+
+    if args.workers < 1:
+        raise SystemExit("--workers must be at least 1")
+    if args.max_queue_depth < 1:
+        raise SystemExit("--max-queue-depth must be at least 1")
+    config = ServerConfig(
+        db=args.db,
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        max_queue_depth=args.max_queue_depth,
+        poll_interval=args.poll_interval,
+        lp_backend=args.lp_backend,
+    )
+    try:
+        return run_server(config)
+    except (KeyError, ValueError) as error:
+        raise SystemExit(str(error.args[0])) from None
+    except OSError as error:
+        raise SystemExit(f"cannot serve on {args.host}:{args.port}: {error}") from None
+
+
+def _command_loadtest(args: argparse.Namespace) -> int:
+    from repro.server.loadtest import run_loadtest
+
+    url = args.url or f"http://{args.host}:{args.port}"
+    try:
+        report = run_loadtest(
+            url,
+            rps=args.rps,
+            duration=args.duration,
+            distinct=args.distinct,
+            seed=args.seed,
+            space=args.scenario_space,
+            algorithms=tuple(args.algorithms) if args.algorithms else None,
+            out=args.out,
+            wait_timeout=args.wait_timeout,
+        )
+    except (KeyError, ValueError) as error:
+        raise SystemExit(str(error.args[0])) from None
+    except OSError as error:
+        raise SystemExit(f"cannot reach the daemon at {url}: {error}") from None
+
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(
+            format_table(
+                report.rows(),
+                columns=["metric", "value"],
+                title=(
+                    f"Loadtest against {url} "
+                    f"(rps={args.rps:g}, duration={args.duration:g}s, seed={args.seed})"
+                ),
+            )
+        )
+        if args.out:
+            print(f"bench artefact written to {args.out}", file=sys.stderr)
     return 0 if report.ok else 1
 
 
@@ -421,6 +507,12 @@ def _add_json_argument(parser: argparse.ArgumentParser) -> None:
         "--json",
         action="store_true",
         help="print the versioned result envelope as JSON instead of a table",
+    )
+    parser.add_argument(
+        "--out",
+        default=None,
+        metavar="FILE",
+        help="write the JSON envelope atomically to FILE instead of stdout (implies --json)",
     )
 
 
@@ -541,6 +633,72 @@ def build_parser() -> argparse.ArgumentParser:
     _add_lp_backend_argument(fuzz)
     _add_json_argument(fuzz)
     fuzz.set_defaults(handler=_command_fuzz)
+
+    serve = subparsers.add_parser(
+        "serve", help="run the recovery daemon (job store + HTTP API + worker fleet)"
+    )
+    serve.add_argument(
+        "--db",
+        default="repro-server.db",
+        help="path of the durable SQLite job store (created if missing)",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument("--port", type=int, default=8351, help="TCP port (0 picks a free one)")
+    serve.add_argument("--workers", type=int, default=2, help="worker processes")
+    serve.add_argument(
+        "--max-queue-depth",
+        type=int,
+        default=256,
+        help="queued jobs beyond which new submissions are rejected with 429",
+    )
+    serve.add_argument(
+        "--poll-interval",
+        type=float,
+        default=0.2,
+        help="seconds an idle worker sleeps between claim attempts",
+    )
+    _add_lp_backend_argument(serve)
+    serve.set_defaults(handler=_command_serve)
+
+    loadtest = subparsers.add_parser(
+        "loadtest", help="replay generated traffic against a running daemon"
+    )
+    loadtest.add_argument("--url", default=None, help="daemon base URL (overrides --host/--port)")
+    loadtest.add_argument("--host", default="127.0.0.1", help="daemon host")
+    loadtest.add_argument("--port", type=int, default=8351, help="daemon port")
+    loadtest.add_argument("--rps", type=float, default=5.0, help="target submissions per second")
+    loadtest.add_argument("--duration", type=float, default=10.0, help="replay seconds")
+    loadtest.add_argument(
+        "--distinct",
+        type=int,
+        default=8,
+        help="size of the sampled request pool (smaller than rps*duration => dedup traffic)",
+    )
+    loadtest.add_argument("--seed", type=int, default=0, help="seed of the traffic trace")
+    loadtest.add_argument(
+        "--scenario-space",
+        default="tiny",
+        help="named scenario space to sample requests from (tiny, default)",
+    )
+    loadtest.add_argument(
+        "--algorithms", nargs="+", help="algorithms per request (default: the space's)"
+    )
+    loadtest.add_argument(
+        "--wait-timeout",
+        type=float,
+        default=120.0,
+        help="seconds to wait for accepted jobs to finish",
+    )
+    loadtest.add_argument(
+        "--out",
+        default=DEFAULT_BENCH_PATH,
+        metavar="FILE",
+        help="bench artefact path (atomic write)",
+    )
+    loadtest.add_argument(
+        "--json", action="store_true", help="also print the report as JSON on stdout"
+    )
+    loadtest.set_defaults(handler=_command_loadtest)
 
     topologies = subparsers.add_parser("topologies", help="list registered topologies")
     topologies.set_defaults(handler=_command_topologies)

@@ -1,0 +1,128 @@
+"""A thin synchronous client for a running recovery daemon.
+
+:class:`ServiceClient` speaks the daemon's JSON protocol over stdlib
+``urllib`` — no dependencies, so any script (and the load-generation
+harness) can talk to a daemon.  Submission returns the durable job view;
+:meth:`ServiceClient.wait` polls until the job reaches a terminal state.
+
+Non-2xx responses raise :class:`ServiceError` carrying the HTTP status and
+the decoded error payload, so callers can distinguish validation failures
+(400) from admission rejections (429).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, List, Optional, Union
+
+from repro.api.requests import AssessmentRequest, RecoveryRequest
+
+Request = Union[AssessmentRequest, RecoveryRequest]
+
+
+class ServiceError(RuntimeError):
+    """A non-2xx daemon response."""
+
+    def __init__(self, status: int, payload: Any) -> None:
+        detail = payload.get("error") if isinstance(payload, dict) else payload
+        super().__init__(f"HTTP {status}: {detail}")
+        self.status = int(status)
+        self.payload = payload
+
+
+class ServiceClient:
+    """Talk to one daemon at ``base_url`` (e.g. ``http://127.0.0.1:8351``)."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = float(timeout)
+
+    # ------------------------------------------------------------------ #
+    def _call(self, method: str, path: str, payload: Optional[Dict[str, Any]] = None):
+        body = None if payload is None else json.dumps(payload).encode("utf-8")
+        request = urllib.request.Request(
+            f"{self.base_url}{path}",
+            data=body,
+            method=method,
+            headers={"Content-Type": "application/json"} if body else {},
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+                status = response.status
+                raw = response.read()
+                content_type = response.headers.get("Content-Type", "")
+        except urllib.error.HTTPError as error:
+            raw = error.read()
+            try:
+                decoded = json.loads(raw.decode("utf-8"))
+            except ValueError:
+                decoded = raw.decode("utf-8", "replace")
+            raise ServiceError(error.code, decoded) from None
+        if content_type.startswith("text/"):
+            return status, raw.decode("utf-8")
+        return status, json.loads(raw.decode("utf-8"))
+
+    # ------------------------------------------------------------------ #
+    # Submission
+    # ------------------------------------------------------------------ #
+    def solve(self, request: Union[RecoveryRequest, Dict[str, Any]]) -> Dict[str, Any]:
+        """Submit a recovery request; returns ``{"job": ..., "deduplicated": ...}``."""
+        payload = request.to_dict() if isinstance(request, RecoveryRequest) else dict(request)
+        return self._call("POST", "/v1/solve", payload)[1]
+
+    def assess(self, request: Union[AssessmentRequest, Dict[str, Any]]) -> Dict[str, Any]:
+        """Submit an assessment request; same envelope shape as :meth:`solve`."""
+        payload = request.to_dict() if isinstance(request, AssessmentRequest) else dict(request)
+        return self._call("POST", "/v1/assess", payload)[1]
+
+    def batch(self, requests: List[Union[Request, Dict[str, Any]]]) -> Dict[str, Any]:
+        """Submit many requests (either kind) in one call: ``{"jobs": [...]}``."""
+        payload = {
+            "requests": [
+                item.to_dict()
+                if isinstance(item, (AssessmentRequest, RecoveryRequest))
+                else dict(item)
+                for item in requests
+            ]
+        }
+        return self._call("POST", "/v1/batch", payload)[1]
+
+    # ------------------------------------------------------------------ #
+    # Observation
+    # ------------------------------------------------------------------ #
+    def job(self, digest: str) -> Dict[str, Any]:
+        """The durable job view (state, timestamps, result once done)."""
+        return self._call("GET", f"/v1/jobs/{digest}")[1]["job"]
+
+    def wait(
+        self, digest: str, timeout: float = 120.0, poll_interval: float = 0.1
+    ) -> Dict[str, Any]:
+        """Poll until the job is ``done`` or ``failed``; return its view.
+
+        Raises ``TimeoutError`` if the job is still pending after
+        ``timeout`` seconds — the job itself keeps running; only the wait
+        gives up.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            view = self.job(digest)
+            if view["state"] in ("done", "failed"):
+                return view
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {digest[:12]} still {view['state']} after {timeout:.0f}s"
+                )
+            time.sleep(poll_interval)
+
+    def healthz(self) -> Dict[str, Any]:
+        return self._call("GET", "/healthz")[1]
+
+    def metrics(self) -> str:
+        """The raw Prometheus text exposition."""
+        return self._call("GET", "/metrics")[1]
+
+
+__all__ = ["ServiceClient", "ServiceError"]

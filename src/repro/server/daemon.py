@@ -1,0 +1,133 @@
+"""Daemon orchestration: store + worker fleet + HTTP front end.
+
+``repro.cli serve`` builds a :class:`ServerConfig` and calls
+:func:`run_server`, which owns the whole lifecycle:
+
+1. open (creating if needed) the durable store and **requeue orphans** —
+   jobs left ``running`` by a previous crash go back to the queue before
+   any worker starts, so an accepted job is never lost;
+2. start the worker fleet (N processes pulling from the store);
+3. serve HTTP until SIGTERM/SIGINT, then drain: stop accepting, let
+   in-flight jobs finish, reap the fleet.
+
+The readiness line (``repro.server listening on ...``) is printed to
+stderr once the socket is bound — scripts and CI wait for it before
+sending traffic.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+import sys
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.server.http import DEFAULT_MAX_QUEUE_DEPTH, RecoveryServer
+from repro.server.store import DEFAULT_MAX_ATTEMPTS, JobStore
+from repro.server.workers import DEFAULT_POLL_INTERVAL, WorkerFleet
+
+#: Default TCP port of the recovery daemon.
+DEFAULT_PORT = 8351
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Everything a daemon run needs, as plain data."""
+
+    db: str
+    host: str = "127.0.0.1"
+    port: int = DEFAULT_PORT
+    workers: int = 2
+    max_queue_depth: int = DEFAULT_MAX_QUEUE_DEPTH
+    poll_interval: float = DEFAULT_POLL_INTERVAL
+    lp_backend: Optional[str] = None
+    max_attempts: int = DEFAULT_MAX_ATTEMPTS
+    drain_timeout: float = 30.0
+
+
+async def serve(config: ServerConfig, ready: Optional[asyncio.Event] = None) -> None:
+    """Run the daemon until the surrounding loop cancels this coroutine.
+
+    ``ready`` (if given) is set once the HTTP socket is bound — in-process
+    harnesses await it instead of parsing stderr.
+    """
+    # Validate worker-side configuration *here*, before any process spawns:
+    # a bad backend name or malformed $REPRO_TOPOLOGY_CACHE would otherwise
+    # kill every worker at startup while the daemon kept serving a queue
+    # nobody drains.
+    from repro.api.service import default_topology_cache_size
+    from repro.flows.solver.backends import available_backends
+
+    if config.lp_backend and config.lp_backend not in available_backends():
+        raise ValueError(
+            f"unknown LP backend {config.lp_backend!r}; "
+            f"available: {', '.join(available_backends())}"
+        )
+    default_topology_cache_size()
+
+    store = JobStore(config.db)
+    orphans = store.requeue_orphans()
+    if orphans:
+        print(f"repro.server: requeued {orphans} orphaned running job(s)", file=sys.stderr)
+
+    fleet = WorkerFleet(
+        config.db,
+        workers=config.workers,
+        poll_interval=config.poll_interval,
+        lp_backend=config.lp_backend,
+        max_attempts=config.max_attempts,
+    )
+    fleet.start()
+
+    front = RecoveryServer(
+        store,
+        workers_alive=fleet.alive,
+        max_queue_depth=config.max_queue_depth,
+        expected_workers=config.workers,
+    )
+    try:
+        await front.start(host=config.host, port=config.port)
+        print(
+            f"repro.server listening on http://{config.host}:{front.port} "
+            f"(workers={config.workers}, db={config.db})",
+            file=sys.stderr,
+            flush=True,
+        )
+        if ready is not None:
+            ready.set()
+        while True:  # serve until cancelled
+            await asyncio.sleep(3600)
+    finally:
+        await front.stop()
+        fleet.drain(timeout=config.drain_timeout)
+        store.close()
+        print("repro.server: drained and stopped", file=sys.stderr, flush=True)
+
+
+def run_server(config: ServerConfig) -> int:
+    """Blocking entry point: serve until SIGTERM/SIGINT, drain, return 0."""
+
+    async def _main() -> None:
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(signum, stop.set)
+        task = asyncio.ensure_future(serve(config))
+        stopped = asyncio.ensure_future(stop.wait())
+        done, _ = await asyncio.wait({task, stopped}, return_when=asyncio.FIRST_COMPLETED)
+        if task in done:
+            stopped.cancel()
+            task.result()  # propagate startup errors (port in use, bad db)
+            return
+        task.cancel()
+        try:
+            await task
+        except asyncio.CancelledError:
+            pass
+
+    asyncio.run(_main())
+    return 0
+
+
+__all__ = ["DEFAULT_PORT", "ServerConfig", "run_server", "serve"]

@@ -1,0 +1,463 @@
+"""The asyncio HTTP front end of the recovery daemon.
+
+A deliberately small HTTP/1.1 server on ``asyncio.start_server`` — no
+framework, no threads — speaking JSON:
+
+==========================  =====================================================
+endpoint                    behaviour
+==========================  =====================================================
+``POST /v1/solve``          submit a :class:`~repro.api.requests.RecoveryRequest`
+``POST /v1/assess``         submit an :class:`~repro.api.requests.AssessmentRequest`
+``POST /v1/batch``          submit ``{"requests": [...]}`` in one call
+``GET /v1/jobs/{digest}``   job state + result envelope once ``done``
+``GET /healthz``            liveness + queue/worker snapshot
+``GET /metrics``            Prometheus text format
+==========================  =====================================================
+
+Submission is *asynchronous and idempotent*: the response is the durable
+job row (HTTP 202 for a newly accepted job, 200 for a digest already
+known — the dedup hit), and clients poll ``/v1/jobs/{digest}`` for the
+result.  Admission control keeps the daemon responsive under overload: a
+new job arriving while the queue holds ``max_queue_depth`` entries is
+rejected with 429 (dedup hits are always admitted — they cost nothing),
+and malformed payloads get 400 with the schema error message.
+
+Store calls are synchronous SQLite operations of a few hundred
+microseconds; at the request rates a single daemon serves they are cheaper
+than handing them to a thread pool, so handlers call the store directly.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.api.requests import AssessmentRequest, RecoveryRequest, request_from_dict
+from repro.server.store import JobStore, STATES
+
+#: Largest accepted request body; beyond it the request is a 400.
+DEFAULT_MAX_BODY_BYTES = 1_048_576
+
+#: Queued jobs beyond which new (non-dedup) submissions are rejected (429).
+DEFAULT_MAX_QUEUE_DEPTH = 256
+
+#: Histogram bucket upper bounds (seconds) for solve latency.
+LATENCY_BUCKETS = (0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0)
+
+_REASONS = {
+    200: "OK",
+    202: "Accepted",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+}
+
+
+class RecoveryServer:
+    """The HTTP front end, bound to one :class:`JobStore`.
+
+    ``workers_alive`` is a zero-argument callable reporting the live worker
+    count (the daemon passes the fleet's prober; tests pass a constant), so
+    the front end stays ignorant of process management.
+    """
+
+    def __init__(
+        self,
+        store: JobStore,
+        workers_alive: Optional[Callable[[], int]] = None,
+        max_queue_depth: int = DEFAULT_MAX_QUEUE_DEPTH,
+        max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
+        expected_workers: Optional[int] = None,
+    ) -> None:
+        self.store = store
+        self.workers_alive = workers_alive or (lambda: 0)
+        self.max_queue_depth = int(max_queue_depth)
+        self.max_body_bytes = int(max_body_bytes)
+        self.expected_workers = expected_workers
+        self.started_at = time.time()
+        self.dedup_hits = 0
+        self.submissions = 0
+        self.http_requests: Dict[Tuple[str, int], int] = {}
+        self._server: Optional[asyncio.AbstractServer] = None
+        self.port: Optional[int] = None
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    async def start(self, host: str = "127.0.0.1", port: int = 0) -> None:
+        """Bind and start serving; ``port=0`` picks a free port (see .port)."""
+        self._server = await asyncio.start_server(self._handle, host=host, port=port)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    # ------------------------------------------------------------------ #
+    # Connection handling
+    # ------------------------------------------------------------------ #
+    async def _handle(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        try:
+            status, payload, content_type = await self._respond(reader)
+        except Exception as error:  # never let a handler kill the server
+            status, payload, content_type = (
+                500,
+                {"error": f"internal error: {type(error).__name__}: {error}"},
+                "application/json",
+            )
+        body = (
+            payload.encode("utf-8")
+            if isinstance(payload, str)
+            else json.dumps(payload, indent=2).encode("utf-8")
+        )
+        head = (
+            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+            f"Content-Type: {content_type}\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "Connection: close\r\n\r\n"
+        )
+        try:
+            writer.write(head.encode("ascii") + body)
+            await writer.drain()
+        except (ConnectionError, BrokenPipeError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, BrokenPipeError):
+                pass
+
+    async def _respond(self, reader: asyncio.StreamReader):
+        """Parse one request off the wire (bounded) and route it.
+
+        The *whole* read — request line, headers and body — shares one
+        timeout, so a client that stalls mid-headers or mid-body cannot
+        pin a connection coroutine (and its file descriptor) forever.
+        """
+        try:
+            parsed = await asyncio.wait_for(self._read_request(reader), timeout=30.0)
+        except asyncio.TimeoutError:
+            return 400, {"error": "timed out reading the request"}, "application/json"
+        except (asyncio.IncompleteReadError, ConnectionError):
+            return 400, {"error": "connection closed mid-request"}, "application/json"
+        if isinstance(parsed, str):  # a parse error message
+            return 400, {"error": parsed}, "application/json"
+        method, path, body = parsed
+
+        status, payload, content_type = self._route(method, path, body)
+        self._count(path, status)
+        return status, payload, content_type
+
+    async def _read_request(self, reader: asyncio.StreamReader):
+        """Read one request; returns ``(method, path, body)`` or an error str."""
+        request_line = await reader.readline()
+        parts = request_line.decode("latin-1").split()
+        if len(parts) < 2:
+            return "malformed request line"
+        method, path = parts[0].upper(), parts[1]
+
+        content_length = 0
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                try:
+                    content_length = int(value.strip())
+                except ValueError:
+                    return "malformed Content-Length"
+
+        if content_length > self.max_body_bytes:
+            self._count(path, 400)
+            return f"request body exceeds {self.max_body_bytes} bytes"
+        body = await reader.readexactly(content_length) if content_length else b""
+        return method, path, body
+
+    def _count(self, path: str, status: int) -> None:
+        endpoint = path.split("?")[0]
+        if endpoint.startswith("/v1/jobs/"):
+            endpoint = "/v1/jobs"
+        key = (endpoint, int(status))
+        self.http_requests[key] = self.http_requests.get(key, 0) + 1
+
+    # ------------------------------------------------------------------ #
+    # Routing
+    # ------------------------------------------------------------------ #
+    def _route(self, method: str, path: str, body: bytes):
+        path = path.split("?")[0]
+        if path == "/healthz":
+            if method != "GET":
+                return 405, {"error": "healthz is GET-only"}, "application/json"
+            return 200, self._healthz(), "application/json"
+        if path == "/metrics":
+            if method != "GET":
+                return 405, {"error": "metrics is GET-only"}, "application/json"
+            return 200, self.render_metrics(), "text/plain; version=0.0.4"
+        if path.startswith("/v1/jobs/"):
+            if method != "GET":
+                return 405, {"error": "jobs is GET-only"}, "application/json"
+            return self._job(path[len("/v1/jobs/") :])
+        if path in ("/v1/solve", "/v1/assess", "/v1/batch"):
+            if method != "POST":
+                return 405, {"error": f"{path} is POST-only"}, "application/json"
+            try:
+                payload = json.loads(body.decode("utf-8")) if body else {}
+            except (ValueError, UnicodeDecodeError) as error:
+                return 400, {"error": f"invalid JSON body: {error}"}, "application/json"
+            if not isinstance(payload, dict):
+                return 400, {"error": "the request body must be a JSON object"}, "application/json"
+            if path == "/v1/batch":
+                return self._batch(payload)
+            expected = RecoveryRequest if path == "/v1/solve" else AssessmentRequest
+            return self._submit(payload, expected)
+        return 404, {"error": f"unknown path {path!r}"}, "application/json"
+
+    # ------------------------------------------------------------------ #
+    # Endpoints
+    # ------------------------------------------------------------------ #
+    def _parse(self, payload: Dict[str, Any], expected: Optional[type] = None):
+        """Parse a request payload; ``expected=None`` accepts either kind.
+
+        A payload without an explicit ``kind`` defaults to the expected
+        kind (``recovery`` when unconstrained, matching the store default).
+        """
+        payload = dict(payload)
+        payload.setdefault("kind", expected.kind if expected else RecoveryRequest.kind)
+        try:
+            request = request_from_dict(payload)
+        except (KeyError, ValueError, TypeError) as error:
+            raise ValueError(str(error.args[0]) if error.args else str(error)) from None
+        if expected is not None and not isinstance(request, expected):
+            raise ValueError(
+                f"expected a {expected.kind!r} request, got kind {request.kind!r}"
+            )
+        return request
+
+    def _submit(self, payload: Dict[str, Any], expected: type):
+        try:
+            request = self._parse(payload, expected)
+        except ValueError as error:
+            return 400, {"error": str(error)}, "application/json"
+        self.submissions += 1
+        existing = self.store.get(request.digest())
+        if existing is not None and existing.state != "failed":
+            self.dedup_hits += 1
+            return (
+                200,
+                {"job": existing.to_dict(include_request=False), "deduplicated": True},
+                "application/json",
+            )
+        if self.store.queue_depth() >= self.max_queue_depth:
+            return (
+                429,
+                {
+                    "error": "queue full",
+                    "queue_depth": self.store.queue_depth(),
+                    "max_queue_depth": self.max_queue_depth,
+                },
+                "application/json",
+            )
+        # Reaching here the job is either new or a failed row being retried
+        # — both trigger a fresh execution, so both are 202 and neither is a
+        # dedup hit (a retry is requeued work, not a cached answer).
+        record, _ = self.store.submit(request)
+        return (
+            202,
+            {"job": record.to_dict(include_request=False), "deduplicated": False},
+            "application/json",
+        )
+
+    def _batch(self, payload: Dict[str, Any]):
+        items = payload.get("requests")
+        if not isinstance(items, list) or not items:
+            return (
+                400,
+                {"error": 'a batch body needs a non-empty "requests" list'},
+                "application/json",
+            )
+        requests = []
+        for index, item in enumerate(items):
+            if not isinstance(item, dict):
+                return 400, {"error": f"requests[{index}] is not an object"}, "application/json"
+            try:
+                # both kinds are accepted: a batch may mix solve and assess
+                requests.append(self._parse(item))
+            except ValueError as error:
+                return 400, {"error": f"requests[{index}]: {error}"}, "application/json"
+        known = {
+            request.digest()
+            for request in requests
+            if (existing := self.store.get(request.digest())) is not None
+            and existing.state != "failed"
+        }
+        fresh = {request.digest() for request in requests} - known
+        if self.store.queue_depth() + len(fresh) > self.max_queue_depth:
+            return (
+                429,
+                {
+                    "error": "queue full",
+                    "queue_depth": self.store.queue_depth(),
+                    "admitting": len(fresh),
+                    "max_queue_depth": self.max_queue_depth,
+                },
+                "application/json",
+            )
+        jobs = []
+        self.submissions += len(requests)
+        for request in requests:
+            # dedup is judged per item at submit time, so a digest repeated
+            # *within* the batch counts too, while a failed row being
+            # retried does not (it triggers a fresh execution).
+            existing = self.store.get(request.digest())
+            deduplicated = existing is not None and existing.state != "failed"
+            record, _ = self.store.submit(request)
+            if deduplicated:
+                self.dedup_hits += 1
+            jobs.append(
+                {"job": record.to_dict(include_request=False), "deduplicated": deduplicated}
+            )
+        return 202, {"jobs": jobs}, "application/json"
+
+    def _job(self, digest: str):
+        record = self.store.get(digest)
+        if record is None:
+            return 404, {"error": f"no job with digest {digest!r}"}, "application/json"
+        return 200, {"job": record.to_dict()}, "application/json"
+
+    def _healthz(self) -> Dict[str, Any]:
+        counts = self.store.counts()
+        alive = self.workers_alive()
+        # "degraded" (still HTTP 200: the front end *is* live) flags a dead
+        # fleet — accepted jobs would queue with nobody to drain them.
+        degraded = self.expected_workers is not None and alive < 1
+        return {
+            "status": "degraded" if degraded else "ok",
+            "uptime_seconds": time.time() - self.started_at,
+            "queue_depth": counts["queued"],
+            "jobs": counts,
+            "workers_alive": alive,
+            "max_queue_depth": self.max_queue_depth,
+        }
+
+    # ------------------------------------------------------------------ #
+    # Metrics
+    # ------------------------------------------------------------------ #
+    def render_metrics(self) -> str:
+        """The Prometheus text exposition of the daemon's state."""
+        counts = self.store.counts()
+        workers = self.workers_alive()
+        running = counts["running"]
+        utilization = (running / workers) if workers else 0.0
+        lines: List[str] = []
+
+        def gauge(name: str, value: float, help_text: str, labels: str = "") -> None:
+            lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} gauge")
+            lines.append(f"{name}{labels} {value:g}")
+
+        lines.append("# HELP repro_jobs_total Jobs in the durable store by state.")
+        lines.append("# TYPE repro_jobs_total gauge")
+        for state in STATES:
+            lines.append(f'repro_jobs_total{{state="{state}"}} {counts[state]}')
+
+        gauge("repro_queue_depth", counts["queued"], "Queued jobs awaiting a worker.")
+        gauge("repro_workers_alive", workers, "Live worker processes.")
+        gauge(
+            "repro_worker_utilization",
+            utilization,
+            "Running jobs over live workers (0..1).",
+        )
+        gauge(
+            "repro_uptime_seconds",
+            time.time() - self.started_at,
+            "Seconds since the front end started.",
+        )
+        gauge(
+            "repro_store_schema_version",
+            self.store.schema_version,
+            "Schema version of the job store.",
+        )
+
+        lines.append("# HELP repro_http_requests_total HTTP requests by endpoint and status.")
+        lines.append("# TYPE repro_http_requests_total counter")
+        for (endpoint, status), count in sorted(self.http_requests.items()):
+            lines.append(
+                f'repro_http_requests_total{{endpoint="{endpoint}",status="{status}"}} {count}'
+            )
+
+        lines.append("# HELP repro_submissions_total Requests submitted to the front end.")
+        lines.append("# TYPE repro_submissions_total counter")
+        lines.append(f"repro_submissions_total {self.submissions}")
+        lines.append(
+            "# HELP repro_dedup_hits_total Submissions answered by an existing digest."
+        )
+        lines.append("# TYPE repro_dedup_hits_total counter")
+        lines.append(f"repro_dedup_hits_total {self.dedup_hits}")
+
+        latencies = self.store.solve_latencies()
+        lines.append(
+            "# HELP repro_solve_latency_seconds Execution time of completed jobs "
+            "(claim to completion)."
+        )
+        lines.append("# TYPE repro_solve_latency_seconds histogram")
+        cumulative = 0
+        remaining = sorted(latencies)
+        for bound in LATENCY_BUCKETS:
+            while remaining and remaining[0] <= bound:
+                remaining.pop(0)
+                cumulative += 1
+            lines.append(f'repro_solve_latency_seconds_bucket{{le="{bound:g}"}} {cumulative}')
+        lines.append(
+            f'repro_solve_latency_seconds_bucket{{le="+Inf"}} {len(latencies)}'
+        )
+        lines.append(f"repro_solve_latency_seconds_sum {sum(latencies):g}")
+        lines.append(f"repro_solve_latency_seconds_count {len(latencies)}")
+
+        totals = self.store.worker_stats_totals()
+        fleet_metrics = (
+            ("jobs_done", "repro_fleet_jobs_done_total", "Jobs completed by the fleet."),
+            ("jobs_failed", "repro_fleet_jobs_failed_total", "Jobs failed by the fleet."),
+            ("busy_seconds", "repro_fleet_busy_seconds_total", "Fleet seconds spent executing."),
+            (
+                "topology_cache_hits",
+                "repro_topology_cache_hits_total",
+                "Pristine-topology LRU hits across worker sessions.",
+            ),
+            (
+                "topology_cache_misses",
+                "repro_topology_cache_misses_total",
+                "Pristine-topology LRU misses across worker sessions.",
+            ),
+            ("lp_solves", "repro_solver_lp_solves_total", "LP solves across worker sessions."),
+            (
+                "milp_solves",
+                "repro_solver_milp_solves_total",
+                "MILP solves across worker sessions.",
+            ),
+            (
+                "solve_seconds",
+                "repro_solver_solve_seconds_total",
+                "Solver seconds across worker sessions.",
+            ),
+        )
+        for key, name, help_text in fleet_metrics:
+            lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} counter")
+            lines.append(f"{name} {totals.get(key, 0.0):g}")
+        return "\n".join(lines) + "\n"
+
+
+__all__ = [
+    "DEFAULT_MAX_BODY_BYTES",
+    "DEFAULT_MAX_QUEUE_DEPTH",
+    "LATENCY_BUCKETS",
+    "RecoveryServer",
+]

@@ -1,0 +1,272 @@
+"""The worker fleet: processes that pull jobs and execute them.
+
+Each worker is one OS process owning one
+:class:`~repro.api.service.RecoveryService` — the session that accumulates
+the warm-start :class:`~repro.flows.solver.SolverContext` and the
+pristine-topology LRU across jobs, which is exactly the reuse the service
+layer was built for.  The loop is deliberately simple::
+
+    claim -> execute (solve | assess) -> complete | fail -> report counters
+
+Claims are atomic store operations (``UPDATE ... RETURNING``), so any
+number of workers share one database with no coordinator: a duplicate
+submission is a single row, and a single row is executed exactly once.
+
+Shutdown is cooperative: SIGTERM (or :meth:`WorkerFleet.drain`) sets a flag
+the loop checks *between* jobs, so an in-flight solve always finishes and
+its result is stored — the daemon's graceful drain loses nothing.  A worker
+killed outright (``kill -9``) leaves its job ``running`` in the store;
+:meth:`~repro.server.store.JobStore.requeue_orphans` returns such rows to
+the queue when the daemon next starts.
+
+``python -m repro.server.workers --db PATH`` runs a single foreground
+worker — useful for scaling a deployment beyond one machine (point workers
+anywhere at the shared database file) and for the crash-recovery tests.
+"""
+
+from __future__ import annotations
+
+import argparse
+import multiprocessing
+import os
+import signal
+import sys
+import time
+import traceback
+from typing import Dict, List, Optional, Sequence
+
+from repro.api.requests import AssessmentRequest, request_from_dict
+from repro.server.store import DEFAULT_MAX_ATTEMPTS, JobRecord, JobStore
+
+#: Seconds a worker sleeps between claim attempts on an empty queue.
+DEFAULT_POLL_INTERVAL = 0.2
+
+#: Test hook: when set (seconds), a worker holds every claimed job in the
+#: ``running`` state for that long before executing it.  This exists so the
+#: crash-recovery suite can deterministically observe (and kill) a worker
+#: mid-job; production deployments never set it.
+HOLD_ENV_VAR = "REPRO_SERVER_TEST_HOLD"
+
+#: Solver-effort keys aggregated from result envelopes into worker counters.
+_SOLVER_KEYS = ("lp_solves", "milp_solves", "solve_seconds", "build_seconds")
+
+
+def _execute(service, record: JobRecord) -> Dict[str, object]:
+    """Run one job through the service session, returning the envelope dict."""
+    request = request_from_dict(record.request)
+    if isinstance(request, AssessmentRequest):
+        return service.assess(request).to_dict()
+    return service.solve(request).to_dict()
+
+
+def _solver_counters(envelope: Dict[str, object]) -> Dict[str, float]:
+    """Sum the per-run solver stats of one recovery envelope."""
+    totals = dict.fromkeys(_SOLVER_KEYS, 0.0)
+    for run in envelope.get("results", []):
+        solver = run.get("solver", {}) if isinstance(run, dict) else {}
+        for key in _SOLVER_KEYS:
+            totals[key] += float(solver.get(key, 0.0))
+    return totals
+
+
+def worker_loop(
+    db_path: str,
+    worker_id: str,
+    poll_interval: float = DEFAULT_POLL_INTERVAL,
+    lp_backend: Optional[str] = None,
+    max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+    stop=None,
+    max_jobs: Optional[int] = None,
+) -> int:
+    """Pull and execute jobs until ``stop`` is set; return the jobs handled.
+
+    ``stop`` is any object with an ``is_set()`` method (a
+    ``multiprocessing.Event`` in the fleet, a ``threading.Event`` in
+    tests); ``None`` runs until ``max_jobs`` (or forever).  Counters —
+    jobs done/failed, busy seconds, the session's topology-cache hits and
+    misses, aggregated solver effort — are written back to the store after
+    every job so the daemon's ``/metrics`` reflects the fleet live.
+    """
+    from repro.api.service import RecoveryService  # deferred: workers import lazily
+
+    store = JobStore(db_path)
+    service = RecoveryService(lp_backend=lp_backend)
+    hold = float(os.environ.get(HOLD_ENV_VAR, "0") or "0")
+    counters: Dict[str, float] = {
+        "jobs_done": 0.0,
+        "jobs_failed": 0.0,
+        "busy_seconds": 0.0,
+    }
+    handled = 0
+    try:
+        while not (stop is not None and stop.is_set()):
+            record = store.claim(worker_id, max_attempts=max_attempts)
+            if record is None:
+                if max_jobs is not None:
+                    break  # drain mode: an empty queue ends the run
+                time.sleep(poll_interval)
+                continue
+            if hold > 0:
+                time.sleep(hold)
+            started = time.perf_counter()
+            try:
+                envelope = _execute(service, record)
+            except Exception:
+                counters["jobs_failed"] += 1
+                store.fail(record.digest, traceback.format_exc(limit=20), worker=worker_id)
+            else:
+                counters["jobs_done"] += 1
+                for key, value in _solver_counters(envelope).items():
+                    counters[key] = counters.get(key, 0.0) + value
+                store.complete(record.digest, envelope, worker=worker_id)
+            handled += 1
+            counters["busy_seconds"] += time.perf_counter() - started
+            counters.update(
+                {key: float(value) for key, value in service.cache_info().items()}
+            )
+            store.record_worker_stats(worker_id, counters)
+            if max_jobs is not None and handled >= max_jobs:
+                break
+    finally:
+        store.close()
+    return handled
+
+
+def _fleet_entry(
+    db_path: str,
+    worker_id: str,
+    poll_interval: float,
+    lp_backend: Optional[str],
+    max_attempts: int,
+    stop_event,
+) -> None:
+    """Process target for fleet workers: wire SIGTERM to the stop event.
+
+    SIGTERM requests a drain (finish the in-flight job, then exit); the
+    fleet escalates to SIGKILL only if a worker overstays the drain
+    timeout.
+    """
+    signal.signal(signal.SIGTERM, lambda *_: stop_event.set())
+    signal.signal(signal.SIGINT, signal.SIG_IGN)  # the daemon handles Ctrl-C
+    worker_loop(
+        db_path,
+        worker_id,
+        poll_interval=poll_interval,
+        lp_backend=lp_backend,
+        max_attempts=max_attempts,
+        stop=stop_event,
+    )
+
+
+class WorkerFleet:
+    """N worker processes attached to one job store."""
+
+    def __init__(
+        self,
+        db_path: str,
+        workers: int = 2,
+        poll_interval: float = DEFAULT_POLL_INTERVAL,
+        lp_backend: Optional[str] = None,
+        max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("a worker fleet needs at least one worker")
+        self.db_path = str(db_path)
+        self.workers = int(workers)
+        self.poll_interval = float(poll_interval)
+        self.lp_backend = lp_backend
+        self.max_attempts = int(max_attempts)
+        # "spawn" keeps workers independent of the daemon's asyncio state
+        # (forking a process with a live event loop inherits it wholesale).
+        self._context = multiprocessing.get_context("spawn")
+        self._stop = self._context.Event()
+        self._processes: List[multiprocessing.Process] = []
+
+    def start(self) -> None:
+        if self._processes:
+            raise RuntimeError("fleet already started")
+        for index in range(self.workers):
+            process = self._context.Process(
+                target=_fleet_entry,
+                args=(
+                    self.db_path,
+                    f"worker-{os.getpid()}-{index}",
+                    self.poll_interval,
+                    self.lp_backend,
+                    self.max_attempts,
+                    self._stop,
+                ),
+                daemon=True,
+            )
+            process.start()
+            self._processes.append(process)
+
+    def alive(self) -> int:
+        return sum(1 for process in self._processes if process.is_alive())
+
+    def pids(self) -> List[int]:
+        return [process.pid for process in self._processes if process.pid is not None]
+
+    def drain(self, timeout: float = 30.0) -> None:
+        """Graceful shutdown: let in-flight jobs finish, then reap.
+
+        Workers that ignore the drain past ``timeout`` are terminated (their
+        job rows stay ``running`` and are requeued on the next startup —
+        the same path as a crash, by design).
+        """
+        self._stop.set()
+        deadline = time.monotonic() + timeout
+        for process in self._processes:
+            process.join(timeout=max(0.1, deadline - time.monotonic()))
+        for process in self._processes:
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=5.0)
+        self._processes.clear()
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Run one foreground worker (``python -m repro.server.workers``)."""
+    parser = argparse.ArgumentParser(
+        prog="repro.server.workers", description="run a single recovery worker"
+    )
+    parser.add_argument("--db", required=True, help="path to the shared job store")
+    parser.add_argument("--worker-id", default=f"worker-{os.getpid()}", help="worker identity")
+    parser.add_argument(
+        "--poll-interval", type=float, default=DEFAULT_POLL_INTERVAL, help="idle poll seconds"
+    )
+    parser.add_argument("--lp-backend", default=None, help="LP backend name")
+    parser.add_argument(
+        "--max-jobs",
+        type=int,
+        default=None,
+        help="drain mode: handle at most this many jobs, exit when the queue empties",
+    )
+    args = parser.parse_args(argv)
+
+    class _Flag:
+        def __init__(self) -> None:
+            self._set = False
+
+        def set(self, *_: object) -> None:
+            self._set = True
+
+        def is_set(self) -> bool:
+            return self._set
+
+    flag = _Flag()
+    signal.signal(signal.SIGTERM, lambda *_: flag.set())
+    handled = worker_loop(
+        args.db,
+        args.worker_id,
+        poll_interval=args.poll_interval,
+        lp_backend=args.lp_backend,
+        stop=flag,
+        max_jobs=args.max_jobs,
+    )
+    print(f"{args.worker_id}: handled {handled} job(s)", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in tests
+    sys.exit(main())

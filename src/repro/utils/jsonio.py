@@ -1,0 +1,56 @@
+"""One JSON artefact writer for every ``--json`` producer.
+
+The CLI's envelope printers, the load-generation harness's
+``BENCH_server.json`` and the benchmark records all emit machine-readable
+JSON; this module is their single writer so the semantics are uniform:
+
+* :func:`write_json` writes atomically — the payload lands in a temp file
+  in the target directory and is ``os.replace``-d into place, so a reader
+  (or a crash) never observes a half-written artefact;
+* :func:`emit_json` is the CLI glue: ``out=None`` prints to stdout
+  (the historical ``--json`` behaviour), a path delegates to
+  :func:`write_json`.
+
+No ``default=`` fallback is passed to ``json``: a payload carrying a
+non-serialisable value (a stray array, a ``Path``) is a bug in the
+producer and must raise here, not silently land as a quoted string that
+breaks numeric consumers downstream.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Optional, Union
+
+
+def write_json(payload: Any, path: Union[str, Path], indent: int = 2) -> Path:
+    """Atomically write ``payload`` as JSON to ``path`` (temp + rename)."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(dir=target.parent, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as handle:
+            json.dump(payload, handle, indent=indent)
+            handle.write("\n")
+        os.replace(tmp_name, target)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return target
+
+
+def emit_json(payload: Any, out: Optional[Union[str, Path]] = None, indent: int = 2) -> None:
+    """Print ``payload`` as JSON, or write it atomically when ``out`` is given."""
+    if out is None:
+        print(json.dumps(payload, indent=indent))
+    else:
+        write_json(payload, out, indent=indent)
+
+
+__all__ = ["emit_json", "write_json"]

@@ -1,0 +1,140 @@
+"""Tests of the shared atomic JSON artefact writer and the CLI --out flag."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.utils.jsonio import emit_json, write_json
+
+
+class TestWriteJson:
+    def test_writes_parseable_json_with_trailing_newline(self, tmp_path):
+        target = tmp_path / "artefact.json"
+        write_json({"alpha": 1, "beta": [1, 2]}, target)
+        text = target.read_text()
+        assert text.endswith("\n")
+        assert json.loads(text) == {"alpha": 1, "beta": [1, 2]}
+
+    def test_creates_missing_parent_directories(self, tmp_path):
+        target = tmp_path / "deep" / "nested" / "artefact.json"
+        write_json([1, 2, 3], target)
+        assert json.loads(target.read_text()) == [1, 2, 3]
+
+    def test_overwrite_is_atomic_no_temp_residue(self, tmp_path):
+        target = tmp_path / "artefact.json"
+        write_json({"version": 1}, target)
+        write_json({"version": 2}, target)
+        assert json.loads(target.read_text()) == {"version": 2}
+        assert [path.name for path in tmp_path.iterdir()] == ["artefact.json"]
+
+    def test_unserialisable_payload_raises_and_leaves_no_partial_file(self, tmp_path):
+        """No default= fallback: a type bug in the producer fails loudly."""
+        target = tmp_path / "artefact.json"
+        with pytest.raises(TypeError, match="not JSON serializable"):
+            write_json({"bad": object()}, target)
+        assert not target.exists()
+        assert list(tmp_path.iterdir()) == []
+
+
+class TestEmitJson:
+    def test_none_out_prints_to_stdout(self, capsys):
+        emit_json({"x": 1})
+        assert json.loads(capsys.readouterr().out) == {"x": 1}
+
+    def test_out_writes_the_file_and_prints_nothing(self, tmp_path, capsys):
+        target = tmp_path / "out.json"
+        emit_json({"x": 1}, out=target)
+        assert capsys.readouterr().out == ""
+        assert json.loads(target.read_text()) == {"x": 1}
+
+
+class TestCliOut:
+    SOLVE_ARGS = [
+        "solve",
+        "--topology",
+        "grid",
+        "--topology-arg",
+        "rows=3",
+        "--topology-arg",
+        "cols=3",
+        "--pairs",
+        "1",
+        "--flow",
+        "5",
+        "--algorithms",
+        "ISP",
+        "--seed",
+        "3",
+    ]
+
+    def test_solve_out_writes_the_envelope_file(self, tmp_path, capsys):
+        target = tmp_path / "solve.json"
+        assert main(self.SOLVE_ARGS + ["--out", str(target)]) == 0
+        assert capsys.readouterr().out == ""
+        envelope = json.loads(target.read_text())
+        assert envelope["kind"] == "recovery-result"
+        assert envelope["results"][0]["algorithm"] == "ISP"
+
+    def test_solve_out_matches_stdout_json(self, tmp_path, capsys):
+        assert main(self.SOLVE_ARGS + ["--json"]) == 0
+        printed = json.loads(capsys.readouterr().out)
+        target = tmp_path / "solve.json"
+        assert main(self.SOLVE_ARGS + ["--out", str(target)]) == 0
+        written = json.loads(target.read_text())
+        # identical instances modulo wall-clock fields
+        for envelope in (printed, written):
+            envelope.pop("wall_seconds")
+            for run in envelope["results"]:
+                run["metrics"].pop("elapsed_seconds")
+                run.pop("solver")
+        assert written == printed
+
+    def test_assess_out_writes_the_envelope_file(self, tmp_path, capsys):
+        target = tmp_path / "assess.json"
+        code = main(
+            [
+                "assess",
+                "--topology",
+                "grid",
+                "--topology-arg",
+                "rows=3",
+                "--topology-arg",
+                "cols=3",
+                "--disruption",
+                "gaussian",
+                "--variance",
+                "2",
+                "--pairs",
+                "1",
+                "--flow",
+                "2",
+                "--out",
+                str(target),
+            ]
+        )
+        assert code == 0
+        assert capsys.readouterr().out == ""
+        assert json.loads(target.read_text())["kind"] == "assessment-result"
+
+    def test_fuzz_out_writes_the_report_file(self, tmp_path, capsys):
+        target = tmp_path / "fuzz.json"
+        code = main(
+            [
+                "fuzz",
+                "--budget",
+                "2",
+                "--seed",
+                "3",
+                "--algorithms",
+                "ISP",
+                "--quiet",
+                "--out",
+                str(target),
+            ]
+        )
+        assert code == 0
+        assert capsys.readouterr().out == ""
+        report = json.loads(target.read_text())
+        assert report["kind"] == "fuzz-report"
+        assert report["budget"] == 2

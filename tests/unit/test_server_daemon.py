@@ -1,0 +1,188 @@
+"""In-process tests of the daemon coroutine and the serve/loadtest CLI glue."""
+
+import asyncio
+import json
+import threading
+
+import pytest
+
+from repro.api.requests import (
+    DemandSpec,
+    DisruptionSpec,
+    RecoveryRequest,
+    TopologySpec,
+)
+from repro.cli import main
+from repro.server.client import ServiceClient
+from repro.server.daemon import ServerConfig, serve
+from repro.server.store import JobStore
+from repro.server.workers import worker_loop
+
+
+def grid_request(seed: int = 1) -> RecoveryRequest:
+    return RecoveryRequest(
+        topology=TopologySpec("grid", kwargs={"rows": 3, "cols": 3}),
+        disruption=DisruptionSpec("complete"),
+        demand=DemandSpec(num_pairs=1, flow_per_pair=5.0),
+        algorithms=("ISP",),
+        seed=seed,
+    )
+
+
+class TestServeCoroutine:
+    def test_serve_requeues_orphans_before_workers_start(self, tmp_path, capsys):
+        """A crashed run's ``running`` job is queued again by the next boot."""
+        db = tmp_path / "jobs.db"
+        with JobStore(db) as store:
+            store.submit(grid_request(seed=4))
+            assert store.claim("crashed-worker") is not None  # orphan it
+
+        config = ServerConfig(db=str(db), port=0, workers=1, poll_interval=0.05)
+
+        async def boot_and_cancel() -> None:
+            ready = asyncio.Event()
+            task = asyncio.ensure_future(serve(config, ready=ready))
+            await asyncio.wait_for(ready.wait(), timeout=30)
+            task.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await task
+
+        asyncio.run(boot_and_cancel())
+        stderr = capsys.readouterr().err
+        assert "requeued 1 orphaned running job(s)" in stderr
+        assert "repro.server listening on" in stderr
+        assert "drained and stopped" in stderr
+        with JobStore(db) as store:
+            # the worker may or may not have finished it before the drain,
+            # but the orphan is never stuck in 'running' after shutdown
+            assert store.get(grid_request(seed=4).digest()).state in ("queued", "done")
+
+
+class TestServeValidation:
+    def test_bad_backend_fails_before_any_worker_spawns(self, tmp_path):
+        config = ServerConfig(db=str(tmp_path / "x.db"), port=0, lp_backend="nope")
+        with pytest.raises(ValueError, match="unknown LP backend"):
+            asyncio.run(serve(config))
+
+    def test_malformed_topology_cache_env_fails_before_any_worker_spawns(
+        self, tmp_path, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_TOPOLOGY_CACHE", "banana")
+        config = ServerConfig(db=str(tmp_path / "x.db"), port=0)
+        with pytest.raises(ValueError, match="REPRO_TOPOLOGY_CACHE"):
+            asyncio.run(serve(config))
+
+
+class TestCliServe:
+    def test_serve_rejects_bad_worker_count(self, tmp_path):
+        with pytest.raises(SystemExit, match="--workers"):
+            main(["serve", "--db", str(tmp_path / "x.db"), "--workers", "0"])
+
+    def test_serve_rejects_bad_queue_depth(self, tmp_path):
+        with pytest.raises(SystemExit, match="--max-queue-depth"):
+            main(["serve", "--db", str(tmp_path / "x.db"), "--max-queue-depth", "0"])
+
+
+class TestCliLoadtest:
+    def test_loadtest_round_trip_against_inprocess_daemon(self, tmp_path, capsys):
+        """`repro.cli loadtest` against a live in-process front end + worker."""
+        db = tmp_path / "jobs.db"
+        store = JobStore(db)
+
+        ports = {}
+        ready = threading.Event()
+        stop_box = {}
+
+        def front_end() -> None:
+            from repro.server.http import RecoveryServer
+
+            async def run() -> None:
+                server = RecoveryServer(store, workers_alive=lambda: 1)
+                await server.start(port=0)
+                ports["port"] = server.port
+                stop_box["loop"] = asyncio.get_running_loop()
+                stop_box["stop"] = asyncio.Event()
+                ready.set()
+                await stop_box["stop"].wait()
+                await server.stop()
+
+            asyncio.run(run())
+
+        class Flag:
+            def __init__(self):
+                self.value = False
+
+            def set(self):
+                self.value = True
+
+            def is_set(self):
+                return self.value
+
+        flag = Flag()
+        server_thread = threading.Thread(target=front_end, daemon=True)
+        worker_thread = threading.Thread(
+            target=worker_loop,
+            args=(str(db), "w0"),
+            kwargs={"poll_interval": 0.02, "stop": flag},
+            daemon=True,
+        )
+        server_thread.start()
+        assert ready.wait(timeout=10)
+        worker_thread.start()
+        try:
+            out = tmp_path / "BENCH_server.json"
+            code = main(
+                [
+                    "loadtest",
+                    "--url",
+                    f"http://127.0.0.1:{ports['port']}",
+                    "--rps",
+                    "10",
+                    "--duration",
+                    "1",
+                    "--distinct",
+                    "3",
+                    "--seed",
+                    "7",
+                    "--out",
+                    str(out),
+                    "--json",
+                ]
+            )
+            assert code == 0
+            bench = json.loads(out.read_text())
+            assert bench["ok"] is True
+            assert bench["failed_jobs"] == 0
+            assert bench["dedup_hits"] > 0
+            printed = json.loads(capsys.readouterr().out)
+            assert printed["kind"] == "server-bench"
+        finally:
+            flag.set()
+            stop_box["loop"].call_soon_threadsafe(stop_box["stop"].set)
+            server_thread.join(timeout=10)
+            worker_thread.join(timeout=10)
+            store.close()
+
+    def test_loadtest_rejects_bad_scenario_space(self):
+        with pytest.raises(SystemExit, match="unknown scenario space"):
+            main(["loadtest", "--url", "http://127.0.0.1:1", "--scenario-space", "galaxy"])
+
+    def test_loadtest_unreachable_daemon_exits_cleanly(self, tmp_path):
+        code = main(
+            [
+                "loadtest",
+                "--url",
+                "http://127.0.0.1:9",
+                "--rps",
+                "3",
+                "--duration",
+                "1",
+                "--distinct",
+                "2",
+                "--wait-timeout",
+                "2",
+                "--out",
+                str(tmp_path / "bench.json"),
+            ]
+        )
+        assert code == 1  # transport errors are reported, not crashed on

@@ -1,0 +1,293 @@
+"""Unit tests of the HTTP front end, driven through the ServiceClient.
+
+The server runs on a background thread with its own event loop and a real
+TCP socket, so these tests exercise the actual wire protocol (request
+parsing, status codes, content types) without spawning worker processes.
+"""
+
+import asyncio
+import json
+import threading
+import urllib.request
+
+import pytest
+
+from repro.api.requests import (
+    AssessmentRequest,
+    DemandSpec,
+    DisruptionSpec,
+    RecoveryRequest,
+    TopologySpec,
+)
+from repro.server.client import ServiceClient, ServiceError
+from repro.server.http import RecoveryServer
+from repro.server.store import JobStore
+
+
+def grid_request(seed: int = 1) -> RecoveryRequest:
+    return RecoveryRequest(
+        topology=TopologySpec("grid", kwargs={"rows": 3, "cols": 3}),
+        disruption=DisruptionSpec("complete"),
+        demand=DemandSpec(num_pairs=1, flow_per_pair=5.0),
+        algorithms=("ISP",),
+        seed=seed,
+    )
+
+
+class ServerHarness:
+    """A front end on a background event-loop thread, plus its client."""
+
+    def __init__(self, store: JobStore, **kwargs) -> None:
+        self.store = store
+        self.kwargs = kwargs
+        self._ready = threading.Event()
+        self._stop: asyncio.Event = None
+        self._loop: asyncio.AbstractEventLoop = None
+        self.server: RecoveryServer = None
+        self.client: ServiceClient = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self) -> None:
+        async def main() -> None:
+            self.server = RecoveryServer(self.store, **self.kwargs)
+            await self.server.start(port=0)
+            self._loop = asyncio.get_running_loop()
+            self._stop = asyncio.Event()
+            self._ready.set()
+            await self._stop.wait()
+            await self.server.stop()
+
+        asyncio.run(main())
+
+    def __enter__(self) -> "ServerHarness":
+        self._thread.start()
+        assert self._ready.wait(timeout=10), "server failed to start"
+        self.client = ServiceClient(f"http://127.0.0.1:{self.server.port}", timeout=10.0)
+        return self
+
+    def __exit__(self, *_: object) -> None:
+        self._loop.call_soon_threadsafe(self._stop.set)
+        self._thread.join(timeout=10)
+
+
+@pytest.fixture()
+def store(tmp_path):
+    with JobStore(tmp_path / "jobs.db") as handle:
+        yield handle
+
+
+@pytest.fixture()
+def harness(store):
+    with ServerHarness(store, workers_alive=lambda: 2) as running:
+        yield running
+
+
+class TestSubmission:
+    def test_solve_accepts_and_persists_the_job(self, harness, store):
+        response = harness.client.solve(grid_request())
+        assert response["deduplicated"] is False
+        digest = response["job"]["digest"]
+        assert digest == grid_request().digest()
+        assert store.get(digest).state == "queued"
+
+    def test_duplicate_solve_is_a_dedup_hit(self, harness):
+        harness.client.solve(grid_request())
+        response = harness.client.solve(grid_request())
+        assert response["deduplicated"] is True
+        assert harness.server.dedup_hits == 1
+
+    def test_dedup_of_a_done_job_returns_the_result_inline(self, harness, store):
+        harness.client.solve(grid_request())
+        record = store.claim("w0")
+        store.complete(record.digest, {"kind": "recovery-result", "results": []})
+        response = harness.client.solve(grid_request())
+        assert response["deduplicated"] is True
+        assert response["job"]["state"] == "done"
+        assert response["job"]["result"]["kind"] == "recovery-result"
+
+    def test_assess_round_trips(self, harness, store):
+        request = AssessmentRequest(
+            topology=TopologySpec("grid", kwargs={"rows": 3, "cols": 3}),
+            disruption=DisruptionSpec("gaussian", kwargs={"variance": 2.0}),
+            seed=2,
+        )
+        response = harness.client.assess(request)
+        assert store.get(response["job"]["digest"]).kind == "assessment"
+
+    def test_batch_submits_and_dedups(self, harness, store):
+        requests = [grid_request(seed=1), grid_request(seed=2), grid_request(seed=1)]
+        response = harness.client.batch(requests)
+        assert len(response["jobs"]) == 3
+        flags = [job["deduplicated"] for job in response["jobs"]]
+        assert flags == [False, False, True]
+        assert store.queue_depth() == 2
+
+    def test_batch_accepts_mixed_solve_and_assess_requests(self, harness, store):
+        assessment = AssessmentRequest(
+            topology=TopologySpec("grid", kwargs={"rows": 3, "cols": 3}),
+            disruption=DisruptionSpec("gaussian", kwargs={"variance": 2.0}),
+            seed=4,
+        )
+        response = harness.client.batch([grid_request().to_dict(), assessment.to_dict()])
+        kinds = {store.get(job["job"]["digest"]).kind for job in response["jobs"]}
+        assert kinds == {"recovery", "assessment"}
+
+    def test_retrying_a_failed_job_is_a_202_not_a_dedup_hit(self, harness, store):
+        harness.client.solve(grid_request())
+        record = store.claim("w0")
+        store.fail(record.digest, "boom")
+        response = harness.client.solve(grid_request())
+        # the retry requeues a fresh execution: not deduplicated, counted 202
+        assert response["deduplicated"] is False
+        assert response["job"]["state"] == "queued"
+        assert harness.server.dedup_hits == 0
+        assert harness.server.http_requests[("/v1/solve", 202)] == 2
+
+
+class TestValidation:
+    def test_unknown_topology_is_a_400_with_the_schema_error(self, harness):
+        payload = grid_request().to_dict()
+        payload["topology"]["name"] = "atlantis"
+        with pytest.raises(ServiceError) as excinfo:
+            harness.client.solve(payload)
+        assert excinfo.value.status == 400
+        assert "unknown topology" in str(excinfo.value)
+
+    def test_invalid_json_body_is_a_400(self, harness):
+        url = f"{harness.client.base_url}/v1/solve"
+        request = urllib.request.Request(
+            url, data=b"{not json", headers={"Content-Type": "application/json"}
+        )
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=5)
+        assert excinfo.value.code == 400
+
+    def test_wrong_kind_on_solve_is_a_400(self, harness):
+        payload = grid_request().to_dict()
+        payload["kind"] = "assessment"
+        with pytest.raises(ServiceError) as excinfo:
+            harness.client.solve(payload)
+        assert excinfo.value.status == 400
+
+    def test_batch_without_requests_is_a_400(self, harness):
+        with pytest.raises(ServiceError) as excinfo:
+            harness.client._call("POST", "/v1/batch", {"requests": []})
+        assert excinfo.value.status == 400
+
+    def test_batch_reports_the_offending_index(self, harness):
+        good = grid_request().to_dict()
+        bad = grid_request().to_dict()
+        bad["algorithms"] = ["NOPE"]
+        with pytest.raises(ServiceError) as excinfo:
+            harness.client.batch([good, bad])
+        assert excinfo.value.status == 400
+        assert "requests[1]" in str(excinfo.value)
+
+    def test_unknown_path_is_a_404(self, harness):
+        with pytest.raises(ServiceError) as excinfo:
+            harness.client._call("GET", "/v2/everything")
+        assert excinfo.value.status == 404
+
+    def test_unknown_job_is_a_404(self, harness):
+        with pytest.raises(ServiceError) as excinfo:
+            harness.client.job("0" * 64)
+        assert excinfo.value.status == 404
+
+    def test_wrong_method_is_a_405(self, harness):
+        with pytest.raises(ServiceError) as excinfo:
+            harness.client._call("POST", "/healthz", {})
+        assert excinfo.value.status == 405
+
+    def test_oversized_body_is_a_400(self, store):
+        with ServerHarness(store, max_body_bytes=64) as harness:
+            with pytest.raises(ServiceError) as excinfo:
+                harness.client.solve(grid_request())
+            assert excinfo.value.status == 400
+            assert "exceeds" in str(excinfo.value)
+
+
+class TestAdmissionControl:
+    def test_queue_full_rejects_new_submissions_with_429(self, store):
+        with ServerHarness(store, max_queue_depth=1) as harness:
+            harness.client.solve(grid_request(seed=1))
+            with pytest.raises(ServiceError) as excinfo:
+                harness.client.solve(grid_request(seed=2))
+            assert excinfo.value.status == 429
+            assert excinfo.value.payload["max_queue_depth"] == 1
+
+    def test_dedup_hits_are_admitted_even_when_full(self, store):
+        with ServerHarness(store, max_queue_depth=1) as harness:
+            harness.client.solve(grid_request(seed=1))
+            response = harness.client.solve(grid_request(seed=1))
+            assert response["deduplicated"] is True
+
+    def test_batch_admission_counts_only_fresh_jobs(self, store):
+        with ServerHarness(store, max_queue_depth=2) as harness:
+            harness.client.solve(grid_request(seed=1))
+            # one dedup + one fresh fits depth 2; two fresh would not
+            response = harness.client.batch([grid_request(seed=1), grid_request(seed=2)])
+            assert len(response["jobs"]) == 2
+            with pytest.raises(ServiceError) as excinfo:
+                harness.client.batch([grid_request(seed=3), grid_request(seed=4)])
+            assert excinfo.value.status == 429
+
+
+class TestObservation:
+    def test_job_view_round_trips_the_request(self, harness):
+        submitted = harness.client.solve(grid_request())
+        view = harness.client.job(submitted["job"]["digest"])
+        assert view["state"] == "queued"
+        rebuilt = RecoveryRequest.from_dict(view["request"])
+        assert rebuilt == grid_request()
+
+    def test_healthz_reports_queue_and_workers(self, harness):
+        harness.client.solve(grid_request())
+        health = harness.client.healthz()
+        assert health["status"] == "ok"
+        assert health["queue_depth"] == 1
+        assert health["workers_alive"] == 2
+        assert health["jobs"]["queued"] == 1
+
+    def test_healthz_degrades_when_the_expected_fleet_is_dead(self, store):
+        with ServerHarness(
+            store, workers_alive=lambda: 0, expected_workers=2
+        ) as harness:
+            assert harness.client.healthz()["status"] == "degraded"
+
+    def test_metrics_exposition_is_wellformed_prometheus(self, harness, store):
+        harness.client.solve(grid_request())
+        record = store.claim("w0")
+        store.complete(record.digest, {})
+        store.record_worker_stats(
+            "w0", {"topology_cache_hits": 3, "topology_cache_misses": 1, "jobs_done": 1}
+        )
+        text = harness.client.metrics()
+        lines = text.strip().splitlines()
+        samples = [line for line in lines if not line.startswith("#")]
+        for line in samples:
+            name_part, value = line.rsplit(" ", 1)
+            float(value)  # every sample line ends in a number
+            assert name_part.startswith("repro_")
+        assert 'repro_jobs_total{state="done"} 1' in lines
+        assert "repro_topology_cache_hits_total 3" in lines
+        assert "repro_topology_cache_misses_total 1" in lines
+        assert "repro_solve_latency_seconds_count 1" in lines
+        bucket_lines = [l for l in lines if "latency_seconds_bucket" in l]
+        assert bucket_lines[-1].startswith('repro_solve_latency_seconds_bucket{le="+Inf"}')
+
+    def test_http_request_counter_labels_jobs_uniformly(self, harness):
+        submitted = harness.client.solve(grid_request())
+        harness.client.job(submitted["job"]["digest"])
+        with pytest.raises(ServiceError):
+            harness.client.job("0" * 64)
+        counters = harness.server.http_requests
+        assert counters[("/v1/jobs", 200)] == 1
+        assert counters[("/v1/jobs", 404)] == 1
+        assert counters[("/v1/solve", 202)] == 1
+
+    def test_metrics_content_type_is_text(self, harness):
+        with urllib.request.urlopen(
+            f"{harness.client.base_url}/metrics", timeout=5
+        ) as response:
+            assert response.headers.get("Content-Type", "").startswith("text/plain")
+            json.dumps(response.read().decode())  # readable text

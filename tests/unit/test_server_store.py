@@ -1,0 +1,297 @@
+"""Unit tests of the durable job store: lifecycle, dedup, crash safety."""
+
+import json
+import sqlite3
+import threading
+
+import pytest
+
+from repro.api.requests import (
+    AssessmentRequest,
+    DemandSpec,
+    DisruptionSpec,
+    RecoveryRequest,
+    TopologySpec,
+)
+from repro.server.store import (
+    DEFAULT_MAX_ATTEMPTS,
+    JobStore,
+    SCHEMA_VERSION,
+    StoreSchemaError,
+)
+
+
+def grid_request(seed: int = 1, pairs: int = 1) -> RecoveryRequest:
+    return RecoveryRequest(
+        topology=TopologySpec("grid", kwargs={"rows": 3, "cols": 3}),
+        disruption=DisruptionSpec("complete"),
+        demand=DemandSpec(num_pairs=pairs, flow_per_pair=5.0),
+        algorithms=("ISP",),
+        seed=seed,
+    )
+
+
+@pytest.fixture()
+def store(tmp_path):
+    with JobStore(tmp_path / "jobs.db") as handle:
+        yield handle
+
+
+class TestSchema:
+    def test_fresh_database_gets_current_version(self, store):
+        assert store.schema_version == SCHEMA_VERSION
+
+    def test_newer_schema_is_rejected(self, tmp_path):
+        path = tmp_path / "future.db"
+        conn = sqlite3.connect(path)
+        conn.execute(f"PRAGMA user_version={SCHEMA_VERSION + 1}")
+        conn.close()
+        with pytest.raises(StoreSchemaError, match="schema version"):
+            JobStore(path)
+
+    def test_reopening_is_idempotent(self, tmp_path):
+        path = tmp_path / "jobs.db"
+        JobStore(path).close()
+        with JobStore(path) as again:
+            assert again.schema_version == SCHEMA_VERSION
+
+
+class TestSubmission:
+    def test_submit_returns_queued_record(self, store):
+        record, created = store.submit(grid_request())
+        assert created
+        assert record.state == "queued"
+        assert record.kind == "recovery"
+        assert record.attempts == 0
+        assert record.digest == grid_request().digest()
+
+    def test_duplicate_submission_dedups_by_digest(self, store):
+        first, created_first = store.submit(grid_request())
+        second, created_second = store.submit(grid_request())
+        assert created_first and not created_second
+        assert first.digest == second.digest
+        assert store.counts()["queued"] == 1
+
+    def test_dict_and_object_submissions_share_a_digest(self, store):
+        _, created_first = store.submit(grid_request())
+        _, created_second = store.submit(grid_request().to_dict())
+        assert created_first and not created_second
+
+    def test_assessment_requests_are_accepted(self, store):
+        request = AssessmentRequest(
+            topology=TopologySpec("grid", kwargs={"rows": 3, "cols": 3}),
+            disruption=DisruptionSpec("gaussian", kwargs={"variance": 2.0}),
+            seed=5,
+        )
+        record, created = store.submit(request)
+        assert created and record.kind == "assessment"
+
+    def test_resubmitting_a_failed_job_requeues_it(self, store):
+        record, _ = store.submit(grid_request())
+        claimed = store.claim("w0")
+        store.fail(claimed.digest, "boom")
+        requeued, created = store.submit(grid_request())
+        assert not created
+        assert requeued.state == "queued"
+        assert requeued.attempts == 0
+        assert requeued.error is None
+
+    def test_resubmitting_a_done_job_returns_the_stored_result(self, store):
+        store.submit(grid_request())
+        claimed = store.claim("w0")
+        store.complete(claimed.digest, {"kind": "recovery-result", "results": []})
+        record, created = store.submit(grid_request())
+        assert not created
+        assert record.state == "done"
+        assert record.result == {"kind": "recovery-result", "results": []}
+
+
+class TestClaim:
+    def test_claim_moves_oldest_queued_to_running(self, store):
+        store.submit(grid_request(seed=1))
+        record = store.claim("w0")
+        assert record is not None
+        assert record.state == "running"
+        assert record.worker == "w0"
+        assert record.attempts == 1
+        assert store.get(record.digest).state == "running"
+
+    def test_claim_on_empty_queue_returns_none(self, store):
+        assert store.claim("w0") is None
+
+    def test_one_job_is_claimed_exactly_once(self, store):
+        store.submit(grid_request())
+        first = store.claim("w0")
+        second = store.claim("w1")
+        assert first is not None
+        assert second is None
+
+    def test_complete_stores_the_envelope(self, store):
+        store.submit(grid_request())
+        record = store.claim("w0")
+        store.complete(record.digest, {"answer": 42})
+        done = store.get(record.digest)
+        assert done.state == "done"
+        assert done.result == {"answer": 42}
+        assert done.finished_at is not None
+
+    def test_fail_stores_the_error(self, store):
+        store.submit(grid_request())
+        record = store.claim("w0")
+        store.fail(record.digest, "solver exploded")
+        failed = store.get(record.digest)
+        assert failed.state == "failed"
+        assert failed.error == "solver exploded"
+
+    def test_stale_worker_cannot_overwrite_a_reassigned_job(self, store):
+        """A worker that lost its claim to a requeue must not land writes."""
+        store.submit(grid_request())
+        stale = store.claim("stale")
+        store.requeue_orphans()  # e.g. a daemon restart while 'stale' still runs
+        fresh = store.claim("fresh")
+        assert store.complete(fresh.digest, {"winner": "fresh"}, worker="fresh")
+        # the stale worker's late outcome is a no-op, both ways
+        assert not store.fail(stale.digest, "late failure", worker="stale")
+        assert not store.complete(stale.digest, {"winner": "stale"}, worker="stale")
+        final = store.get(stale.digest)
+        assert final.state == "done"
+        assert final.result == {"winner": "fresh"}
+
+    def test_complete_without_worker_still_requires_a_running_row(self, store):
+        store.submit(grid_request())
+        assert not store.complete(grid_request().digest(), {})  # still queued
+        store.claim("w0")
+        assert store.complete(grid_request().digest(), {})
+
+    def test_poison_job_fails_after_attempt_budget(self, store):
+        store.submit(grid_request())
+        for _ in range(DEFAULT_MAX_ATTEMPTS):
+            record = store.claim("w0")
+            assert record is not None
+            assert store.requeue_orphans() == 1  # simulate a worker crash
+        assert store.claim("w0") is None
+        final = store.get(grid_request().digest())
+        assert final.state == "failed"
+        assert "gave up" in final.error
+
+
+class TestCrashRecovery:
+    def test_requeue_orphans_returns_running_jobs_to_the_queue(self, store):
+        store.submit(grid_request(seed=1))
+        store.submit(grid_request(seed=2))
+        store.claim("w0")
+        store.claim("w1")
+        assert store.counts()["running"] == 2
+        assert store.requeue_orphans() == 2
+        counts = store.counts()
+        assert counts["running"] == 0
+        assert counts["queued"] == 2
+        # attempt counts survive the requeue (that is the poison-job guard)
+        assert all(record.attempts == 1 for record in store.jobs(state="queued"))
+
+    def test_requeue_orphans_leaves_terminal_jobs_alone(self, store):
+        store.submit(grid_request(seed=1))
+        record = store.claim("w0")
+        store.complete(record.digest, {})
+        assert store.requeue_orphans() == 0
+        assert store.get(record.digest).state == "done"
+
+
+class TestConcurrentAccess:
+    def test_racing_workers_claim_a_job_exactly_once(self, tmp_path):
+        """Many threads, each with its own connection, race for few jobs."""
+        path = tmp_path / "race.db"
+        with JobStore(path) as seeding:
+            for seed in (1, 2, 3):
+                seeding.submit(grid_request(seed=seed))
+
+        claims = []
+        lock = threading.Lock()
+        barrier = threading.Barrier(8)
+
+        def racer(identity: int) -> None:
+            with JobStore(path) as handle:
+                barrier.wait()
+                while True:
+                    record = handle.claim(f"w{identity}")
+                    if record is None:
+                        break
+                    with lock:
+                        claims.append(record.digest)
+                    handle.complete(record.digest, {})
+
+        threads = [threading.Thread(target=racer, args=(i,)) for i in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert sorted(claims) == sorted(set(claims))  # no digest executed twice
+        assert len(claims) == 3
+        with JobStore(path) as verify:
+            assert verify.counts()["done"] == 3
+
+    def test_racing_duplicate_submissions_create_one_row(self, tmp_path):
+        path = tmp_path / "dupes.db"
+        JobStore(path).close()
+        created_flags = []
+        lock = threading.Lock()
+        barrier = threading.Barrier(6)
+
+        def submitter() -> None:
+            with JobStore(path) as handle:
+                barrier.wait()
+                _, created = handle.submit(grid_request(seed=9))
+                with lock:
+                    created_flags.append(created)
+
+        threads = [threading.Thread(target=submitter) for _ in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert created_flags.count(True) == 1
+        with JobStore(path) as verify:
+            assert sum(verify.counts().values()) == 1
+
+
+class TestIntrospection:
+    def test_counts_cover_every_state(self, store):
+        assert store.counts() == {"queued": 0, "running": 0, "done": 0, "failed": 0}
+        store.submit(grid_request())
+        assert store.counts()["queued"] == 1
+
+    def test_jobs_filters_by_state_and_rejects_unknown(self, store):
+        store.submit(grid_request())
+        assert len(store.jobs(state="queued")) == 1
+        assert store.jobs(state="done") == []
+        with pytest.raises(ValueError, match="unknown job state"):
+            store.jobs(state="bogus")
+
+    def test_solve_latencies_reflect_completed_jobs(self, store):
+        store.submit(grid_request())
+        record = store.claim("w0")
+        store.complete(record.digest, {})
+        latencies = store.solve_latencies()
+        assert len(latencies) == 1
+        assert latencies[0] >= 0.0
+
+    def test_worker_stats_totals_sum_across_workers(self, store):
+        store.record_worker_stats("w0", {"jobs_done": 2, "lp_solves": 5.0})
+        store.record_worker_stats("w1", {"jobs_done": 3, "lp_solves": 1.5})
+        store.record_worker_stats("w1", {"jobs_done": 4, "lp_solves": 2.0})  # refresh
+        totals = store.worker_stats_totals()
+        assert totals["jobs_done"] == 6
+        assert totals["lp_solves"] == 7.0
+
+    def test_record_to_dict_includes_result_once_done(self, store):
+        store.submit(grid_request())
+        record = store.claim("w0")
+        store.complete(record.digest, {"x": 1})
+        payload = store.get(record.digest).to_dict()
+        assert payload["state"] == "done"
+        assert payload["result"] == {"x": 1}
+        assert json.dumps(payload)  # JSON-serialisable wire shape
+        trimmed = store.get(record.digest).to_dict(include_request=False)
+        assert "request" not in trimmed

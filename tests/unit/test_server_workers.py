@@ -1,0 +1,177 @@
+"""Unit tests of the worker loop and the session cache-size environment knob."""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.api.requests import (
+    AssessmentRequest,
+    DemandSpec,
+    DisruptionSpec,
+    RecoveryRequest,
+    TopologySpec,
+)
+from repro.api.service import (
+    DEFAULT_TOPOLOGY_CACHE_SIZE,
+    RecoveryService,
+    TOPOLOGY_CACHE_ENV_VAR,
+    default_topology_cache_size,
+)
+from repro.server.store import JobStore
+from repro.server.workers import WorkerFleet, worker_loop
+
+
+def grid_request(seed: int = 1) -> RecoveryRequest:
+    return RecoveryRequest(
+        topology=TopologySpec("grid", kwargs={"rows": 3, "cols": 3}),
+        disruption=DisruptionSpec("complete"),
+        demand=DemandSpec(num_pairs=1, flow_per_pair=5.0),
+        algorithms=("ISP",),
+        seed=seed,
+    )
+
+
+class TestWorkerLoop:
+    def test_drain_mode_executes_the_queue_and_stores_envelopes(self, tmp_path):
+        db = tmp_path / "jobs.db"
+        with JobStore(db) as store:
+            for seed in (1, 2):
+                store.submit(grid_request(seed=seed))
+            store.submit(
+                AssessmentRequest(
+                    topology=TopologySpec("grid", kwargs={"rows": 3, "cols": 3}),
+                    disruption=DisruptionSpec("gaussian", kwargs={"variance": 2.0}),
+                    seed=3,
+                )
+            )
+        handled = worker_loop(str(db), "w0", max_jobs=10)
+        assert handled == 3
+        with JobStore(db) as store:
+            assert store.counts() == {"queued": 0, "running": 0, "done": 3, "failed": 0}
+            solve = store.get(grid_request(seed=1).digest())
+            assert solve.result["kind"] == "recovery-result"
+            assert solve.result["results"][0]["algorithm"] == "ISP"
+            assessments = [
+                record for record in store.jobs() if record.kind == "assessment"
+            ]
+            assert assessments[0].result["kind"] == "assessment-result"
+
+    def test_worker_counters_reach_the_store(self, tmp_path):
+        db = tmp_path / "jobs.db"
+        with JobStore(db) as store:
+            # the same deterministic topology twice: second solve hits the LRU
+            store.submit(grid_request(seed=1))
+            store.submit(grid_request(seed=2))
+        worker_loop(str(db), "w0", max_jobs=10)
+        with JobStore(db) as store:
+            totals = store.worker_stats_totals()
+        assert totals["jobs_done"] == 2
+        assert totals["jobs_failed"] == 0
+        assert totals["topology_cache_misses"] == 1
+        assert totals["topology_cache_hits"] == 1
+        assert totals["lp_solves"] > 0
+        assert totals["busy_seconds"] > 0
+
+    def test_unexecutable_job_is_failed_not_crashed(self, tmp_path):
+        db = tmp_path / "jobs.db"
+        with JobStore(db) as store:
+            record, _ = store.submit(grid_request(seed=1))
+            # corrupt the stored payload the way a schema drift would:
+            # parsing fails at execution time, not at claim time
+            store._conn.execute(
+                "UPDATE jobs SET request = ? WHERE digest = ?",
+                (json.dumps({"kind": "recovery"}), record.digest),
+            )
+        handled = worker_loop(str(db), "w0", max_jobs=10)
+        assert handled == 1
+        with JobStore(db) as store:
+            failed = store.get(record.digest)
+            assert failed.state == "failed"
+            assert "topology" in failed.error  # the KeyError's traceback
+            assert store.worker_stats_totals()["jobs_failed"] == 1
+
+    def test_stop_event_ends_the_loop(self, tmp_path):
+        db = tmp_path / "jobs.db"
+        JobStore(db).close()
+
+        class Flag:
+            def __init__(self):
+                self.value = False
+
+            def set(self):
+                self.value = True
+
+            def is_set(self):
+                return self.value
+
+        flag = Flag()
+        timer = threading.Timer(0.3, flag.set)
+        timer.start()
+        started = time.perf_counter()
+        handled = worker_loop(str(db), "w0", poll_interval=0.01, stop=flag)
+        timer.cancel()
+        assert handled == 0
+        assert time.perf_counter() - started < 5.0
+
+
+class TestWorkerFleet:
+    def test_fleet_validates_worker_count(self, tmp_path):
+        with pytest.raises(ValueError, match="at least one worker"):
+            WorkerFleet(str(tmp_path / "jobs.db"), workers=0)
+
+    def test_fleet_drain_before_start_is_a_noop(self, tmp_path):
+        fleet = WorkerFleet(str(tmp_path / "jobs.db"), workers=1)
+        assert fleet.alive() == 0
+        fleet.drain(timeout=1.0)
+
+    def test_double_start_is_rejected(self, tmp_path):
+        db = tmp_path / "jobs.db"
+        JobStore(db).close()
+        fleet = WorkerFleet(str(db), workers=1, poll_interval=0.05)
+        fleet.start()
+        try:
+            assert fleet.alive() == 1
+            assert len(fleet.pids()) == 1
+            with pytest.raises(RuntimeError, match="already started"):
+                fleet.start()
+        finally:
+            fleet.drain(timeout=15.0)
+        assert fleet.alive() == 0
+
+
+class TestTopologyCacheEnv:
+    def test_default_without_env(self, monkeypatch):
+        monkeypatch.delenv(TOPOLOGY_CACHE_ENV_VAR, raising=False)
+        assert default_topology_cache_size() == DEFAULT_TOPOLOGY_CACHE_SIZE
+
+    def test_env_overrides_the_default(self, monkeypatch):
+        monkeypatch.setenv(TOPOLOGY_CACHE_ENV_VAR, "3")
+        assert default_topology_cache_size() == 3
+        service = RecoveryService()
+        assert service.cache_info()["topology_cache_capacity"] == 3
+
+    def test_constructor_argument_beats_the_env(self, monkeypatch):
+        monkeypatch.setenv(TOPOLOGY_CACHE_ENV_VAR, "3")
+        service = RecoveryService(topology_cache_size=5)
+        assert service.cache_info()["topology_cache_capacity"] == 5
+
+    def test_zero_disables_caching_but_still_serves(self, monkeypatch):
+        monkeypatch.setenv(TOPOLOGY_CACHE_ENV_VAR, "0")
+        service = RecoveryService()
+        result = service.solve(grid_request(seed=1))
+        assert result.results[0].metrics["satisfied_pct"] == 100.0
+        info = service.cache_info()
+        assert info["topology_cache_size"] == 0
+        assert info["topology_cache_misses"] == 1
+
+    @pytest.mark.parametrize("raw", ["banana", "-2", "1.5"])
+    def test_malformed_env_values_fail_loudly(self, monkeypatch, raw):
+        monkeypatch.setenv(TOPOLOGY_CACHE_ENV_VAR, raw)
+        with pytest.raises(ValueError, match=TOPOLOGY_CACHE_ENV_VAR):
+            default_topology_cache_size()
+
+    def test_negative_constructor_argument_is_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            RecoveryService(topology_cache_size=-1)
