@@ -8,13 +8,24 @@ The same request set is solved twice:
   with 2 workers, waiting until every job is ``done``.
 
 The gap between the two is the cost of the service layer (HTTP framing,
-durable store writes, claim polling); the printed table and the results
+durable store writes, claim dispatch); the printed table and the results
 artefact record it so regressions in the serving hot path show up as a
 growing overhead percentage.
+
+The served clock starts once ``/healthz`` reports the full fleet *ready*
+(workers have finished their solver warm-up and are claiming), mirroring
+the direct path where ``solve_batch`` is timed after the library is
+imported: both sides measure steady-state throughput, not interpreter
+start-up.
+
+Set ``$REPRO_BENCH_RECORD`` to a ``BENCH_server.json`` path to merge an
+``overhead_benchmark`` section into that artefact — CI uses this to feed
+the tracked trajectory checked by ``scripts/benchmark_regression_check.py``.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import signal
 import socket
@@ -29,6 +40,7 @@ from repro.api.service import RecoveryService
 from repro.scenarios import ScenarioGenerator
 from repro.server.client import ServiceClient
 from repro.server.loadtest import TINY_SPACE
+from repro.utils.jsonio import write_json
 
 #: Solved requests per measured path (small: the point is the overhead
 #: ratio, not load — the loadtest harness covers sustained traffic).
@@ -83,19 +95,25 @@ def _measure_served(requests, tmp_path: Path) -> float:
     )
     client = ServiceClient(f"http://127.0.0.1:{port}", timeout=10.0)
     try:
-        deadline = time.monotonic() + 60
+        # wait for the *fleet*, not just the socket: workers_ready counts
+        # workers that finished importing the solver stack and wrote their
+        # first counter snapshot, so the measurement below starts warm on
+        # both paths
+        deadline = time.monotonic() + 120
         while True:
             try:
-                client.healthz()
-                break
+                health = client.healthz()
+                if health.get("workers_ready", 0) >= 2:
+                    break
             except OSError:
-                if time.monotonic() > deadline or daemon.poll() is not None:
-                    raise RuntimeError("bench daemon failed to start") from None
-                time.sleep(0.2)
+                pass
+            if time.monotonic() > deadline or daemon.poll() is not None:
+                raise RuntimeError("bench daemon failed to become ready") from None
+            time.sleep(0.1)
         started = time.perf_counter()
         client.batch(requests)
         for request in requests:
-            view = client.wait(request.digest(), timeout=120)
+            view = client.wait(request.digest(), timeout=120, poll_interval=0.02)
             assert view["state"] == "done", view.get("error")
         return time.perf_counter() - started
     finally:
@@ -105,6 +123,25 @@ def _measure_served(requests, tmp_path: Path) -> float:
         except subprocess.TimeoutExpired:
             daemon.kill()
             daemon.wait(timeout=5)
+
+
+def _record_trajectory(rows) -> None:
+    """Merge the overhead section into $REPRO_BENCH_RECORD (if set)."""
+    target = os.environ.get("REPRO_BENCH_RECORD")
+    if not target:
+        return
+    payload = {}
+    path = Path(target)
+    if path.exists():
+        payload = json.loads(path.read_text())
+    payload["overhead_benchmark"] = {
+        "requests": NUM_REQUESTS,
+        "paths": {row["path"]: dict(row) for row in rows},
+        "served_solves_per_sec": rows[1]["solves_per_sec"],
+        "direct_solves_per_sec": rows[0]["solves_per_sec"],
+        "overhead_pct": rows[1]["overhead_pct"],
+    }
+    write_json(payload, path)
 
 
 def test_served_throughput_vs_direct_batch(tmp_path):
@@ -129,10 +166,12 @@ def test_served_throughput_vs_direct_batch(tmp_path):
         rows,
         columns=["path", "requests", "seconds", "solves_per_sec", "overhead_pct"],
     )
+    _record_trajectory(rows)
 
     assert direct_seconds > 0 and served_seconds > 0
-    # The served path must stay within an order of magnitude of direct:
-    # claim polling and HTTP framing cost milliseconds per job, so a 10x
-    # blow-up means the serving hot path regressed structurally.  The
-    # daemon's ~2s worker spawn is excluded (startup precedes the clock).
-    assert served_seconds < direct_seconds * 10 + 5.0
+    # The serve path is warm (keep-alive client, event-driven dispatch,
+    # batched claims, shared topology cache), so served throughput must
+    # stay within 2x of direct — i.e. <=100% overhead — plus a small
+    # constant for store writes on a tiny batch.  The PR 5 baseline was
+    # ~560%; a return above 100% means the serving hot path regressed.
+    assert served_seconds < direct_seconds * 2.0 + 1.0

@@ -1,0 +1,119 @@
+#!/usr/bin/env python
+"""Fail CI when served throughput regresses against the tracked baseline.
+
+Usage::
+
+    python scripts/benchmark_regression_check.py \
+        --baseline BENCH_server.json --current /tmp/BENCH_current.json
+
+Both files are ``BENCH_server.json``-shaped artefacts (a loadtest report,
+optionally carrying the ``overhead_benchmark`` section merged in by
+``benchmarks/test_server_throughput.py``).  The check compares every
+throughput metric present in *both* files — higher is better for all of
+them — and fails (exit 1) when any current value falls more than
+``--tolerance`` (default 20%) below the recorded baseline.
+
+The tracked baseline at the repo root is the performance trajectory: it
+is refreshed deliberately (commit a new ``BENCH_server.json``) when a PR
+*improves* throughput, and this gate keeps any later PR from silently
+giving the win back.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+#: Dotted paths of gated metrics; all are throughputs (higher is better).
+THROUGHPUT_METRICS: Tuple[str, ...] = (
+    "completed_rps",
+    "served_solves_per_sec",
+    "overhead_benchmark.served_solves_per_sec",
+)
+
+
+def lookup(payload: Dict[str, Any], dotted: str) -> Optional[float]:
+    """The numeric value at ``dotted`` path, or None if absent/non-numeric."""
+    node: Any = payload
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    if isinstance(node, bool) or not isinstance(node, (int, float)):
+        return None
+    return float(node)
+
+
+def compare(
+    baseline: Dict[str, Any], current: Dict[str, Any], tolerance: float
+) -> Tuple[List[str], List[str]]:
+    """(verdict lines, regression lines) for every metric present in both."""
+    lines: List[str] = []
+    regressions: List[str] = []
+    for metric in THROUGHPUT_METRICS:
+        base = lookup(baseline, metric)
+        now = lookup(current, metric)
+        if base is None or now is None:
+            lines.append(f"  [skip] {metric}: not present in both artefacts")
+            continue
+        if base <= 0:
+            lines.append(f"  [skip] {metric}: baseline {base:g} is not positive")
+            continue
+        floor = base * (1.0 - tolerance)
+        change = (now / base - 1.0) * 100.0
+        verdict = "ok" if now >= floor else "REGRESSION"
+        lines.append(
+            f"  [{verdict}] {metric}: baseline {base:.3f} -> current {now:.3f} "
+            f"({change:+.1f}%, floor {floor:.3f})"
+        )
+        if now < floor:
+            regressions.append(metric)
+    return lines, regressions
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True, help="tracked BENCH_server.json")
+    parser.add_argument("--current", required=True, help="freshly measured artefact")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.2,
+        help="allowed fractional drop vs baseline (default 0.2 = 20%%)",
+    )
+    args = parser.parse_args(argv)
+    if not 0 <= args.tolerance < 1:
+        parser.error("--tolerance must be in [0, 1)")
+
+    artefacts = []
+    for label, path in (("baseline", args.baseline), ("current", args.current)):
+        try:
+            artefacts.append(json.loads(Path(path).read_text()))
+        except (OSError, ValueError) as error:
+            print(f"benchmark_regression_check: cannot read {label} {path}: {error}")
+            return 2
+    baseline, current = artefacts
+
+    lines, regressions = compare(baseline, current, args.tolerance)
+    compared = sum(1 for line in lines if "[skip]" not in line)
+    print(
+        f"benchmark_regression_check: {args.current} vs {args.baseline} "
+        f"(tolerance {args.tolerance:.0%})"
+    )
+    for line in lines:
+        print(line)
+    if compared == 0:
+        print("FAIL: no throughput metric present in both artefacts — nothing gated")
+        return 2
+    if regressions:
+        print(f"FAIL: served throughput regressed beyond tolerance: {', '.join(regressions)}")
+        return 1
+    print(f"PASS: {compared} throughput metric(s) within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

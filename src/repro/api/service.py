@@ -198,6 +198,31 @@ class RecoveryService:
             self._topologies.popitem(last=False)
         return supply
 
+    def import_topologies(self, topologies: Dict[str, SupplyGraph]) -> int:
+        """Seed the pristine-topology LRU with pre-built graphs.
+
+        ``topologies`` maps ``config_digest(spec.to_dict())`` to the built
+        pristine :class:`SupplyGraph` — the shape the server's fleet-shared
+        warm cache stores.  Existing entries are kept (they are already the
+        deterministic build); entries beyond the LRU capacity evict oldest
+        first, exactly like organic builds.  Returns how many entries were
+        actually added.  Imports count as neither hits nor misses — they
+        are warm starts, accounted by the caller.
+        """
+        added = 0
+        for key, supply in topologies.items():
+            if key in self._topologies:
+                continue
+            self._topologies[key] = supply
+            added += 1
+        while len(self._topologies) > self._topology_cache_size:
+            self._topologies.popitem(last=False)
+        return added
+
+    def export_topologies(self) -> Dict[str, SupplyGraph]:
+        """A snapshot of the pristine-topology LRU (digest -> built graph)."""
+        return dict(self._topologies)
+
     def build_instance(self, request: Request):
         """Materialise ``request``'s instance: ``(supply, demand, report)``.
 

@@ -362,6 +362,8 @@ def _command_serve(args: argparse.Namespace) -> int:
         raise SystemExit("--workers must be at least 1")
     if args.max_queue_depth < 1:
         raise SystemExit("--max-queue-depth must be at least 1")
+    if args.claim_batch < 1:
+        raise SystemExit("--claim-batch must be at least 1")
     config = ServerConfig(
         db=args.db,
         host=args.host,
@@ -370,6 +372,7 @@ def _command_serve(args: argparse.Namespace) -> int:
         max_queue_depth=args.max_queue_depth,
         poll_interval=args.poll_interval,
         lp_backend=args.lp_backend,
+        claim_batch=args.claim_batch,
     )
     try:
         return run_server(config)
@@ -394,6 +397,7 @@ def _command_loadtest(args: argparse.Namespace) -> int:
             algorithms=tuple(args.algorithms) if args.algorithms else None,
             out=args.out,
             wait_timeout=args.wait_timeout,
+            measure_direct=args.measure_direct,
         )
     except (KeyError, ValueError) as error:
         raise SystemExit(str(error.args[0])) from None
@@ -655,7 +659,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--poll-interval",
         type=float,
         default=0.2,
-        help="seconds an idle worker sleeps between claim attempts",
+        help="seconds an idle worker sleeps between claim attempts "
+        "(fallback only: enqueues wake workers immediately)",
+    )
+    serve.add_argument(
+        "--claim-batch",
+        type=int,
+        default=4,
+        help="jobs a worker claims per store round-trip",
     )
     _add_lp_backend_argument(serve)
     serve.set_defaults(handler=_command_serve)
@@ -694,6 +705,11 @@ def build_parser() -> argparse.ArgumentParser:
         default=DEFAULT_BENCH_PATH,
         metavar="FILE",
         help="bench artefact path (atomic write)",
+    )
+    loadtest.add_argument(
+        "--measure-direct",
+        action="store_true",
+        help="also solve the request pool in-process and record the served-vs-direct overhead",
     )
     loadtest.add_argument(
         "--json", action="store_true", help="also print the report as JSON on stdout"

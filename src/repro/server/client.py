@@ -1,9 +1,18 @@
 """A thin synchronous client for a running recovery daemon.
 
 :class:`ServiceClient` speaks the daemon's JSON protocol over stdlib
-``urllib`` — no dependencies, so any script (and the load-generation
-harness) can talk to a daemon.  Submission returns the durable job view;
-:meth:`ServiceClient.wait` polls until the job reaches a terminal state.
+``http.client`` — no dependencies, so any script (and the load-generation
+harness) can talk to a daemon.  Each thread holds one **persistent
+keep-alive connection** to the daemon (connections are thread-local, so
+the client object itself is safe to share across threads), turning the
+poll loop's per-request TCP setup into a single reused socket.  A request
+that hits a stale socket — the daemon reaped an idle connection, or the
+connection died between requests — is retried once on a fresh connection;
+that is safe because every daemon endpoint is idempotent (submission is
+digest-keyed, reads are reads).
+
+Submission returns the durable job view; :meth:`ServiceClient.wait` polls
+until the job reaches a terminal state.
 
 Non-2xx responses raise :class:`ServiceError` carrying the HTTP status and
 the decoded error payload, so callers can distinguish validation failures
@@ -12,15 +21,27 @@ the decoded error payload, so callers can distinguish validation failures
 
 from __future__ import annotations
 
+import http.client
 import json
+import threading
 import time
-import urllib.error
-import urllib.request
+import urllib.parse
 from typing import Any, Dict, List, Optional, Union
 
 from repro.api.requests import AssessmentRequest, RecoveryRequest
 
 Request = Union[AssessmentRequest, RecoveryRequest]
+
+#: Errors that signal a dead/stale socket rather than a daemon verdict;
+#: the request is retried once on a fresh connection.
+_RETRYABLE = (
+    http.client.BadStatusLine,
+    http.client.CannotSendRequest,
+    http.client.ResponseNotReady,
+    ConnectionError,
+    BrokenPipeError,
+    OSError,
+)
 
 
 class ServiceError(RuntimeError):
@@ -39,28 +60,65 @@ class ServiceClient:
     def __init__(self, base_url: str, timeout: float = 30.0) -> None:
         self.base_url = base_url.rstrip("/")
         self.timeout = float(timeout)
+        parsed = urllib.parse.urlsplit(self.base_url)
+        if parsed.scheme not in ("http", ""):
+            raise ValueError(f"only http:// daemons are supported, got {base_url!r}")
+        self._host = parsed.hostname or "127.0.0.1"
+        self._port = parsed.port or 80
+        self._local = threading.local()
 
     # ------------------------------------------------------------------ #
+    def _connection(self) -> http.client.HTTPConnection:
+        connection = getattr(self._local, "connection", None)
+        if connection is None:
+            connection = http.client.HTTPConnection(
+                self._host, self._port, timeout=self.timeout
+            )
+            self._local.connection = connection
+        return connection
+
+    def _discard_connection(self) -> None:
+        connection = getattr(self._local, "connection", None)
+        if connection is not None:
+            try:
+                connection.close()
+            except OSError:
+                pass
+            self._local.connection = None
+
+    def close(self) -> None:
+        """Drop this thread's persistent connection (reopened on next use)."""
+        self._discard_connection()
+
     def _call(self, method: str, path: str, payload: Optional[Dict[str, Any]] = None):
         body = None if payload is None else json.dumps(payload).encode("utf-8")
-        request = urllib.request.Request(
-            f"{self.base_url}{path}",
-            data=body,
-            method=method,
-            headers={"Content-Type": "application/json"} if body else {},
-        )
-        try:
-            with urllib.request.urlopen(request, timeout=self.timeout) as response:
+        headers = {"Content-Type": "application/json"} if body else {}
+        last_error: Optional[Exception] = None
+        for attempt in range(2):
+            connection = self._connection()
+            try:
+                connection.request(method, path, body=body, headers=headers)
+                response = connection.getresponse()
                 status = response.status
                 raw = response.read()
-                content_type = response.headers.get("Content-Type", "")
-        except urllib.error.HTTPError as error:
-            raw = error.read()
+                content_type = response.getheader("Content-Type", "") or ""
+                if (response.getheader("Connection", "") or "").lower() == "close":
+                    self._discard_connection()
+                break
+            except _RETRYABLE as error:
+                # stale keep-alive socket: reconnect and retry exactly once
+                self._discard_connection()
+                last_error = error
+        else:
+            raise ConnectionError(
+                f"daemon at {self.base_url} unreachable: {last_error}"
+            ) from last_error
+        if status >= 400:
             try:
                 decoded = json.loads(raw.decode("utf-8"))
             except ValueError:
                 decoded = raw.decode("utf-8", "replace")
-            raise ServiceError(error.code, decoded) from None
+            raise ServiceError(status, decoded)
         if content_type.startswith("text/"):
             return status, raw.decode("utf-8")
         return status, json.loads(raw.decode("utf-8"))

@@ -25,7 +25,7 @@ from typing import Optional
 
 from repro.server.http import DEFAULT_MAX_QUEUE_DEPTH, RecoveryServer
 from repro.server.store import DEFAULT_MAX_ATTEMPTS, JobStore
-from repro.server.workers import DEFAULT_POLL_INTERVAL, WorkerFleet
+from repro.server.workers import DEFAULT_CLAIM_BATCH, DEFAULT_POLL_INTERVAL, WorkerFleet
 
 #: Default TCP port of the recovery daemon.
 DEFAULT_PORT = 8351
@@ -43,6 +43,7 @@ class ServerConfig:
     poll_interval: float = DEFAULT_POLL_INTERVAL
     lp_backend: Optional[str] = None
     max_attempts: int = DEFAULT_MAX_ATTEMPTS
+    claim_batch: int = DEFAULT_CLAIM_BATCH
     drain_timeout: float = 30.0
 
 
@@ -77,6 +78,7 @@ async def serve(config: ServerConfig, ready: Optional[asyncio.Event] = None) -> 
         poll_interval=config.poll_interval,
         lp_backend=config.lp_backend,
         max_attempts=config.max_attempts,
+        claim_batch=config.claim_batch,
     )
     fleet.start()
 
@@ -85,6 +87,8 @@ async def serve(config: ServerConfig, ready: Optional[asyncio.Event] = None) -> 
         workers_alive=fleet.alive,
         max_queue_depth=config.max_queue_depth,
         expected_workers=config.workers,
+        on_enqueue=fleet.notify,
+        worker_ids=fleet.worker_ids,
     )
     try:
         await front.start(host=config.host, port=config.port)

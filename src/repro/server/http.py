@@ -14,13 +14,27 @@ endpoint                    behaviour
 ``GET /metrics``            Prometheus text format
 ==========================  =====================================================
 
+Connections are **keep-alive** by default: one TCP connection serves any
+number of sequential (or pipelined) requests, closing only when the client
+says ``Connection: close``, speaks HTTP/1.0, or idles past the timeout.
+That turns the polling client's per-request connect/teardown into a single
+persistent socket — the dominant cost of the old serve path.
+
 Submission is *asynchronous and idempotent*: the response is the durable
 job row (HTTP 202 for a newly accepted job, 200 for a digest already
 known — the dedup hit), and clients poll ``/v1/jobs/{digest}`` for the
-result.  Admission control keeps the daemon responsive under overload: a
-new job arriving while the queue holds ``max_queue_depth`` entries is
-rejected with 429 (dedup hits are always admitted — they cost nothing),
-and malformed payloads get 400 with the schema error message.
+result.  A digest that already holds a ``done`` envelope takes the
+**in-process fast path**: the front end answers straight from a bounded
+LRU of pre-serialized response bodies without touching the queue, a
+worker, or ``json.dumps`` — a done row is immutable, so the bytes are
+serialized once per digest and replayed verbatim.  Accepted jobs nudge the
+worker fleet through ``on_enqueue`` (the daemon wires the fleet's wakeup
+pipes in), so idle workers wake event-driven instead of poll-sleeping.
+
+Admission control keeps the daemon responsive under overload: a new job
+arriving while the queue holds ``max_queue_depth`` entries is rejected
+with 429 (dedup hits are always admitted — they cost nothing), and
+malformed payloads get 400 with the schema error message.
 
 Store calls are synchronous SQLite operations of a few hundred
 microseconds; at the request rates a single daemon serves they are cheaper
@@ -32,16 +46,24 @@ from __future__ import annotations
 import asyncio
 import json
 import time
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from collections import OrderedDict
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.api.requests import AssessmentRequest, RecoveryRequest, request_from_dict
-from repro.server.store import JobStore, STATES
+from repro.server.store import JobRecord, JobStore, STATES
 
 #: Largest accepted request body; beyond it the request is a 400.
 DEFAULT_MAX_BODY_BYTES = 1_048_576
 
 #: Queued jobs beyond which new (non-dedup) submissions are rejected (429).
 DEFAULT_MAX_QUEUE_DEPTH = 256
+
+#: Done-envelope fast-path entries retained (pre-serialized response bodies).
+DEFAULT_ENVELOPE_CACHE_SIZE = 256
+
+#: Seconds a keep-alive connection may idle between requests before the
+#: server closes it (quietly — an idle close is not an error).
+DEFAULT_IDLE_TIMEOUT = 30.0
 
 #: Histogram bucket upper bounds (seconds) for solve latency.
 LATENCY_BUCKETS = (0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0)
@@ -62,7 +84,13 @@ class RecoveryServer:
 
     ``workers_alive`` is a zero-argument callable reporting the live worker
     count (the daemon passes the fleet's prober; tests pass a constant), so
-    the front end stays ignorant of process management.
+    the front end stays ignorant of process management.  ``worker_ids``
+    (optional, same pattern) names the fleet's expected worker identities;
+    with it ``/healthz`` reports ``workers_ready`` — how many of those
+    workers have written their first counter snapshot, i.e. finished their
+    warm-up and are claiming jobs.  ``on_enqueue`` is called after every
+    submission that adds queue work (the daemon passes the fleet's wakeup
+    notifier).
     """
 
     def __init__(
@@ -72,16 +100,37 @@ class RecoveryServer:
         max_queue_depth: int = DEFAULT_MAX_QUEUE_DEPTH,
         max_body_bytes: int = DEFAULT_MAX_BODY_BYTES,
         expected_workers: Optional[int] = None,
+        on_enqueue: Optional[Callable[[], None]] = None,
+        worker_ids: Optional[Callable[[], List[str]]] = None,
+        envelope_cache_size: int = DEFAULT_ENVELOPE_CACHE_SIZE,
+        idle_timeout: float = DEFAULT_IDLE_TIMEOUT,
+        request_timeout: float = 30.0,
     ) -> None:
         self.store = store
         self.workers_alive = workers_alive or (lambda: 0)
+        self.worker_ids = worker_ids
+        self.on_enqueue = on_enqueue
         self.max_queue_depth = int(max_queue_depth)
         self.max_body_bytes = int(max_body_bytes)
         self.expected_workers = expected_workers
+        self.envelope_cache_size = int(envelope_cache_size)
+        self.idle_timeout = float(idle_timeout)
+        self.request_timeout = float(request_timeout)
         self.started_at = time.time()
         self.dedup_hits = 0
         self.submissions = 0
+        self.fast_path_hits = 0
+        self.connections_total = 0
+        self.keepalive_reuse = 0
+        self.envelope_cache_hits = 0
+        self.envelope_cache_misses = 0
         self.http_requests: Dict[Tuple[str, int], int] = {}
+        # digest -> {"record": JobRecord, "bodies": {flavor: bytes}} for
+        # *done* jobs only; a done row is immutable, so entries never go
+        # stale (a failed row retried gets a fresh digest row state, but
+        # failed rows are never cached).
+        self._done_cache: "OrderedDict[str, Dict[str, Any]]" = OrderedDict()
+        self._connections: Set[asyncio.StreamWriter] = set()
         self._server: Optional[asyncio.AbstractServer] = None
         self.port: Optional[int] = None
 
@@ -96,72 +145,103 @@ class RecoveryServer:
     async def stop(self) -> None:
         if self._server is not None:
             self._server.close()
+            # keep-alive connections would otherwise linger until their
+            # idle timeout; closing them unblocks the handlers immediately
+            for writer in list(self._connections):
+                writer.close()
             await self._server.wait_closed()
             self._server = None
 
     # ------------------------------------------------------------------ #
-    # Connection handling
+    # Connection handling (keep-alive loop)
     # ------------------------------------------------------------------ #
     async def _handle(self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter) -> None:
+        self.connections_total += 1
+        self._connections.add(writer)
+        served = 0
         try:
-            status, payload, content_type = await self._respond(reader)
-        except Exception as error:  # never let a handler kill the server
-            status, payload, content_type = (
-                500,
-                {"error": f"internal error: {type(error).__name__}: {error}"},
-                "application/json",
-            )
-        body = (
-            payload.encode("utf-8")
-            if isinstance(payload, str)
-            else json.dumps(payload, indent=2).encode("utf-8")
-        )
-        head = (
-            f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
-            f"Content-Type: {content_type}\r\n"
-            f"Content-Length: {len(body)}\r\n"
-            "Connection: close\r\n\r\n"
-        )
-        try:
-            writer.write(head.encode("ascii") + body)
-            await writer.drain()
-        except (ConnectionError, BrokenPipeError):
-            pass
+            while True:
+                try:
+                    request_line = await asyncio.wait_for(
+                        reader.readline(), timeout=self.idle_timeout
+                    )
+                except (asyncio.TimeoutError, ConnectionError, OSError):
+                    break  # idle or dead connection: reap quietly
+                if not request_line or request_line in (b"\r\n", b"\n"):
+                    break  # peer closed (or trailing CRLF of a pipeline)
+                if served:
+                    self.keepalive_reuse += 1
+                try:
+                    status, payload, content_type, keep_alive = await self._respond(
+                        request_line, reader
+                    )
+                except Exception as error:  # never let a handler kill the server
+                    status, payload, content_type, keep_alive = (
+                        500,
+                        {"error": f"internal error: {type(error).__name__}: {error}"},
+                        "application/json",
+                        False,
+                    )
+                served += 1
+                if isinstance(payload, (bytes, bytearray)):
+                    body = bytes(payload)
+                elif isinstance(payload, str):
+                    body = payload.encode("utf-8")
+                else:
+                    body = json.dumps(payload, indent=2).encode("utf-8")
+                head = (
+                    f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
+                    f"Content-Type: {content_type}\r\n"
+                    f"Content-Length: {len(body)}\r\n"
+                    f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n\r\n"
+                )
+                try:
+                    writer.write(head.encode("ascii") + body)
+                    await writer.drain()
+                except (ConnectionError, BrokenPipeError, OSError):
+                    break
+                if not keep_alive:
+                    break
         finally:
+            self._connections.discard(writer)
             writer.close()
             try:
                 await writer.wait_closed()
-            except (ConnectionError, BrokenPipeError):
+            except (ConnectionError, BrokenPipeError, OSError):
                 pass
 
-    async def _respond(self, reader: asyncio.StreamReader):
+    async def _respond(self, request_line: bytes, reader: asyncio.StreamReader):
         """Parse one request off the wire (bounded) and route it.
 
-        The *whole* read — request line, headers and body — shares one
-        timeout, so a client that stalls mid-headers or mid-body cannot
-        pin a connection coroutine (and its file descriptor) forever.
+        The rest of the request — headers and body — shares one timeout, so
+        a client that stalls mid-headers or mid-body cannot pin a
+        connection coroutine (and its file descriptor) forever.  Returns
+        ``(status, payload, content_type, keep_alive)``.
         """
         try:
-            parsed = await asyncio.wait_for(self._read_request(reader), timeout=30.0)
+            parsed = await asyncio.wait_for(
+                self._read_request(request_line, reader), timeout=self.request_timeout
+            )
         except asyncio.TimeoutError:
-            return 400, {"error": "timed out reading the request"}, "application/json"
+            return 400, {"error": "timed out reading the request"}, "application/json", False
         except (asyncio.IncompleteReadError, ConnectionError):
-            return 400, {"error": "connection closed mid-request"}, "application/json"
-        if isinstance(parsed, str):  # a parse error message
-            return 400, {"error": parsed}, "application/json"
-        method, path, body = parsed
+            return 400, {"error": "connection closed mid-request"}, "application/json", False
+        if isinstance(parsed, str):  # a parse error message; framing is lost
+            return 400, {"error": parsed}, "application/json", False
+        method, path, body, keep_alive = parsed
 
         status, payload, content_type = self._route(method, path, body)
         self._count(path, status)
-        return status, payload, content_type
+        return status, payload, content_type, keep_alive
 
-    async def _read_request(self, reader: asyncio.StreamReader):
-        """Read one request; returns ``(method, path, body)`` or an error str."""
-        request_line = await reader.readline()
+    async def _read_request(self, request_line: bytes, reader: asyncio.StreamReader):
+        """Read one request; ``(method, path, body, keep_alive)`` or an error str."""
         parts = request_line.decode("latin-1").split()
         if len(parts) < 2:
             return "malformed request line"
         method, path = parts[0].upper(), parts[1]
+        version = parts[2].upper() if len(parts) >= 3 else "HTTP/1.1"
+        keep_alive = version != "HTTP/1.0"
 
         content_length = 0
         while True:
@@ -169,17 +249,24 @@ class RecoveryServer:
             if line in (b"\r\n", b"\n", b""):
                 break
             name, _, value = line.decode("latin-1").partition(":")
-            if name.strip().lower() == "content-length":
+            header = name.strip().lower()
+            if header == "content-length":
                 try:
                     content_length = int(value.strip())
                 except ValueError:
                     return "malformed Content-Length"
+            elif header == "connection":
+                token = value.strip().lower()
+                if token == "close":
+                    keep_alive = False
+                elif token == "keep-alive":
+                    keep_alive = True
 
         if content_length > self.max_body_bytes:
             self._count(path, 400)
             return f"request body exceeds {self.max_body_bytes} bytes"
         body = await reader.readexactly(content_length) if content_length else b""
-        return method, path, body
+        return method, path, body, keep_alive
 
     def _count(self, path: str, status: int) -> None:
         endpoint = path.split("?")[0]
@@ -187,6 +274,49 @@ class RecoveryServer:
             endpoint = "/v1/jobs"
         key = (endpoint, int(status))
         self.http_requests[key] = self.http_requests.get(key, 0) + 1
+
+    # ------------------------------------------------------------------ #
+    # Done-envelope fast path (bounded LRU of pre-serialized bodies)
+    # ------------------------------------------------------------------ #
+    def _done_entry(self, digest: str) -> Optional[Dict[str, Any]]:
+        """The cached entry for a done digest, bumping LRU order on a hit."""
+        entry = self._done_cache.get(digest)
+        if entry is not None:
+            self._done_cache.move_to_end(digest)
+            self.envelope_cache_hits += 1
+        return entry
+
+    def _remember_done(self, record: JobRecord) -> Dict[str, Any]:
+        """Admit a freshly fetched done record into the LRU."""
+        entry = self._done_cache.get(record.digest)
+        if entry is None:
+            self.envelope_cache_misses += 1
+            entry = {"record": record, "bodies": {}}
+            self._done_cache[record.digest] = entry
+            while len(self._done_cache) > self.envelope_cache_size:
+                self._done_cache.popitem(last=False)
+        return entry
+
+    @staticmethod
+    def _done_body(entry: Dict[str, Any], flavor: str) -> bytes:
+        """The pre-serialized response body; rendered once per (digest, flavor)."""
+        body = entry["bodies"].get(flavor)
+        if body is None:
+            record: JobRecord = entry["record"]
+            if flavor == "submit":
+                payload = {"job": record.to_dict(include_request=False), "deduplicated": True}
+            else:
+                payload = {"job": record.to_dict()}
+            body = json.dumps(payload, indent=2).encode("utf-8")
+            entry["bodies"][flavor] = body
+        return body
+
+    def _notify_enqueue(self) -> None:
+        if self.on_enqueue is not None:
+            try:
+                self.on_enqueue()
+            except Exception:
+                pass  # a wakeup nudge must never fail a submission
 
     # ------------------------------------------------------------------ #
     # Routing
@@ -247,9 +377,20 @@ class RecoveryServer:
         except ValueError as error:
             return 400, {"error": str(error)}, "application/json"
         self.submissions += 1
-        existing = self.store.get(request.digest())
+        digest = request.digest()
+        entry = self._done_entry(digest)
+        if entry is not None:
+            # fast path: the done envelope is served from the in-process
+            # LRU — no queue, no worker, no re-serialization
+            self.dedup_hits += 1
+            self.fast_path_hits += 1
+            return 200, self._done_body(entry, "submit"), "application/json"
+        existing = self.store.get(digest)
         if existing is not None and existing.state != "failed":
             self.dedup_hits += 1
+            if existing.state == "done":
+                self.fast_path_hits += 1
+                return 200, self._done_body(self._remember_done(existing), "submit"), "application/json"
             return (
                 200,
                 {"job": existing.to_dict(include_request=False), "deduplicated": True},
@@ -269,6 +410,7 @@ class RecoveryServer:
         # — both trigger a fresh execution, so both are 202 and neither is a
         # dedup hit (a retry is requeued work, not a cached answer).
         record, _ = self.store.submit(request)
+        self._notify_enqueue()
         return (
             202,
             {"job": record.to_dict(include_request=False), "deduplicated": False},
@@ -292,13 +434,32 @@ class RecoveryServer:
                 requests.append(self._parse(item))
             except ValueError as error:
                 return 400, {"error": f"requests[{index}]: {error}"}, "application/json"
-        known = {
-            request.digest()
-            for request in requests
-            if (existing := self.store.get(request.digest())) is not None
-            and existing.state != "failed"
-        }
-        fresh = {request.digest() for request in requests} - known
+
+        # One store read per item; dedup is judged per item in order, so a
+        # digest repeated *within* the batch counts too, while a failed row
+        # being retried does not (it triggers a fresh execution).
+        digests = [request.digest() for request in requests]
+        plan: List[Tuple[str, Any]] = []  # ("done", entry) | ("dedup", record) | ("fresh", request)
+        seen_fresh: Dict[str, int] = {}
+        fresh: List[Any] = []
+        for request, digest in zip(requests, digests):
+            entry = self._done_entry(digest)
+            if entry is not None:
+                plan.append(("done", entry))
+                continue
+            if digest in seen_fresh:
+                plan.append(("repeat", digest))
+                continue
+            existing = self.store.get(digest)
+            if existing is not None and existing.state != "failed":
+                if existing.state == "done":
+                    plan.append(("done", self._remember_done(existing)))
+                else:
+                    plan.append(("dedup", existing))
+                continue
+            seen_fresh[digest] = len(fresh)
+            fresh.append(request)
+            plan.append(("fresh", digest))
         if self.store.queue_depth() + len(fresh) > self.max_queue_depth:
             return (
                 429,
@@ -310,31 +471,64 @@ class RecoveryServer:
                 },
                 "application/json",
             )
-        jobs = []
         self.submissions += len(requests)
-        for request in requests:
-            # dedup is judged per item at submit time, so a digest repeated
-            # *within* the batch counts too, while a failed row being
-            # retried does not (it triggers a fresh execution).
-            existing = self.store.get(request.digest())
-            deduplicated = existing is not None and existing.state != "failed"
-            record, _ = self.store.submit(request)
-            if deduplicated:
+        # every fresh item lands in one store transaction (one WAL commit
+        # for the whole burst), then the fleet gets a single wakeup nudge
+        submitted: Dict[str, JobRecord] = {}
+        if fresh:
+            for record, _ in self.store.submit_many(fresh):
+                submitted[record.digest] = record
+            self._notify_enqueue()
+        jobs = []
+        for kind, value in plan:
+            if kind == "done":
                 self.dedup_hits += 1
-            jobs.append(
-                {"job": record.to_dict(include_request=False), "deduplicated": deduplicated}
-            )
+                self.fast_path_hits += 1
+                record = value["record"]
+                jobs.append(
+                    {"job": record.to_dict(include_request=False), "deduplicated": True}
+                )
+            elif kind == "dedup":
+                self.dedup_hits += 1
+                jobs.append(
+                    {"job": value.to_dict(include_request=False), "deduplicated": True}
+                )
+            elif kind == "repeat":
+                self.dedup_hits += 1
+                jobs.append(
+                    {
+                        "job": submitted[value].to_dict(include_request=False),
+                        "deduplicated": True,
+                    }
+                )
+            else:
+                jobs.append(
+                    {
+                        "job": submitted[value].to_dict(include_request=False),
+                        "deduplicated": False,
+                    }
+                )
         return 202, {"jobs": jobs}, "application/json"
 
     def _job(self, digest: str):
+        entry = self._done_entry(digest)
+        if entry is not None:
+            return 200, self._done_body(entry, "job"), "application/json"
         record = self.store.get(digest)
         if record is None:
             return 404, {"error": f"no job with digest {digest!r}"}, "application/json"
+        if record.state == "done":
+            return 200, self._done_body(self._remember_done(record), "job"), "application/json"
         return 200, {"job": record.to_dict()}, "application/json"
 
     def _healthz(self) -> Dict[str, Any]:
         counts = self.store.counts()
         alive = self.workers_alive()
+        if self.worker_ids is not None:
+            expected = set(self.worker_ids())
+            ready = len(expected & set(self.store.worker_ids())) if expected else 0
+        else:
+            ready = alive
         # "degraded" (still HTTP 200: the front end *is* live) flags a dead
         # fleet — accepted jobs would queue with nobody to drain them.
         degraded = self.expected_workers is not None and alive < 1
@@ -344,6 +538,7 @@ class RecoveryServer:
             "queue_depth": counts["queued"],
             "jobs": counts,
             "workers_alive": alive,
+            "workers_ready": ready,
             "max_queue_depth": self.max_queue_depth,
         }
 
@@ -362,6 +557,11 @@ class RecoveryServer:
             lines.append(f"# HELP {name} {help_text}")
             lines.append(f"# TYPE {name} gauge")
             lines.append(f"{name}{labels} {value:g}")
+
+        def counter(name: str, value: float, help_text: str) -> None:
+            lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} counter")
+            lines.append(f"{name} {value:g}")
 
         lines.append("# HELP repro_jobs_total Jobs in the durable store by state.")
         lines.append("# TYPE repro_jobs_total gauge")
@@ -385,6 +585,11 @@ class RecoveryServer:
             self.store.schema_version,
             "Schema version of the job store.",
         )
+        gauge(
+            "repro_envelope_cache_size",
+            len(self._done_cache),
+            "Done envelopes held by the fast-path LRU.",
+        )
 
         lines.append("# HELP repro_http_requests_total HTTP requests by endpoint and status.")
         lines.append("# TYPE repro_http_requests_total counter")
@@ -393,14 +598,41 @@ class RecoveryServer:
                 f'repro_http_requests_total{{endpoint="{endpoint}",status="{status}"}} {count}'
             )
 
-        lines.append("# HELP repro_submissions_total Requests submitted to the front end.")
-        lines.append("# TYPE repro_submissions_total counter")
-        lines.append(f"repro_submissions_total {self.submissions}")
-        lines.append(
-            "# HELP repro_dedup_hits_total Submissions answered by an existing digest."
+        counter(
+            "repro_submissions_total",
+            self.submissions,
+            "Requests submitted to the front end.",
         )
-        lines.append("# TYPE repro_dedup_hits_total counter")
-        lines.append(f"repro_dedup_hits_total {self.dedup_hits}")
+        counter(
+            "repro_dedup_hits_total",
+            self.dedup_hits,
+            "Submissions answered by an existing digest.",
+        )
+        counter(
+            "repro_fast_path_hits_total",
+            self.fast_path_hits,
+            "Submissions answered in-process from a stored done envelope.",
+        )
+        counter(
+            "repro_http_connections_total",
+            self.connections_total,
+            "TCP connections accepted by the front end.",
+        )
+        counter(
+            "repro_keepalive_reuse_total",
+            self.keepalive_reuse,
+            "Requests served on an already-used keep-alive connection.",
+        )
+        counter(
+            "repro_envelope_cache_hits_total",
+            self.envelope_cache_hits,
+            "Responses served from the pre-serialized envelope LRU.",
+        )
+        counter(
+            "repro_envelope_cache_misses_total",
+            self.envelope_cache_misses,
+            "Done envelopes serialized and admitted to the LRU.",
+        )
 
         latencies = self.store.solve_latencies()
         lines.append(
@@ -427,6 +659,26 @@ class RecoveryServer:
             ("jobs_failed", "repro_fleet_jobs_failed_total", "Jobs failed by the fleet."),
             ("busy_seconds", "repro_fleet_busy_seconds_total", "Fleet seconds spent executing."),
             (
+                "claim_batches",
+                "repro_claim_batches_total",
+                "Batched claim round-trips issued by the fleet.",
+            ),
+            (
+                "claim_batch_jobs",
+                "repro_claim_batch_jobs_total",
+                "Jobs received through batched claims (jobs / batches = mean size).",
+            ),
+            (
+                "warm_topology_loads",
+                "repro_warm_topology_loads_total",
+                "Pristine topologies loaded from the shared warm sidecar.",
+            ),
+            (
+                "warm_topology_saves",
+                "repro_warm_topology_saves_total",
+                "Pristine topologies persisted to the shared warm sidecar.",
+            ),
+            (
                 "topology_cache_hits",
                 "repro_topology_cache_hits_total",
                 "Pristine-topology LRU hits across worker sessions.",
@@ -449,13 +701,13 @@ class RecoveryServer:
             ),
         )
         for key, name, help_text in fleet_metrics:
-            lines.append(f"# HELP {name} {help_text}")
-            lines.append(f"# TYPE {name} counter")
-            lines.append(f"{name} {totals.get(key, 0.0):g}")
+            counter(name, totals.get(key, 0.0), help_text)
         return "\n".join(lines) + "\n"
 
 
 __all__ = [
+    "DEFAULT_ENVELOPE_CACHE_SIZE",
+    "DEFAULT_IDLE_TIMEOUT",
     "DEFAULT_MAX_BODY_BYTES",
     "DEFAULT_MAX_QUEUE_DEPTH",
     "LATENCY_BUCKETS",

@@ -17,6 +17,14 @@ Two latency populations are reported: *submit* latency (client-observed
 HTTP round trip of the submission) and *job* latency (the store's
 ``finished_at - created_at``, i.e. queueing + execution), each as
 p50/p95/p99.
+
+With ``measure_direct=True`` the harness additionally solves the distinct
+request pool in-process (no daemon) and records the served-vs-direct
+overhead ratio into the artefact.  The served rate is measured *under the
+offered load* — open-loop replay spreads submissions over the campaign
+window — so ``overhead_pct`` here tracks regressions of the serve path at
+a fixed traffic shape; the capacity-bound overhead number lives in
+``benchmarks/test_server_throughput.py``.
 """
 
 from __future__ import annotations
@@ -94,6 +102,11 @@ class LoadtestReport:
     submit_latency: Dict[str, float] = field(default_factory=dict)
     job_latency: Dict[str, float] = field(default_factory=dict)
     wall_seconds: float = 0.0
+    served_seconds: float = 0.0
+    served_solves_per_sec: float = 0.0
+    direct_seconds: float = 0.0
+    direct_solves_per_sec: float = 0.0
+    overhead_pct: Optional[float] = None
     seed: int = 0
     scenario_space: str = "tiny"
     failures: List[Dict[str, str]] = field(default_factory=list)
@@ -129,6 +142,16 @@ class LoadtestReport:
             rows.append(
                 {"metric": key, "value": round(value, 4) if isinstance(value, float) else value}
             )
+        if self.direct_seconds:
+            for key in (
+                "served_solves_per_sec",
+                "direct_solves_per_sec",
+                "overhead_pct",
+            ):
+                value = payload[key]
+                rows.append(
+                    {"metric": key, "value": round(value, 4) if isinstance(value, float) else value}
+                )
         for population in ("submit_latency", "job_latency"):
             for name, value in payload[population].items():
                 rows.append({"metric": f"{population}_{name}", "value": round(value, 4)})
@@ -136,7 +159,7 @@ class LoadtestReport:
 
     def to_dict(self) -> Dict[str, Any]:
         return {
-            "schema_version": 1,
+            "schema_version": 2,
             "kind": "server-bench",
             "target_rps": float(self.target_rps),
             "duration_seconds": float(self.duration_seconds),
@@ -156,6 +179,11 @@ class LoadtestReport:
             "submit_latency": dict(self.submit_latency),
             "job_latency": dict(self.job_latency),
             "wall_seconds": float(self.wall_seconds),
+            "served_seconds": float(self.served_seconds),
+            "served_solves_per_sec": float(self.served_solves_per_sec),
+            "direct_seconds": float(self.direct_seconds),
+            "direct_solves_per_sec": float(self.direct_solves_per_sec),
+            "overhead_pct": None if self.overhead_pct is None else float(self.overhead_pct),
             "ok": self.ok,
             "failures": list(self.failures),
         }
@@ -172,13 +200,16 @@ def run_loadtest(
     out: Optional[str] = None,
     wait_timeout: float = 120.0,
     client: Optional[ServiceClient] = None,
+    measure_direct: bool = False,
 ) -> LoadtestReport:
     """Replay generated traffic against the daemon at ``url``.
 
     ``distinct`` bounds the request pool; with ``rps * duration`` larger
     than the pool the surplus submissions are duplicates, which is what
     measures the dedup hit rate.  ``out`` (when given) receives the report
-    via the atomic JSON writer.
+    via the atomic JSON writer.  ``measure_direct`` additionally solves
+    the distinct pool in-process after the campaign and records the
+    served-vs-direct overhead ratio.
     """
     if rps <= 0:
         raise ValueError("--rps must be positive")
@@ -306,10 +337,35 @@ def run_loadtest(
             )
 
     report.job_latency = _percentiles(job_latencies)
+    # the served window runs from the first submission to the last
+    # terminal-state observation: the full client experience of the pool
+    report.served_seconds = time.perf_counter() - replay_start
+    report.served_solves_per_sec = (
+        report.completed_jobs / report.served_seconds if report.served_seconds else 0.0
+    )
     report.wall_seconds = time.perf_counter() - started
     report.completed_rps = (
         report.completed_jobs / report.wall_seconds if report.wall_seconds else 0.0
     )
+
+    if measure_direct:
+        # imported lazily: the solver stack (numpy/scipy) is irrelevant to
+        # a plain replay and slow to import
+        from repro.api.requests import request_from_dict
+        from repro.api.service import RecoveryService
+
+        direct_requests = [request_from_dict(dict(item)) for item in pool]
+        direct_start = time.perf_counter()
+        RecoveryService().solve_batch(direct_requests, jobs=2)
+        report.direct_seconds = time.perf_counter() - direct_start
+        report.direct_solves_per_sec = (
+            len(direct_requests) / report.direct_seconds if report.direct_seconds else 0.0
+        )
+        if report.served_solves_per_sec > 0:
+            report.overhead_pct = (
+                report.direct_solves_per_sec / report.served_solves_per_sec - 1.0
+            ) * 100.0
+
     if out is not None:
         write_json(report.to_dict(), out)
     return report

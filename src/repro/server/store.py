@@ -6,9 +6,9 @@ worker crashes and power loss, and a finished job's envelope is served from
 disk forever after (idempotent re-submission of the same request returns
 the stored row instead of recomputing).
 
-Schema (version 1)
+Schema (version 2)
 ------------------
-``PRAGMA user_version`` carries the schema version.  Two tables:
+``PRAGMA user_version`` carries the schema version.  Three tables:
 
 ``jobs``
     One row per accepted request, keyed by the library-wide
@@ -38,14 +38,22 @@ Schema (version 1)
     the daemon's ``/metrics`` can aggregate fleet-wide totals without
     talking to worker processes.
 
+``topology_cache`` (version 2)
+    The fleet-shared warm cache of *pristine* deterministic topologies:
+    one serialized :class:`~repro.network.supply.SupplyGraph` per topology
+    digest.  The first worker to build a topology persists it; every other
+    worker (and every later daemon run) loads it instead of paying the
+    build again.  Rows are write-once — a digest names exactly one
+    deterministic build, so the payload never changes.
+
 Migration policy
 ----------------
 Opening a database whose ``user_version`` is *newer* than this library
 raises :class:`StoreSchemaError` (never guess at a future format).  An
 *older* version is migrated in-place inside one transaction by the
-``_MIGRATIONS`` chain; version 1 is the first, so the chain is currently
-empty.  Removing or renaming a column requires a new version — the store
-never alters the meaning of an existing column in place.
+``_MIGRATIONS`` chain (version 2 adds ``topology_cache``).  Removing or
+renaming a column requires a new version — the store never alters the
+meaning of an existing column in place.
 
 Concurrency
 -----------
@@ -65,7 +73,7 @@ import sqlite3
 import time
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Tuple, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.api.requests import (
     AssessmentRequest,
@@ -75,7 +83,7 @@ from repro.api.requests import (
 )
 
 #: Bump when a column changes meaning; see the migration policy above.
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 #: The job lifecycle, in order.
 STATES = ("queued", "running", "done", "failed")
@@ -172,10 +180,19 @@ CREATE TABLE IF NOT EXISTS worker_stats (
 )
 """
 
+_CREATE_TOPOLOGY_CACHE = """
+CREATE TABLE IF NOT EXISTS topology_cache (
+    digest     TEXT PRIMARY KEY,
+    payload    BLOB NOT NULL,
+    created_at REAL NOT NULL
+)
+"""
+
 #: version -> statements upgrading *to* that version (applied in order for
-#: every version above the database's).  Version 1 creates from scratch, so
-#: the chain starts empty.
-_MIGRATIONS: Dict[int, Tuple[str, ...]] = {}
+#: every version above the database's).
+_MIGRATIONS: Dict[int, Tuple[str, ...]] = {
+    2: (_CREATE_TOPOLOGY_CACHE,),
+}
 
 Request = Union[AssessmentRequest, RecoveryRequest]
 
@@ -217,6 +234,7 @@ class JobStore:
                 self._conn.execute(_CREATE_JOBS)
                 self._conn.execute(_CREATE_JOBS_STATE_INDEX)
                 self._conn.execute(_CREATE_WORKER_STATS)
+                self._conn.execute(_CREATE_TOPOLOGY_CACHE)
             else:
                 for target in range(version + 1, SCHEMA_VERSION + 1):
                     for statement in _MIGRATIONS.get(target, ()):
@@ -281,6 +299,58 @@ class JobStore:
         assert record is not None
         return record, created
 
+    def submit_many(
+        self, requests: Sequence[Union[Request, Dict[str, Any]]]
+    ) -> List[Tuple[JobRecord, bool]]:
+        """Accept a batch of requests in **one transaction**.
+
+        Semantically identical to calling :meth:`submit` per item (same
+        dedup, same failed-row requeue), but the whole batch costs a single
+        WAL commit instead of one per job — the round-trip that makes an
+        8-request burst as cheap as one submission.
+        """
+        parsed_items: List[Tuple[Request, str, str]] = []
+        for request in requests:
+            if isinstance(request, (AssessmentRequest, RecoveryRequest)):
+                parsed = request
+            else:
+                parsed = request_from_dict(dict(request))
+            payload = parsed.to_dict()
+            parsed_items.append((parsed, config_digest(payload), json.dumps(payload, sort_keys=True)))
+
+        results: List[Tuple[JobRecord, bool]] = []
+        now = time.time()
+        self._conn.execute("BEGIN IMMEDIATE")
+        try:
+            for parsed, digest, payload_json in parsed_items:
+                cursor = self._conn.execute(
+                    """
+                    INSERT INTO jobs (digest, kind, request, state, created_at)
+                    VALUES (?, ?, ?, 'queued', ?)
+                    ON CONFLICT (digest) DO NOTHING
+                    """,
+                    (digest, parsed.kind, payload_json, now),
+                )
+                created = cursor.rowcount == 1
+                if not created:
+                    self._conn.execute(
+                        "UPDATE jobs SET state = 'queued', error = NULL, attempts = 0, "
+                        "worker = NULL, started_at = NULL, finished_at = NULL "
+                        "WHERE digest = ? AND state = 'failed'",
+                        (digest,),
+                    )
+                results.append((digest, created))
+            self._conn.execute("COMMIT")
+        except BaseException:
+            self._conn.execute("ROLLBACK")
+            raise
+        records: List[Tuple[JobRecord, bool]] = []
+        for digest, created in results:
+            record = self.get(digest)
+            assert record is not None
+            records.append((record, created))
+        return records
+
     # ------------------------------------------------------------------ #
     # Worker side: claim / complete / fail
     # ------------------------------------------------------------------ #
@@ -289,12 +359,30 @@ class JobStore:
     ) -> Optional[JobRecord]:
         """Atomically move the oldest queued job to ``running`` for ``worker``.
 
+        A batch claim of size one — see :meth:`claim_batch` for the
+        guarantees.
+        """
+        batch = self.claim_batch(worker, limit=1, max_attempts=max_attempts)
+        return batch[0] if batch else None
+
+    def claim_batch(
+        self, worker: str, limit: int = 1, max_attempts: int = DEFAULT_MAX_ATTEMPTS
+    ) -> List[JobRecord]:
+        """Atomically claim up to ``limit`` oldest queued jobs for ``worker``.
+
         Exactly one of any number of racing workers receives a given job —
         the single ``UPDATE ... RETURNING`` statement is the whole
-        transaction.  Jobs whose attempt budget is exhausted (requeued
-        after repeatedly crashing their worker) are failed instead of
-        handed out again.
+        transaction, so a burst of N jobs costs one store round-trip
+        instead of N claim polls.  Jobs whose attempt budget is exhausted
+        (requeued after repeatedly crashing their worker) are failed
+        instead of handed out again.  Every claimed job carries the same
+        claim-holder guard as a single claim: :meth:`complete` and
+        :meth:`fail` only land while the row is ``running`` under
+        ``worker``, and a worker crashing mid-batch leaves every claimed
+        row ``running`` for :meth:`requeue_orphans` to recover.
         """
+        if limit < 1:
+            raise ValueError("claim_batch limit must be at least 1")
         now = time.time()
         self._conn.execute(
             """
@@ -305,20 +393,22 @@ class JobStore:
             """,
             (now, int(max_attempts)),
         )
-        row = self._conn.execute(
+        rows = self._conn.execute(
             """
             UPDATE jobs
             SET state = 'running', worker = ?, started_at = ?, attempts = attempts + 1
-            WHERE digest = (
+            WHERE digest IN (
                 SELECT digest FROM jobs
                 WHERE state = 'queued' AND attempts < ?
-                ORDER BY created_at, digest LIMIT 1
+                ORDER BY created_at, digest LIMIT ?
             ) AND state = 'queued'
             RETURNING *
             """,
-            (worker, now, int(max_attempts)),
-        ).fetchone()
-        return _record(row) if row is not None else None
+            (worker, now, int(max_attempts), int(limit)),
+        ).fetchall()
+        records = [_record(row) for row in rows]
+        records.sort(key=lambda record: (record.created_at, record.digest))
+        return records
 
     def _finish(self, digest: str, worker: Optional[str], assignments: str, values: Tuple) -> bool:
         """Terminal-state update, guarded so only the claim holder lands it.
@@ -420,6 +510,41 @@ class JobStore:
         return [max(0.0, float(row["seconds"])) for row in rows]
 
     # ------------------------------------------------------------------ #
+    # Fleet-shared warm topology cache (write-once by digest)
+    # ------------------------------------------------------------------ #
+    def save_topology(self, digest: str, payload: bytes) -> bool:
+        """Persist one serialized pristine topology; returns whether stored.
+
+        Write-once: a digest names exactly one deterministic build, so a
+        second worker racing to save the same topology is a no-op.
+        """
+        cursor = self._conn.execute(
+            "INSERT INTO topology_cache (digest, payload, created_at) VALUES (?, ?, ?) "
+            "ON CONFLICT (digest) DO NOTHING",
+            (digest, sqlite3.Binary(payload), time.time()),
+        )
+        return cursor.rowcount == 1
+
+    def load_topologies(self, exclude: Optional[Sequence[str]] = None) -> Dict[str, bytes]:
+        """Serialized pristine topologies by digest, skipping ``exclude``.
+
+        Workers call this at startup (and per claimed batch) to share warm
+        builds: the exclusion set keeps the refresh to rows the caller has
+        not loaded yet.
+        """
+        known = set(exclude or ())
+        payloads: Dict[str, bytes] = {}
+        for row in self._conn.execute("SELECT digest, payload FROM topology_cache"):
+            if row["digest"] not in known:
+                payloads[row["digest"]] = bytes(row["payload"])
+        return payloads
+
+    def topology_digests(self) -> List[str]:
+        """Digests currently present in the warm topology cache."""
+        rows = self._conn.execute("SELECT digest FROM topology_cache ORDER BY digest")
+        return [row["digest"] for row in rows.fetchall()]
+
+    # ------------------------------------------------------------------ #
     # Worker-reported counters
     # ------------------------------------------------------------------ #
     def record_worker_stats(self, worker: str, counters: Dict[str, float]) -> None:
@@ -430,6 +555,16 @@ class JobStore:
             "counters = excluded.counters",
             (worker, time.time(), json.dumps(counters, sort_keys=True)),
         )
+
+    def worker_ids(self) -> List[str]:
+        """Worker ids that have reported a counter snapshot.
+
+        Workers write their first (zeroed) snapshot as soon as their warm
+        service session is built, so presence here doubles as a readiness
+        beacon — the daemon's ``/healthz`` counts its own fleet's ids.
+        """
+        rows = self._conn.execute("SELECT worker FROM worker_stats ORDER BY worker")
+        return [row["worker"] for row in rows.fetchall()]
 
     def worker_stats_totals(self) -> Dict[str, float]:
         """Fleet-wide counter totals (summed across worker snapshots)."""

@@ -6,18 +6,31 @@ the warm-start :class:`~repro.flows.solver.SolverContext` and the
 pristine-topology LRU across jobs, which is exactly the reuse the service
 layer was built for.  The loop is deliberately simple::
 
-    claim -> execute (solve | assess) -> complete | fail -> report counters
+    claim batch -> execute each (solve | assess) -> complete | fail -> report counters
 
-Claims are atomic store operations (``UPDATE ... RETURNING``), so any
-number of workers share one database with no coordinator: a duplicate
-submission is a single row, and a single row is executed exactly once.
+Claims are atomic store operations (``UPDATE ... RETURNING``) taking up to
+:data:`DEFAULT_CLAIM_BATCH` jobs per round-trip, so any number of workers
+share one database with no coordinator: a duplicate submission is a single
+row, and a single row is executed exactly once.  A worker crashing mid-batch
+leaves every claimed row ``running`` for
+:meth:`~repro.server.store.JobStore.requeue_orphans` to recover.
+
+Idle workers do **not** poll-sleep: the daemon passes each fleet worker one
+end of a wakeup pipe and writes a byte on every enqueue, so an idle worker
+wakes the moment work arrives (the idle timeout is only the fallback for
+externally attached workers and missed notifications).  Warm-up is shared:
+deterministic pristine topologies built by any worker are serialized into
+the store's ``topology_cache`` sidecar table, and every worker loads them
+at startup (and per claimed batch), so N workers pay one cold build, not N.
 
 Shutdown is cooperative: SIGTERM (or :meth:`WorkerFleet.drain`) sets a flag
-the loop checks *between* jobs, so an in-flight solve always finishes and
-its result is stored — the daemon's graceful drain loses nothing.  A worker
-killed outright (``kill -9``) leaves its job ``running`` in the store;
-:meth:`~repro.server.store.JobStore.requeue_orphans` returns such rows to
-the queue when the daemon next starts.
+the loop checks *between* batches — the idle wait uses the stop event's
+``wait(timeout)``, so a sleeping worker wakes immediately instead of
+finishing its interval.  An in-flight batch always finishes and its results
+are stored — the daemon's graceful drain loses nothing.  A worker killed
+outright (``kill -9``) leaves its jobs ``running`` in the store;
+``requeue_orphans`` returns such rows to the queue when the daemon next
+starts.
 
 ``python -m repro.server.workers --db PATH`` runs a single foreground
 worker — useful for scaling a deployment beyond one machine (point workers
@@ -29,6 +42,7 @@ from __future__ import annotations
 import argparse
 import multiprocessing
 import os
+import pickle
 import signal
 import sys
 import time
@@ -38,8 +52,13 @@ from typing import Dict, List, Optional, Sequence
 from repro.api.requests import AssessmentRequest, request_from_dict
 from repro.server.store import DEFAULT_MAX_ATTEMPTS, JobRecord, JobStore
 
-#: Seconds a worker sleeps between claim attempts on an empty queue.
+#: Seconds a worker waits between claim attempts on an empty queue.  With a
+#: wakeup channel attached this is only the fallback for a missed
+#: notification; without one it is the poll interval.
 DEFAULT_POLL_INTERVAL = 0.2
+
+#: Jobs a worker claims per store round-trip (one ``UPDATE…RETURNING``).
+DEFAULT_CLAIM_BATCH = 4
 
 #: Test hook: when set (seconds), a worker holds every claimed job in the
 #: ``running`` state for that long before executing it.  This exists so the
@@ -49,6 +68,58 @@ HOLD_ENV_VAR = "REPRO_SERVER_TEST_HOLD"
 
 #: Solver-effort keys aggregated from result envelopes into worker counters.
 _SOLVER_KEYS = ("lp_solves", "milp_solves", "solve_seconds", "build_seconds")
+
+
+class WakeupReceiver:
+    """The worker end of a wakeup pipe: block until notified (or timeout).
+
+    The daemon writes single bytes on enqueue; :meth:`wait` blocks on the
+    pipe and drains whatever accumulated, collapsing a burst of
+    notifications into one wakeup.
+    """
+
+    def __init__(self, connection) -> None:
+        self._connection = connection
+
+    def wait(self, timeout: float) -> bool:
+        """Wait up to ``timeout`` seconds; True if a notification arrived."""
+        try:
+            if not self._connection.poll(timeout):
+                return False
+            while self._connection.poll(0):
+                os.read(self._connection.fileno(), 4096)
+            return True
+        except (OSError, EOFError, BrokenPipeError):
+            # the notifier is gone (daemon died); fall back to polling pace
+            time.sleep(min(timeout, 0.05))
+            return False
+
+
+class WakeupNotifier:
+    """The daemon end: one byte per wakeup, never blocking the event loop."""
+
+    def __init__(self) -> None:
+        self._writers: List[object] = []
+
+    def attach(self, writer) -> None:
+        os.set_blocking(writer.fileno(), False)
+        self._writers.append(writer)
+
+    def notify(self) -> None:
+        """Nudge every worker; a full pipe means a wakeup is already pending."""
+        for writer in self._writers:
+            try:
+                os.write(writer.fileno(), b"!")
+            except (BlockingIOError, OSError):
+                pass
+
+    def close(self) -> None:
+        for writer in self._writers:
+            try:
+                writer.close()
+            except OSError:
+                pass
+        self._writers.clear()
 
 
 def _execute(service, record: JobRecord) -> Dict[str, object]:
@@ -69,6 +140,51 @@ def _solver_counters(envelope: Dict[str, object]) -> Dict[str, float]:
     return totals
 
 
+def _idle_wait(stop, wakeup, timeout: float) -> None:
+    """One idle interval: wakeup channel first, stop event second, sleep last.
+
+    Waiting on the stop event (rather than ``time.sleep``) means SIGTERM —
+    which sets the event — ends the interval immediately instead of letting
+    the worker finish its sleep.
+    """
+    if wakeup is not None:
+        wakeup.wait(timeout)
+        return
+    if stop is not None and callable(getattr(stop, "wait", None)):
+        stop.wait(timeout)
+        return
+    time.sleep(timeout)
+
+
+def _refresh_warm_topologies(store: JobStore, service, known: set) -> int:
+    """Pull sidecar topologies this worker has not loaded yet; count loads."""
+    loaded = 0
+    for digest, payload in store.load_topologies(exclude=known).items():
+        known.add(digest)
+        try:
+            supply = pickle.loads(payload)
+        except Exception:
+            continue  # a corrupt row must never take a worker down
+        loaded += service.import_topologies({digest: supply})
+    return loaded
+
+
+def _persist_warm_topologies(store: JobStore, service, known: set) -> int:
+    """Push this worker's newly built pristine topologies to the sidecar."""
+    saved = 0
+    for digest, supply in service.export_topologies().items():
+        if digest in known:
+            continue
+        known.add(digest)
+        try:
+            payload = pickle.dumps(supply, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception:
+            continue  # an unpicklable graph stays worker-local
+        if store.save_topology(digest, payload):
+            saved += 1
+    return saved
+
+
 def worker_loop(
     db_path: str,
     worker_id: str,
@@ -77,15 +193,20 @@ def worker_loop(
     max_attempts: int = DEFAULT_MAX_ATTEMPTS,
     stop=None,
     max_jobs: Optional[int] = None,
+    wakeup: Optional[WakeupReceiver] = None,
+    claim_batch: int = DEFAULT_CLAIM_BATCH,
 ) -> int:
     """Pull and execute jobs until ``stop`` is set; return the jobs handled.
 
     ``stop`` is any object with an ``is_set()`` method (a
     ``multiprocessing.Event`` in the fleet, a ``threading.Event`` in
-    tests); ``None`` runs until ``max_jobs`` (or forever).  Counters —
-    jobs done/failed, busy seconds, the session's topology-cache hits and
-    misses, aggregated solver effort — are written back to the store after
-    every job so the daemon's ``/metrics`` reflects the fleet live.
+    tests); ``None`` runs until ``max_jobs`` (or forever).  ``wakeup``
+    (fleet workers) replaces the idle poll with an event-driven wait on the
+    daemon's enqueue notifications.  Counters — jobs done/failed, busy
+    seconds, claim batches and their sizes, warm topology loads/saves, the
+    session's topology-cache hits and misses, aggregated solver effort —
+    are written back to the store after every batch so the daemon's
+    ``/metrics`` reflects the fleet live.
     """
     from repro.api.service import RecoveryService  # deferred: workers import lazily
 
@@ -96,31 +217,55 @@ def worker_loop(
         "jobs_done": 0.0,
         "jobs_failed": 0.0,
         "busy_seconds": 0.0,
+        "claim_batches": 0.0,
+        "claim_batch_jobs": 0.0,
+        "warm_topology_loads": 0.0,
+        "warm_topology_saves": 0.0,
     }
+    warm_digests: set = set()
+    counters["warm_topology_loads"] += _refresh_warm_topologies(
+        store, service, warm_digests
+    )
+    # The first snapshot doubles as the readiness beacon /healthz counts.
+    store.record_worker_stats(worker_id, counters)
     handled = 0
     try:
         while not (stop is not None and stop.is_set()):
-            record = store.claim(worker_id, max_attempts=max_attempts)
-            if record is None:
+            limit = int(claim_batch)
+            if max_jobs is not None:
+                limit = max(1, min(limit, max_jobs - handled))
+            batch = store.claim_batch(worker_id, limit=limit, max_attempts=max_attempts)
+            if not batch:
                 if max_jobs is not None:
                     break  # drain mode: an empty queue ends the run
-                time.sleep(poll_interval)
+                _idle_wait(stop, wakeup, poll_interval)
                 continue
-            if hold > 0:
-                time.sleep(hold)
-            started = time.perf_counter()
-            try:
-                envelope = _execute(service, record)
-            except Exception:
-                counters["jobs_failed"] += 1
-                store.fail(record.digest, traceback.format_exc(limit=20), worker=worker_id)
-            else:
-                counters["jobs_done"] += 1
-                for key, value in _solver_counters(envelope).items():
-                    counters[key] = counters.get(key, 0.0) + value
-                store.complete(record.digest, envelope, worker=worker_id)
-            handled += 1
-            counters["busy_seconds"] += time.perf_counter() - started
+            counters["claim_batches"] += 1
+            counters["claim_batch_jobs"] += len(batch)
+            counters["warm_topology_loads"] += _refresh_warm_topologies(
+                store, service, warm_digests
+            )
+            for record in batch:
+                if hold > 0:
+                    time.sleep(hold)
+                started = time.perf_counter()
+                try:
+                    envelope = _execute(service, record)
+                except Exception:
+                    counters["jobs_failed"] += 1
+                    store.fail(
+                        record.digest, traceback.format_exc(limit=20), worker=worker_id
+                    )
+                else:
+                    counters["jobs_done"] += 1
+                    for key, value in _solver_counters(envelope).items():
+                        counters[key] = counters.get(key, 0.0) + value
+                    store.complete(record.digest, envelope, worker=worker_id)
+                handled += 1
+                counters["busy_seconds"] += time.perf_counter() - started
+            counters["warm_topology_saves"] += _persist_warm_topologies(
+                store, service, warm_digests
+            )
             counters.update(
                 {key: float(value) for key, value in service.cache_info().items()}
             )
@@ -139,10 +284,12 @@ def _fleet_entry(
     lp_backend: Optional[str],
     max_attempts: int,
     stop_event,
+    wakeup_connection,
+    claim_batch: int,
 ) -> None:
     """Process target for fleet workers: wire SIGTERM to the stop event.
 
-    SIGTERM requests a drain (finish the in-flight job, then exit); the
+    SIGTERM requests a drain (finish the in-flight batch, then exit); the
     fleet escalates to SIGKILL only if a worker overstays the drain
     timeout.
     """
@@ -155,6 +302,8 @@ def _fleet_entry(
         lp_backend=lp_backend,
         max_attempts=max_attempts,
         stop=stop_event,
+        wakeup=WakeupReceiver(wakeup_connection),
+        claim_batch=claim_batch,
     )
 
 
@@ -168,38 +317,55 @@ class WorkerFleet:
         poll_interval: float = DEFAULT_POLL_INTERVAL,
         lp_backend: Optional[str] = None,
         max_attempts: int = DEFAULT_MAX_ATTEMPTS,
+        claim_batch: int = DEFAULT_CLAIM_BATCH,
     ) -> None:
         if workers < 1:
             raise ValueError("a worker fleet needs at least one worker")
+        if claim_batch < 1:
+            raise ValueError("a fleet claim batch needs at least one job")
         self.db_path = str(db_path)
         self.workers = int(workers)
         self.poll_interval = float(poll_interval)
         self.lp_backend = lp_backend
         self.max_attempts = int(max_attempts)
+        self.claim_batch = int(claim_batch)
         # "spawn" keeps workers independent of the daemon's asyncio state
         # (forking a process with a live event loop inherits it wholesale).
         self._context = multiprocessing.get_context("spawn")
         self._stop = self._context.Event()
         self._processes: List[multiprocessing.Process] = []
+        self._notifier = WakeupNotifier()
+        self._worker_ids: List[str] = []
 
     def start(self) -> None:
         if self._processes:
             raise RuntimeError("fleet already started")
         for index in range(self.workers):
+            worker_id = f"worker-{os.getpid()}-{index}"
+            reader, writer = self._context.Pipe(duplex=False)
             process = self._context.Process(
                 target=_fleet_entry,
                 args=(
                     self.db_path,
-                    f"worker-{os.getpid()}-{index}",
+                    worker_id,
                     self.poll_interval,
                     self.lp_backend,
                     self.max_attempts,
                     self._stop,
+                    reader,
+                    self.claim_batch,
                 ),
                 daemon=True,
             )
             process.start()
+            reader.close()  # the child owns the read end now
+            self._notifier.attach(writer)
             self._processes.append(process)
+            self._worker_ids.append(worker_id)
+
+    def notify(self) -> None:
+        """Wake idle workers: the daemon calls this on every enqueue."""
+        self._notifier.notify()
 
     def alive(self) -> int:
         return sum(1 for process in self._processes if process.is_alive())
@@ -207,14 +373,21 @@ class WorkerFleet:
     def pids(self) -> List[int]:
         return [process.pid for process in self._processes if process.pid is not None]
 
+    def worker_ids(self) -> List[str]:
+        """The ids this fleet's workers report counters under."""
+        return list(self._worker_ids)
+
     def drain(self, timeout: float = 30.0) -> None:
         """Graceful shutdown: let in-flight jobs finish, then reap.
 
+        The stop flag is paired with a wakeup nudge, so idle workers end
+        their wait immediately instead of sleeping out the interval.
         Workers that ignore the drain past ``timeout`` are terminated (their
         job rows stay ``running`` and are requeued on the next startup —
         the same path as a crash, by design).
         """
         self._stop.set()
+        self._notifier.notify()
         deadline = time.monotonic() + timeout
         for process in self._processes:
             process.join(timeout=max(0.1, deadline - time.monotonic()))
@@ -222,7 +395,9 @@ class WorkerFleet:
             if process.is_alive():
                 process.terminate()
                 process.join(timeout=5.0)
+        self._notifier.close()
         self._processes.clear()
+        self._worker_ids.clear()
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -237,6 +412,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     parser.add_argument("--lp-backend", default=None, help="LP backend name")
     parser.add_argument(
+        "--claim-batch",
+        type=int,
+        default=DEFAULT_CLAIM_BATCH,
+        help="jobs claimed per store round-trip",
+    )
+    parser.add_argument(
         "--max-jobs",
         type=int,
         default=None,
@@ -244,17 +425,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     )
     args = parser.parse_args(argv)
 
-    class _Flag:
-        def __init__(self) -> None:
-            self._set = False
+    # A real threading.Event so the idle wait ends the moment SIGTERM sets
+    # it, instead of the worker finishing its sleep interval.
+    import threading
 
-        def set(self, *_: object) -> None:
-            self._set = True
-
-        def is_set(self) -> bool:
-            return self._set
-
-    flag = _Flag()
+    flag = threading.Event()
     signal.signal(signal.SIGTERM, lambda *_: flag.set())
     handled = worker_loop(
         args.db,
@@ -263,6 +438,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         lp_backend=args.lp_backend,
         stop=flag,
         max_jobs=args.max_jobs,
+        claim_batch=args.claim_batch,
     )
     print(f"{args.worker_id}: handled {handled} job(s)", file=sys.stderr)
     return 0

@@ -1,0 +1,106 @@
+"""Unit tests of the served-throughput regression gate (scripts/)."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SCRIPT = Path(__file__).resolve().parents[2] / "scripts" / "benchmark_regression_check.py"
+_spec = importlib.util.spec_from_file_location("benchmark_regression_check", _SCRIPT)
+check = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(check)
+
+
+def _artefact(tmp_path, name: str, payload: dict) -> str:
+    path = tmp_path / name
+    path.write_text(json.dumps(payload))
+    return str(path)
+
+
+def _baseline(**overrides) -> dict:
+    payload = {
+        "completed_rps": 1.0,
+        "served_solves_per_sec": 2.0,
+        "overhead_benchmark": {"served_solves_per_sec": 25.0},
+    }
+    payload.update(overrides)
+    return payload
+
+
+class TestLookup:
+    def test_dotted_paths_resolve_nested_metrics(self):
+        assert check.lookup(_baseline(), "overhead_benchmark.served_solves_per_sec") == 25.0
+        assert check.lookup(_baseline(), "completed_rps") == 1.0
+
+    def test_missing_and_non_numeric_values_are_none(self):
+        assert check.lookup({}, "completed_rps") is None
+        assert check.lookup({"completed_rps": "fast"}, "completed_rps") is None
+        assert check.lookup({"completed_rps": True}, "completed_rps") is None
+
+
+class TestVerdicts:
+    def test_equal_throughput_passes(self, tmp_path, capsys):
+        baseline = _artefact(tmp_path, "base.json", _baseline())
+        current = _artefact(tmp_path, "curr.json", _baseline())
+        assert check.main(["--baseline", baseline, "--current", current]) == 0
+        assert "PASS" in capsys.readouterr().out
+
+    def test_improvement_passes(self, tmp_path):
+        baseline = _artefact(tmp_path, "base.json", _baseline())
+        current = _artefact(tmp_path, "curr.json", _baseline(completed_rps=5.0))
+        assert check.main(["--baseline", baseline, "--current", current]) == 0
+
+    def test_drop_within_tolerance_passes(self, tmp_path):
+        baseline = _artefact(tmp_path, "base.json", _baseline(completed_rps=10.0))
+        current = _artefact(tmp_path, "curr.json", _baseline(completed_rps=8.5))
+        assert check.main(["--baseline", baseline, "--current", current]) == 0
+
+    def test_regression_beyond_tolerance_fails(self, tmp_path, capsys):
+        baseline = _artefact(tmp_path, "base.json", _baseline(completed_rps=10.0))
+        current = _artefact(tmp_path, "curr.json", _baseline(completed_rps=7.0))
+        assert check.main(["--baseline", baseline, "--current", current]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out
+        assert "completed_rps" in out
+
+    def test_nested_benchmark_metric_is_gated(self, tmp_path):
+        baseline = _artefact(tmp_path, "base.json", _baseline())
+        current = _artefact(
+            tmp_path,
+            "curr.json",
+            _baseline(overhead_benchmark={"served_solves_per_sec": 5.0}),
+        )
+        assert check.main(["--baseline", baseline, "--current", current]) == 1
+
+    def test_tolerance_flag_widens_the_floor(self, tmp_path):
+        baseline = _artefact(tmp_path, "base.json", _baseline(completed_rps=10.0))
+        current = _artefact(tmp_path, "curr.json", _baseline(completed_rps=6.0))
+        args = ["--baseline", baseline, "--current", current]
+        assert check.main(args) == 1
+        assert check.main(args + ["--tolerance", "0.5"]) == 0
+
+    def test_metrics_absent_from_one_side_are_skipped(self, tmp_path, capsys):
+        baseline = _artefact(tmp_path, "base.json", _baseline())
+        current = _artefact(tmp_path, "curr.json", {"completed_rps": 1.0})
+        assert check.main(["--baseline", baseline, "--current", current]) == 0
+        assert "[skip]" in capsys.readouterr().out
+
+
+class TestHardFailures:
+    def test_no_comparable_metric_is_a_hard_failure(self, tmp_path, capsys):
+        baseline = _artefact(tmp_path, "base.json", {"unrelated": 1})
+        current = _artefact(tmp_path, "curr.json", _baseline())
+        assert check.main(["--baseline", baseline, "--current", current]) == 2
+        assert "nothing gated" in capsys.readouterr().out
+
+    def test_unreadable_artefact_is_a_hard_failure(self, tmp_path, capsys):
+        current = _artefact(tmp_path, "curr.json", _baseline())
+        code = check.main(["--baseline", str(tmp_path / "missing.json"), "--current", current])
+        assert code == 2
+        assert "cannot read" in capsys.readouterr().out
+
+    def test_invalid_tolerance_is_rejected(self, tmp_path):
+        baseline = _artefact(tmp_path, "base.json", _baseline())
+        with pytest.raises(SystemExit):
+            check.main(["--baseline", baseline, "--current", baseline, "--tolerance", "1.5"])

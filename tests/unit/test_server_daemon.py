@@ -82,6 +82,10 @@ class TestCliServe:
         with pytest.raises(SystemExit, match="--max-queue-depth"):
             main(["serve", "--db", str(tmp_path / "x.db"), "--max-queue-depth", "0"])
 
+    def test_serve_rejects_bad_claim_batch(self, tmp_path):
+        with pytest.raises(SystemExit, match="--claim-batch"):
+            main(["serve", "--db", str(tmp_path / "x.db"), "--claim-batch", "0"])
+
 
 class TestCliLoadtest:
     def test_loadtest_round_trip_against_inprocess_daemon(self, tmp_path, capsys):
@@ -186,3 +190,78 @@ class TestCliLoadtest:
             ]
         )
         assert code == 1  # transport errors are reported, not crashed on
+
+
+class TestLoadtestOverheadMeasurement:
+    def test_measure_direct_records_the_overhead_ratio(self, tmp_path):
+        """measure_direct adds the served-vs-direct trajectory fields."""
+        from repro.server.loadtest import run_loadtest
+
+        db = tmp_path / "jobs.db"
+        store = JobStore(db)
+
+        ports = {}
+        ready = threading.Event()
+        stop_box = {}
+
+        def front_end() -> None:
+            from repro.server.http import RecoveryServer
+
+            async def run() -> None:
+                server = RecoveryServer(store, workers_alive=lambda: 1)
+                await server.start(port=0)
+                ports["port"] = server.port
+                stop_box["loop"] = asyncio.get_running_loop()
+                stop_box["stop"] = asyncio.Event()
+                ready.set()
+                await stop_box["stop"].wait()
+                await server.stop()
+
+            asyncio.run(run())
+
+        flag = threading.Event()
+        server_thread = threading.Thread(target=front_end, daemon=True)
+        worker_thread = threading.Thread(
+            target=worker_loop,
+            args=(str(db), "w0"),
+            kwargs={"poll_interval": 0.02, "stop": flag},
+            daemon=True,
+        )
+        server_thread.start()
+        assert ready.wait(timeout=10)
+        worker_thread.start()
+        try:
+            out = tmp_path / "BENCH_server.json"
+            report = run_loadtest(
+                f"http://127.0.0.1:{ports['port']}",
+                rps=8,
+                duration=0.5,
+                distinct=2,
+                seed=3,
+                out=str(out),
+                measure_direct=True,
+            )
+            assert report.ok
+            assert report.served_solves_per_sec > 0
+            assert report.direct_solves_per_sec > 0
+            assert report.overhead_pct is not None
+            bench = json.loads(out.read_text())
+            assert bench["schema_version"] == 2
+            assert bench["direct_seconds"] > 0
+            assert bench["overhead_pct"] == pytest.approx(report.overhead_pct)
+            # the ratio is self-consistent with the recorded rates
+            expected = (bench["direct_solves_per_sec"] / bench["served_solves_per_sec"] - 1) * 100
+            assert bench["overhead_pct"] == pytest.approx(expected)
+        finally:
+            flag.set()
+            stop_box["loop"].call_soon_threadsafe(stop_box["stop"].set)
+            server_thread.join(timeout=10)
+            worker_thread.join(timeout=10)
+            store.close()
+
+    def test_plain_loadtest_leaves_direct_fields_empty(self, tmp_path):
+        from repro.server.loadtest import LoadtestReport
+
+        payload = LoadtestReport(target_rps=1.0, duration_seconds=1.0).to_dict()
+        assert payload["direct_seconds"] == 0.0
+        assert payload["overhead_pct"] is None

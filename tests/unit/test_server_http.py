@@ -291,3 +291,174 @@ class TestObservation:
         ) as response:
             assert response.headers.get("Content-Type", "").startswith("text/plain")
             json.dumps(response.read().decode())  # readable text
+
+
+def _post_raw(base_url: str, path: str, payload: dict):
+    """POST and return (status, raw body bytes) — for byte-equality checks."""
+    request = urllib.request.Request(
+        f"{base_url}{path}",
+        data=json.dumps(payload).encode("utf-8"),
+        method="POST",
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=5) as response:
+        return response.status, response.read()
+
+
+def _complete_via_worker(store: JobStore, digest: str, result: dict) -> None:
+    record = store.claim("w0")
+    assert record is not None and record.digest == digest
+    assert store.complete(digest, result, worker="w0")
+
+
+class TestFastPath:
+    def test_done_submission_is_byte_equal_to_the_uncached_envelope(self, harness, store):
+        harness.client.solve(grid_request())
+        _complete_via_worker(store, grid_request().digest(), {"answer": 42})
+        status, raw = _post_raw(
+            harness.client.base_url, "/v1/solve", grid_request().to_dict()
+        )
+        assert status == 200
+        expected = json.dumps(
+            {
+                "job": store.get(grid_request().digest()).to_dict(include_request=False),
+                "deduplicated": True,
+            },
+            indent=2,
+        ).encode("utf-8")
+        assert raw == expected
+        # the second hit comes straight from the LRU — still byte-equal
+        status, again = _post_raw(
+            harness.client.base_url, "/v1/solve", grid_request().to_dict()
+        )
+        assert status == 200 and again == expected
+        assert harness.server.envelope_cache_hits >= 1
+
+    def test_job_view_of_a_done_digest_is_byte_equal_from_cache(self, harness, store):
+        harness.client.solve(grid_request())
+        digest = grid_request().digest()
+        _complete_via_worker(store, digest, {"answer": 1})
+        expected = json.dumps(
+            {"job": store.get(digest).to_dict()}, indent=2
+        ).encode("utf-8")
+        for _ in range(2):  # miss then hit
+            with urllib.request.urlopen(
+                f"{harness.client.base_url}/v1/jobs/{digest}", timeout=5
+            ) as response:
+                assert response.read() == expected
+
+    def test_fast_path_counts_without_touching_the_queue(self, harness, store):
+        harness.client.solve(grid_request())
+        _complete_via_worker(store, grid_request().digest(), {})
+        depth_before = store.queue_depth()
+        response = harness.client.solve(grid_request())
+        assert response["deduplicated"] is True
+        assert harness.server.fast_path_hits == 1
+        assert harness.server.dedup_hits == 1
+        assert store.queue_depth() == depth_before
+
+    def test_pending_dedup_is_not_a_fast_path_hit(self, harness):
+        harness.client.solve(grid_request())
+        response = harness.client.solve(grid_request())  # still queued
+        assert response["deduplicated"] is True
+        assert harness.server.dedup_hits == 1
+        assert harness.server.fast_path_hits == 0
+
+    def test_batch_fast_paths_done_digests(self, harness, store):
+        harness.client.solve(grid_request(seed=1))
+        _complete_via_worker(store, grid_request(seed=1).digest(), {"done": True})
+        depth_before = store.queue_depth()
+        response = harness.client.batch([grid_request(seed=1), grid_request(seed=2)])
+        flags = [job["deduplicated"] for job in response["jobs"]]
+        assert flags == [True, False]
+        assert harness.server.fast_path_hits == 1
+        assert store.queue_depth() == depth_before + 1  # only the fresh job queued
+
+    def test_envelope_cache_is_bounded(self, store):
+        with ServerHarness(
+            store, workers_alive=lambda: 1, envelope_cache_size=1
+        ) as harness:
+            for seed in (1, 2):
+                harness.client.solve(grid_request(seed=seed))
+                _complete_via_worker(store, grid_request(seed=seed).digest(), {})
+                harness.client.solve(grid_request(seed=seed))
+            assert len(harness.server._done_cache) == 1
+            assert harness.server.envelope_cache_misses == 2
+
+
+class TestKeepAlive:
+    def test_one_connection_serves_many_requests(self, harness):
+        for _ in range(3):
+            harness.client.healthz()
+        assert harness.server.connections_total == 1
+        assert harness.server.keepalive_reuse == 2
+
+    def test_connection_close_header_is_honored(self, harness):
+        # urllib sends Connection: close, so every request is a new socket
+        for _ in range(2):
+            with urllib.request.urlopen(
+                f"{harness.client.base_url}/healthz", timeout=5
+            ) as response:
+                assert response.headers.get("Connection") == "close"
+        assert harness.server.connections_total == 2
+        assert harness.server.keepalive_reuse == 0
+
+    def test_client_survives_a_server_side_idle_close(self, store):
+        import time as _time
+
+        with ServerHarness(
+            store, workers_alive=lambda: 1, idle_timeout=0.2
+        ) as harness:
+            assert harness.client.healthz()["status"] == "ok"
+            _time.sleep(0.6)  # the daemon reaps the idle keep-alive socket
+            assert harness.client.healthz()["status"] == "ok"  # retried on a fresh one
+            assert harness.server.connections_total == 2
+
+
+class TestEnqueueNotification:
+    def test_on_enqueue_fires_only_for_fresh_queue_work(self, store):
+        nudges = []
+        with ServerHarness(
+            store, workers_alive=lambda: 1, on_enqueue=lambda: nudges.append(1)
+        ) as harness:
+            harness.client.solve(grid_request(seed=1))
+            assert len(nudges) == 1
+            harness.client.solve(grid_request(seed=1))  # dedup: nothing enqueued
+            assert len(nudges) == 1
+            harness.client.batch([grid_request(seed=2), grid_request(seed=3)])
+            assert len(nudges) == 2  # one nudge per batch, not per item
+
+
+class TestReadiness:
+    def test_workers_ready_counts_stats_beacons(self, store):
+        with ServerHarness(
+            store,
+            workers_alive=lambda: 2,
+            worker_ids=lambda: ["w-a", "w-b"],
+        ) as harness:
+            assert harness.client.healthz()["workers_ready"] == 0
+            store.record_worker_stats("w-a", {"jobs_done": 0})
+            assert harness.client.healthz()["workers_ready"] == 1
+            store.record_worker_stats("w-b", {"jobs_done": 0})
+            store.record_worker_stats("w-stale", {"jobs_done": 0})  # not in the fleet
+            assert harness.client.healthz()["workers_ready"] == 2
+
+    def test_new_counters_appear_in_metrics(self, harness, store):
+        harness.client.solve(grid_request())
+        _complete_via_worker(store, grid_request().digest(), {})
+        harness.client.solve(grid_request())
+        text = harness.client.metrics()
+        for name in (
+            "repro_fast_path_hits_total",
+            "repro_http_connections_total",
+            "repro_keepalive_reuse_total",
+            "repro_envelope_cache_hits_total",
+            "repro_envelope_cache_misses_total",
+            "repro_envelope_cache_size",
+            "repro_claim_batches_total",
+            "repro_claim_batch_jobs_total",
+            "repro_warm_topology_loads_total",
+            "repro_warm_topology_saves_total",
+        ):
+            assert name in text
+        assert "repro_fast_path_hits_total 1" in text

@@ -295,3 +295,214 @@ class TestIntrospection:
         assert json.dumps(payload)  # JSON-serialisable wire shape
         trimmed = store.get(record.digest).to_dict(include_request=False)
         assert "request" not in trimmed
+
+
+class TestBatchedClaims:
+    def test_claim_batch_claims_up_to_the_limit_in_fifo_order(self, store):
+        digests = [store.submit(grid_request(seed=seed))[0].digest for seed in (1, 2, 3, 4)]
+        batch = store.claim_batch("w0", limit=3)
+        assert [record.digest for record in batch] == digests[:3]
+        assert all(record.state == "running" for record in batch)
+        assert all(record.worker == "w0" for record in batch)
+        assert all(record.attempts == 1 for record in batch)
+        assert store.counts() == {"queued": 1, "running": 3, "done": 0, "failed": 0}
+
+    def test_claim_batch_on_empty_queue_returns_empty_list(self, store):
+        assert store.claim_batch("w0", limit=8) == []
+
+    def test_claim_batch_rejects_nonpositive_limit(self, store):
+        with pytest.raises(ValueError, match="limit"):
+            store.claim_batch("w0", limit=0)
+
+    def test_single_claim_delegates_to_batch_of_one(self, store):
+        store.submit(grid_request(seed=1))
+        store.submit(grid_request(seed=2))
+        record = store.claim("w0")
+        assert record is not None
+        assert store.counts()["running"] == 1
+
+    def test_claim_holder_guard_holds_for_every_job_in_a_batch(self, store):
+        """A stale worker must not land outcomes on any reassigned batch job."""
+        for seed in (1, 2, 3):
+            store.submit(grid_request(seed=seed))
+        stale_batch = store.claim_batch("stale", limit=3)
+        store.requeue_orphans()  # the whole batch is reassigned
+        fresh_batch = store.claim_batch("fresh", limit=3)
+        assert len(fresh_batch) == 3
+        for record in fresh_batch:
+            assert store.complete(record.digest, {"winner": "fresh"}, worker="fresh")
+        for record in stale_batch:
+            assert not store.complete(record.digest, {"winner": "stale"}, worker="stale")
+            assert not store.fail(record.digest, "late", worker="stale")
+            assert store.get(record.digest).result == {"winner": "fresh"}
+
+    def test_claim_batch_skips_attempt_exhausted_jobs(self, store):
+        store.submit(grid_request(seed=1))
+        for _ in range(DEFAULT_MAX_ATTEMPTS):
+            assert store.claim_batch("w0", limit=4)
+            store.requeue_orphans()
+        assert store.claim_batch("w0", limit=4) == []
+        assert store.get(grid_request(seed=1).digest()).state == "failed"
+
+    def test_threaded_batch_claimers_never_double_claim(self, tmp_path):
+        """Racing batched claimers partition the queue without overlap."""
+        path = tmp_path / "race.db"
+        with JobStore(path) as seeding:
+            for seed in range(12):
+                seeding.submit(grid_request(seed=seed + 1))
+
+        claims = []
+        lock = threading.Lock()
+        barrier = threading.Barrier(6)
+
+        def racer(identity: int) -> None:
+            with JobStore(path) as handle:
+                barrier.wait()
+                while True:
+                    batch = handle.claim_batch(f"w{identity}", limit=3)
+                    if not batch:
+                        break
+                    with lock:
+                        claims.extend(record.digest for record in batch)
+                    for record in batch:
+                        handle.complete(record.digest, {}, worker=f"w{identity}")
+
+        threads = [threading.Thread(target=racer, args=(i,)) for i in range(6)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+
+        assert sorted(claims) == sorted(set(claims))  # no digest claimed twice
+        assert len(claims) == 12
+        with JobStore(path) as verify:
+            assert verify.counts()["done"] == 12
+
+    def test_requeue_orphans_recovers_a_mid_batch_crash(self, store):
+        """A worker that dies after claiming a batch loses the whole batch."""
+        for seed in (1, 2, 3):
+            store.submit(grid_request(seed=seed))
+        batch = store.claim_batch("doomed", limit=3)
+        store.complete(batch[0].digest, {}, worker="doomed")  # one landed, then crash
+        assert store.requeue_orphans() == 2
+        counts = store.counts()
+        assert counts == {"queued": 2, "running": 0, "done": 1, "failed": 0}
+        # the requeued jobs keep their attempt count (poison-job budget)
+        assert all(record.attempts == 1 for record in store.jobs(state="queued"))
+        recovered = store.claim_batch("rescue", limit=4)
+        assert {record.digest for record in recovered} == {r.digest for r in batch[1:]}
+
+
+class TestSubmitMany:
+    def test_submit_many_queues_every_new_request(self, store):
+        requests = [grid_request(seed=seed) for seed in (1, 2, 3)]
+        results = store.submit_many(requests)
+        assert [created for _, created in results] == [True, True, True]
+        assert [record.digest for record, _ in results] == [r.digest() for r in requests]
+        assert store.counts()["queued"] == 3
+
+    def test_submit_many_dedups_against_existing_rows(self, store):
+        store.submit(grid_request(seed=1))
+        results = store.submit_many([grid_request(seed=1), grid_request(seed=2)])
+        assert [created for _, created in results] == [False, True]
+        assert store.counts()["queued"] == 2
+
+    def test_submit_many_dedups_repeats_within_one_batch(self, store):
+        results = store.submit_many([grid_request(seed=1), grid_request(seed=1)])
+        assert [created for _, created in results] == [True, False]
+        assert store.counts()["queued"] == 1
+
+    def test_submit_many_requeues_failed_rows(self, store):
+        store.submit(grid_request(seed=1))
+        record = store.claim("w0")
+        store.fail(record.digest, "boom", worker="w0")
+        results = store.submit_many([grid_request(seed=1)])
+        assert [created for _, created in results] == [False]
+        requeued = store.get(record.digest)
+        assert requeued.state == "queued"
+        assert requeued.error is None
+
+    def test_submit_many_accepts_dict_payloads(self, store):
+        results = store.submit_many([grid_request(seed=7).to_dict()])
+        assert results[0][1] is True
+        assert results[0][0].kind == "recovery"
+
+
+class TestTopologySidecar:
+    def test_save_and_load_round_trip(self, store):
+        assert store.save_topology("abc", b"blob-a")
+        assert store.save_topology("def", b"blob-b")
+        loaded = store.load_topologies()
+        assert loaded == {"abc": b"blob-a", "def": b"blob-b"}
+        assert store.topology_digests() == ["abc", "def"]
+
+    def test_rows_are_write_once(self, store):
+        assert store.save_topology("abc", b"first")
+        assert not store.save_topology("abc", b"second")
+        assert store.load_topologies()["abc"] == b"first"
+
+    def test_load_topologies_excludes_known_digests(self, store):
+        store.save_topology("abc", b"blob-a")
+        store.save_topology("def", b"blob-b")
+        assert store.load_topologies(exclude=["abc"]) == {"def": b"blob-b"}
+        assert store.load_topologies(exclude=["abc", "def"]) == {}
+
+
+class TestMigration:
+    def _create_v1_database(self, path) -> None:
+        """A version-1 store as PR 5 shipped it: jobs + worker_stats only."""
+        conn = sqlite3.connect(path)
+        conn.execute(
+            """
+            CREATE TABLE jobs (
+                digest      TEXT PRIMARY KEY,
+                kind        TEXT NOT NULL,
+                request     TEXT NOT NULL,
+                state       TEXT NOT NULL
+                            CHECK (state IN ('queued', 'running', 'done', 'failed')),
+                result      TEXT,
+                error       TEXT,
+                attempts    INTEGER NOT NULL DEFAULT 0,
+                worker      TEXT,
+                created_at  REAL NOT NULL,
+                started_at  REAL,
+                finished_at REAL
+            )
+            """
+        )
+        conn.execute("CREATE INDEX jobs_state_created ON jobs (state, created_at)")
+        conn.execute(
+            """
+            CREATE TABLE worker_stats (
+                worker     TEXT PRIMARY KEY,
+                updated_at REAL NOT NULL,
+                counters   TEXT NOT NULL
+            )
+            """
+        )
+        conn.execute(
+            "INSERT INTO jobs (digest, kind, request, state, created_at) "
+            "VALUES ('keepme', 'recovery', '{}', 'queued', 1.0)"
+        )
+        conn.execute("PRAGMA user_version=1")
+        conn.commit()
+        conn.close()
+
+    def test_v1_database_is_upgraded_in_place(self, tmp_path):
+        path = tmp_path / "v1.db"
+        self._create_v1_database(path)
+        with JobStore(path) as upgraded:
+            assert upgraded.schema_version == SCHEMA_VERSION
+            # the new sidecar table exists and works ...
+            assert upgraded.save_topology("abc", b"blob")
+            assert upgraded.topology_digests() == ["abc"]
+            # ... and version-1 data survived the migration
+            assert upgraded.get("keepme").state == "queued"
+
+
+class TestWorkerBeacons:
+    def test_worker_ids_lists_every_stats_row(self, store):
+        assert store.worker_ids() == []
+        store.record_worker_stats("w1", {"jobs_done": 0})
+        store.record_worker_stats("w0", {"jobs_done": 0})
+        assert store.worker_ids() == ["w0", "w1"]

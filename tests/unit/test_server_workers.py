@@ -175,3 +175,140 @@ class TestTopologyCacheEnv:
     def test_negative_constructor_argument_is_rejected(self):
         with pytest.raises(ValueError, match="non-negative"):
             RecoveryService(topology_cache_size=-1)
+
+
+class TestEventDrivenDispatch:
+    def test_stop_event_wait_ends_an_idle_sleep_immediately(self, tmp_path):
+        """SIGTERM mid-sleep must not wait out the poll interval."""
+        db = tmp_path / "jobs.db"
+        JobStore(db).close()
+        stop = threading.Event()
+        timer = threading.Timer(0.3, stop.set)
+        timer.start()
+        started = time.perf_counter()
+        # a 30s poll interval: only the event's wait() can end this promptly
+        handled = worker_loop(str(db), "w0", poll_interval=30.0, stop=stop)
+        timer.cancel()
+        assert handled == 0
+        assert time.perf_counter() - started < 5.0
+
+    def test_wakeup_channel_wakes_an_idle_worker(self, tmp_path):
+        import multiprocessing as mp
+
+        from repro.server.workers import WakeupNotifier, WakeupReceiver
+
+        db = tmp_path / "jobs.db"
+        JobStore(db).close()
+        reader, writer = mp.get_context("spawn").Pipe(duplex=False)
+        notifier = WakeupNotifier()
+        notifier.attach(writer)
+        stop = threading.Event()
+        handled_box = []
+
+        def run() -> None:
+            handled_box.append(
+                worker_loop(
+                    str(db),
+                    "w0",
+                    poll_interval=30.0,
+                    stop=stop,
+                    wakeup=WakeupReceiver(reader),
+                )
+            )
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        time.sleep(0.5)  # the worker is now parked in its 30s idle wait
+        with JobStore(db) as store:
+            store.submit(grid_request(seed=1))
+        notifier.notify()
+        deadline = time.monotonic() + 15
+        with JobStore(db) as store:
+            while time.monotonic() < deadline:
+                if store.counts()["done"] == 1:
+                    break
+                time.sleep(0.05)
+            assert store.counts()["done"] == 1, "nudge did not wake the worker"
+        stop.set()
+        notifier.notify()
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+        assert handled_box == [1]
+        notifier.close()
+
+    def test_batched_claims_drain_a_burst_in_few_round_trips(self, tmp_path):
+        db = tmp_path / "jobs.db"
+        with JobStore(db) as store:
+            for seed in range(5):
+                store.submit(grid_request(seed=seed + 1))
+        handled = worker_loop(str(db), "w0", max_jobs=10, claim_batch=4)
+        assert handled == 5
+        with JobStore(db) as store:
+            totals = store.worker_stats_totals()
+            assert store.counts()["done"] == 5
+        assert totals["claim_batch_jobs"] == 5
+        assert totals["claim_batches"] == 2  # 4 + 1, not 5 single claims
+
+
+class TestWarmTopologySharing:
+    def test_second_worker_starts_warm_from_the_sidecar(self, tmp_path):
+        db = tmp_path / "jobs.db"
+        with JobStore(db) as store:
+            store.submit(grid_request(seed=1))
+        worker_loop(str(db), "w0", max_jobs=1)
+        with JobStore(db) as store:
+            assert store.topology_digests()  # w0 persisted its pristine build
+            totals = store.worker_stats_totals()
+            assert totals["warm_topology_saves"] >= 1
+            assert totals["topology_cache_misses"] == 1
+            # a different seed, same grid topology: w1 must find it pre-built
+            store.submit(grid_request(seed=2))
+        worker_loop(str(db), "w1", max_jobs=1)
+        with JobStore(db) as store:
+            totals = store.worker_stats_totals()
+        assert totals["warm_topology_loads"] >= 1
+        assert totals["topology_cache_misses"] == 1  # w1 added no cold build
+        assert totals["topology_cache_hits"] >= 1
+
+    def test_corrupt_sidecar_rows_are_ignored(self, tmp_path):
+        db = tmp_path / "jobs.db"
+        with JobStore(db) as store:
+            store.save_topology("bogus", b"not-a-pickle")
+            store.submit(grid_request(seed=1))
+        handled = worker_loop(str(db), "w0", max_jobs=1)
+        assert handled == 1
+        with JobStore(db) as store:
+            assert store.counts()["done"] == 1
+
+
+class TestFleetWakeup:
+    def test_fleet_validates_claim_batch(self, tmp_path):
+        with pytest.raises(ValueError, match="claim batch"):
+            WorkerFleet(str(tmp_path / "jobs.db"), workers=1, claim_batch=0)
+
+    def test_notify_wakes_the_fleet_and_drain_interrupts_the_idle_wait(self, tmp_path):
+        """With a 30s poll interval only the wakeup pipe can move jobs."""
+        db = tmp_path / "jobs.db"
+        JobStore(db).close()
+        fleet = WorkerFleet(str(db), workers=1, poll_interval=30.0)
+        fleet.start()
+        try:
+            assert len(fleet.worker_ids()) == 1
+            time.sleep(0.5)
+            with JobStore(db) as store:
+                store.submit(grid_request(seed=1))
+            fleet.notify()
+            deadline = time.monotonic() + 60
+            with JobStore(db) as store:
+                while time.monotonic() < deadline:
+                    if store.counts()["done"] == 1:
+                        break
+                    time.sleep(0.1)
+                assert store.counts()["done"] == 1, "notify did not reach the worker"
+        finally:
+            # drain must interrupt the 30s idle wait, not sit it out
+            started = time.perf_counter()
+            fleet.drain(timeout=20.0)
+            assert time.perf_counter() - started < 20.0
+        assert fleet.alive() == 0
+        assert fleet.worker_ids() == []
