@@ -1,21 +1,36 @@
 #!/usr/bin/env python
-"""Fail CI when served throughput regresses against the tracked baseline.
+"""Fail CI when a tracked benchmark trajectory regresses.
 
 Usage::
 
     python scripts/benchmark_regression_check.py \
         --baseline BENCH_server.json --current /tmp/BENCH_current.json
+    python scripts/benchmark_regression_check.py \
+        --baseline BENCH_opt.json --current /tmp/BENCH_opt_current.json
 
-Both files are ``BENCH_server.json``-shaped artefacts (a loadtest report,
-optionally carrying the ``overhead_benchmark`` section merged in by
-``benchmarks/test_server_throughput.py``).  The check compares every
-throughput metric present in *both* files — higher is better for all of
-them — and fails (exit 1) when any current value falls more than
-``--tolerance`` (default 20%) below the recorded baseline.
+Both files are benchmark artefacts of the same ``kind``:
 
-The tracked baseline at the repo root is the performance trajectory: it
-is refreshed deliberately (commit a new ``BENCH_server.json``) when a PR
-*improves* throughput, and this gate keeps any later PR from silently
+* ``server-bench`` — a loadtest report, optionally carrying the
+  ``overhead_benchmark`` section merged in by
+  ``benchmarks/test_server_throughput.py``.  Gated metrics are served
+  throughputs (higher is better).  The top-level ``paced_vs_direct_pct``
+  is deliberately *not* gated: it compares a paced campaign against
+  unconstrained capacity, so it tracks the traffic shape, not the serve
+  path — the honest overhead lives in ``overhead_benchmark``.
+* ``opt-bench`` — the exact-solve speed artefact emitted by
+  ``benchmarks/test_opt_speed.py``.  Gated metrics are the
+  decomposed-vs-monolithic geometric-mean speedup and the proven-optimal
+  fraction (both higher is better, both machine-relative, so they travel
+  across CI runners where raw seconds would not).
+
+The check compares every gated metric present in *both* files and fails
+(exit 1) when any current value falls more than ``--tolerance`` (default
+20%) below the recorded baseline.  Exit 2 means the check itself could
+not run (unreadable artefact, mismatched kinds, nothing to gate).
+
+The tracked baselines at the repo root are the performance trajectory:
+they are refreshed deliberately (commit a new ``BENCH_*.json``) when a PR
+*improves* the numbers, and this gate keeps any later PR from silently
 giving the win back.
 """
 
@@ -27,12 +42,28 @@ import sys
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple
 
-#: Dotted paths of gated metrics; all are throughputs (higher is better).
-THROUGHPUT_METRICS: Tuple[str, ...] = (
-    "completed_rps",
-    "served_solves_per_sec",
-    "overhead_benchmark.served_solves_per_sec",
-)
+#: Dotted paths of gated metrics per artefact kind; all higher-is-better.
+METRICS_BY_KIND: Dict[str, Tuple[str, ...]] = {
+    "server-bench": (
+        "completed_rps",
+        "served_solves_per_sec",
+        "overhead_benchmark.served_solves_per_sec",
+    ),
+    "opt-bench": (
+        "geomean_speedup",
+        "seeded_geomean_speedup",
+        "proven_fraction",
+    ),
+}
+
+#: Kind assumed when an artefact predates the ``kind`` field.
+DEFAULT_KIND = "server-bench"
+
+
+def artefact_kind(payload: Dict[str, Any]) -> str:
+    """The artefact's ``kind``, defaulting for pre-versioned files."""
+    kind = payload.get("kind")
+    return kind if isinstance(kind, str) and kind in METRICS_BY_KIND else DEFAULT_KIND
 
 
 def lookup(payload: Dict[str, Any], dotted: str) -> Optional[float]:
@@ -53,7 +84,7 @@ def compare(
     """(verdict lines, regression lines) for every metric present in both."""
     lines: List[str] = []
     regressions: List[str] = []
-    for metric in THROUGHPUT_METRICS:
+    for metric in METRICS_BY_KIND[artefact_kind(baseline)]:
         base = lookup(baseline, metric)
         now = lookup(current, metric)
         if base is None or now is None:
@@ -76,7 +107,7 @@ def compare(
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--baseline", required=True, help="tracked BENCH_server.json")
+    parser.add_argument("--baseline", required=True, help="tracked BENCH_*.json")
     parser.add_argument("--current", required=True, help="freshly measured artefact")
     parser.add_argument(
         "--tolerance",
@@ -96,22 +127,29 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"benchmark_regression_check: cannot read {label} {path}: {error}")
             return 2
     baseline, current = artefacts
+    if artefact_kind(baseline) != artefact_kind(current):
+        print(
+            "FAIL: artefact kinds differ "
+            f"({artefact_kind(baseline)!r} vs {artefact_kind(current)!r}) — "
+            "baseline and current must come from the same benchmark"
+        )
+        return 2
 
     lines, regressions = compare(baseline, current, args.tolerance)
     compared = sum(1 for line in lines if "[skip]" not in line)
     print(
         f"benchmark_regression_check: {args.current} vs {args.baseline} "
-        f"(tolerance {args.tolerance:.0%})"
+        f"[{artefact_kind(baseline)}] (tolerance {args.tolerance:.0%})"
     )
     for line in lines:
         print(line)
     if compared == 0:
-        print("FAIL: no throughput metric present in both artefacts — nothing gated")
+        print("FAIL: no gated metric present in both artefacts — nothing gated")
         return 2
     if regressions:
-        print(f"FAIL: served throughput regressed beyond tolerance: {', '.join(regressions)}")
+        print(f"FAIL: benchmark regressed beyond tolerance: {', '.join(regressions)}")
         return 1
-    print(f"PASS: {compared} throughput metric(s) within tolerance")
+    print(f"PASS: {compared} metric(s) within tolerance")
     return 0
 
 

@@ -48,7 +48,11 @@ def plan_payload(plan: RecoveryPlan) -> Dict[str, Any]:
     repaired network and would dominate the envelope size on large
     topologies.  The solver ``status`` (OPT's "optimal"/"feasible"/...) is
     kept: the verification harness must know whether an envelope's OPT run
-    is a *proven* optimum before using it as a differential baseline.
+    is a *proven* optimum before using it as a differential baseline.  The
+    same goes for the proven dual ``bound``, the achieved ``mip_gap``, the
+    solve ``strategy`` and whether the solve was ``seeded`` — the bound is
+    what lets verification check cost-dominance even when the run stopped
+    at a feasible incumbent.
     """
     payload = {
         "repaired_nodes": sorted((freeze_value(node) for node in plan.repaired_nodes), key=repr),
@@ -60,6 +64,15 @@ def plan_payload(plan: RecoveryPlan) -> Dict[str, Any]:
     status = plan.metadata.get("status")
     if status is not None:
         payload["status"] = str(status)
+    for key in ("bound", "mip_gap"):
+        value = plan.metadata.get(key)
+        if value is not None:
+            payload[key] = float(value)
+    strategy = plan.metadata.get("strategy")
+    if strategy is not None:
+        payload["strategy"] = str(strategy)
+    if plan.metadata.get("seeded"):
+        payload["seeded"] = True
     return payload
 
 
@@ -77,6 +90,13 @@ def normalise_plan_payload(payload: Optional[Mapping[str, Any]]) -> Dict[str, An
     }
     if payload.get("status") is not None:
         normalised["status"] = str(payload["status"])
+    for key in ("bound", "mip_gap"):
+        if payload.get(key) is not None:
+            normalised[key] = float(payload[key])
+    if payload.get("strategy") is not None:
+        normalised["strategy"] = str(payload["strategy"])
+    if payload.get("seeded"):
+        normalised["seeded"] = True
     return normalised
 
 
@@ -89,8 +109,9 @@ def plan_from_payload(payload: Mapping[str, Any], algorithm: str = "") -> Recove
     for u, v in normalised.get("repaired_edges", []):
         plan.add_edge_repair(u, v)
     plan.iterations = normalised.get("iterations", 0)
-    if "status" in normalised:
-        plan.metadata["status"] = normalised["status"]
+    for key in ("status", "bound", "mip_gap", "strategy", "seeded"):
+        if key in normalised:
+            plan.metadata[key] = normalised[key]
     return plan
 
 
@@ -154,6 +175,13 @@ def jsonify_plan(payload: Mapping[str, Any]) -> Dict[str, Any]:
     }
     if payload.get("status") is not None:
         jsonified["status"] = str(payload["status"])
+    for key in ("bound", "mip_gap"):
+        if payload.get(key) is not None:
+            jsonified[key] = float(payload[key])
+    if payload.get("strategy") is not None:
+        jsonified["strategy"] = str(payload["strategy"])
+    if payload.get("seeded"):
+        jsonified["seeded"] = True
     return jsonified
 
 

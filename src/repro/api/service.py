@@ -68,6 +68,7 @@ from repro.flows.solver.backends import (
 from repro.flows.solver.incremental import SolverContext
 from repro.flows.solver.stats import collect_solver_stats
 from repro.network.supply import SupplyGraph
+from repro.portfolio import execution_order, is_exact
 
 #: Pristine topologies retained per service session.
 DEFAULT_TOPOLOGY_CACHE_SIZE = 8
@@ -248,23 +249,37 @@ class RecoveryService:
         """
         started = time.perf_counter()
         spec = request.to_experiment_spec()
-        runs: List[AlgorithmRun] = []
         with self._request_backend(request):
             supply, demand, _ = self.build_instance(request)
             broken = len(supply.broken_nodes) + len(supply.broken_edges)
-            for name in request.algorithms:
+            # Heuristics run before exact algorithms (whatever order the
+            # client listed them in) so their plans can seed the exact
+            # solve: a verified incumbent lets the decomposed strategy
+            # prove optimality without a MILP.  The envelope keeps the
+            # requested order.
+            seed_plans: List = []
+            runs_by_name: Dict[str, AlgorithmRun] = {}
+            for name in execution_order(dict.fromkeys(request.algorithms)):
                 algorithm = spec.resolve_algorithm(name)
+                extra = {}
+                if (
+                    is_exact(algorithm.name)
+                    and seed_plans
+                    and "seed_plans" not in algorithm.kwargs
+                ):
+                    extra["seed_plans"] = list(seed_plans)
                 with collect_solver_stats() as stats:
-                    plan = algorithm.solve(supply, demand)
+                    plan = algorithm.solve(supply, demand, **extra)
                     evaluation = evaluate_plan(supply, demand, plan, context=self.context)
-                runs.append(
-                    AlgorithmRun(
-                        algorithm=algorithm.name,
-                        metrics=evaluation_metrics(evaluation),
-                        plan=plan_payload(plan),
-                        solver=stats.as_dict(),
-                    )
+                if not is_exact(algorithm.name):
+                    seed_plans.append(plan)
+                runs_by_name[name] = AlgorithmRun(
+                    algorithm=algorithm.name,
+                    metrics=evaluation_metrics(evaluation),
+                    plan=plan_payload(plan),
+                    solver=stats.as_dict(),
                 )
+        runs = [runs_by_name[name] for name in request.algorithms]
         return RecoveryResult(
             request=request.to_dict(),
             results=runs,

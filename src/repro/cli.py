@@ -74,6 +74,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import Dict, Optional, Sequence
 
@@ -88,6 +89,11 @@ from repro.api.requests import (
 from repro.api.service import RecoveryService
 from repro.engine.registry import available_specs, get_spec
 from repro.evaluation.reporting import format_table
+from repro.flows.milp import (
+    OPT_STRATEGIES,
+    OPT_STRATEGY_ENV_VAR,
+    set_default_opt_strategy,
+)
 from repro.flows.solver.backends import BACKEND_ENV_VAR, available_backends
 from repro.heuristics.registry import available_algorithms
 from repro.topologies.registry import available_topologies
@@ -147,7 +153,14 @@ def _instance_sections(args: argparse.Namespace):
 
 
 def _service(args: argparse.Namespace) -> RecoveryService:
-    """A service session with the CLI's backend selection applied."""
+    """A service session with the CLI's backend/strategy selection applied."""
+    if getattr(args, "opt_strategy", None):
+        # Process-level knob (never a request field): the choice applies to
+        # every OPT solve this command runs without changing job digests.
+        # Exported to the environment too, so --jobs worker processes
+        # spawned by sweep/fuzz inherit it.
+        os.environ[OPT_STRATEGY_ENV_VAR] = args.opt_strategy
+        set_default_opt_strategy(args.opt_strategy)
     try:
         return RecoveryService(lp_backend=getattr(args, "lp_backend", None))
     except KeyError as error:
@@ -352,6 +365,13 @@ def _command_fuzz(args: argparse.Namespace) -> int:
                 f"{len(report.violations)} invariant violation(s){baseline_note}",
                 file=sys.stderr,
             )
+            gaps = report.audit.gap_summary()
+            if gaps["count"]:
+                print(
+                    f"OPT optimality gap over {gaps['count']} audited run(s): "
+                    f"mean {gaps['mean']:.2%}, max {gaps['max']:.2%}",
+                    file=sys.stderr,
+                )
     return 0 if report.ok else 1
 
 
@@ -373,6 +393,8 @@ def _command_serve(args: argparse.Namespace) -> int:
         poll_interval=args.poll_interval,
         lp_backend=args.lp_backend,
         claim_batch=args.claim_batch,
+        portfolio=args.portfolio,
+        opt_strategy=args.opt_strategy,
     )
     try:
         return run_server(config)
@@ -469,6 +491,18 @@ def _add_lp_backend_argument(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_opt_strategy_argument(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--opt-strategy",
+        choices=list(OPT_STRATEGIES),
+        default=None,
+        help=(
+            "exact-solve strategy for OPT "
+            f"(default: ${OPT_STRATEGY_ENV_VAR} or 'auto')"
+        ),
+    )
+
+
 def _add_instance_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--topology", default="bell-canada", help="registered topology name")
     parser.add_argument(
@@ -542,6 +576,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="time limit in seconds for the exact MILP (OPT)",
     )
     _add_lp_backend_argument(solve)
+    _add_opt_strategy_argument(solve)
     _add_json_argument(solve)
     solve.set_defaults(handler=_command_solve)
 
@@ -589,6 +624,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true", help="suppress per-cell progress on stderr"
     )
     _add_lp_backend_argument(sweep)
+    _add_opt_strategy_argument(sweep)
     sweep.set_defaults(handler=_command_sweep)
 
     assess = subparsers.add_parser("assess", help="print a damage assessment report")
@@ -635,6 +671,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--quiet", action="store_true", help="suppress per-cell progress on stderr"
     )
     _add_lp_backend_argument(fuzz)
+    _add_opt_strategy_argument(fuzz)
     _add_json_argument(fuzz)
     fuzz.set_defaults(handler=_command_fuzz)
 
@@ -669,6 +706,16 @@ def build_parser() -> argparse.ArgumentParser:
         help="jobs a worker claims per store round-trip",
     )
     _add_lp_backend_argument(serve)
+    _add_opt_strategy_argument(serve)
+    serve.add_argument(
+        "--portfolio",
+        action="store_true",
+        help=(
+            "two-stage portfolio execution: complete jobs with the heuristic "
+            "envelope first, upgrade it in place when the exact solve lands "
+            "(a 'done' job's envelope may change until finalised)"
+        ),
+    )
     serve.set_defaults(handler=_command_serve)
 
     loadtest = subparsers.add_parser(

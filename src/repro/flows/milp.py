@@ -16,20 +16,34 @@ solver substrate (HiGHS branch-and-cut via scipy by default, direct
 ``highspy`` when selected), which is also exact.  A time limit can be
 passed for the scalability experiments, in which case the best incumbent is
 returned together with its optimality gap.
+
+Two accelerations sit on top of the plain model (see ``docs/solver.md``):
+
+* **Incumbent warm starts** — a feasible start built from a heuristic plan
+  (repair vector + routed flows) is offered to the backend and, crucially,
+  gives the decomposition attack a proven upper bound.
+* **Strategy dispatch** — ``solve_minimum_recovery`` routes through
+  :func:`repro.flows.decomposition.solve_decomposed` unless the process-wide
+  strategy (``REPRO_OPT_STRATEGY`` / ``--opt-strategy``) pins the monolithic
+  model.  The monolithic path is byte-for-byte the pre-acceleration model,
+  kept as the parity baseline.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Optional, Tuple, Union
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 from scipy import sparse
 
-from repro.flows.decomposition import decompose_flows
+from repro.flows.decomposition import decompose_flows, solve_decomposed
 from repro.flows.lp_backend import Commodity
+from repro.flows.routability import routability_test
 from repro.flows.solver.backends import MILProgram, SolverBackend, get_backend
 from repro.flows.solver.incremental import build_flow_problem
+from repro.flows.solver.stats import record_incumbent_seed
 from repro.flows.solver.tolerances import BINARY_THRESHOLD, FLOW_THRESHOLD
 from repro.network.demand import DemandGraph
 from repro.network.plan import RecoveryPlan
@@ -38,6 +52,42 @@ from repro.utils.timing import Timer
 
 Node = Hashable
 Edge = Tuple[Node, Node]
+
+#: Environment variable naming the default OPT strategy.
+OPT_STRATEGY_ENV_VAR = "REPRO_OPT_STRATEGY"
+
+#: Valid strategies: the plain Eq. 1 model, the decomposition attack, or
+#: auto (decomposed with a monolithic fallback whenever the attack declines).
+OPT_STRATEGIES = ("monolithic", "decomposed", "auto")
+
+_STRATEGY_OVERRIDE: Optional[str] = None
+
+
+def set_default_opt_strategy(name: Optional[str]) -> None:
+    """Override the OPT strategy process-wide (``None`` clears the override)."""
+    if name is not None and name not in OPT_STRATEGIES:
+        raise ValueError(
+            f"unknown OPT strategy {name!r}; valid: {', '.join(OPT_STRATEGIES)}"
+        )
+    global _STRATEGY_OVERRIDE
+    _STRATEGY_OVERRIDE = name
+
+
+def default_opt_strategy() -> str:
+    """The strategy used when a solve names none: override > env > auto."""
+    if _STRATEGY_OVERRIDE is not None:
+        return _STRATEGY_OVERRIDE
+    return os.environ.get(OPT_STRATEGY_ENV_VAR, "").strip() or "auto"
+
+
+def resolve_opt_strategy(name: Optional[str] = None) -> str:
+    """Validate and resolve an explicit or defaulted strategy name."""
+    strategy = name or default_opt_strategy()
+    if strategy not in OPT_STRATEGIES:
+        raise ValueError(
+            f"unknown OPT strategy {strategy!r}; valid: {', '.join(OPT_STRATEGIES)}"
+        )
+    return strategy
 
 
 @dataclass
@@ -52,6 +102,13 @@ class MinRSolution:
     commodities: List[Commodity] = field(default_factory=list)
     mip_gap: Optional[float] = None
     elapsed_seconds: float = 0.0
+    #: Best proven lower (dual) bound on the optimum; equals ``objective``
+    #: when ``status == "optimal"``.
+    bound: Optional[float] = None
+    #: Which solve path produced the solution (``monolithic``/``decomposed``).
+    strategy: str = "monolithic"
+    #: Whether a heuristic incumbent seeded the solve.
+    seeded: bool = False
 
     @property
     def optimal(self) -> bool:
@@ -62,41 +119,56 @@ class MinRSolution:
         return self.status in ("optimal", "feasible")
 
 
-def solve_minimum_recovery(
+@dataclass
+class MinRModel:
+    """The built Eq. 1 model plus the indexing every attack needs."""
+
+    supply: SupplyGraph
+    demand: DemandGraph
+    commodities: List[Commodity]
+    problem: object  #: the IncrementalFlowProblem over the full graph
+    edges: List[Edge]
+    nodes: List[Node]
+    num_flow: int
+    num_edges: int
+    num_nodes: int
+    num_vars: int
+    edge_column: Dict[Edge, int]
+    node_column: Dict[Node, int]
+    objective: np.ndarray
+    constraints: List[Tuple[sparse.spmatrix, np.ndarray, np.ndarray]]
+    integrality: np.ndarray
+    lower: np.ndarray
+    upper: np.ndarray
+    eta_max: int
+    capacity_rhs: np.ndarray
+    #: Constraint 1(c) over the delta columns only (used by block bounds).
+    degree_block: sparse.csr_matrix
+
+
+@dataclass
+class IncumbentStart:
+    """A verified feasible start for the MILP, built from a heuristic plan."""
+
+    x: np.ndarray  #: full variable vector (flows + deltas)
+    cost: float  #: repair cost of the start — a proven upper bound
+    repaired_nodes: set
+    repaired_edges: set
+    flows: List[Dict[Tuple[Node, Node], float]]
+
+
+def build_minr_model(
     supply: SupplyGraph,
     demand: DemandGraph,
-    time_limit: Optional[float] = None,
-    mip_rel_gap: float = 0.0,
-    backend: Optional[Union[str, SolverBackend]] = None,
-) -> MinRSolution:
-    """Solve the MinR MILP for ``supply`` and ``demand``.
-
-    Parameters
-    ----------
-    supply:
-        Supply graph with broken elements and repair costs.  Nominal
-        capacities are used (the optimum plans from scratch).
-    demand:
-        Demand graph to satisfy completely.
-    time_limit:
-        Optional wall-clock limit in seconds handed to HiGHS.
-    mip_rel_gap:
-        Relative optimality gap at which the solver may stop early.
-    backend:
-        Explicit backend name/instance; defaults to the configured backend.
-
-    Returns
-    -------
-    MinRSolution
-        ``status`` is ``"optimal"``, ``"feasible"`` (time limit hit with an
-        incumbent), ``"infeasible"`` or ``"error"``.
-    """
-    commodities = [
-        Commodity(source=p.source, target=p.target, demand=p.demand) for p in demand.pairs()
-    ]
-    if not commodities:
-        return MinRSolution(status="optimal", objective=0.0)
-
+    commodities: Optional[Sequence[Commodity]] = None,
+) -> MinRModel:
+    """Build the Eq. 1 constraint system once, for any solve strategy."""
+    if commodities is None:
+        commodities = [
+            Commodity(source=p.source, target=p.target, demand=p.demand)
+            for p in demand.pairs()
+        ]
+    commodities = list(commodities)
     graph = supply.full_graph(use_residual=False)
     problem = build_flow_problem(graph, commodities)
 
@@ -133,13 +205,17 @@ def solve_minimum_recovery(
 
     # Constraint 1(c): sum_j delta_ij - eta_max * delta_i <= 0.
     eta_max = max(supply.max_degree, 1)
-    deg_block = sparse.lil_matrix((num_nodes, num_vars))
+    deg_delta = sparse.lil_matrix((num_nodes, num_edges + num_nodes))
     for row, node in enumerate(nodes):
         for neighbor in graph.neighbors(node):
-            deg_block[row, edge_column[canonical_edge(node, neighbor)]] = 1.0
-        deg_block[row, node_column[node]] = -float(eta_max)
+            deg_delta[row, edge_column[canonical_edge(node, neighbor)] - num_flow] = 1.0
+        deg_delta[row, node_column[node] - num_flow] = -float(eta_max)
+    degree_block = deg_delta.tocsr()
+    deg_full = sparse.hstack(
+        [sparse.csr_matrix((num_nodes, num_flow)), degree_block]
+    ).tocsr()
     constraints.append(
-        (deg_block.tocsr(), np.full(num_nodes, -np.inf), np.zeros(num_nodes))
+        (deg_full, np.full(num_nodes, -np.inf), np.zeros(num_nodes))
     )
 
     # Constraint 1(d): flow conservation.
@@ -156,46 +232,248 @@ def solve_minimum_recovery(
     upper = np.full(num_vars, np.inf)
     upper[num_flow:] = 1.0
 
-    program = MILProgram(
-        c=objective,
+    return MinRModel(
+        supply=supply,
+        demand=demand,
+        commodities=commodities,
+        problem=problem,
+        edges=edges,
+        nodes=nodes,
+        num_flow=num_flow,
+        num_edges=num_edges,
+        num_nodes=num_nodes,
+        num_vars=num_vars,
+        edge_column=edge_column,
+        node_column=node_column,
+        objective=objective,
         constraints=constraints,
         integrality=integrality,
-        lb=lower,
-        ub=upper,
-        time_limit=float(time_limit) if time_limit is not None else None,
-        mip_rel_gap=mip_rel_gap,
+        lower=lower,
+        upper=upper,
+        eta_max=eta_max,
+        capacity_rhs=np.asarray(cap_rhs, dtype=float),
+        degree_block=degree_block,
     )
 
-    with Timer() as timer:
-        result = get_backend(backend).solve_milp(program)
 
-    if not result.feasible or result.x is None:
-        status = result.status if result.status in ("infeasible", "error") else "error"
-        return MinRSolution(status=status, elapsed_seconds=timer.elapsed)
+def build_incumbent(
+    model: MinRModel,
+    plan: RecoveryPlan,
+    backend: Optional[Union[str, SolverBackend]] = None,
+) -> Optional[IncumbentStart]:
+    """Turn a heuristic plan into a *verified* feasible MILP start.
 
+    The plan's repairs (intersected with the damage — repairing a working
+    element is a no-op) are applied to the supply graph and the full demand
+    is re-routed with one routability LP.  Only a plan that routes every
+    demand yields an incumbent; the returned vector satisfies Eq. 1 exactly:
+    deltas are 1 on every usable element, flows are the LP routing, and the
+    objective equals the plan's repair cost on broken elements.
+    """
+    supply = model.supply
+    repaired_nodes = {
+        node for node in plan.repaired_nodes if supply.is_broken_node(node)
+    }
+    repaired_edges = {
+        canonical_edge(*edge)
+        for edge in plan.repaired_edges
+        if supply.is_broken_edge(*edge)
+    }
+    graph = supply.working_graph(
+        extra_nodes=repaired_nodes, extra_edges=repaired_edges, use_residual=False
+    )
+    verdict = routability_test(graph, model.demand, want_flows=True, backend=backend)
+    if not verdict.routable:
+        return None
+
+    structure = model.problem.structure
+    num_arcs = structure.num_arcs
+    x = np.zeros(model.num_vars)
+    for h, arc_flows in enumerate(verdict.flows):
+        base = h * num_arcs
+        for arc, value in arc_flows.items():
+            column = structure.arc_index.get(arc)
+            if column is not None:
+                x[base + column] = value
+    usable_nodes = {
+        node
+        for node in model.nodes
+        if not supply.is_broken_node(node) or node in repaired_nodes
+    }
+    for node, column in model.node_column.items():
+        if node in usable_nodes:
+            x[column] = 1.0
+    for edge, column in model.edge_column.items():
+        u, v = edge
+        if u not in usable_nodes or v not in usable_nodes:
+            continue
+        if supply.is_broken_edge(u, v) and edge not in repaired_edges:
+            continue
+        x[column] = 1.0
+    cost = supply.repair_cost_of(repaired_nodes, repaired_edges)
+    return IncumbentStart(
+        x=x,
+        cost=float(cost),
+        repaired_nodes=repaired_nodes,
+        repaired_edges=repaired_edges,
+        flows=verdict.flows,
+    )
+
+
+def incumbent_solution(
+    model: MinRModel, incumbent: IncumbentStart, bound: Optional[float] = None
+) -> MinRSolution:
+    """A proven-optimal :class:`MinRSolution` taken directly from the incumbent."""
+    return MinRSolution(
+        status="optimal",
+        objective=incumbent.cost,
+        repaired_nodes=set(incumbent.repaired_nodes),
+        repaired_edges=set(incumbent.repaired_edges),
+        flows=[dict(flows) for flows in incumbent.flows],
+        commodities=list(model.commodities),
+        mip_gap=0.0,
+        bound=float(bound) if bound is not None else incumbent.cost,
+        strategy="decomposed",
+        seeded=True,
+    )
+
+
+def solution_from_result(
+    model: MinRModel, result, strategy: str, seeded: bool
+) -> MinRSolution:
+    """Extract a :class:`MinRSolution` from a feasible backend result."""
     solution = result.x
     repaired_nodes = {
         node
-        for node in nodes
-        if supply.is_broken_node(node) and solution[node_column[node]] > BINARY_THRESHOLD
+        for node in model.nodes
+        if model.supply.is_broken_node(node)
+        and solution[model.node_column[node]] > BINARY_THRESHOLD
     }
     repaired_edges = {
         edge
-        for edge in edges
-        if supply.is_broken_edge(*edge) and solution[edge_column[edge]] > BINARY_THRESHOLD
+        for edge in model.edges
+        if model.supply.is_broken_edge(*edge)
+        and solution[model.edge_column[edge]] > BINARY_THRESHOLD
     }
-    flows = problem.flows_by_commodity(solution[:num_flow])
-
+    flows = model.problem.flows_by_commodity(solution[: model.num_flow])
+    bound = result.dual_bound
+    if result.status == "optimal" and result.objective is not None:
+        bound = float(result.objective)
     return MinRSolution(
         status=result.status,
         objective=float(result.objective),
         repaired_nodes=repaired_nodes,
         repaired_edges=repaired_edges,
         flows=flows,
-        commodities=commodities,
+        commodities=list(model.commodities),
         mip_gap=result.mip_gap,
-        elapsed_seconds=timer.elapsed,
+        bound=bound,
+        strategy=strategy,
+        seeded=seeded,
     )
+
+
+def solve_minimum_recovery(
+    supply: SupplyGraph,
+    demand: DemandGraph,
+    time_limit: Optional[float] = None,
+    mip_rel_gap: float = 0.0,
+    backend: Optional[Union[str, SolverBackend]] = None,
+    strategy: Optional[str] = None,
+    seed_plans: Optional[Sequence[RecoveryPlan]] = None,
+) -> MinRSolution:
+    """Solve the MinR MILP for ``supply`` and ``demand``.
+
+    Parameters
+    ----------
+    supply:
+        Supply graph with broken elements and repair costs.  Nominal
+        capacities are used (the optimum plans from scratch).
+    demand:
+        Demand graph to satisfy completely.
+    time_limit:
+        Optional wall-clock limit in seconds handed to HiGHS.
+    mip_rel_gap:
+        Relative optimality gap at which the solver may stop early.
+    backend:
+        Explicit backend name/instance; defaults to the configured backend.
+    strategy:
+        ``"monolithic"``, ``"decomposed"`` or ``"auto"``; defaults to the
+        process-wide strategy (:func:`default_opt_strategy`).
+    seed_plans:
+        Heuristic plans to mine for a feasible incumbent (cheapest verified
+        plan wins).  The incumbent warm-starts the backend and gives the
+        decomposition its upper bound; it never changes the optimal
+        objective.
+
+    Returns
+    -------
+    MinRSolution
+        ``status`` is ``"optimal"``, ``"feasible"`` (time limit hit with an
+        incumbent), ``"infeasible"`` or ``"error"``.
+    """
+    commodities = [
+        Commodity(source=p.source, target=p.target, demand=p.demand) for p in demand.pairs()
+    ]
+    chosen = resolve_opt_strategy(strategy)
+    if not commodities:
+        return MinRSolution(status="optimal", objective=0.0, bound=0.0, strategy=chosen)
+
+    model = build_minr_model(supply, demand, commodities)
+
+    incumbent: Optional[IncumbentStart] = None
+    if seed_plans:
+        ranked = sorted(
+            (plan for plan in seed_plans if plan is not None),
+            key=lambda plan: (plan.repair_cost(supply), plan.algorithm),
+        )
+        for plan in ranked:
+            incumbent = build_incumbent(model, plan, backend=backend)
+            if incumbent is not None:
+                break
+    if incumbent is not None:
+        record_incumbent_seed()
+
+    if chosen in ("decomposed", "auto"):
+        solution = solve_decomposed(
+            model,
+            time_limit=time_limit,
+            mip_rel_gap=mip_rel_gap,
+            backend=backend,
+            incumbent=incumbent,
+        )
+        if solution is not None:
+            return solution
+        # The attack declined (e.g. out of time, odd structure): fall back.
+
+    program = MILProgram(
+        c=model.objective,
+        constraints=model.constraints,
+        integrality=model.integrality,
+        lb=model.lower,
+        ub=model.upper,
+        time_limit=float(time_limit) if time_limit is not None else None,
+        mip_rel_gap=mip_rel_gap,
+    )
+
+    warm_start = incumbent.x if incumbent is not None else None
+    with Timer() as timer:
+        result = get_backend(backend).solve_milp(program, warm_start=warm_start)
+
+    if not result.feasible or result.x is None:
+        status = result.status if result.status in ("infeasible", "error") else "error"
+        return MinRSolution(
+            status=status,
+            elapsed_seconds=timer.elapsed,
+            strategy="monolithic",
+            seeded=incumbent is not None,
+        )
+
+    solution = solution_from_result(
+        model, result, strategy="monolithic", seeded=incumbent is not None
+    )
+    solution.elapsed_seconds = timer.elapsed
+    return solution
 
 
 def minr_solution_to_plan(
@@ -212,6 +490,11 @@ def minr_solution_to_plan(
     plan.metadata["objective"] = solution.objective
     if solution.mip_gap is not None:
         plan.metadata["mip_gap"] = solution.mip_gap
+    if solution.bound is not None:
+        plan.metadata["bound"] = solution.bound
+    plan.metadata["strategy"] = solution.strategy
+    if solution.seeded:
+        plan.metadata["seeded"] = True
     if not solution.feasible:
         return plan
 

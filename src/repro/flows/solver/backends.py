@@ -104,6 +104,11 @@ class MILPSolution:
     x: Optional[np.ndarray] = None
     objective: Optional[float] = None
     mip_gap: Optional[float] = None
+    #: Best proven lower bound on the objective (the MIP dual bound), when
+    #: the backend reports one.  Equals ``objective`` on a proven optimum.
+    dual_bound: Optional[float] = None
+    #: Whether the backend actually consumed the offered incumbent.
+    warm_started: bool = False
 
     @property
     def feasible(self) -> bool:
@@ -139,8 +144,16 @@ class SolverBackend(ABC):
         """Solve ``program``, optionally starting from ``warm_start``."""
 
     @abstractmethod
-    def solve_milp(self, program: MILProgram) -> MILPSolution:
-        """Solve the mixed-integer ``program``."""
+    def solve_milp(
+        self, program: MILProgram, warm_start: Optional[np.ndarray] = None
+    ) -> MILPSolution:
+        """Solve the mixed-integer ``program``.
+
+        ``warm_start`` is a feasible incumbent (full variable vector) offered
+        to the branch-and-bound search.  Backends that cannot consume MILP
+        incumbents still record the offer in the solver stats so seeding
+        behaviour is observable everywhere.
+        """
 
 
 class ScipyHighsBackend(SolverBackend):
@@ -180,7 +193,9 @@ class ScipyHighsBackend(SolverBackend):
         status = {2: "infeasible", 3: "unbounded"}.get(result.status, "error")
         return LPSolution(status=status, message=str(result.message))
 
-    def solve_milp(self, program: MILProgram) -> MILPSolution:
+    def solve_milp(
+        self, program: MILProgram, warm_start: Optional[np.ndarray] = None
+    ) -> MILPSolution:
         constraints = [
             LinearConstraint(matrix, lb=lb, ub=ub)
             for matrix, lb, ub in program.constraints
@@ -196,7 +211,13 @@ class ScipyHighsBackend(SolverBackend):
             bounds=Bounds(lb=program.lb, ub=program.ub),
             options=options,
         )
-        record_solve(time.perf_counter() - started, kind="milp")
+        # ``scipy.optimize.milp`` exposes no incumbent-injection API; the
+        # offer is recorded (never consumed) so seeding stays observable.
+        record_solve(
+            time.perf_counter() - started,
+            kind="milp",
+            warm_start_attempted=warm_start is not None,
+        )
         # scipy/HiGHS status codes: 0 optimal, 1 iteration/time limit,
         # 2 infeasible, 3 unbounded, 4 numerical trouble.
         if result.status == 2:
@@ -204,11 +225,13 @@ class ScipyHighsBackend(SolverBackend):
         if result.x is None:
             return MILPSolution(status="error")
         mip_gap = getattr(result, "mip_gap", None)
+        dual_bound = getattr(result, "mip_dual_bound", None)
         return MILPSolution(
             status="optimal" if result.status == 0 else "feasible",
             x=np.asarray(result.x),
             objective=float(result.fun),
             mip_gap=float(mip_gap) if mip_gap is not None else None,
+            dual_bound=float(dual_bound) if dual_bound is not None else None,
         )
 
 
@@ -339,7 +362,9 @@ class HighspyBackend(SolverBackend):
             return LPSolution(status="unbounded", message=str(status))
         return LPSolution(status="error", message=str(status))
 
-    def solve_milp(self, program: MILProgram) -> MILPSolution:  # pragma: no cover
+    def solve_milp(
+        self, program: MILProgram, warm_start: Optional[np.ndarray] = None
+    ) -> MILPSolution:  # pragma: no cover
         import highspy
 
         lower = np.broadcast_to(np.asarray(program.lb, dtype=float), (program.num_variables,))
@@ -348,9 +373,24 @@ class HighspyBackend(SolverBackend):
         solver.setOptionValue("mip_rel_gap", float(program.mip_rel_gap))
         if program.time_limit is not None:
             solver.setOptionValue("time_limit", float(program.time_limit))
+        warm_started = False
+        if warm_start is not None:
+            # Hand HiGHS the heuristic incumbent: branch-and-bound starts
+            # with an upper bound and can prune from the first node.
+            try:
+                solution = highspy.HighsSolution()
+                solution.col_value = np.asarray(warm_start, dtype=float)
+                warm_started = solver.setSolution(solution) == highspy.HighsStatus.kOk
+            except (AttributeError, TypeError, ValueError):
+                warm_started = False
         started = time.perf_counter()
         solver.run()
-        record_solve(time.perf_counter() - started, kind="milp")
+        record_solve(
+            time.perf_counter() - started,
+            kind="milp",
+            warm_start_attempted=warm_start is not None,
+            warm_start_used=warm_started,
+        )
         status = solver.getModelStatus()
         info = solver.getInfo()
         has_incumbent = info.primal_solution_status == highspy.kSolutionStatusFeasible
@@ -360,11 +400,14 @@ class HighspyBackend(SolverBackend):
             return MILPSolution(status="error")
         values = np.array(solver.getSolution().col_value, dtype=float)
         gap = getattr(info, "mip_gap", None)
+        dual_bound = getattr(info, "mip_dual_bound", None)
         return MILPSolution(
             status="optimal" if status == highspy.HighsModelStatus.kOptimal else "feasible",
             x=values,
             objective=float(info.objective_function_value),
             mip_gap=float(gap) if gap is not None else None,
+            dual_bound=float(dual_bound) if dual_bound is not None else None,
+            warm_started=warm_started,
         )
 
 

@@ -41,6 +41,16 @@ class SolverStats:
     structure_hits / structure_misses:
         Topology-structure cache hits and misses (a miss pays the full
         indexing + constraint-block construction, a hit only the RHS).
+    incumbent_seeds:
+        How often a MILP solve was seeded with a heuristic incumbent
+        (repair vector + routed flows offered as a feasible start).
+    benders_iterations / benders_cuts:
+        Master-subproblem rounds of the combinatorial Benders loop and the
+        total number of feasibility cuts it added.
+    bound_reuses:
+        How often a cached dual bound / certificate was reused for an
+        instance already solved in this process (keyed by instance
+        signature).
     """
 
     lp_solves: int = 0
@@ -51,6 +61,10 @@ class SolverStats:
     warm_start_hits: int = 0
     structure_hits: int = 0
     structure_misses: int = 0
+    incumbent_seeds: int = 0
+    benders_iterations: int = 0
+    benders_cuts: int = 0
+    bound_reuses: int = 0
 
     def as_dict(self) -> Dict[str, float]:
         """Flat JSON-serialisable view (used in plan metadata / cell extras)."""
@@ -63,6 +77,10 @@ class SolverStats:
             "warm_start_hits": float(self.warm_start_hits),
             "structure_hits": float(self.structure_hits),
             "structure_misses": float(self.structure_misses),
+            "incumbent_seeds": float(self.incumbent_seeds),
+            "benders_iterations": float(self.benders_iterations),
+            "benders_cuts": float(self.benders_cuts),
+            "bound_reuses": float(self.bound_reuses),
         }
 
 _ACTIVE = threading.local()
@@ -125,10 +143,32 @@ def record_structure_lookup(hit: bool) -> None:
             stats.structure_misses += 1
 
 
+def record_incumbent_seed() -> None:
+    """Report one MILP solve seeded with a heuristic incumbent."""
+    for stats in _stack():
+        stats.incumbent_seeds += 1
+
+
+def record_benders(iterations: int = 0, cuts: int = 0) -> None:
+    """Report combinatorial Benders effort (master rounds and cuts added)."""
+    for stats in _stack():
+        stats.benders_iterations += iterations
+        stats.benders_cuts += cuts
+
+
+def record_bound_reuse() -> None:
+    """Report one reuse of a cached bound/certificate across solves."""
+    for stats in _stack():
+        stats.bound_reuses += 1
+
+
 __all__ = [
     "SolverStats",
     "collect_solver_stats",
     "record_solve",
     "record_build",
     "record_structure_lookup",
+    "record_incumbent_seed",
+    "record_benders",
+    "record_bound_reuse",
 ]

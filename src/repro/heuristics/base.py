@@ -36,11 +36,22 @@ class RecoveryAlgorithm:
     solver: Solver
     kwargs: Dict[str, Any] = field(default_factory=dict)
 
-    def solve(self, supply: SupplyGraph, demand: DemandGraph) -> RecoveryPlan:
-        """Run the algorithm and stamp the plan with this algorithm's name."""
-        plan = self.solver(supply, demand, **self.kwargs)
+    def solve(
+        self, supply: SupplyGraph, demand: DemandGraph, **extra: Any
+    ) -> RecoveryPlan:
+        """Run the algorithm and stamp the plan with this algorithm's name.
+
+        ``extra`` keyword arguments are call-scoped and override the bound
+        ``kwargs`` for this one solve — the service uses this to hand OPT the
+        heuristic plans it already computed (``seed_plans=...``) without
+        baking them into the registered algorithm.
+        """
+        merged = {**self.kwargs, **extra} if extra else self.kwargs
+        plan = self.solver(supply, demand, **merged)
         plan.algorithm = self.name
         return plan
 
-    def __call__(self, supply: SupplyGraph, demand: DemandGraph) -> RecoveryPlan:
-        return self.solve(supply, demand)
+    def __call__(
+        self, supply: SupplyGraph, demand: DemandGraph, **extra: Any
+    ) -> RecoveryPlan:
+        return self.solve(supply, demand, **extra)

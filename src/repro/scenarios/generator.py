@@ -237,6 +237,7 @@ class FuzzReport:
             "discarded_draws": self.discarded,
             "plans_checked": self.audit.checked,
             "unproven_baselines": self.audit.unproven_baselines,
+            "opt_gaps": self.audit.gap_summary(),
             "wall_seconds": self.wall_seconds,
             "ok": self.ok,
             "violations": [
@@ -287,6 +288,7 @@ def run_fuzz(
             audited = audit_result(service, request, envelope, context=service.context)
             report.audit.checked += audited.checked
             report.audit.unproven_baselines += audited.unproven_baselines
+            report.audit.opt_gaps.extend(audited.opt_gaps)
             report.audit.extend(audited.violations)
     report.wall_seconds = time.perf_counter() - started
     return report

@@ -45,6 +45,13 @@ class ServerConfig:
     max_attempts: int = DEFAULT_MAX_ATTEMPTS
     claim_batch: int = DEFAULT_CLAIM_BATCH
     drain_timeout: float = 30.0
+    #: Two-stage portfolio execution (heuristic envelope first, upgraded in
+    #: place when the exact solve lands).  Off by default: with it on, a
+    #: "done" job's envelope may still change, which clients must opt into.
+    portfolio: bool = False
+    #: Process-wide OPT strategy for the worker fleet ("monolithic" /
+    #: "decomposed" / "auto"); ``None`` keeps the environment default.
+    opt_strategy: Optional[str] = None
 
 
 async def serve(config: ServerConfig, ready: Optional[asyncio.Event] = None) -> None:
@@ -57,7 +64,10 @@ async def serve(config: ServerConfig, ready: Optional[asyncio.Event] = None) -> 
     # a bad backend name or malformed $REPRO_TOPOLOGY_CACHE would otherwise
     # kill every worker at startup while the daemon kept serving a queue
     # nobody drains.
+    import os
+
     from repro.api.service import default_topology_cache_size
+    from repro.flows.milp import OPT_STRATEGY_ENV_VAR, resolve_opt_strategy
     from repro.flows.solver.backends import available_backends
 
     if config.lp_backend and config.lp_backend not in available_backends():
@@ -66,6 +76,10 @@ async def serve(config: ServerConfig, ready: Optional[asyncio.Event] = None) -> 
             f"available: {', '.join(available_backends())}"
         )
     default_topology_cache_size()
+    if config.opt_strategy is not None:
+        # Validated here, exported so the spawned worker processes inherit
+        # it — the strategy is process-level, never a request field.
+        os.environ[OPT_STRATEGY_ENV_VAR] = resolve_opt_strategy(config.opt_strategy)
 
     store = JobStore(config.db)
     orphans = store.requeue_orphans()
@@ -79,6 +93,7 @@ async def serve(config: ServerConfig, ready: Optional[asyncio.Event] = None) -> 
         lp_backend=config.lp_backend,
         max_attempts=config.max_attempts,
         claim_batch=config.claim_batch,
+        portfolio=config.portfolio,
     )
     fleet.start()
 

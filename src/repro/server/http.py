@@ -50,6 +50,7 @@ from collections import OrderedDict
 from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.api.requests import AssessmentRequest, RecoveryRequest, request_from_dict
+from repro.portfolio import pending_algorithms
 from repro.server.store import JobRecord, JobStore, STATES
 
 #: Largest accepted request body; beyond it the request is a 400.
@@ -286,6 +287,18 @@ class RecoveryServer:
             self.envelope_cache_hits += 1
         return entry
 
+    @staticmethod
+    def _cacheable(record: JobRecord) -> bool:
+        """Whether a done row's envelope is final (safe for the LRU).
+
+        A portfolio job completes early with its heuristic envelope and is
+        *upgraded in place* when the exact solve lands — caching bytes
+        while ``portfolio.pending`` is non-empty would replay the stale
+        heuristic answer forever.  Such rows are served straight from the
+        store until the upgrade clears ``pending``.
+        """
+        return not pending_algorithms(record.result)
+
     def _remember_done(self, record: JobRecord) -> Dict[str, Any]:
         """Admit a freshly fetched done record into the LRU."""
         entry = self._done_cache.get(record.digest)
@@ -388,7 +401,7 @@ class RecoveryServer:
         existing = self.store.get(digest)
         if existing is not None and existing.state != "failed":
             self.dedup_hits += 1
-            if existing.state == "done":
+            if existing.state == "done" and self._cacheable(existing):
                 self.fast_path_hits += 1
                 return 200, self._done_body(self._remember_done(existing), "submit"), "application/json"
             return (
@@ -452,7 +465,7 @@ class RecoveryServer:
                 continue
             existing = self.store.get(digest)
             if existing is not None and existing.state != "failed":
-                if existing.state == "done":
+                if existing.state == "done" and self._cacheable(existing):
                     plan.append(("done", self._remember_done(existing)))
                 else:
                     plan.append(("dedup", existing))
@@ -517,7 +530,7 @@ class RecoveryServer:
         record = self.store.get(digest)
         if record is None:
             return 404, {"error": f"no job with digest {digest!r}"}, "application/json"
-        if record.state == "done":
+        if record.state == "done" and self._cacheable(record):
             return 200, self._done_body(self._remember_done(record), "job"), "application/json"
         return 200, {"job": record.to_dict()}, "application/json"
 
@@ -699,9 +712,45 @@ class RecoveryServer:
                 "repro_solver_solve_seconds_total",
                 "Solver seconds across worker sessions.",
             ),
+            (
+                "incumbent_seeds",
+                "repro_solver_incumbent_seeds_total",
+                "Exact solves seeded with a verified heuristic incumbent.",
+            ),
+            (
+                "bound_reuses",
+                "repro_solver_bound_reuses_total",
+                "Cached dual bounds / certificates reused across solves.",
+            ),
+            (
+                "portfolio_stage1",
+                "repro_portfolio_stage1_total",
+                "Jobs answered early with their heuristic envelope.",
+            ),
+            (
+                "portfolio_upgrades",
+                "repro_portfolio_upgrades_total",
+                "Stored envelopes upgraded in place by a landed exact solve.",
+            ),
+            (
+                "portfolio_proven",
+                "repro_portfolio_proven_total",
+                "Exact runs that finished with a proven-optimal status.",
+            ),
+            (
+                "portfolio_exact",
+                "repro_portfolio_exact_total",
+                "Exact runs executed by the fleet (proven / exact = proven fraction).",
+            ),
         )
         for key, name, help_text in fleet_metrics:
             counter(name, totals.get(key, 0.0), help_text)
+        exact_runs = totals.get("portfolio_exact", 0.0)
+        gauge(
+            "repro_portfolio_proven_fraction",
+            (totals.get("portfolio_proven", 0.0) / exact_runs) if exact_runs else 0.0,
+            "Fraction of executed exact runs that carry a proven optimum.",
+        )
         return "\n".join(lines) + "\n"
 
 

@@ -19,12 +19,18 @@ HTTP round trip of the submission) and *job* latency (the store's
 p50/p95/p99.
 
 With ``measure_direct=True`` the harness additionally solves the distinct
-request pool in-process (no daemon) and records the served-vs-direct
-overhead ratio into the artefact.  The served rate is measured *under the
-offered load* — open-loop replay spreads submissions over the campaign
-window — so ``overhead_pct`` here tracks regressions of the serve path at
-a fixed traffic shape; the capacity-bound overhead number lives in
-``benchmarks/test_server_throughput.py``.
+request pool in-process (no daemon) and records the ratio of the two rates
+as ``paced_vs_direct_pct``.  That number is **not** a serve-path overhead:
+the served rate counts unique completions over the whole paced campaign
+window (open-loop arrivals spread across ``duration`` seconds, duplicates
+collapsed by dedup), while the direct rate is unconstrained in-process
+capacity — the ratio is dominated by the offered traffic shape.  It is
+kept because it is stable for a fixed campaign (same rps/duration/pool)
+and therefore still catches serve-path regressions *at that shape*.  The
+honest capacity-bound overhead comparison lives in
+``benchmarks/test_server_throughput.py``, which merges an
+``overhead_benchmark`` section into the same artefact; the regression gate
+(`scripts/benchmark_regression_check.py`) consumes that section.
 """
 
 from __future__ import annotations
@@ -106,7 +112,11 @@ class LoadtestReport:
     served_solves_per_sec: float = 0.0
     direct_seconds: float = 0.0
     direct_solves_per_sec: float = 0.0
-    overhead_pct: Optional[float] = None
+    #: Paced-campaign served rate vs unconstrained direct capacity, as a
+    #: percentage slowdown.  Traffic-shape dependent by construction (see
+    #: the module docstring) — NOT the serve-path overhead, which is the
+    #: ``overhead_benchmark`` section's ``overhead_pct``.
+    paced_vs_direct_pct: Optional[float] = None
     seed: int = 0
     scenario_space: str = "tiny"
     failures: List[Dict[str, str]] = field(default_factory=list)
@@ -146,7 +156,7 @@ class LoadtestReport:
             for key in (
                 "served_solves_per_sec",
                 "direct_solves_per_sec",
-                "overhead_pct",
+                "paced_vs_direct_pct",
             ):
                 value = payload[key]
                 rows.append(
@@ -183,7 +193,9 @@ class LoadtestReport:
             "served_solves_per_sec": float(self.served_solves_per_sec),
             "direct_seconds": float(self.direct_seconds),
             "direct_solves_per_sec": float(self.direct_solves_per_sec),
-            "overhead_pct": None if self.overhead_pct is None else float(self.overhead_pct),
+            "paced_vs_direct_pct": (
+                None if self.paced_vs_direct_pct is None else float(self.paced_vs_direct_pct)
+            ),
             "ok": self.ok,
             "failures": list(self.failures),
         }
@@ -209,7 +221,8 @@ def run_loadtest(
     measures the dedup hit rate.  ``out`` (when given) receives the report
     via the atomic JSON writer.  ``measure_direct`` additionally solves
     the distinct pool in-process after the campaign and records the
-    served-vs-direct overhead ratio.
+    paced-vs-direct rate ratio (``paced_vs_direct_pct`` — a traffic-shape
+    number, not a serve-path overhead; see the module docstring).
     """
     if rps <= 0:
         raise ValueError("--rps must be positive")
@@ -362,7 +375,7 @@ def run_loadtest(
             len(direct_requests) / report.direct_seconds if report.direct_seconds else 0.0
         )
         if report.served_solves_per_sec > 0:
-            report.overhead_pct = (
+            report.paced_vs_direct_pct = (
                 report.direct_solves_per_sec / report.served_solves_per_sec - 1.0
             ) * 100.0
 

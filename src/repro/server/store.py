@@ -438,6 +438,30 @@ class JobStore:
             (json.dumps(result, sort_keys=True), time.time()),
         )
 
+    def upgrade_result(
+        self, digest: str, result: Dict[str, Any], worker: Optional[str] = None
+    ) -> bool:
+        """Replace the stored envelope of a **done** job in place.
+
+        The portfolio path completes a job early with its heuristic
+        envelope (so pollers see an answer immediately) and calls this when
+        the exact solve lands.  The update only matches a ``done`` row —
+        and, when ``worker`` is given, one finished by that worker — so a
+        row that was requeued and re-executed elsewhere keeps the new
+        holder's outcome.  ``finished_at`` is refreshed: it marks when the
+        envelope reached its final form.
+        """
+        guard = "state = 'done'"
+        params: Tuple = (json.dumps(result, sort_keys=True), time.time(), digest)
+        if worker is not None:
+            guard += " AND worker = ?"
+            params += (worker,)
+        cursor = self._conn.execute(
+            f"UPDATE jobs SET result = ?, finished_at = ? WHERE digest = ? AND {guard}",
+            params,
+        )
+        return cursor.rowcount == 1
+
     def fail(self, digest: str, error: str, worker: Optional[str] = None) -> bool:
         """Record ``error`` and move the job to ``failed`` (claim holder only)."""
         return self._finish(

@@ -67,7 +67,14 @@ DEFAULT_CLAIM_BATCH = 4
 HOLD_ENV_VAR = "REPRO_SERVER_TEST_HOLD"
 
 #: Solver-effort keys aggregated from result envelopes into worker counters.
-_SOLVER_KEYS = ("lp_solves", "milp_solves", "solve_seconds", "build_seconds")
+_SOLVER_KEYS = (
+    "lp_solves",
+    "milp_solves",
+    "solve_seconds",
+    "build_seconds",
+    "incumbent_seeds",
+    "bound_reuses",
+)
 
 
 class WakeupReceiver:
@@ -128,6 +135,36 @@ def _execute(service, record: JobRecord) -> Dict[str, object]:
     if isinstance(request, AssessmentRequest):
         return service.assess(request).to_dict()
     return service.solve(request).to_dict()
+
+
+def _execute_portfolio(
+    service, store: JobStore, record: JobRecord, worker_id: str, counters: Dict[str, float]
+) -> Dict[str, object]:
+    """Run one recovery job as a two-stage portfolio race.
+
+    The heuristic envelope *completes* the job row immediately (pollers get
+    an answer while the exact solve runs); when the exact stage lands, the
+    stored envelope is upgraded in place.  Returns the final envelope.
+    """
+    from repro.portfolio import solve_two_stage  # deferred like the service
+
+    request = request_from_dict(record.request)
+
+    def publish(envelope: Dict[str, object]) -> bool:
+        landed = store.complete(record.digest, envelope, worker=worker_id)
+        if landed:
+            counters["portfolio_stage1"] += 1
+        return landed
+
+    envelope, info = solve_two_stage(service, request, publish=publish)
+    if info["published"]:
+        if store.upgrade_result(record.digest, envelope, worker=worker_id):
+            counters["portfolio_upgrades"] += 1
+    else:
+        store.complete(record.digest, envelope, worker=worker_id)
+    counters["portfolio_proven"] += info["proven"]
+    counters["portfolio_exact"] += info["exact"]
+    return envelope
 
 
 def _solver_counters(envelope: Dict[str, object]) -> Dict[str, float]:
@@ -195,6 +232,7 @@ def worker_loop(
     max_jobs: Optional[int] = None,
     wakeup: Optional[WakeupReceiver] = None,
     claim_batch: int = DEFAULT_CLAIM_BATCH,
+    portfolio: bool = False,
 ) -> int:
     """Pull and execute jobs until ``stop`` is set; return the jobs handled.
 
@@ -207,6 +245,13 @@ def worker_loop(
     session's topology-cache hits and misses, aggregated solver effort —
     are written back to the store after every batch so the daemon's
     ``/metrics`` reflects the fleet live.
+
+    With ``portfolio=True`` recovery jobs mixing heuristics with an exact
+    algorithm execute in two stages (see :mod:`repro.portfolio`): the job
+    completes with the heuristic envelope as soon as it exists, and the
+    stored result is upgraded in place when the exact solve lands.  The
+    ``portfolio_stage1`` / ``portfolio_upgrades`` / ``portfolio_proven`` /
+    ``portfolio_exact`` counters account the race.
     """
     from repro.api.service import RecoveryService  # deferred: workers import lazily
 
@@ -221,6 +266,10 @@ def worker_loop(
         "claim_batch_jobs": 0.0,
         "warm_topology_loads": 0.0,
         "warm_topology_saves": 0.0,
+        "portfolio_stage1": 0.0,
+        "portfolio_upgrades": 0.0,
+        "portfolio_proven": 0.0,
+        "portfolio_exact": 0.0,
     }
     warm_digests: set = set()
     counters["warm_topology_loads"] += _refresh_warm_topologies(
@@ -250,7 +299,13 @@ def worker_loop(
                     time.sleep(hold)
                 started = time.perf_counter()
                 try:
-                    envelope = _execute(service, record)
+                    if portfolio and record.kind == "recovery":
+                        envelope = _execute_portfolio(
+                            service, store, record, worker_id, counters
+                        )
+                    else:
+                        envelope = _execute(service, record)
+                        store.complete(record.digest, envelope, worker=worker_id)
                 except Exception:
                     counters["jobs_failed"] += 1
                     store.fail(
@@ -260,7 +315,6 @@ def worker_loop(
                     counters["jobs_done"] += 1
                     for key, value in _solver_counters(envelope).items():
                         counters[key] = counters.get(key, 0.0) + value
-                    store.complete(record.digest, envelope, worker=worker_id)
                 handled += 1
                 counters["busy_seconds"] += time.perf_counter() - started
             counters["warm_topology_saves"] += _persist_warm_topologies(
@@ -286,6 +340,7 @@ def _fleet_entry(
     stop_event,
     wakeup_connection,
     claim_batch: int,
+    portfolio: bool,
 ) -> None:
     """Process target for fleet workers: wire SIGTERM to the stop event.
 
@@ -304,6 +359,7 @@ def _fleet_entry(
         stop=stop_event,
         wakeup=WakeupReceiver(wakeup_connection),
         claim_batch=claim_batch,
+        portfolio=portfolio,
     )
 
 
@@ -318,6 +374,7 @@ class WorkerFleet:
         lp_backend: Optional[str] = None,
         max_attempts: int = DEFAULT_MAX_ATTEMPTS,
         claim_batch: int = DEFAULT_CLAIM_BATCH,
+        portfolio: bool = False,
     ) -> None:
         if workers < 1:
             raise ValueError("a worker fleet needs at least one worker")
@@ -329,6 +386,7 @@ class WorkerFleet:
         self.lp_backend = lp_backend
         self.max_attempts = int(max_attempts)
         self.claim_batch = int(claim_batch)
+        self.portfolio = bool(portfolio)
         # "spawn" keeps workers independent of the daemon's asyncio state
         # (forking a process with a live event loop inherits it wholesale).
         self._context = multiprocessing.get_context("spawn")
@@ -354,6 +412,7 @@ class WorkerFleet:
                     self._stop,
                     reader,
                     self.claim_batch,
+                    self.portfolio,
                 ),
                 daemon=True,
             )
@@ -423,6 +482,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         default=None,
         help="drain mode: handle at most this many jobs, exit when the queue empties",
     )
+    parser.add_argument(
+        "--portfolio",
+        action="store_true",
+        help="two-stage portfolio execution: complete jobs with the heuristic "
+        "envelope first, upgrade in place when the exact solve lands",
+    )
     args = parser.parse_args(argv)
 
     # A real threading.Event so the idle wait ends the moment SIGTERM sets
@@ -439,6 +504,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         stop=flag,
         max_jobs=args.max_jobs,
         claim_batch=args.claim_batch,
+        portfolio=args.portfolio,
     )
     print(f"{args.worker_id}: handled {handled} job(s)", file=sys.stderr)
     return 0

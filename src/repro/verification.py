@@ -29,7 +29,10 @@ envelope, and both paths run the same invariants:
     On instances where the exact MILP optimum is available and proven
     optimal, no fully-satisfying heuristic may be cheaper than OPT
     (cost ratio >= 1), and never may a plan satisfy more demand than the
-    LP bound of its own repaired network.
+    LP bound of its own repaired network.  When the OPT run is *unproven*
+    (time-limited incumbent) the check falls back to the MILP dual bound
+    the solver recorded: no fully-satisfying plan may cost less than any
+    valid lower bound on the optimum, proven or not.
 """
 
 from __future__ import annotations
@@ -69,16 +72,21 @@ class Violation:
 class InvariantReport:
     """The outcome of auditing one result envelope (or one plan).
 
-    ``unproven_baselines`` counts requests whose OPT run could not serve as
-    the cost-dominance baseline (time-limited "feasible" incumbent, solver
-    error, or a pre-status cache entry) — the audit still ran every other
-    invariant, but "0 violations" on such a request is weaker than it
-    looks, so the downgrade is reported instead of silent.
+    ``unproven_baselines`` counts requests whose OPT run is not a *proven*
+    optimum (time-limited "feasible" incumbent, solver error, or a
+    pre-status cache entry).  Such runs are downgraded, not discarded: when
+    the solver recorded a dual bound, cost-dominance still runs against the
+    bound, and the run's relative optimality gap lands in ``opt_gaps`` so
+    campaigns can report *how far* from proven the baselines were instead
+    of merely counting them.
     """
 
     checked: int = 0
     violations: List[Violation] = field(default_factory=list)
     unproven_baselines: int = 0
+    #: Relative optimality gap of every audited OPT run that carried enough
+    #: metadata to compute one (0.0 for proven optima).
+    opt_gaps: List[float] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -87,11 +95,22 @@ class InvariantReport:
     def extend(self, violations: Sequence[Violation]) -> None:
         self.violations.extend(violations)
 
+    def gap_summary(self) -> Dict[str, float]:
+        """Aggregate gap statistics over the audited OPT runs."""
+        if not self.opt_gaps:
+            return {"count": 0, "max": 0.0, "mean": 0.0}
+        return {
+            "count": len(self.opt_gaps),
+            "max": max(self.opt_gaps),
+            "mean": sum(self.opt_gaps) / len(self.opt_gaps),
+        }
+
     def summary(self) -> Dict[str, object]:
         return {
             "plans_checked": self.checked,
             "violations": len(self.violations),
             "unproven_baselines": self.unproven_baselines,
+            "opt_gaps": self.gap_summary(),
             "ok": self.ok,
         }
 
@@ -268,6 +287,36 @@ def _optimal_is_proven(optimal: RecoveryPlan) -> bool:
     return optimal.metadata.get("status") == "optimal"
 
 
+def _optimal_bound(optimal: RecoveryPlan) -> Optional[float]:
+    """The MILP dual (lower) bound the solver recorded, if any."""
+    bound = optimal.metadata.get("bound")
+    if isinstance(bound, bool) or not isinstance(bound, (int, float)):
+        return None
+    return float(bound)
+
+
+def _optimal_gap(supply: SupplyGraph, optimal: RecoveryPlan) -> Optional[float]:
+    """The OPT run's relative optimality gap, or None when unknowable.
+
+    A proven optimum has gap 0.  Otherwise the solver-reported ``mip_gap``
+    is preferred; failing that the gap is derived from the dual bound and
+    the incumbent's repair cost.  None means the run carries neither
+    (errored solve, pre-bound cache entry) — nothing can be said.
+    """
+    if _optimal_is_proven(optimal):
+        return 0.0
+    gap = optimal.metadata.get("mip_gap")
+    if isinstance(gap, (int, float)) and not isinstance(gap, bool):
+        return max(0.0, float(gap))
+    bound = _optimal_bound(optimal)
+    if bound is None:
+        return None
+    cost = optimal.repair_cost(supply)
+    if cost <= FLOW_TOLERANCE:
+        return 0.0
+    return max(0.0, (cost - bound) / cost)
+
+
 def _check_cost_dominance(
     supply: SupplyGraph,
     plan: RecoveryPlan,
@@ -276,21 +325,35 @@ def _check_cost_dominance(
 ) -> List[Violation]:
     if optimal is None or plan.algorithm.upper() == "OPT":
         return []
-    if not _optimal_is_proven(optimal):
-        return []
     if audited_fraction < FULL_SATISFACTION:
         # A partially-satisfying heuristic may legitimately be cheaper than
         # the optimum of the full-satisfaction problem.
         return []
     plan_cost = plan.repair_cost(supply)
-    optimal_cost = optimal.repair_cost(supply)
-    if plan_cost < optimal_cost - FLOW_TOLERANCE:
+    if _optimal_is_proven(optimal):
+        optimal_cost = optimal.repair_cost(supply)
+        if plan_cost < optimal_cost - FLOW_TOLERANCE:
+            return [
+                Violation(
+                    "cost-dominance",
+                    plan.algorithm,
+                    f"fully-satisfying plan costs {plan_cost:.6f} < proven "
+                    f"optimum {optimal_cost:.6f}",
+                )
+            ]
+        return []
+    # Unproven incumbent: the dual bound is still a valid lower bound on
+    # the optimum, so no fully-satisfying plan may undercut it.
+    bound = _optimal_bound(optimal)
+    if bound is None:
+        return []
+    if plan_cost < bound - FLOW_TOLERANCE:
         return [
             Violation(
                 "cost-dominance",
                 plan.algorithm,
-                f"fully-satisfying plan costs {plan_cost:.6f} < proven "
-                f"optimum {optimal_cost:.6f}",
+                f"fully-satisfying plan costs {plan_cost:.6f} < MILP dual "
+                f"bound {bound:.6f} of the unproven OPT run",
             )
         ]
     return []
@@ -377,8 +440,12 @@ def audit_result(service, request, result, context=None, prefix_points: int = 3)
             break
 
     report = InvariantReport()
-    if optimal is not None and not _optimal_is_proven(optimal):
-        report.unproven_baselines += 1
+    if optimal is not None:
+        if not _optimal_is_proven(optimal):
+            report.unproven_baselines += 1
+        gap = _optimal_gap(supply, optimal)
+        if gap is not None:
+            report.opt_gaps.append(gap)
     for run in result.results:
         plan = run.to_plan()
         violations = check_plan_invariants(

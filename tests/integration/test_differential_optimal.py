@@ -108,3 +108,33 @@ class TestDifferentialOptimal:
         optimal = _optimal(supply, demand)
         evaluation = evaluate_plan(supply, demand, optimal)
         assert evaluation.satisfied_fraction == pytest.approx(1.0, abs=1e-6)
+
+
+@pytest.mark.parametrize("topology,disruption", INSTANCES)
+@pytest.mark.parametrize("seed", SEEDS)
+class TestStrategyDifferential:
+    """Decomposed-vs-monolithic parity on the same instance matrix.
+
+    The decomposition attack (and its ``auto`` dispatch) must return a
+    proven optimum with the exact objective of the monolithic Eq. 1 model
+    on every instance — acceleration is never allowed to change the answer
+    (see docs/solver.md).
+    """
+
+    def test_every_strategy_proves_the_same_objective(self, topology, disruption, seed):
+        from repro.flows.milp import solve_minimum_recovery
+
+        supply, demand = _instance(topology, disruption, seed)
+        monolithic = solve_minimum_recovery(supply, demand, strategy="monolithic")
+        assert monolithic.status == "optimal"
+        for strategy in ("decomposed", "auto"):
+            accelerated = solve_minimum_recovery(supply, demand, strategy=strategy)
+            assert accelerated.status == "optimal", (
+                f"{strategy} failed to prove optimality on this instance"
+            )
+            assert accelerated.objective == pytest.approx(
+                monolithic.objective, abs=1e-9
+            ), (
+                f"{strategy} objective {accelerated.objective} != monolithic "
+                f"{monolithic.objective}"
+            )

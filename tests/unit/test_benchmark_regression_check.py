@@ -87,6 +87,50 @@ class TestVerdicts:
         assert "[skip]" in capsys.readouterr().out
 
 
+def _opt_baseline(**overrides) -> dict:
+    payload = {
+        "kind": "opt-bench",
+        "geomean_speedup": 2.3,
+        "seeded_geomean_speedup": 2.6,
+        "proven_fraction": 1.0,
+    }
+    payload.update(overrides)
+    return payload
+
+
+class TestArtefactKinds:
+    def test_unmarked_artefacts_default_to_server_bench(self):
+        assert check.artefact_kind(_baseline()) == "server-bench"
+        assert check.artefact_kind({"kind": "mystery"}) == "server-bench"
+        assert check.artefact_kind(_opt_baseline()) == "opt-bench"
+
+    def test_opt_bench_metrics_are_gated(self, tmp_path, capsys):
+        baseline = _artefact(tmp_path, "base.json", _opt_baseline())
+        current = _artefact(tmp_path, "curr.json", _opt_baseline(geomean_speedup=1.0))
+        assert check.main(["--baseline", baseline, "--current", current]) == 1
+        out = capsys.readouterr().out
+        assert "[opt-bench]" in out
+        assert "geomean_speedup" in out
+
+    def test_opt_bench_within_tolerance_passes(self, tmp_path):
+        baseline = _artefact(tmp_path, "base.json", _opt_baseline())
+        current = _artefact(
+            tmp_path, "curr.json", _opt_baseline(seeded_geomean_speedup=2.2)
+        )
+        assert check.main(["--baseline", baseline, "--current", current]) == 0
+
+    def test_proven_fraction_collapse_fails(self, tmp_path):
+        baseline = _artefact(tmp_path, "base.json", _opt_baseline())
+        current = _artefact(tmp_path, "curr.json", _opt_baseline(proven_fraction=0.5))
+        assert check.main(["--baseline", baseline, "--current", current]) == 1
+
+    def test_mismatched_kinds_are_a_hard_failure(self, tmp_path, capsys):
+        baseline = _artefact(tmp_path, "base.json", _baseline())
+        current = _artefact(tmp_path, "curr.json", _opt_baseline())
+        assert check.main(["--baseline", baseline, "--current", current]) == 2
+        assert "kinds differ" in capsys.readouterr().out
+
+
 class TestHardFailures:
     def test_no_comparable_metric_is_a_hard_failure(self, tmp_path, capsys):
         baseline = _artefact(tmp_path, "base.json", {"unrelated": 1})

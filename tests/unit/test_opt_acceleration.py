@@ -1,0 +1,125 @@
+"""Warm-start and strategy parity: acceleration never changes the optimum.
+
+The contract of the exact-solve acceleration layer (docs/solver.md) is
+that incumbent seeding and the decomposition strategies only change *how
+fast* the MinR optimum is found and proven — never which optimum comes
+back.  This suite pins that contract on small instances across every
+available LP backend and every strategy, plus the strategy knob's
+resolution order.
+"""
+
+import numpy as np
+import pytest
+
+from repro.api.requests import (
+    DemandSpec,
+    DisruptionSpec,
+    TopologySpec,
+    materialise_instance,
+)
+from repro.flows.milp import (
+    OPT_STRATEGIES,
+    OPT_STRATEGY_ENV_VAR,
+    default_opt_strategy,
+    resolve_opt_strategy,
+    set_default_opt_strategy,
+    solve_minimum_recovery,
+)
+from repro.flows.solver.backends import available_backends
+from repro.flows.solver.stats import collect_solver_stats
+from repro.heuristics.registry import get_algorithm
+
+
+def small_instance(seed: int = 3):
+    supply, demand, _ = materialise_instance(
+        TopologySpec("grid", kwargs={"rows": 3, "cols": 3, "capacity": 20.0}),
+        DisruptionSpec("complete"),
+        DemandSpec("routable-far-apart", num_pairs=2, flow_per_pair=4.0),
+        np.random.default_rng(seed),
+    )
+    return supply, demand
+
+
+def heuristic_seeds(supply, demand):
+    return [
+        get_algorithm(name).solve(supply.copy(), demand) for name in ("ISP", "SRT")
+    ]
+
+
+@pytest.fixture()
+def clean_strategy_state(monkeypatch):
+    """Keep the process-wide strategy knob untouched by each test."""
+    monkeypatch.delenv(OPT_STRATEGY_ENV_VAR, raising=False)
+    yield
+    set_default_opt_strategy(None)
+
+
+class TestWarmStartParity:
+    @pytest.mark.parametrize("backend", available_backends())
+    @pytest.mark.parametrize("strategy", OPT_STRATEGIES)
+    def test_seeding_never_changes_the_optimal_objective(self, backend, strategy):
+        supply, demand = small_instance()
+        seeds = heuristic_seeds(supply, demand)
+
+        plain = solve_minimum_recovery(supply, demand, backend=backend, strategy=strategy)
+        seeded = solve_minimum_recovery(
+            supply, demand, backend=backend, strategy=strategy, seed_plans=seeds
+        )
+
+        assert plain.status == "optimal" and seeded.status == "optimal"
+        assert seeded.objective == pytest.approx(plain.objective, abs=1e-9)
+        assert seeded.seeded is True
+        # a proven optimum's dual bound closes on the objective
+        assert seeded.bound == pytest.approx(seeded.objective, abs=1e-6)
+
+    @pytest.mark.parametrize("strategy", OPT_STRATEGIES)
+    def test_seeded_solves_are_deterministic(self, strategy):
+        supply, demand = small_instance(seed=7)
+        seeds = heuristic_seeds(supply, demand)
+
+        first = solve_minimum_recovery(supply, demand, strategy=strategy, seed_plans=seeds)
+        second = solve_minimum_recovery(supply, demand, strategy=strategy, seed_plans=seeds)
+
+        assert first.status == second.status == "optimal"
+        assert first.objective == second.objective
+        assert first.repaired_nodes == second.repaired_nodes
+        assert first.repaired_edges == second.repaired_edges
+        assert first.strategy == second.strategy
+
+    def test_incumbent_seeding_is_counted_in_solver_stats(self):
+        supply, demand = small_instance()
+        seeds = heuristic_seeds(supply, demand)
+        with collect_solver_stats() as stats:
+            solution = solve_minimum_recovery(
+                supply, demand, strategy="decomposed", seed_plans=seeds
+            )
+        assert solution.status == "optimal"
+        assert stats.incumbent_seeds >= 1
+
+    def test_solution_records_its_strategy(self):
+        supply, demand = small_instance()
+        mono = solve_minimum_recovery(supply, demand, strategy="monolithic")
+        dec = solve_minimum_recovery(supply, demand, strategy="decomposed")
+        assert mono.strategy == "monolithic"
+        assert dec.strategy == "decomposed"
+        assert mono.seeded is False
+
+
+class TestStrategyKnob:
+    def test_resolution_order_override_beats_env(self, clean_strategy_state, monkeypatch):
+        assert default_opt_strategy() == "auto"
+        monkeypatch.setenv(OPT_STRATEGY_ENV_VAR, "monolithic")
+        assert default_opt_strategy() == "monolithic"
+        set_default_opt_strategy("decomposed")
+        assert default_opt_strategy() == "decomposed"
+        assert resolve_opt_strategy() == "decomposed"
+        assert resolve_opt_strategy("monolithic") == "monolithic"
+
+    def test_unknown_strategies_are_rejected(self, clean_strategy_state, monkeypatch):
+        with pytest.raises(ValueError, match="unknown OPT strategy"):
+            set_default_opt_strategy("simulated-annealing")
+        with pytest.raises(ValueError, match="unknown OPT strategy"):
+            resolve_opt_strategy("simulated-annealing")
+        monkeypatch.setenv(OPT_STRATEGY_ENV_VAR, "banana")
+        with pytest.raises(ValueError, match="unknown OPT strategy"):
+            resolve_opt_strategy()

@@ -244,14 +244,14 @@ class TestLoadtestOverheadMeasurement:
             assert report.ok
             assert report.served_solves_per_sec > 0
             assert report.direct_solves_per_sec > 0
-            assert report.overhead_pct is not None
+            assert report.paced_vs_direct_pct is not None
             bench = json.loads(out.read_text())
             assert bench["schema_version"] == 2
             assert bench["direct_seconds"] > 0
-            assert bench["overhead_pct"] == pytest.approx(report.overhead_pct)
+            assert bench["paced_vs_direct_pct"] == pytest.approx(report.paced_vs_direct_pct)
             # the ratio is self-consistent with the recorded rates
             expected = (bench["direct_solves_per_sec"] / bench["served_solves_per_sec"] - 1) * 100
-            assert bench["overhead_pct"] == pytest.approx(expected)
+            assert bench["paced_vs_direct_pct"] == pytest.approx(expected)
         finally:
             flag.set()
             stop_box["loop"].call_soon_threadsafe(stop_box["stop"].set)
@@ -264,4 +264,4 @@ class TestLoadtestOverheadMeasurement:
 
         payload = LoadtestReport(target_rps=1.0, duration_seconds=1.0).to_dict()
         assert payload["direct_seconds"] == 0.0
-        assert payload["overhead_pct"] is None
+        assert payload["paced_vs_direct_pct"] is None

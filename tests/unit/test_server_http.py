@@ -386,6 +386,44 @@ class TestFastPath:
             assert harness.server.envelope_cache_misses == 2
 
 
+class TestPortfolioCacheability:
+    """Pending portfolio envelopes are served fresh, never memoised."""
+
+    def _pending(self) -> dict:
+        return {"results": [], "portfolio": {"stage": "heuristic", "pending": ["OPT"]}}
+
+    def _final(self) -> dict:
+        return {"results": [], "portfolio": {"stage": "exact", "pending": []}}
+
+    def test_cacheable_judges_the_pending_annotation(self, store):
+        store.submit(grid_request())
+        record = store.claim("w0")
+        store.complete(record.digest, self._pending(), worker="w0")
+        assert not RecoveryServer._cacheable(store.get(record.digest))
+        store.upgrade_result(record.digest, self._final(), worker="w0")
+        assert RecoveryServer._cacheable(store.get(record.digest))
+
+    def test_pending_envelope_is_not_fast_path_cached(self, harness, store):
+        """A done-but-pending row must be re-read so upgrades are visible."""
+        harness.client.solve(grid_request())
+        digest = grid_request().digest()
+        _complete_via_worker(store, digest, self._pending())
+
+        response = harness.client.solve(grid_request())  # dedup of a pending row
+        assert response["deduplicated"] is True
+        assert response["job"]["result"]["portfolio"]["pending"] == ["OPT"]
+        assert harness.server.fast_path_hits == 0
+        assert digest not in harness.server._done_cache
+
+        # the in-place upgrade is immediately visible to clients
+        assert store.upgrade_result(digest, self._final(), worker="w0")
+        view = harness.client.job(digest)
+        assert view["result"]["portfolio"]["stage"] == "exact"
+        upgraded = harness.client.solve(grid_request())
+        assert upgraded["job"]["result"]["portfolio"]["pending"] == []
+        assert harness.server.fast_path_hits >= 1
+
+
 class TestKeepAlive:
     def test_one_connection_serves_many_requests(self, harness):
         for _ in range(3):

@@ -163,6 +163,36 @@ class TestClaim:
         store.claim("w0")
         assert store.complete(grid_request().digest(), {})
 
+    def test_upgrade_result_replaces_a_done_envelope_in_place(self, store):
+        store.submit(grid_request())
+        record = store.claim("w0")
+        store.complete(record.digest, {"stage": 1}, worker="w0")
+        first_finished = store.get(record.digest).finished_at
+        assert store.upgrade_result(record.digest, {"stage": 2}, worker="w0")
+        done = store.get(record.digest)
+        assert done.state == "done"
+        assert done.result == {"stage": 2}
+        # finished_at tracks when the envelope reached its final form
+        assert done.finished_at >= first_finished
+
+    def test_upgrade_result_requires_a_done_row(self, store):
+        store.submit(grid_request())
+        assert not store.upgrade_result(grid_request().digest(), {"stage": 2})
+        store.claim("w0")
+        assert not store.upgrade_result(grid_request().digest(), {"stage": 2})
+        store.fail(grid_request().digest(), "boom", worker="w0")
+        assert not store.upgrade_result(grid_request().digest(), {"stage": 2})
+
+    def test_upgrade_result_honours_the_worker_guard(self, store):
+        store.submit(grid_request())
+        record = store.claim("w0")
+        store.complete(record.digest, {"stage": 1}, worker="w0")
+        assert not store.upgrade_result(record.digest, {"stage": 2}, worker="w1")
+        assert store.get(record.digest).result == {"stage": 1}
+        # without a worker the guard is only on the state
+        assert store.upgrade_result(record.digest, {"stage": 2})
+        assert store.get(record.digest).result == {"stage": 2}
+
     def test_poison_job_fails_after_attempt_budget(self, store):
         store.submit(grid_request())
         for _ in range(DEFAULT_MAX_ATTEMPTS):

@@ -74,6 +74,40 @@ class TestWorkerLoop:
         assert totals["lp_solves"] > 0
         assert totals["busy_seconds"] > 0
 
+    def test_portfolio_worker_upgrades_the_envelope_and_counts_stages(self, tmp_path):
+        db = tmp_path / "jobs.db"
+        staged = RecoveryRequest(
+            topology=TopologySpec("grid", kwargs={"rows": 3, "cols": 3}),
+            disruption=DisruptionSpec("complete"),
+            demand=DemandSpec(num_pairs=1, flow_per_pair=5.0),
+            algorithms=("ISP", "OPT"),
+            seed=4,
+            opt_time_limit=60.0,
+        )
+        with JobStore(db) as store:
+            store.submit(staged)
+            store.submit(grid_request(seed=5))  # ISP-only: nothing to race
+        handled = worker_loop(str(db), "w0", max_jobs=10, portfolio=True)
+        assert handled == 2
+        with JobStore(db) as store:
+            done = store.get(staged.digest())
+            assert done.state == "done"
+            marker = done.result["portfolio"]
+            assert marker["stage"] == "exact"
+            assert marker["pending"] == []
+            assert marker["upgraded"] is True
+            assert [run["algorithm"] for run in done.result["results"]] == ["ISP", "OPT"]
+            assert done.result["results"][1]["plan"]["status"] == "optimal"
+            # the unstaged job carries no portfolio annotation
+            assert "portfolio" not in store.get(grid_request(seed=5).digest()).result
+            totals = store.worker_stats_totals()
+        assert totals["jobs_done"] == 2
+        assert totals["portfolio_stage1"] == 1
+        assert totals["portfolio_upgrades"] == 1
+        assert totals["portfolio_exact"] == 1
+        assert totals["portfolio_proven"] == 1
+        assert totals["incumbent_seeds"] >= 1
+
     def test_unexecutable_job_is_failed_not_crashed(self, tmp_path):
         db = tmp_path / "jobs.db"
         with JobStore(db) as store:

@@ -105,6 +105,40 @@ class TestCorruptedPlansAreCaught:
         violations = check_plan_invariants(supply, demand, cheaper, optimal=pricier)
         assert "cost-dominance" in _invariants(violations)
 
+    def test_unproven_optimum_with_dominating_bound_is_caught(self):
+        supply, demand = _instance()
+        plan = get_algorithm("ALL").solve(supply.copy(), demand)
+        # A time-limited OPT run that found no good incumbent but proved a
+        # dual bound above the heuristic's cost: the bound alone convicts.
+        weak = RecoveryPlan(algorithm="OPT")
+        weak.metadata["status"] = "feasible"
+        weak.metadata["bound"] = plan.repair_cost(supply) + 1.0
+        violations = check_plan_invariants(supply, demand, plan, optimal=weak)
+        assert "cost-dominance" in _invariants(violations)
+        message = next(
+            str(v) for v in violations if v.invariant == "cost-dominance"
+        )
+        assert "dual bound" in message
+
+    def test_unproven_optimum_with_loose_bound_stays_silent(self):
+        supply, demand = _instance()
+        plan = get_algorithm("ALL").solve(supply.copy(), demand)
+        weak = RecoveryPlan(algorithm="OPT")
+        weak.metadata["status"] = "feasible"
+        weak.metadata["bound"] = 0.0  # trivially below any repair cost
+        violations = check_plan_invariants(supply, demand, plan, optimal=weak)
+        assert "cost-dominance" not in _invariants(violations)
+
+    def test_garbage_bound_metadata_is_ignored(self):
+        supply, demand = _instance()
+        plan = get_algorithm("ALL").solve(supply.copy(), demand)
+        for bound in (True, "12.5", None):
+            weak = RecoveryPlan(algorithm="OPT")
+            weak.metadata["status"] = "feasible"
+            weak.metadata["bound"] = bound
+            violations = check_plan_invariants(supply, demand, plan, optimal=weak)
+            assert "cost-dominance" not in _invariants(violations)
+
     def test_unproven_optimum_is_not_a_baseline(self):
         supply, demand = _instance()
         cheap = get_algorithm("ISP").solve(supply.copy(), demand)
@@ -134,6 +168,65 @@ class TestCorruptedPlansAreCaught:
         assert "cost-dominance" not in _invariants(violations)
 
 
+class TestOptimalGapDerivation:
+    """_optimal_gap feeds the fuzz --verify gap statistics."""
+
+    def _weak_plan(self, optimal, **metadata):
+        weak = RecoveryPlan(algorithm="OPT")
+        for node in optimal.repaired_nodes:
+            weak.add_node_repair(node)
+        for u, v in optimal.repaired_edges:
+            weak.add_edge_repair(u, v)
+        weak.metadata.update(metadata)
+        return weak
+
+    def test_proven_run_has_zero_gap(self):
+        from repro.verification import _optimal_gap
+
+        supply, demand = _instance()
+        optimal = get_algorithm("OPT", time_limit=30.0).solve(supply.copy(), demand)
+        assert _optimal_gap(supply, optimal) == 0.0
+
+    def test_solver_reported_mip_gap_wins(self):
+        from repro.verification import _optimal_gap
+
+        supply, demand = _instance()
+        optimal = get_algorithm("OPT", time_limit=30.0).solve(supply.copy(), demand)
+        weak = self._weak_plan(optimal, status="feasible", mip_gap=0.125)
+        assert _optimal_gap(supply, weak) == pytest.approx(0.125)
+        # Negative solver noise clamps to zero rather than going negative.
+        noisy = self._weak_plan(optimal, status="feasible", mip_gap=-1e-9)
+        assert _optimal_gap(supply, noisy) == 0.0
+
+    def test_gap_derived_from_bound_and_cost(self):
+        from repro.verification import _optimal_gap
+
+        supply, demand = _instance()
+        optimal = get_algorithm("OPT", time_limit=30.0).solve(supply.copy(), demand)
+        cost = optimal.repair_cost(supply)
+        assert cost > 0
+        weak = self._weak_plan(optimal, status="feasible", bound=cost / 2.0)
+        assert _optimal_gap(supply, weak) == pytest.approx(0.5)
+
+    def test_gap_is_unknowable_without_bound_or_mip_gap(self):
+        from repro.verification import _optimal_gap
+
+        supply, demand = _instance()
+        optimal = get_algorithm("OPT", time_limit=30.0).solve(supply.copy(), demand)
+        weak = self._weak_plan(optimal, status="feasible")
+        assert _optimal_gap(supply, weak) is None
+
+    def test_gap_summary_aggregates(self):
+        report = InvariantReport()
+        report.opt_gaps.extend([0.0, 0.25, 0.05])
+        summary = report.gap_summary()
+        assert summary == {
+            "count": 3,
+            "max": 0.25,
+            "mean": pytest.approx(0.1),
+        }
+
+
 class TestReportTypes:
     def test_violation_str_includes_context(self):
         violation = Violation("cost-dominance", "ISP", "too cheap", request="abc123")
@@ -148,6 +241,7 @@ class TestReportTypes:
             "plans_checked": 3,
             "violations": 1,
             "unproven_baselines": 0,
+            "opt_gaps": {"count": 0, "max": 0.0, "mean": 0.0},
             "ok": False,
         }
 
