@@ -14,7 +14,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional
 
-from repro.api.requests import SCHEMA_VERSION, check_schema, freeze_value, jsonify_value
+from repro.api.requests import (
+    SCHEMA_VERSION,
+    check_schema,
+    config_digest,
+    freeze_value,
+    jsonify_value,
+)
 from repro.evaluation.metrics import PlanEvaluation
 from repro.network.plan import RecoveryPlan
 
@@ -232,6 +238,104 @@ class RecoveryResult:
 
 
 @dataclass
+class OnlineResult:
+    """The versioned envelope of one online-recovery episode.
+
+    Produced by :func:`repro.online.run_episode`: ``epochs`` is the full
+    per-epoch trace (belief, plan, executed prefix, events, audited true
+    satisfaction, per-epoch solver stats), ``baseline`` the clairvoyant
+    solve on the final realized damage, ``regret`` the comparison between
+    the two, and ``final`` the campaign-end summary.  Everything inside is
+    already JSON-safe — the envelope is pure data, so it round-trips and
+    caches exactly like the batch envelopes.
+    """
+
+    spec: Dict[str, Any]
+    episode_seed: int = 0
+    epochs: List[Dict[str, Any]] = field(default_factory=list)
+    baseline: Dict[str, Any] = field(default_factory=dict)
+    regret: Dict[str, Any] = field(default_factory=dict)
+    final: Dict[str, Any] = field(default_factory=dict)
+    violations: List[Dict[str, str]] = field(default_factory=list)
+    verified: bool = False
+    wall_seconds: float = 0.0
+    schema_version: int = SCHEMA_VERSION
+
+    kind = "online-result"
+
+    @property
+    def ok(self) -> bool:
+        """No invariant violations (vacuously true when unverified)."""
+        return not self.violations
+
+    def fingerprint(self) -> str:
+        """Digest of the behavioural trace, invariant under machine speed.
+
+        Scrubs the fields that legitimately vary between identical replays —
+        wall-clock timings and solver performance counters (cache warmth
+        depends on what the process solved before) — and hashes the rest.
+        Two runs of the same seeded episode must agree on this digest; that
+        is the determinism contract the differential suite enforces.
+        """
+        payload = self.to_dict()
+        payload.pop("wall_seconds", None)
+        payload["epochs"] = [
+            {key: value for key, value in record.items() if key != "solver"}
+            for record in payload.get("epochs", [])
+        ]
+        payload["baseline"] = {
+            key: value for key, value in payload.get("baseline", {}).items() if key != "solver"
+        }
+        return config_digest(payload)
+
+    def rows(self) -> List[Dict[str, object]]:
+        """One table row per epoch for the CLI report."""
+        return [
+            {
+                "epoch": record.get("epoch"),
+                "known_broken": record.get("believed_broken", 0),
+                "hidden": record.get("hidden", 0),
+                "planned": record.get("planned_repairs", 0),
+                "executed": record.get("executed_repairs", 0),
+                "events": len(record.get("events", [])),
+                "true_satisfied_pct": round(float(record.get("true_satisfied_pct", 0.0)), 2),
+            }
+            for record in self.epochs
+        ]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema_version": self.schema_version,
+            "kind": self.kind,
+            "spec": self.spec,
+            "episode_seed": int(self.episode_seed),
+            "epochs": self.epochs,
+            "baseline": self.baseline,
+            "regret": self.regret,
+            "final": self.final,
+            "violations": self.violations,
+            "verified": bool(self.verified),
+            "wall_seconds": float(self.wall_seconds),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "OnlineResult":
+        check_schema(payload, cls.kind)
+        return cls(
+            spec=dict(payload.get("spec", {})),
+            episode_seed=int(payload.get("episode_seed", 0)),
+            epochs=[dict(record) for record in payload.get("epochs", [])],
+            baseline=dict(payload.get("baseline", {})),
+            regret=dict(payload.get("regret", {})),
+            final=dict(payload.get("final", {})),
+            violations=[dict(violation) for violation in payload.get("violations", [])],
+            verified=bool(payload.get("verified", False)),
+            wall_seconds=float(payload.get("wall_seconds", 0.0)),
+            schema_version=int(payload.get("schema_version", SCHEMA_VERSION)),
+        )
+
+
+@dataclass
 class AssessmentResult:
     """The versioned envelope answering one :class:`AssessmentRequest`."""
 
@@ -276,6 +380,7 @@ __all__ = [
     "METRIC_KEYS",
     "AlgorithmRun",
     "AssessmentResult",
+    "OnlineResult",
     "RecoveryResult",
     "evaluation_metrics",
     "jsonify_plan",

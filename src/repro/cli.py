@@ -32,6 +32,17 @@ for scripting and service smoke tests.
     (:mod:`repro.verification`).  Exits non-zero on any violation, which is
     what makes it a CI gate.
 
+``online``
+    Run a seeded online-recovery campaign: repeated plan / execute-prefix /
+    perturb / observe epochs over one instance, with limited repair crews,
+    optional fog-of-war damage knowledge and mid-recovery disruption events
+    (``--event aftershock,variance=40,at=1``).  Reports per-episode regret
+    against a clairvoyant baseline solved on the final realized damage;
+    with ``--verify`` the full invariant battery runs on every epoch and
+    the command exits non-zero on any violation or on an episode that
+    beats a *proven* optimal baseline (an impossibility), which is what
+    makes it a CI gate.
+
 ``serve``
     Run the recovery daemon: a durable SQLite job store, an asyncio JSON
     API (``/v1/solve``, ``/v1/assess``, ``/v1/batch``, ``/v1/jobs/{id}``,
@@ -66,6 +77,10 @@ Examples
     python -m repro.cli solve --topology barabasi-albert --disruption cascading \
         --disruption-arg num_triggers=2 --disruption-arg propagation_factor=1.5
     python -m repro.cli fuzz --budget 25 --verify --seed 7
+    python -m repro.cli online --topology grid --topology-arg rows=5 \
+        --topology-arg cols=5 --disruption gaussian --variance 2 \
+        --epochs 4 --crews 2 --fog 0.3 --event aftershock,variance=2,at=1 \
+        --episodes 3 --verify
     python -m repro.cli serve --db repro-server.db --port 8351 --workers 4
     python -m repro.cli loadtest --rps 20 --duration 30 --out BENCH_server.json
 """
@@ -375,6 +390,128 @@ def _command_fuzz(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _parse_event(text: str):
+    """Parse one ``--event`` value: ``KIND[,key=value,...]``.
+
+    The trigger keys ``at`` (``+``-separated epoch indices), ``every`` and
+    ``probability``/``p`` configure *when* the event fires; every other
+    ``key=value`` pair is forwarded to the failure model (e.g. an
+    aftershock's ``variance``).
+    """
+    from repro.online import EventSpec
+
+    parts = [part.strip() for part in text.split(",") if part.strip()]
+    if not parts:
+        raise SystemExit("--event expects KIND[,key=value,...]")
+    kind, kwargs = parts[0], {}
+    at_epochs: tuple = ()
+    every, probability = 0, 0.0
+    for item in parts[1:]:
+        if "=" not in item:
+            raise SystemExit(f"--event expects key=value entries, got {item!r}")
+        key, value = item.split("=", 1)
+        if key == "at":
+            try:
+                at_epochs = tuple(int(epoch) for epoch in value.split("+"))
+            except ValueError:
+                raise SystemExit(f"--event at= expects epoch indices, got {value!r}") from None
+        elif key == "every":
+            every = int(value)
+        elif key in ("p", "probability"):
+            probability = float(value)
+        else:
+            kwargs[key] = _parse_value(value)
+    try:
+        return EventSpec(
+            kind=kind, kwargs=kwargs, at_epochs=at_epochs, every=every, probability=probability
+        )
+    except (KeyError, ValueError) as error:
+        raise SystemExit(str(error.args[0])) from None
+
+
+def _command_online(args: argparse.Namespace) -> int:
+    from repro.online import CrewSpec, FogSpec, OnlineScenarioSpec, run_campaign
+
+    if args.jobs < 0:
+        raise SystemExit("--jobs must be a positive integer, or 0 for one per CPU")
+    jobs = args.jobs or (os.cpu_count() or 1)
+    topology, disruption, demand = _instance_sections(args)
+    _service(args)  # apply the process-level backend / OPT-strategy knobs
+    try:
+        spec = OnlineScenarioSpec(
+            topology=topology,
+            disruption=disruption,
+            demand=demand,
+            algorithm=args.algorithm,
+            seed=args.seed,
+            epochs=args.epochs,
+            epoch_hours=args.epoch_hours,
+            crews=CrewSpec(
+                count=args.crews,
+                node_hours=args.crew_node_hours,
+                edge_hours=args.crew_edge_hours,
+                travel_hours=args.crew_travel_hours,
+            ),
+            fog=FogSpec(hidden_fraction=args.fog, reveal_per_epoch=args.reveal),
+            events=tuple(_parse_event(text) for text in args.event or []),
+            baseline_algorithm=args.baseline,
+            opt_time_limit=args.opt_time_limit,
+        )
+    except (KeyError, ValueError) as error:
+        raise SystemExit(str(error.args[0])) from None
+
+    def progress(completed: int, total: int) -> None:
+        print(f"[{completed}/{total}] episode done", file=sys.stderr)
+
+    try:
+        campaign = run_campaign(
+            spec,
+            episodes=args.episodes,
+            jobs=jobs,
+            verify=args.verify,
+            cache_dir=args.cache_dir,
+            progress=progress if not args.quiet else None,
+        )
+    except (KeyError, ValueError, RuntimeError) as error:
+        raise SystemExit(str(error.args[0])) from None
+
+    if args.json or args.out:
+        emit_json(campaign.to_dict(), out=args.out)
+    else:
+        print(
+            format_table(
+                campaign.rows(),
+                columns=[
+                    "episode",
+                    "seed",
+                    "satisfied_pct",
+                    "online_cost",
+                    "baseline_cost",
+                    "regret",
+                    "violations",
+                ],
+                title=(
+                    f"Online campaign on {args.topology!r} "
+                    f"({args.episodes} episodes x {args.epochs} epochs, "
+                    f"algorithm={spec.algorithm}, crews={args.crews}, fog={args.fog:g})"
+                ),
+            )
+        )
+        summary = campaign.summary()
+        print(
+            f"{summary['episodes']} episode(s), {summary['violations']} violation(s), "
+            f"regret mean {summary['mean_regret']:.3f} "
+            f"[{summary['min_regret']:.3f}, {summary['max_regret']:.3f}], "
+            f"{summary['proven_baselines']} proven baseline(s), "
+            f"{campaign.wall_seconds:.1f}s",
+            file=sys.stderr,
+        )
+        for episode in campaign.episodes:
+            for violation in episode.violations:
+                print(f"VIOLATION {violation}", file=sys.stderr)
+    return 0 if campaign.ok else 1
+
+
 def _command_serve(args: argparse.Namespace) -> int:
     from repro.server.daemon import ServerConfig, run_server
 
@@ -674,6 +811,91 @@ def build_parser() -> argparse.ArgumentParser:
     _add_opt_strategy_argument(fuzz)
     _add_json_argument(fuzz)
     fuzz.set_defaults(handler=_command_fuzz)
+
+    online = subparsers.add_parser(
+        "online",
+        help="run a seeded online-recovery campaign (replanning under change)",
+    )
+    _add_instance_arguments(online)
+    online.add_argument(
+        "--algorithm",
+        default="ISP",
+        help="recovery algorithm replanning each epoch (see 'algorithms')",
+    )
+    online.add_argument("--epochs", type=int, default=4, help="epochs per episode")
+    online.add_argument(
+        "--epoch-hours", type=float, default=8.0, help="crew hours available per epoch"
+    )
+    online.add_argument("--crews", type=int, default=2, help="number of repair crews")
+    online.add_argument(
+        "--crew-node-hours", type=float, default=4.0, help="crew hours to repair one node"
+    )
+    online.add_argument(
+        "--crew-edge-hours", type=float, default=2.0, help="crew hours to repair one edge"
+    )
+    online.add_argument(
+        "--crew-travel-hours",
+        type=float,
+        default=1.0,
+        help="crew hours to reach each repair site",
+    )
+    online.add_argument(
+        "--fog",
+        type=float,
+        default=0.0,
+        help="fraction of fresh damage hidden from the planner (0..1)",
+    )
+    online.add_argument(
+        "--reveal",
+        type=int,
+        default=2,
+        help="hidden elements revealed by assessment each epoch",
+    )
+    online.add_argument(
+        "--event",
+        action="append",
+        metavar="KIND[,key=value,...]",
+        help=(
+            "mid-recovery disruption event (repeatable); KIND is aftershock, "
+            "cascade or attack; trigger keys: at=E[+E...], every=N, "
+            "probability=P; other keys go to the failure model"
+        ),
+    )
+    online.add_argument("--episodes", type=int, default=1, help="episodes per campaign")
+    online.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        help="worker processes for the campaign (1 = in-process, 0 = one per CPU)",
+    )
+    online.add_argument(
+        "--verify",
+        action="store_true",
+        help="run the full invariant battery on every epoch's plan",
+    )
+    online.add_argument(
+        "--baseline",
+        default="OPT",
+        help="clairvoyant baseline algorithm solved on the final realized damage",
+    )
+    online.add_argument(
+        "--opt-time-limit",
+        type=float,
+        default=None,
+        help="time limit per exact MILP solve (online and baseline)",
+    )
+    online.add_argument(
+        "--cache-dir",
+        default=None,
+        help="persist finished episodes under this directory (resumable campaigns)",
+    )
+    online.add_argument(
+        "--quiet", action="store_true", help="suppress per-episode progress on stderr"
+    )
+    _add_lp_backend_argument(online)
+    _add_opt_strategy_argument(online)
+    _add_json_argument(online)
+    online.set_defaults(handler=_command_online)
 
     serve = subparsers.add_parser(
         "serve", help="run the recovery daemon (job store + HTTP API + worker fleet)"

@@ -14,8 +14,7 @@ The instance schema itself — :class:`~repro.api.requests.TopologySpec`,
 :class:`~repro.api.requests.DisruptionSpec`,
 :class:`~repro.api.requests.DemandSpec` and the hashing/materialisation
 helpers — lives in :mod:`repro.api.requests`; an experiment spec is that
-schema plus a sweep axis and an algorithm list.  The old names are still
-importable from this module as deprecation shims.
+schema plus a sweep axis and an algorithm list.
 
 :func:`build_instance` turns a spec plus a sweep value plus an RNG into a
 concrete ``(supply, demand)`` instance by delegating to the api layer's
@@ -26,7 +25,6 @@ execution share it, which is what makes them bit-identical.
 from __future__ import annotations
 
 import dataclasses
-import warnings
 from dataclasses import dataclass
 from typing import Any, Dict, Mapping, Optional, Tuple
 
@@ -35,36 +33,11 @@ import numpy as np
 from repro.api.requests import DemandSpec as _DemandSpec
 from repro.api.requests import DisruptionSpec as _DisruptionSpec
 from repro.api.requests import TopologySpec as _TopologySpec
-from repro.api.requests import (
-    _frozen_algorithm_kwargs,
-    config_digest as _config_digest,
-    materialise_instance,
-)
+from repro.api.requests import _frozen_algorithm_kwargs, materialise_instance
 from repro.heuristics.base import RecoveryAlgorithm
 from repro.heuristics.registry import get_algorithm
 from repro.network.demand import DemandGraph
 from repro.network.supply import SupplyGraph
-
-#: Names that moved to :mod:`repro.api.requests`; accessing them through this
-#: module still works but warns (module ``__getattr__`` below).
-_MOVED_TO_API = {
-    "TopologySpec": _TopologySpec,
-    "DisruptionSpec": _DisruptionSpec,
-    "DemandSpec": _DemandSpec,
-    "config_digest": _config_digest,
-}
-
-
-def __getattr__(name: str) -> Any:
-    if name in _MOVED_TO_API:
-        warnings.warn(
-            f"repro.engine.spec.{name} moved to repro.api; "
-            f"import it from repro.api (or repro) instead",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return _MOVED_TO_API[name]
-    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 @dataclass(frozen=True)
@@ -257,6 +230,4 @@ __all__ = [
     "ExperimentSpec",
     "SweepAxis",
     "build_instance",
-    # deprecated aliases (module __getattr__): TopologySpec, DisruptionSpec,
-    # DemandSpec, config_digest — canonical home is repro.api.
 ]

@@ -1,0 +1,60 @@
+"""Online recovery: temporal replanning for worlds that change mid-repair.
+
+The snapshot stack answers "given this damage, what is the cheapest
+recovery set?".  This package answers the operational question layered on
+top of it: what happens when the damage map is wrong, the crews are few,
+and the world keeps breaking while you fix it.
+
+Public surface:
+
+- :class:`~repro.online.spec.OnlineScenarioSpec` (with
+  :class:`~repro.online.spec.CrewSpec`, :class:`~repro.online.spec.FogSpec`,
+  :class:`~repro.online.spec.EventSpec`) — the frozen, digestable episode
+  recipe;
+- :func:`~repro.online.engine.run_episode` /
+  :func:`~repro.online.engine.run_campaign` — the replanning loop and its
+  seeded, cached, process-pooled fan-out;
+- :class:`~repro.online.crews.CrewSimulator` and
+  :class:`~repro.online.belief.BeliefState` — the physical and epistemic
+  constraints that make the problem online.
+"""
+
+from repro.online.belief import BeliefState, broken_elements
+from repro.online.crews import CrewSimulator
+from repro.online.engine import (
+    REGRET_TOLERANCE,
+    Epoch,
+    OnlineCampaign,
+    Timeline,
+    episode_seeds,
+    run_campaign,
+    run_episode,
+)
+from repro.online.events import apply_event, event_fires
+from repro.online.spec import (
+    EVENT_KINDS,
+    CrewSpec,
+    EventSpec,
+    FogSpec,
+    OnlineScenarioSpec,
+)
+
+__all__ = [
+    "EVENT_KINDS",
+    "REGRET_TOLERANCE",
+    "BeliefState",
+    "CrewSimulator",
+    "CrewSpec",
+    "Epoch",
+    "EventSpec",
+    "FogSpec",
+    "OnlineCampaign",
+    "OnlineScenarioSpec",
+    "Timeline",
+    "apply_event",
+    "broken_elements",
+    "episode_seeds",
+    "event_fires",
+    "run_campaign",
+    "run_episode",
+]

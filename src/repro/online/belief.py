@@ -1,0 +1,109 @@
+"""Fog of war: the planner's belief about the damage, not the damage itself.
+
+Right after a massive disruption nobody holds the full damage map — the
+paper's operational setting starts with assessment, and
+``repro.extensions.assessment`` computes the situational picture *given* a
+damage set.  This module supplies the missing layer underneath: which part
+of the true damage the operator actually knows about.
+
+A :class:`BeliefState` tracks the *hidden* subset of the broken elements.
+Hidden elements look intact to the planner: :meth:`believed_supply` returns
+a copy of the true network with the hidden elements' broken flags cleared,
+so the believed broken set is always a subset of the true one — plans
+computed against the belief can therefore never violate the
+repairs-within-damage invariant on the true network, they can only be
+*incomplete* (and route flow through elements that are secretly down, which
+is exactly the satisfaction gap the regret metric charges for).
+
+Knowledge sharpens two ways: assessment sweeps reveal a fixed number of
+hidden elements per epoch (in canonical element order — survey teams work
+through the grid, they do not teleport), and a repair crew standing in
+front of an element trivially knows its state, so completed repairs are
+always known.  Fresh damage from mid-recovery events enters the belief
+through the same biased coin every initial element flipped.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable, List, Set, Tuple
+
+import numpy as np
+
+from repro.network.supply import SupplyGraph
+from repro.online.spec import FogSpec
+
+#: One damaged element: ``("node", node)`` or ``("edge", (u, v))``.
+Element = Tuple[str, Hashable]
+
+
+def broken_elements(supply: SupplyGraph) -> List[Element]:
+    """The broken set of ``supply`` as canonically ordered element keys."""
+    keys = [("node", node) for node in supply.broken_nodes]
+    keys += [("edge", edge) for edge in supply.broken_edges]
+    return sorted(keys, key=repr)
+
+
+class BeliefState:
+    """What the planner knows about the damage, and how that knowledge grows."""
+
+    def __init__(self, supply: SupplyGraph, fog: FogSpec, rng: np.random.Generator) -> None:
+        self.fog = fog
+        self._rng = rng
+        self.hidden: Set[Element] = set()
+        self.register_damage(broken_elements(supply))
+
+    # ------------------------------------------------------------------ #
+    def register_damage(self, elements: Iterable[Element]) -> int:
+        """Flip the fog coin for newly broken ``elements``; return #hidden.
+
+        Elements are processed in canonical order and one uniform draw is
+        spent per element regardless of the outcome, so the fog stream stays
+        aligned across machines and across fog fractions.
+        """
+        newly_hidden = 0
+        for key in sorted(elements, key=repr):
+            if self._rng.random() < self.fog.hidden_fraction:
+                self.hidden.add(key)
+                newly_hidden += 1
+            else:
+                self.hidden.discard(key)
+        return newly_hidden
+
+    def reveal(self, count: int) -> List[Element]:
+        """One assessment sweep: uncover up to ``count`` hidden elements."""
+        revealed = sorted(self.hidden, key=repr)[: max(0, int(count))]
+        self.hidden.difference_update(revealed)
+        return revealed
+
+    def note_repaired(self, elements: Iterable[Element]) -> None:
+        """Crews saw these elements up close — they are no longer unknown."""
+        self.hidden.difference_update(elements)
+
+    # ------------------------------------------------------------------ #
+    def believed_supply(self, supply: SupplyGraph) -> SupplyGraph:
+        """The network as the planner sees it: hidden damage looks intact.
+
+        Hidden elements that are no longer broken on the true network (a
+        crew or a later reveal cleared them through another path) are
+        dropped on the way — the hidden set only ever shrinks relative to
+        the true broken set.
+        """
+        believed = supply.copy()
+        stale: Set[Element] = set()
+        for key in self.hidden:
+            kind, element = key
+            if kind == "node":
+                if not supply.is_broken_node(element):
+                    stale.add(key)
+                    continue
+                believed.repair_node(element)
+            else:
+                if not supply.is_broken_edge(*element):
+                    stale.add(key)
+                    continue
+                believed.repair_edge(*element)
+        self.hidden -= stale
+        return believed
+
+
+__all__ = ["BeliefState", "Element", "broken_elements"]

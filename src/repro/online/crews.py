@@ -1,0 +1,85 @@
+"""Repair crews: the physical throughput limit of an epoch.
+
+The frozen-snapshot algorithms hand back a complete repair plan as if it
+could be built instantaneously; in an online campaign only as much of that
+plan executes per epoch as the workforce can physically deliver.  The
+:class:`CrewSimulator` turns a planned repair sequence into the *completed*
+steps of one epoch under a simple, fully deterministic dispatch model:
+
+* every crew has ``epoch_hours`` of working time per epoch;
+* a repair costs ``travel_hours`` (paid on every dispatch, including
+  re-visits to a job left unfinished last epoch) plus the element kind's
+  remaining work hours;
+* steps are dispatched in plan order to the crew with the most remaining
+  time (ties to the lowest crew index), so crews work the head of the plan
+  in parallel;
+* a job that does not fit in the dispatched crew's remaining time accrues
+  *partial progress* that persists across epochs — and across replans, so a
+  half-repaired element the next plan still wants finishes faster.
+
+Nothing here draws randomness: given the same plans, the same steps
+complete, which is one of the three legs of the episode-level determinism
+guarantee (instance seeding and event streams are the other two).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Sequence, Tuple
+
+from repro.online.spec import CrewSpec
+
+#: One planned repair: ``("node", node)`` or ``("edge", (u, v))``.
+Step = Tuple[str, Hashable]
+
+#: Remaining-time comparisons ignore float dust below this.
+_TIME_EPSILON = 1e-9
+
+
+class CrewSimulator:
+    """Stateful workforce executing plan prefixes epoch by epoch.
+
+    The only state carried between epochs is ``progress`` — hours already
+    worked per unfinished element — because crews themselves reset every
+    epoch (a new day), while a half-rebuilt tower stays half-rebuilt.
+    """
+
+    def __init__(self, spec: CrewSpec, epoch_hours: float) -> None:
+        if epoch_hours <= spec.travel_hours:
+            raise ValueError("epoch_hours must exceed travel_hours")
+        self.spec = spec
+        self.epoch_hours = float(epoch_hours)
+        self.progress: Dict[Step, float] = {}
+
+    def execute_epoch(self, steps: Sequence[Step]) -> List[Step]:
+        """Dispatch ``steps`` (in order) and return the ones that completed.
+
+        Stale progress on elements the current plan no longer wants is kept
+        — the plan may want them again after the next disruption — but never
+        costs any crew time.
+        """
+        budgets = [self.epoch_hours] * self.spec.count
+        completed: List[Step] = []
+        for step in steps:
+            crew = max(range(len(budgets)), key=lambda index: (budgets[index], -index))
+            available = budgets[crew] - self.spec.travel_hours
+            if available <= _TIME_EPSILON:
+                break  # the freest crew cannot even reach a site
+            kind, _ = step
+            remaining = max(0.0, self.spec.work_hours(kind) - self.progress.get(step, 0.0))
+            if remaining <= available + _TIME_EPSILON:
+                budgets[crew] -= self.spec.travel_hours + remaining
+                self.progress.pop(step, None)
+                completed.append(step)
+            else:
+                # The crew works until its day ends; travel is paid again on
+                # the next dispatch, only the hands-on hours persist.
+                self.progress[step] = self.progress.get(step, 0.0) + available
+                budgets[crew] = 0.0
+        return completed
+
+    def carryover(self) -> int:
+        """How many elements currently hold partial progress."""
+        return len(self.progress)
+
+
+__all__ = ["CrewSimulator", "Step"]

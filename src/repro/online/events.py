@@ -1,0 +1,75 @@
+"""Firing and applying mid-recovery disruption events.
+
+The decision logic lives here so the episode engine stays a readable loop:
+:func:`event_fires` resolves one event's trigger for one epoch (consuming
+the event stream's Bernoulli draw whenever the event carries a probability,
+*regardless* of the outcome — stream alignment is what makes a campaign
+bit-reproducible), and :func:`apply_event` strikes the true network through
+the non-mutating :meth:`~repro.failures.base.FailureModel.applied` contract,
+returning the replacement supply plus the elements that are *newly* broken.
+
+"Newly" matters: an aftershock samples over every located element and will
+happily re-hit something already destroyed; only the delta enters the
+ever-broken ledger and the fog stream, so a re-strike on rubble costs the
+planner nothing it did not already know.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.network.supply import SupplyGraph
+from repro.online.belief import Element
+from repro.online.spec import EventSpec
+
+
+def event_fires(
+    event: EventSpec,
+    epoch: int,
+    rng: np.random.Generator,
+    repairs_completed: int,
+) -> bool:
+    """Whether ``event`` strikes in ``epoch``.
+
+    The probability draw is consumed before any gating so the event stream
+    advances identically on every machine and every code path.  A cascade
+    is additionally suppressed in epochs without completed repairs: the
+    model is load rushing onto freshly restored elements, so with nothing
+    restored there is nothing to overload.
+    """
+    fires = event.scheduled(epoch)
+    if event.probability > 0.0:
+        draw = float(rng.random())
+        fires = fires or draw < event.probability
+    if event.kind == "cascade" and repairs_completed == 0:
+        return False
+    return fires
+
+
+def apply_event(
+    event: EventSpec, supply: SupplyGraph, rng: np.random.Generator
+) -> Tuple[SupplyGraph, List[Element], Optional[str]]:
+    """Strike ``supply`` with ``event``; return the replacement network.
+
+    Returns ``(new_supply, newly_broken, error)``.  A model that cannot
+    operate on this network (e.g. a geographic event on a topology without
+    positions) reports its error string instead of raising — one
+    misconfigured event should surface in the epoch trace, not kill a
+    thousand-episode campaign.
+    """
+    before_nodes = supply.broken_nodes
+    before_edges = supply.broken_edges
+    try:
+        struck, _ = event.build_model().applied(supply, seed=rng)
+    except ValueError as error:
+        return supply, [], str(error)
+    fresh: List[Element] = [
+        ("node", node) for node in struck.broken_nodes - before_nodes
+    ]
+    fresh += [("edge", edge) for edge in struck.broken_edges - before_edges]
+    return struck, sorted(fresh, key=repr), None
+
+
+__all__ = ["apply_event", "event_fires"]

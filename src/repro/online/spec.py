@@ -1,0 +1,360 @@
+"""Declarative, serialisable online-recovery scenarios.
+
+An :class:`OnlineScenarioSpec` composes the library's canonical instance
+sections (:class:`~repro.api.requests.TopologySpec`,
+:class:`~repro.api.requests.DisruptionSpec`,
+:class:`~repro.api.requests.DemandSpec`) with the temporal dimensions a
+replanning simulation adds on top of the frozen snapshot:
+
+* a clock — how many epochs the campaign runs and how many crew-hours each
+  epoch contains;
+* a repair workforce (:class:`CrewSpec`) — crews, work hours per element
+  kind, travel overhead per dispatch;
+* imperfect knowledge (:class:`FogSpec`) — which fraction of the damage is
+  initially invisible to the planner and how fast assessment reveals it;
+* mid-recovery disruption events (:class:`EventSpec`) — aftershocks,
+  repair-triggered cascades and adaptive attacks that strike while crews
+  work, each reusing a registered :class:`~repro.failures.base.FailureModel`.
+
+Every spec follows the request-schema conventions: frozen, validated at
+construction, hashable, and losslessly round-tripping through JSON via
+``to_dict``/``from_dict`` so an online campaign hashes and caches exactly
+like a batch request (``digest`` is :func:`~repro.api.requests.config_digest`
+of the dictionary form).
+"""
+
+from __future__ import annotations
+
+import inspect
+from dataclasses import dataclass
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro.api.requests import (
+    SCHEMA_VERSION,
+    DemandSpec,
+    DisruptionSpec,
+    TopologySpec,
+    check_schema,
+    config_digest,
+    freeze_value,
+    jsonify_value,
+)
+from repro.failures.base import FailureModel
+from repro.failures.cascading import CascadingFailure
+from repro.failures.geographic import MultiEpicenterDisruption
+from repro.failures.targeted import TargetedAttack
+from repro.heuristics.registry import available_algorithms
+
+#: Mid-recovery event kinds addressable from a spec.  ``aftershock`` is a
+#: geographic re-strike, ``cascade`` a load-redistribution cascade that only
+#: triggers in epochs where repairs actually completed (restored elements
+#: attract load), ``attack`` an adversary re-targeting the working network —
+#: which, mid-recovery, includes everything the crews just rebuilt.
+EVENT_KINDS = ("aftershock", "cascade", "attack")
+
+_EVENT_MODELS = {
+    "aftershock": MultiEpicenterDisruption,
+    "cascade": CascadingFailure,
+    "attack": TargetedAttack,
+}
+
+#: Defaults merged under the spec kwargs per kind (the spec wins).  The
+#: attack event defaults to ``adaptive`` because an online adversary that
+#: ignores completed repairs would be indistinguishable from the initial
+#: disruption.
+_EVENT_DEFAULTS: Dict[str, Dict[str, Any]] = {
+    "aftershock": {},
+    "cascade": {},
+    "attack": {"adaptive": True},
+}
+
+
+def _kwargs_tuple(kwargs: Optional[Mapping[str, Any]]) -> Tuple[Tuple[str, Any], ...]:
+    return tuple(sorted((str(k), freeze_value(v)) for k, v in (kwargs or {}).items()))
+
+
+def _kwargs_json(kwargs: Tuple[Tuple[str, Any], ...]) -> Dict[str, Any]:
+    return {key: jsonify_value(value) for key, value in kwargs}
+
+
+@dataclass(frozen=True)
+class CrewSpec:
+    """The repair workforce: how much can physically happen per epoch.
+
+    ``node_hours``/``edge_hours`` are the working time one crew needs on one
+    element of that kind; ``travel_hours`` is paid on every dispatch to an
+    element (and again next epoch if the job carried over unfinished), which
+    is what makes scattering crews across many half-done repairs worse than
+    finishing jobs.
+    """
+
+    count: int = 2
+    node_hours: float = 4.0
+    edge_hours: float = 2.0
+    travel_hours: float = 1.0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "count", int(self.count))
+        object.__setattr__(self, "node_hours", float(self.node_hours))
+        object.__setattr__(self, "edge_hours", float(self.edge_hours))
+        object.__setattr__(self, "travel_hours", float(self.travel_hours))
+        if self.count < 1:
+            raise ValueError("a crew spec needs at least one crew")
+        for name in ("node_hours", "edge_hours", "travel_hours"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"crew {name} must be non-negative")
+
+    def work_hours(self, kind: str) -> float:
+        """Hands-on hours one crew needs for one element of ``kind``."""
+        return self.node_hours if kind == "node" else self.edge_hours
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "count": self.count,
+            "node_hours": self.node_hours,
+            "edge_hours": self.edge_hours,
+            "travel_hours": self.travel_hours,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "CrewSpec":
+        return cls(
+            count=int(payload.get("count", 2)),
+            node_hours=float(payload.get("node_hours", 4.0)),
+            edge_hours=float(payload.get("edge_hours", 2.0)),
+            travel_hours=float(payload.get("travel_hours", 1.0)),
+        )
+
+
+@dataclass(frozen=True)
+class FogSpec:
+    """Imperfect damage knowledge that sharpens as assessment proceeds.
+
+    Each broken element is *hidden* from the planner with probability
+    ``hidden_fraction`` (drawn once per element from the episode's fog
+    stream); assessment sweeps reveal up to ``reveal_per_epoch`` hidden
+    elements at the start of every epoch after the first.  ``0.0`` disables
+    the fog entirely — the planner sees the true damage.
+    """
+
+    hidden_fraction: float = 0.0
+    reveal_per_epoch: int = 2
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "hidden_fraction", float(self.hidden_fraction))
+        object.__setattr__(self, "reveal_per_epoch", int(self.reveal_per_epoch))
+        if not 0.0 <= self.hidden_fraction <= 1.0:
+            raise ValueError("hidden_fraction must be within [0, 1]")
+        if self.reveal_per_epoch < 0:
+            raise ValueError("reveal_per_epoch must be non-negative")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "hidden_fraction": self.hidden_fraction,
+            "reveal_per_epoch": self.reveal_per_epoch,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "FogSpec":
+        return cls(
+            hidden_fraction=float(payload.get("hidden_fraction", 0.0)),
+            reveal_per_epoch=int(payload.get("reveal_per_epoch", 2)),
+        )
+
+
+@dataclass(frozen=True)
+class EventSpec:
+    """One recurring mid-recovery disruption event.
+
+    ``kind`` selects the failure model (:data:`EVENT_KINDS`); ``kwargs`` are
+    the model's constructor arguments, validated eagerly by building the
+    model once at spec construction.  An event fires in an epoch when the
+    epoch index is listed in ``at_epochs``, when ``every`` divides the
+    (1-based) epoch count, or — independently — with ``probability`` per
+    epoch.  A ``cascade`` event additionally requires at least one repair to
+    have completed that epoch: cascades here model load rushing back onto
+    freshly restored infrastructure.
+    """
+
+    kind: str
+    kwargs: Tuple[Tuple[str, Any], ...] = ()
+    at_epochs: Tuple[int, ...] = ()
+    every: int = 0
+    probability: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in EVENT_KINDS:
+            raise ValueError(
+                f"unknown event kind {self.kind!r}; available: {', '.join(EVENT_KINDS)}"
+            )
+        object.__setattr__(self, "kwargs", _kwargs_tuple(dict(self.kwargs)))
+        object.__setattr__(
+            self, "at_epochs", tuple(sorted(int(epoch) for epoch in self.at_epochs))
+        )
+        object.__setattr__(self, "every", int(self.every))
+        object.__setattr__(self, "probability", float(self.probability))
+        if any(epoch < 0 for epoch in self.at_epochs):
+            raise ValueError("at_epochs entries must be non-negative epoch indices")
+        if self.every < 0:
+            raise ValueError("every must be non-negative (0 disables the cadence)")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError("probability must be within [0, 1]")
+        if not self.at_epochs and not self.every and self.probability == 0.0:
+            raise ValueError(
+                "an event needs a trigger: at_epochs, every, or probability > 0"
+            )
+        self._validate_kwargs()
+        self.build_model()  # fail at construction, not mid-campaign
+
+    def _validate_kwargs(self) -> None:
+        accepted = inspect.signature(_EVENT_MODELS[self.kind].__init__).parameters
+        unknown = [key for key, _ in self.kwargs if key not in accepted]
+        if unknown:
+            valid = [name for name in accepted if name != "self"]
+            raise ValueError(
+                f"unknown {self.kind} event parameter(s) {', '.join(unknown)}; "
+                f"valid: {', '.join(valid)}"
+            )
+
+    def build_model(self) -> FailureModel:
+        """The failure model this event applies when it fires."""
+        merged = dict(_EVENT_DEFAULTS[self.kind])
+        merged.update(dict(self.kwargs))
+        try:
+            return _EVENT_MODELS[self.kind](**merged)
+        except TypeError as error:
+            raise ValueError(f"invalid {self.kind} event parameters: {error}") from None
+
+    def scheduled(self, epoch: int) -> bool:
+        """Whether the deterministic triggers fire at ``epoch``."""
+        if epoch in self.at_epochs:
+            return True
+        return self.every > 0 and (epoch + 1) % self.every == 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "kwargs": _kwargs_json(self.kwargs),
+            "at_epochs": list(self.at_epochs),
+            "every": self.every,
+            "probability": self.probability,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "EventSpec":
+        return cls(
+            kind=str(payload["kind"]),
+            kwargs=dict(payload.get("kwargs", {})),
+            at_epochs=tuple(payload.get("at_epochs", ())),
+            every=int(payload.get("every", 0)),
+            probability=float(payload.get("probability", 0.0)),
+        )
+
+
+@dataclass(frozen=True)
+class OnlineScenarioSpec:
+    """One seeded online-recovery episode family, as pure data.
+
+    The instance sections describe the *initial* world exactly like a
+    :class:`~repro.api.requests.RecoveryRequest` does (same seeding, same
+    construction path); everything else describes how that world evolves
+    while ``algorithm`` replans against it.  ``baseline_algorithm`` solves
+    the clairvoyant instance (every element that was ever broken, full
+    knowledge) for the regret comparison — OPT by default, so the baseline
+    is a proven optimum whenever the MILP closes.
+    """
+
+    topology: TopologySpec
+    disruption: DisruptionSpec = DisruptionSpec()
+    demand: DemandSpec = DemandSpec()
+    algorithm: str = "ISP"
+    seed: int = 1
+    epochs: int = 4
+    epoch_hours: float = 8.0
+    crews: CrewSpec = CrewSpec()
+    fog: FogSpec = FogSpec()
+    events: Tuple[EventSpec, ...] = ()
+    baseline_algorithm: str = "OPT"
+    opt_time_limit: Optional[float] = None
+
+    kind = "online-scenario"
+
+    def __post_init__(self) -> None:
+        known = set(available_algorithms())
+        for attribute in ("algorithm", "baseline_algorithm"):
+            name = str(getattr(self, attribute)).upper()
+            if name not in known:
+                raise KeyError(
+                    f"unknown algorithm {name!r}; available: {', '.join(sorted(known))}"
+                )
+            object.__setattr__(self, attribute, name)
+        object.__setattr__(self, "seed", int(self.seed))
+        object.__setattr__(self, "epochs", int(self.epochs))
+        object.__setattr__(self, "epoch_hours", float(self.epoch_hours))
+        if self.epochs < 1:
+            raise ValueError("an online scenario needs at least one epoch")
+        if self.epoch_hours <= 0:
+            raise ValueError("epoch_hours must be positive")
+        if self.epoch_hours <= self.crews.travel_hours:
+            raise ValueError(
+                "epoch_hours must exceed the crews' travel_hours, or no repair "
+                "could ever complete"
+            )
+        events = tuple(
+            event if isinstance(event, EventSpec) else EventSpec.from_dict(event)
+            for event in self.events
+        )
+        object.__setattr__(self, "events", events)
+        if self.opt_time_limit is not None:
+            object.__setattr__(self, "opt_time_limit", float(self.opt_time_limit))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "kind": self.kind,
+            "topology": self.topology.to_dict(),
+            "disruption": self.disruption.to_dict(),
+            "demand": self.demand.to_dict(),
+            "algorithm": self.algorithm,
+            "seed": self.seed,
+            "epochs": self.epochs,
+            "epoch_hours": self.epoch_hours,
+            "crews": self.crews.to_dict(),
+            "fog": self.fog.to_dict(),
+            "events": [event.to_dict() for event in self.events],
+            "baseline_algorithm": self.baseline_algorithm,
+            "solver": {"opt_time_limit": self.opt_time_limit},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "OnlineScenarioSpec":
+        check_schema(payload, cls.kind)
+        solver = payload.get("solver", {})
+        time_limit = solver.get("opt_time_limit")
+        return cls(
+            topology=TopologySpec.from_dict(payload["topology"]),
+            disruption=DisruptionSpec.from_dict(payload.get("disruption", {})),
+            demand=DemandSpec.from_dict(payload.get("demand", {})),
+            algorithm=str(payload.get("algorithm", "ISP")),
+            seed=int(payload.get("seed", 1)),
+            epochs=int(payload.get("epochs", 4)),
+            epoch_hours=float(payload.get("epoch_hours", 8.0)),
+            crews=CrewSpec.from_dict(payload.get("crews", {})),
+            fog=FogSpec.from_dict(payload.get("fog", {})),
+            events=tuple(EventSpec.from_dict(event) for event in payload.get("events", [])),
+            baseline_algorithm=str(payload.get("baseline_algorithm", "OPT")),
+            opt_time_limit=None if time_limit is None else float(time_limit),
+        )
+
+    def digest(self) -> str:
+        """Stable identity of this scenario (campaign cache keys build on it)."""
+        return config_digest(self.to_dict())
+
+
+__all__ = [
+    "EVENT_KINDS",
+    "CrewSpec",
+    "EventSpec",
+    "FogSpec",
+    "OnlineScenarioSpec",
+]

@@ -182,6 +182,50 @@ class ScenarioGenerator:
             raise ValueError("the fuzz budget must be at least 1")
         return [self.sample_request() for _ in range(budget)]
 
+    def sample_online_spec(
+        self,
+        algorithm: str = "ISP",
+        epochs: int = 4,
+        events_menu: Optional[Sequence[Mapping[str, Any]]] = None,
+    ):
+        """Draw one valid :class:`~repro.online.spec.OnlineScenarioSpec`.
+
+        Reuses :meth:`sample_request` for the instance sections (so online
+        sampling inherits the space's validity guarantee and stays on the
+        same stream discipline), then draws the temporal layer — one
+        mid-recovery event from a small menu, a fog level and a crew count —
+        from the same generator.  The differential suite feeds these specs
+        to :func:`repro.online.run_episode` and asserts non-negative regret.
+        """
+        from repro.online import CrewSpec, EventSpec, FogSpec, OnlineScenarioSpec
+
+        request = self.sample_request()
+        rng = self._rng
+        menu: Sequence[Mapping[str, Any]] = events_menu or (
+            {"kind": "aftershock", "kwargs": {"variance": 4.0, "num_epicenters": 1}, "at_epochs": (1,)},
+            {"kind": "attack", "kwargs": {"node_budget": 1}, "every": 2},
+            {"kind": "cascade", "probability": 0.5},
+        )
+        event = EventSpec.from_dict(dict(menu[int(rng.integers(0, len(menu)))]))
+        fog = FogSpec(
+            hidden_fraction=float(rng.choice((0.0, 0.2, 0.35))),
+            reveal_per_epoch=2,
+        )
+        crews = CrewSpec(count=int(rng.integers(2, 5)))
+        return OnlineScenarioSpec(
+            topology=request.topology,
+            disruption=request.disruption,
+            demand=request.demand,
+            algorithm=algorithm,
+            seed=request.seed,
+            epochs=int(epochs),
+            epoch_hours=12.0,
+            crews=crews,
+            fog=fog,
+            events=(event,),
+            opt_time_limit=self.space.opt_time_limit,
+        )
+
 
 # --------------------------------------------------------------------- #
 # The fuzz harness

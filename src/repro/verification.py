@@ -193,8 +193,13 @@ def _check_flow_conservation(
     return problems
 
 
-def _repair_sequence(plan: RecoveryPlan):
-    """A deterministic repair order: nodes first, then edges, sorted."""
+def repair_sequence(plan: RecoveryPlan):
+    """A deterministic repair order: nodes first, then edges, sorted.
+
+    This is the canonical execution order of a plan — the monotonicity
+    replay walks it, and the online crew simulator dispatches it — so both
+    layers agree on what "the k-th repair" means.
+    """
     steps = [("node", node) for node in sorted(plan.repaired_nodes, key=repr)]
     steps += [("edge", edge) for edge in sorted(plan.repaired_edges, key=repr)]
     return steps
@@ -213,7 +218,7 @@ def _check_satisfaction_monotonicity(
     ``full_satisfied`` is the caller's already-audited value for the
     complete repair set, so the replay only solves the strict prefixes.
     """
-    steps = _repair_sequence(plan)
+    steps = repair_sequence(plan)
     if not steps or prefix_points < 1:
         return []
     # Evenly spaced strict prefixes; the full set is the caller's value
@@ -255,6 +260,65 @@ def _prefix_satisfactions(supply, demand, steps, cuts, context):
         edges = {element for kind, element in steps[:cut] if kind == "edge"}
         graph = supply.working_graph(extra_nodes=nodes, extra_edges=edges, use_residual=False)
         yield cut, max_satisfiable_flow(graph, demand, context=context).total_satisfied
+
+
+def check_repair_sequence_monotonicity(
+    supply: SupplyGraph,
+    demand: DemandGraph,
+    steps: Sequence,
+    algorithm: str = "online",
+    cuts: Optional[Sequence[int]] = None,
+    context=None,
+) -> List[Violation]:
+    """Replay an explicit *realized* repair sequence; satisfaction must rise.
+
+    Where :func:`check_plan_invariants` replays a plan in the canonical
+    order, this checks a sequence in the order it actually executed — the
+    online engine passes the steps its crews completed across a whole
+    campaign, with ``cuts`` at the epoch boundaries.  ``supply`` must carry
+    every element the sequence repairs in its broken set (the online engine
+    audits against the clairvoyant instance, where everything ever broken
+    is broken); repairing a working element is reported as a
+    repairs-within-damage violation.  Duplicate steps (an element re-broken
+    mid-campaign and repaired again) are fine: prefixes are replayed as
+    cumulative *sets*, which grow monotonically regardless.
+    """
+    steps = list(steps)
+    if not steps:
+        return []
+    problems: List[Violation] = []
+    stray = {
+        element
+        for kind, element in steps
+        if (kind == "node" and element not in supply.broken_nodes)
+        or (kind == "edge" and element not in supply.broken_edges)
+    }
+    if stray:
+        problems.append(
+            Violation(
+                "repairs-within-damage",
+                algorithm,
+                f"realized sequence repairs {len(stray)} element(s) not in the "
+                f"damage set, e.g. {sorted(stray, key=repr)[:3]!r}",
+            )
+        )
+    if cuts is None:
+        cuts = range(len(steps) + 1)
+    cuts = sorted({min(max(int(cut), 0), len(steps)) for cut in cuts} | {len(steps)})
+    previous = -1.0
+    previous_cut = 0
+    for cut, satisfied in _prefix_satisfactions(supply, demand, steps, cuts, context):
+        if satisfied < previous - FLOW_TOLERANCE:
+            problems.append(
+                Violation(
+                    "satisfaction-monotonicity",
+                    algorithm,
+                    f"realized satisfiable demand dropped from {previous:.6f} "
+                    f"after {previous_cut} repairs to {satisfied:.6f} after {cut}",
+                )
+            )
+        previous, previous_cut = satisfied, cut
+    return problems
 
 
 def _check_metrics_consistency(
@@ -471,4 +535,6 @@ __all__ = [
     "Violation",
     "audit_result",
     "check_plan_invariants",
+    "check_repair_sequence_monotonicity",
+    "repair_sequence",
 ]

@@ -174,16 +174,6 @@ class TestExperimentSpecConfig:
         payload = json.loads(json.dumps(spec.to_config()))
         assert ExperimentSpec.from_config(payload) == spec
 
-    def test_moved_names_still_importable_with_deprecation(self):
-        import warnings
-
-        import repro.engine.spec as legacy
-
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            assert legacy.TopologySpec is TopologySpec
-            assert legacy.config_digest is config_digest
-        assert any(issubclass(w.category, DeprecationWarning) for w in caught)
 
 
 class TestMaterialise:

@@ -1,0 +1,89 @@
+"""Edge cases of the damage-assessment report.
+
+The online engine runs :func:`assess_damage` on every epoch's *believed*
+network, which routinely pushes the assessment into corners the batch path
+rarely sees: demand graphs with nothing in them, demand pairs whose
+endpoints live in permanently separate components, and pristine networks
+(full fog hides all damage, so the believed network can look untouched).
+"""
+
+import pytest
+
+from repro.extensions.assessment import assess_damage
+from repro.network.demand import DemandGraph
+from repro.network.supply import SupplyGraph
+
+
+def two_islands() -> SupplyGraph:
+    """Two components that no repair could ever join: a-b and c-d."""
+    supply = SupplyGraph()
+    for index, node in enumerate(["a", "b", "c", "d"]):
+        supply.add_node(node, pos=(float(index), 0.0))
+    supply.add_edge("a", "b", capacity=10.0)
+    supply.add_edge("c", "d", capacity=10.0)
+    return supply
+
+
+class TestDisconnectedPairs:
+    def test_pair_across_islands_is_disconnected_even_when_pristine(self):
+        demand = DemandGraph()
+        demand.add("a", "d", 5.0)
+        assessment = assess_damage(two_islands(), demand)
+        assert assessment.broken_nodes == 0
+        assert assessment.disconnected_pairs == [("a", "d")]
+        assert assessment.fully_cut_off
+
+    def test_mixed_island_demand_counts_only_the_unroutable_pair(self):
+        demand = DemandGraph()
+        demand.add("a", "d", 5.0)
+        demand.add("a", "b", 5.0)
+        assessment = assess_damage(two_islands(), demand)
+        assert assessment.disconnected_pairs == [("a", "d")]
+        assert assessment.pre_recovery_satisfied_fraction == pytest.approx(0.5)
+        assert not assessment.fully_cut_off
+
+    def test_broken_endpoint_disconnects_its_pair(self, line_supply):
+        line_supply.break_node("e")
+        demand = DemandGraph()
+        demand.add("a", "e", 5.0)
+        assessment = assess_damage(line_supply, demand)
+        assert assessment.disconnected_pairs == [("a", "e")]
+        assert assessment.fully_cut_off
+
+
+class TestZeroDemand:
+    def test_empty_demand_graph_is_vacuously_satisfied(self, line_supply):
+        assessment = assess_damage(line_supply, DemandGraph())
+        assert assessment.disconnected_pairs == []
+        assert assessment.pre_recovery_satisfied_fraction == pytest.approx(1.0)
+        assert not assessment.fully_cut_off
+        assert assessment.summary()["pre_recovery_satisfied_pct"] == 100.0
+
+    def test_empty_demand_on_destroyed_network_is_still_satisfied(self, line_supply):
+        """No demand means nothing is cut off, no matter the damage."""
+        line_supply.break_all()
+        assessment = assess_damage(line_supply, DemandGraph())
+        assert assessment.broken_fraction == pytest.approx(1.0)
+        assert assessment.pre_recovery_satisfied_fraction == pytest.approx(1.0)
+        assert not assessment.fully_cut_off
+
+
+class TestPristineNetwork:
+    def test_pristine_network_reports_clean_bill(self, line_supply, single_demand):
+        assessment = assess_damage(line_supply, single_demand)
+        assert assessment.broken_nodes == 0
+        assert assessment.broken_edges == 0
+        assert assessment.broken_fraction == 0.0
+        assert assessment.working_components == 1
+        assert assessment.largest_working_component == line_supply.number_of_nodes
+        assert assessment.disconnected_pairs == []
+        assert assessment.pre_recovery_satisfied_fraction == pytest.approx(1.0)
+
+    def test_empty_supply_graph(self):
+        """A supply graph with no nodes at all must not crash the report."""
+        assessment = assess_damage(SupplyGraph(), DemandGraph())
+        assert assessment.total_nodes == 0
+        assert assessment.broken_fraction == 0.0
+        assert assessment.working_components == 0
+        assert assessment.largest_working_component == 0
+        assert not assessment.fully_cut_off

@@ -541,3 +541,80 @@ class TestArgumentParsingFixes:
                     "1",
                 ]
             )
+
+
+ONLINE_BASE = [
+    "online",
+    "--topology",
+    "grid",
+    "--topology-arg",
+    "rows=3",
+    "--topology-arg",
+    "cols=3",
+    "--disruption",
+    "gaussian",
+    "--variance",
+    "2",
+    "--pairs",
+    "2",
+    "--flow",
+    "2",
+    "--seed",
+    "7",
+    "--epochs",
+    "2",
+    "--opt-time-limit",
+    "15",
+    "--quiet",
+]
+
+
+class TestOnlineCommand:
+    def test_online_campaign_table(self, capsys):
+        exit_code = main(ONLINE_BASE + ["--episodes", "2", "--verify"])
+        assert exit_code == 0
+        captured = capsys.readouterr()
+        assert "Online campaign" in captured.out
+        assert "0 violation(s)" in captured.err
+
+    def test_online_json_envelope(self, capsys):
+        exit_code = main(
+            ONLINE_BASE
+            + [
+                "--verify",
+                "--fog",
+                "0.3",
+                "--event",
+                "aftershock,variance=2,at=1",
+                "--json",
+            ]
+        )
+        assert exit_code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["kind"] == "online-campaign"
+        assert payload["ok"] is True
+        assert payload["summary"]["violations"] == 0
+        assert len(payload["episodes"]) == 1
+        assert len(payload["episodes"][0]["epochs"]) == 2
+        assert payload["spec"]["events"][0]["kind"] == "aftershock"
+
+    def test_online_out_writes_atomic_artifact(self, tmp_path, capsys):
+        out = tmp_path / "trace.json"
+        exit_code = main(ONLINE_BASE + ["--verify", "--out", str(out)])
+        assert exit_code == 0
+        payload = json.loads(out.read_text())
+        assert payload["kind"] == "online-campaign"
+
+    def test_online_rejects_bad_event(self):
+        with pytest.raises(SystemExit, match="unknown event kind"):
+            main(ONLINE_BASE + ["--event", "meteor,p=0.5"])
+        with pytest.raises(SystemExit, match="key=value"):
+            main(ONLINE_BASE + ["--event", "cascade,oops"])
+
+    def test_online_rejects_bad_jobs(self):
+        with pytest.raises(SystemExit):
+            main(ONLINE_BASE + ["--jobs", "-2"])
+
+    def test_online_rejects_unknown_algorithm(self):
+        with pytest.raises(SystemExit, match="unknown algorithm"):
+            main(ONLINE_BASE + ["--algorithm", "NOPE"])

@@ -184,42 +184,31 @@ class TestRegistry:
             register_spec(spec)
 
 
-class TestDeprecationShims:
-    """The PR-3 moved-name shims must keep working — and keep warning."""
+class TestRetiredShims:
+    """The PR-3 moved-name shims are gone: the api layer is the only home."""
 
-    MOVED = ["TopologySpec", "DisruptionSpec", "DemandSpec", "config_digest"]
+    RETIRED = ["TopologySpec", "DisruptionSpec", "DemandSpec", "config_digest"]
 
-    @pytest.mark.parametrize("name", MOVED)
-    def test_each_moved_name_resolves_to_the_api_object(self, name):
-        import warnings
-
-        import repro.api.requests as api
-        import repro.engine.spec as legacy
-
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            assert getattr(legacy, name) is getattr(api, name)
-
-    @pytest.mark.parametrize("name", MOVED)
-    def test_each_moved_name_warns_with_the_new_home(self, name):
-        import repro.engine.spec as legacy
-
-        with pytest.warns(DeprecationWarning, match=f"{name} moved to repro.api"):
-            getattr(legacy, name)
-
-    def test_unknown_attribute_still_raises(self):
-        import repro.engine.spec as legacy
+    @pytest.mark.parametrize("name", RETIRED)
+    def test_retired_names_raise_attribute_error(self, name):
+        import repro.engine.spec as spec_module
 
         with pytest.raises(AttributeError):
-            legacy.NoSuchName
+            getattr(spec_module, name)
 
-    def test_engine_modules_import_without_warnings(self):
-        """The engine itself must not go through its own deprecation shim.
+    def test_unknown_attribute_still_raises(self):
+        import repro.engine.spec as spec_module
+
+        with pytest.raises(AttributeError):
+            spec_module.NoSuchName
+
+    def test_modules_import_without_warnings(self):
+        """Nothing in the import graph may emit a DeprecationWarning.
 
         Imported in a fresh interpreter with DeprecationWarning escalated,
-        so a shim access anywhere in the engine's import graph fails loudly
-        (reloading in-process would corrupt class identities for the rest
-        of the suite).
+        so any deprecated access anywhere in the engine/api/online import
+        graph fails loudly (reloading in-process would corrupt class
+        identities for the rest of the suite).
         """
         import subprocess
         import sys
@@ -232,7 +221,8 @@ class TestDeprecationShims:
                 "-c",
                 "import repro.engine.experiment, repro.engine.registry, "
                 "repro.engine.spec, repro.engine.tasks, repro.engine.executor, "
-                "repro.api.service, repro.scenarios, repro.verification, repro.cli",
+                "repro.api.service, repro.scenarios, repro.verification, "
+                "repro.online, repro.cli",
             ],
             capture_output=True,
             text=True,

@@ -1,0 +1,137 @@
+"""Tests for the fog-of-war belief state and the event triggers."""
+
+import numpy as np
+import pytest
+
+from repro.network.supply import SupplyGraph
+from repro.online import (
+    BeliefState,
+    EventSpec,
+    FogSpec,
+    apply_event,
+    broken_elements,
+    event_fires,
+)
+
+
+def damaged_line(broken=("b", "d")) -> SupplyGraph:
+    supply = SupplyGraph()
+    nodes = ["a", "b", "c", "d", "e"]
+    for index, node in enumerate(nodes):
+        supply.add_node(node, pos=(float(index), 0.0))
+    for u, v in zip(nodes, nodes[1:]):
+        supply.add_edge(u, v, capacity=10.0)
+    for node in broken:
+        supply.break_node(node)
+    supply.break_edge("a", "b")
+    return supply
+
+
+class TestBeliefState:
+    def test_no_fog_means_full_knowledge(self):
+        supply = damaged_line()
+        belief = BeliefState(supply, FogSpec(hidden_fraction=0.0), np.random.default_rng(0))
+        assert belief.hidden == set()
+        believed = belief.believed_supply(supply)
+        assert believed.broken_nodes == supply.broken_nodes
+        assert believed.broken_edges == supply.broken_edges
+
+    def test_full_fog_hides_everything(self):
+        supply = damaged_line()
+        belief = BeliefState(supply, FogSpec(hidden_fraction=1.0), np.random.default_rng(0))
+        assert belief.hidden == set(broken_elements(supply))
+        believed = belief.believed_supply(supply)
+        assert believed.broken_nodes == set()
+        assert believed.broken_edges == set()
+
+    def test_believed_broken_is_subset_of_true_broken(self):
+        supply = damaged_line()
+        for seed in range(10):
+            belief = BeliefState(
+                supply, FogSpec(hidden_fraction=0.5), np.random.default_rng(seed)
+            )
+            believed = belief.believed_supply(supply)
+            assert believed.broken_nodes <= supply.broken_nodes
+            assert believed.broken_edges <= supply.broken_edges
+
+    def test_reveal_uncover_in_canonical_order_and_shrinks_fog(self):
+        supply = damaged_line()
+        belief = BeliefState(supply, FogSpec(hidden_fraction=1.0), np.random.default_rng(0))
+        expected = sorted(belief.hidden, key=repr)[:2]
+        assert belief.reveal(2) == expected
+        assert len(belief.hidden) == len(broken_elements(supply)) - 2
+        assert belief.reveal(0) == []
+
+    def test_repaired_elements_are_no_longer_hidden(self):
+        supply = damaged_line()
+        belief = BeliefState(supply, FogSpec(hidden_fraction=1.0), np.random.default_rng(0))
+        belief.note_repaired([("node", "b")])
+        assert ("node", "b") not in belief.hidden
+
+    def test_fog_stream_is_deterministic(self):
+        supply = damaged_line()
+        hidden = [
+            BeliefState(supply, FogSpec(hidden_fraction=0.5), np.random.default_rng(3)).hidden
+            for _ in range(2)
+        ]
+        assert hidden[0] == hidden[1]
+
+
+class TestEventFires:
+    def test_scheduled_trigger(self):
+        event = EventSpec(kind="attack", kwargs={"node_budget": 1}, at_epochs=(1,))
+        rng = np.random.default_rng(0)
+        assert not event_fires(event, 0, rng, repairs_completed=0)
+        assert event_fires(event, 1, rng, repairs_completed=0)
+
+    def test_probability_draw_is_consumed_even_when_scheduled(self):
+        # Stream alignment: the Bernoulli draw happens whether or not the
+        # deterministic trigger already fired, so downstream draws agree.
+        event = EventSpec(kind="attack", kwargs={"node_budget": 1}, at_epochs=(0,), probability=0.5)
+        rng_a = np.random.default_rng(1)
+        rng_b = np.random.default_rng(1)
+        event_fires(event, 0, rng_a, repairs_completed=0)  # scheduled anyway
+        rng_b.random()
+        assert rng_a.random() == rng_b.random()
+
+    def test_cascade_needs_completed_repairs(self):
+        event = EventSpec(kind="cascade", at_epochs=(0,))
+        rng = np.random.default_rng(0)
+        assert not event_fires(event, 0, rng, repairs_completed=0)
+        assert event_fires(event, 0, rng, repairs_completed=1)
+
+
+class TestApplyEvent:
+    def test_returns_only_newly_broken_elements(self):
+        supply = damaged_line()
+        before_nodes = set(supply.broken_nodes)
+        event = EventSpec(
+            kind="aftershock", kwargs={"variance": 100.0, "intensity": 1.0}, at_epochs=(0,)
+        )
+        struck, fresh, error = apply_event(event, supply, np.random.default_rng(0))
+        assert error is None
+        for kind, element in fresh:
+            if kind == "node":
+                assert element not in before_nodes
+                assert struck.is_broken_node(element)
+
+    def test_original_supply_is_not_mutated(self):
+        supply = damaged_line()
+        before = (set(supply.broken_nodes), set(supply.broken_edges))
+        event = EventSpec(
+            kind="aftershock", kwargs={"variance": 100.0, "intensity": 1.0}, at_epochs=(0,)
+        )
+        apply_event(event, supply, np.random.default_rng(0))
+        assert (set(supply.broken_nodes), set(supply.broken_edges)) == before
+
+    def test_misconfigured_event_reports_error_instead_of_raising(self):
+        # An aftershock needs node positions; a bare graph has none.
+        supply = SupplyGraph()
+        supply.add_node("a")
+        supply.add_node("b")
+        supply.add_edge("a", "b", capacity=1.0)
+        event = EventSpec(kind="aftershock", kwargs={"variance": 2.0}, at_epochs=(0,))
+        struck, fresh, error = apply_event(event, supply, np.random.default_rng(0))
+        assert struck is supply
+        assert fresh == []
+        assert error

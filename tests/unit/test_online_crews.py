@@ -1,0 +1,77 @@
+"""Tests for the deterministic crew dispatch model."""
+
+import pytest
+
+from repro.online import CrewSimulator, CrewSpec
+
+NODE_A = ("node", "a")
+NODE_B = ("node", "b")
+NODE_C = ("node", "c")
+EDGE_AB = ("edge", ("a", "b"))
+
+
+class TestDispatch:
+    def test_single_crew_executes_a_prefix_in_plan_order(self):
+        # 8h day, node = 1h travel + 4h work -> 5h, edge -> 3h: the crew
+        # finishes one node and one edge, the second node never starts.
+        crews = CrewSimulator(CrewSpec(count=1), epoch_hours=8.0)
+        done = crews.execute_epoch([NODE_A, EDGE_AB, NODE_B])
+        assert done == [NODE_A, EDGE_AB]
+        assert crews.carryover() == 0
+
+    def test_more_crews_complete_more(self):
+        one = CrewSimulator(CrewSpec(count=1), epoch_hours=8.0)
+        two = CrewSimulator(CrewSpec(count=2), epoch_hours=8.0)
+        steps = [NODE_A, NODE_B, NODE_C, EDGE_AB]
+        assert len(two.execute_epoch(steps)) > len(one.execute_epoch(steps))
+
+    def test_zero_work_hours_still_pay_travel(self):
+        crews = CrewSimulator(
+            CrewSpec(count=1, node_hours=0.0, travel_hours=3.0), epoch_hours=10.0
+        )
+        # Each dispatch costs 3h travel: 3 sites fit in 10h, the 4th does not.
+        done = crews.execute_epoch([NODE_A, NODE_B, NODE_C, ("node", "d")])
+        assert done == [NODE_A, NODE_B, NODE_C]
+
+    def test_epoch_must_exceed_travel(self):
+        with pytest.raises(ValueError):
+            CrewSimulator(CrewSpec(travel_hours=8.0), epoch_hours=8.0)
+
+
+class TestPartialProgress:
+    def test_big_job_carries_over_and_finishes_next_epoch(self):
+        # node needs 10h work but a day is 6h: 5h progress in epoch one
+        # (1h travel), complete in epoch two (1h travel + 5h remaining).
+        crews = CrewSimulator(CrewSpec(count=1, node_hours=10.0), epoch_hours=6.0)
+        assert crews.execute_epoch([NODE_A]) == []
+        assert crews.carryover() == 1
+        assert crews.execute_epoch([NODE_A]) == [NODE_A]
+        assert crews.carryover() == 0
+
+    def test_progress_survives_replans_that_drop_the_step(self):
+        crews = CrewSimulator(CrewSpec(count=1, node_hours=10.0), epoch_hours=6.0)
+        crews.execute_epoch([NODE_A])  # 5h progress accrued
+        crews.execute_epoch([NODE_B])  # replan ignores a entirely
+        assert crews.carryover() == 2  # b also went partial (5h of 10h)
+        # When the plan wants a again, the old progress still counts.
+        assert crews.execute_epoch([NODE_A]) == [NODE_A]
+
+    def test_travel_is_paid_again_on_revisit(self):
+        # 10h job, 6h epochs, 2h travel: 4h progress per epoch; the job
+        # needs three epochs (4+4+2), not two — travel never accumulates.
+        crews = CrewSimulator(
+            CrewSpec(count=1, node_hours=10.0, travel_hours=2.0), epoch_hours=6.0
+        )
+        assert crews.execute_epoch([NODE_A]) == []
+        assert crews.execute_epoch([NODE_A]) == []
+        assert crews.execute_epoch([NODE_A]) == [NODE_A]
+
+
+class TestDeterminism:
+    def test_same_steps_same_completions(self):
+        steps = [NODE_A, EDGE_AB, NODE_B, NODE_C]
+        runs = []
+        for _ in range(3):
+            crews = CrewSimulator(CrewSpec(count=2), epoch_hours=8.0)
+            runs.append(crews.execute_epoch(steps))
+        assert runs[0] == runs[1] == runs[2]

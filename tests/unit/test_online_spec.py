@@ -1,0 +1,133 @@
+"""Validation and round-trip tests for the online scenario schema."""
+
+import json
+
+import pytest
+
+from repro.api.requests import DemandSpec, DisruptionSpec, TopologySpec
+from repro.online import CrewSpec, EventSpec, FogSpec, OnlineScenarioSpec
+
+
+def make_spec(**changes) -> OnlineScenarioSpec:
+    defaults = dict(
+        topology=TopologySpec("grid", kwargs={"rows": 3, "cols": 3}),
+        disruption=DisruptionSpec("gaussian", kwargs={"variance": 2.0}),
+        demand=DemandSpec("routable-far-apart", num_pairs=2, flow_per_pair=2.0),
+        seed=7,
+        epochs=3,
+        events=(EventSpec(kind="cascade", probability=0.5),),
+    )
+    defaults.update(changes)
+    return OnlineScenarioSpec(**defaults)
+
+
+class TestCrewSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CrewSpec(count=0)
+        with pytest.raises(ValueError):
+            CrewSpec(travel_hours=-1.0)
+
+    def test_work_hours_by_kind(self):
+        crews = CrewSpec(node_hours=5.0, edge_hours=3.0)
+        assert crews.work_hours("node") == 5.0
+        assert crews.work_hours("edge") == 3.0
+
+    def test_round_trip(self):
+        crews = CrewSpec(count=3, node_hours=6.0, edge_hours=1.5, travel_hours=0.5)
+        assert CrewSpec.from_dict(json.loads(json.dumps(crews.to_dict()))) == crews
+
+
+class TestFogSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FogSpec(hidden_fraction=1.5)
+        with pytest.raises(ValueError):
+            FogSpec(reveal_per_epoch=-1)
+
+    def test_round_trip(self):
+        fog = FogSpec(hidden_fraction=0.25, reveal_per_epoch=3)
+        assert FogSpec.from_dict(json.loads(json.dumps(fog.to_dict()))) == fog
+
+
+class TestEventSpec:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown event kind"):
+            EventSpec(kind="meteor", probability=0.5)
+
+    def test_needs_a_trigger(self):
+        with pytest.raises(ValueError, match="needs a trigger"):
+            EventSpec(kind="cascade")
+
+    def test_unknown_model_kwargs_rejected_eagerly(self):
+        with pytest.raises(ValueError, match="unknown aftershock event parameter"):
+            EventSpec(kind="aftershock", kwargs={"variance": 2.0, "blast": 9}, every=1)
+
+    def test_invalid_model_kwargs_rejected_eagerly(self):
+        # variance is required by the aftershock model; the spec must fail
+        # at construction, not halfway into a campaign.
+        with pytest.raises(ValueError):
+            EventSpec(kind="aftershock", every=1)
+
+    def test_scheduling(self):
+        event = EventSpec(kind="attack", kwargs={"node_budget": 1}, at_epochs=(2,), every=2)
+        # at_epochs is index-based, every is 1-based cadence.
+        assert not event.scheduled(0)
+        assert event.scheduled(1)  # every=2 -> epochs 1, 3, ...
+        assert event.scheduled(2)  # listed explicitly
+        assert event.scheduled(3)
+
+    def test_attack_defaults_to_adaptive(self):
+        event = EventSpec(kind="attack", kwargs={"node_budget": 1}, every=1)
+        assert event.build_model().adaptive is True
+
+    def test_round_trip(self):
+        event = EventSpec(
+            kind="aftershock",
+            kwargs={"variance": 4.0, "num_epicenters": 1},
+            at_epochs=(1, 3),
+            probability=0.25,
+        )
+        assert EventSpec.from_dict(json.loads(json.dumps(event.to_dict()))) == event
+
+
+class TestOnlineScenarioSpec:
+    def test_unknown_algorithms_rejected(self):
+        with pytest.raises(KeyError):
+            make_spec(algorithm="NOPE")
+        with pytest.raises(KeyError):
+            make_spec(baseline_algorithm="NOPE")
+
+    def test_algorithm_names_upper_cased(self):
+        spec = make_spec(algorithm="isp", baseline_algorithm="opt")
+        assert spec.algorithm == "ISP"
+        assert spec.baseline_algorithm == "OPT"
+
+    def test_timeline_validation(self):
+        with pytest.raises(ValueError):
+            make_spec(epochs=0)
+        with pytest.raises(ValueError):
+            make_spec(epoch_hours=0.0)
+        with pytest.raises(ValueError, match="travel_hours"):
+            make_spec(epoch_hours=1.0, crews=CrewSpec(travel_hours=2.0))
+
+    def test_dict_events_coerced(self):
+        spec = make_spec(events=({"kind": "cascade", "probability": 0.5},))
+        assert isinstance(spec.events[0], EventSpec)
+        assert spec.events[0].kind == "cascade"
+
+    def test_round_trip_through_json(self):
+        spec = make_spec(
+            algorithm="SRT",
+            crews=CrewSpec(count=3),
+            fog=FogSpec(hidden_fraction=0.2),
+            opt_time_limit=12.5,
+        )
+        payload = json.loads(json.dumps(spec.to_dict()))
+        assert OnlineScenarioSpec.from_dict(payload) == spec
+
+    def test_digest_is_stable_and_discriminating(self):
+        spec = make_spec()
+        assert spec.digest() == make_spec().digest()
+        assert spec.digest() != make_spec(seed=8).digest()
+        assert spec.digest() != make_spec(fog=FogSpec(hidden_fraction=0.1)).digest()

@@ -53,6 +53,58 @@ class TestScenarioGenerator:
         b = ScenarioGenerator(space=SMALL_SPACE, seed=2).requests(4)
         assert [r.digest() for r in a] != [r.digest() for r in b]
 
+    def test_sample_request_is_the_single_draw_primitive(self):
+        # requests(n) is exactly n sample_request() calls on the same
+        # stream: interleaving the two APIs must give identical draws.
+        batch = ScenarioGenerator(space=SMALL_SPACE, seed=3).requests(3)
+        generator = ScenarioGenerator(space=SMALL_SPACE, seed=3)
+        singles = [generator.sample_request() for _ in range(3)]
+        assert [r.digest() for r in singles] == [r.digest() for r in batch]
+
+    def test_sample_request_materialises(self):
+        import numpy as np
+
+        from repro.api.requests import materialise_instance
+        from repro.engine.tasks import cell_seed_sequence, root_entropy
+
+        request = ScenarioGenerator(space=SMALL_SPACE, seed=11).sample_request()
+        rng = np.random.default_rng(cell_seed_sequence(root_entropy(request.seed), 0, 0))
+        supply, demand, _ = materialise_instance(
+            request.topology, request.disruption, request.demand, rng
+        )
+        assert demand.total_demand > 0
+
+
+class TestSampleOnlineSpec:
+    def test_sampled_spec_is_valid_and_seeded(self):
+        from repro.online import OnlineScenarioSpec
+
+        spec = ScenarioGenerator(space=SMALL_SPACE, seed=5).sample_online_spec(epochs=3)
+        assert isinstance(spec, OnlineScenarioSpec)
+        assert spec.epochs == 3
+        assert len(spec.events) == 1
+        assert spec.opt_time_limit == SMALL_SPACE.opt_time_limit
+
+    def test_sampling_is_deterministic(self):
+        a = ScenarioGenerator(space=SMALL_SPACE, seed=5).sample_online_spec()
+        b = ScenarioGenerator(space=SMALL_SPACE, seed=5).sample_online_spec()
+        assert a.digest() == b.digest()
+
+    def test_distinct_seeds_vary_the_temporal_layer(self):
+        digests = {
+            ScenarioGenerator(space=SMALL_SPACE, seed=seed).sample_online_spec().digest()
+            for seed in range(6)
+        }
+        assert len(digests) > 1
+
+    def test_custom_events_menu(self):
+        menu = ({"kind": "cascade", "probability": 0.9},)
+        spec = ScenarioGenerator(space=SMALL_SPACE, seed=5).sample_online_spec(
+            events_menu=menu
+        )
+        assert spec.events[0].kind == "cascade"
+        assert spec.events[0].probability == 0.9
+
 
 class TestRunFuzz:
     def test_verified_campaign_is_clean(self):
