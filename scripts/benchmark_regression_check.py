@@ -48,6 +48,7 @@ METRICS_BY_KIND: Dict[str, Tuple[str, ...]] = {
         "completed_rps",
         "served_solves_per_sec",
         "overhead_benchmark.served_solves_per_sec",
+        "sharding_benchmark.sharded_solves_per_sec",
     ),
     "opt-bench": (
         "geomean_speedup",

@@ -514,6 +514,7 @@ def _command_online(args: argparse.Namespace) -> int:
 
 def _command_serve(args: argparse.Namespace) -> int:
     from repro.server.daemon import ServerConfig, run_server
+    from repro.server.stores import StoreSchemaError
 
     if args.workers < 1:
         raise SystemExit("--workers must be at least 1")
@@ -521,6 +522,8 @@ def _command_serve(args: argparse.Namespace) -> int:
         raise SystemExit("--max-queue-depth must be at least 1")
     if args.claim_batch < 1:
         raise SystemExit("--claim-batch must be at least 1")
+    if args.shards is not None and args.shards < 1:
+        raise SystemExit("--shards must be at least 1")
     config = ServerConfig(
         db=args.db,
         host=args.host,
@@ -532,10 +535,11 @@ def _command_serve(args: argparse.Namespace) -> int:
         claim_batch=args.claim_batch,
         portfolio=args.portfolio,
         opt_strategy=args.opt_strategy,
+        shards=args.shards,
     )
     try:
         return run_server(config)
-    except (KeyError, ValueError) as error:
+    except (KeyError, ValueError, StoreSchemaError) as error:
         raise SystemExit(str(error.args[0])) from None
     except OSError as error:
         raise SystemExit(f"cannot serve on {args.host}:{args.port}: {error}") from None
@@ -557,6 +561,7 @@ def _command_loadtest(args: argparse.Namespace) -> int:
             out=args.out,
             wait_timeout=args.wait_timeout,
             measure_direct=args.measure_direct,
+            arrival=args.arrival,
         )
     except (KeyError, ValueError) as error:
         raise SystemExit(str(error.args[0])) from None
@@ -927,6 +932,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=4,
         help="jobs a worker claims per store round-trip",
     )
+    serve.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="job-store shard files (default: auto-detect an existing store's "
+        "layout, single file for a new one; 1 forces the classic single "
+        "file, N >= 2 turns --db into a directory of N consistent-hash "
+        "shards)",
+    )
     _add_lp_backend_argument(serve)
     _add_opt_strategy_argument(serve)
     serve.add_argument(
@@ -955,6 +969,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="size of the sampled request pool (smaller than rps*duration => dedup traffic)",
     )
     loadtest.add_argument("--seed", type=int, default=0, help="seed of the traffic trace")
+    loadtest.add_argument(
+        "--arrival",
+        choices=("uniform", "bursty"),
+        default="uniform",
+        help="open-loop arrival model: evenly paced, or flash-crowd bursts "
+        "at the same long-run rate",
+    )
     loadtest.add_argument(
         "--scenario-space",
         default="tiny",

@@ -24,7 +24,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.server.http import DEFAULT_MAX_QUEUE_DEPTH, RecoveryServer
-from repro.server.store import DEFAULT_MAX_ATTEMPTS, JobStore
+from repro.server.stores import DEFAULT_MAX_ATTEMPTS, open_store
 from repro.server.workers import DEFAULT_CLAIM_BATCH, DEFAULT_POLL_INTERVAL, WorkerFleet
 
 #: Default TCP port of the recovery daemon.
@@ -52,6 +52,13 @@ class ServerConfig:
     #: Process-wide OPT strategy for the worker fleet ("monolithic" /
     #: "decomposed" / "auto"); ``None`` keeps the environment default.
     opt_strategy: Optional[str] = None
+    #: Job-store shard count: ``None`` (the default) auto-detects the
+    #: layout of an existing ``db`` path (single file vs shard fleet) and
+    #: creates a classic single SQLite file when the path is new; 1 forces
+    #: the single file, N >= 2 turns ``db`` into a directory of N shard
+    #: files behind the consistent-hash coordinator (see
+    #: ``repro.server.stores.sharded``).
+    shards: Optional[int] = None
 
 
 async def serve(config: ServerConfig, ready: Optional[asyncio.Event] = None) -> None:
@@ -81,7 +88,8 @@ async def serve(config: ServerConfig, ready: Optional[asyncio.Event] = None) -> 
         # it — the strategy is process-level, never a request field.
         os.environ[OPT_STRATEGY_ENV_VAR] = resolve_opt_strategy(config.opt_strategy)
 
-    store = JobStore(config.db)
+    store = open_store(config.db, shards=config.shards)
+    shards = getattr(store, "shards", 1)  # actual layout (auto-detected)
     orphans = store.requeue_orphans()
     if orphans:
         print(f"repro.server: requeued {orphans} orphaned running job(s)", file=sys.stderr)
@@ -94,6 +102,7 @@ async def serve(config: ServerConfig, ready: Optional[asyncio.Event] = None) -> 
         max_attempts=config.max_attempts,
         claim_batch=config.claim_batch,
         portfolio=config.portfolio,
+        shards=shards,
     )
     fleet.start()
 
@@ -109,7 +118,7 @@ async def serve(config: ServerConfig, ready: Optional[asyncio.Event] = None) -> 
         await front.start(host=config.host, port=config.port)
         print(
             f"repro.server listening on http://{config.host}:{front.port} "
-            f"(workers={config.workers}, db={config.db})",
+            f"(workers={config.workers}, shards={shards}, db={config.db})",
             file=sys.stderr,
             flush=True,
         )

@@ -44,14 +44,15 @@ than handing them to a thread pool, so handlers call the store directly.
 from __future__ import annotations
 
 import asyncio
+import inspect
 import json
 import time
 from collections import OrderedDict
-from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.api.requests import AssessmentRequest, RecoveryRequest, request_from_dict
 from repro.portfolio import pending_algorithms
-from repro.server.store import JobRecord, JobStore, STATES
+from repro.server.stores import JobRecord, JobStore, STATES
 
 #: Largest accepted request body; beyond it the request is a 400.
 DEFAULT_MAX_BODY_BYTES = 1_048_576
@@ -111,6 +112,17 @@ class RecoveryServer:
         self.workers_alive = workers_alive or (lambda: 0)
         self.worker_ids = worker_ids
         self.on_enqueue = on_enqueue
+        # Whether the enqueue callback accepts a shard list (the fleet's
+        # notifier does; plain zero-arg callbacks from tests and external
+        # integrations do not).  Decided once so the submit path never pays
+        # for introspection.
+        self._enqueue_accepts_shards = False
+        if on_enqueue is not None:
+            try:
+                inspect.signature(on_enqueue).bind([0])
+                self._enqueue_accepts_shards = True
+            except (TypeError, ValueError):
+                pass
         self.max_queue_depth = int(max_queue_depth)
         self.max_body_bytes = int(max_body_bytes)
         self.expected_workers = expected_workers
@@ -324,12 +336,24 @@ class RecoveryServer:
             entry["bodies"][flavor] = body
         return body
 
-    def _notify_enqueue(self) -> None:
-        if self.on_enqueue is not None:
-            try:
+    def _notify_enqueue(self, digests: Sequence[str] = ()) -> None:
+        """Nudge the fleet about fresh queue work.
+
+        On a sharded store the nudge carries the owning shards of the
+        enqueued digests, so the fleet can wake the workers homed on them
+        instead of everyone; zero-arg callbacks (tests, external
+        integrations) and single-file stores get the plain broadcast.
+        """
+        if self.on_enqueue is None:
+            return
+        try:
+            shard_of = getattr(self.store, "shard_of", None)
+            if self._enqueue_accepts_shards and digests and shard_of is not None:
+                self.on_enqueue(sorted({shard_of(digest) for digest in digests}))
+            else:
                 self.on_enqueue()
-            except Exception:
-                pass  # a wakeup nudge must never fail a submission
+        except Exception:
+            pass  # a wakeup nudge must never fail a submission
 
     # ------------------------------------------------------------------ #
     # Routing
@@ -409,12 +433,17 @@ class RecoveryServer:
                 {"job": existing.to_dict(include_request=False), "deduplicated": True},
                 "application/json",
             )
-        if self.store.queue_depth() >= self.max_queue_depth:
+        # One depth read decides *and* reports: a second read could disagree
+        # with the one that triggered the rejection (workers drain the queue
+        # between the two), making the body lie about why the client was
+        # turned away.
+        queue_depth = self.store.queue_depth()
+        if queue_depth >= self.max_queue_depth:
             return (
                 429,
                 {
                     "error": "queue full",
-                    "queue_depth": self.store.queue_depth(),
+                    "queue_depth": queue_depth,
                     "max_queue_depth": self.max_queue_depth,
                 },
                 "application/json",
@@ -423,7 +452,7 @@ class RecoveryServer:
         # — both trigger a fresh execution, so both are 202 and neither is a
         # dedup hit (a retry is requeued work, not a cached answer).
         record, _ = self.store.submit(request)
-        self._notify_enqueue()
+        self._notify_enqueue((record.digest,))
         return (
             202,
             {"job": record.to_dict(include_request=False), "deduplicated": False},
@@ -473,12 +502,15 @@ class RecoveryServer:
             seen_fresh[digest] = len(fresh)
             fresh.append(request)
             plan.append(("fresh", digest))
-        if self.store.queue_depth() + len(fresh) > self.max_queue_depth:
+        # Same single-read rule as _submit: the depth that triggers the 429
+        # is the depth the body reports.
+        queue_depth = self.store.queue_depth()
+        if queue_depth + len(fresh) > self.max_queue_depth:
             return (
                 429,
                 {
                     "error": "queue full",
-                    "queue_depth": self.store.queue_depth(),
+                    "queue_depth": queue_depth,
                     "admitting": len(fresh),
                     "max_queue_depth": self.max_queue_depth,
                 },
@@ -491,7 +523,7 @@ class RecoveryServer:
         if fresh:
             for record, _ in self.store.submit_many(fresh):
                 submitted[record.digest] = record
-            self._notify_enqueue()
+            self._notify_enqueue(tuple(submitted))
         jobs = []
         for kind, value in plan:
             if kind == "done":
@@ -599,6 +631,11 @@ class RecoveryServer:
             "Schema version of the job store.",
         )
         gauge(
+            "repro_store_shards",
+            getattr(self.store, "shards", 1),
+            "Shard files behind the job store (1 = single file).",
+        )
+        gauge(
             "repro_envelope_cache_size",
             len(self._done_cache),
             "Done envelopes held by the fast-path LRU.",
@@ -650,7 +687,7 @@ class RecoveryServer:
         latencies = self.store.solve_latencies()
         lines.append(
             "# HELP repro_solve_latency_seconds Execution time of completed jobs "
-            "(claim to completion)."
+            "(claim to first completion; portfolio upgrades do not re-enter)."
         )
         lines.append("# TYPE repro_solve_latency_seconds histogram")
         cumulative = 0

@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import concurrent.futures
 import dataclasses
+import random
 import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Union
@@ -70,6 +71,50 @@ SCENARIO_SPACES: Dict[str, ScenarioSpace] = {
     "tiny": TINY_SPACE,
     "default": ScenarioSpace(),
 }
+
+
+#: Arrival models addressable from the CLI's ``--arrival`` flag.
+ARRIVAL_MODELS = ("uniform", "bursty")
+
+#: Largest burst the bursty model emits (sizes are uniform on 1..7, mean 4).
+_MAX_BURST = 7
+
+
+def arrival_offsets(
+    total: int, rps: float, arrival: str = "uniform", seed: int = 0
+) -> List[float]:
+    """Ideal submission instants (seconds from replay start) for ``total`` jobs.
+
+    ``uniform`` is the classic evenly paced open-loop schedule
+    (``index / rps``).  ``bursty`` models flash-crowd traffic: submissions
+    arrive in back-to-back bursts (uniform size 1..7) separated by
+    exponential gaps whose mean keeps the long-run rate at ``rps`` — the
+    same offered load, delivered in spikes that stress queueing, admission
+    control and (on a sharded store) the claim coordinator far harder than
+    an even drip.  Deterministic for a given ``seed``, so one integer still
+    reproduces the whole trace.
+    """
+    if rps <= 0:
+        raise ValueError("rps must be positive")
+    total = int(total)
+    if total < 1:
+        return []
+    if arrival == "uniform":
+        return [index / rps for index in range(total)]
+    if arrival != "bursty":
+        raise ValueError(
+            f"unknown arrival model {arrival!r}; available: {', '.join(ARRIVAL_MODELS)}"
+        )
+    rng = random.Random(seed)
+    offsets: List[float] = []
+    clock = 0.0
+    while len(offsets) < total:
+        burst = min(rng.randint(1, _MAX_BURST), total - len(offsets))
+        offsets.extend(clock for _ in range(burst))
+        # gap mean = burst / rps, so every (burst, gap) pair locally
+        # sustains the target rate and the long-run average converges on it
+        clock += rng.expovariate(rps / burst)
+    return offsets
 
 
 def percentile(values: Sequence[float], fraction: float) -> float:
@@ -119,6 +164,7 @@ class LoadtestReport:
     paced_vs_direct_pct: Optional[float] = None
     seed: int = 0
     scenario_space: str = "tiny"
+    arrival: str = "uniform"
     failures: List[Dict[str, str]] = field(default_factory=list)
 
     @property
@@ -175,6 +221,7 @@ class LoadtestReport:
             "duration_seconds": float(self.duration_seconds),
             "seed": int(self.seed),
             "scenario_space": self.scenario_space,
+            "arrival": self.arrival,
             "submissions": int(self.submissions),
             "accepted": int(self.accepted),
             "rejected": int(self.rejected),
@@ -213,6 +260,7 @@ def run_loadtest(
     wait_timeout: float = 120.0,
     client: Optional[ServiceClient] = None,
     measure_direct: bool = False,
+    arrival: str = "uniform",
 ) -> LoadtestReport:
     """Replay generated traffic against the daemon at ``url``.
 
@@ -223,6 +271,9 @@ def run_loadtest(
     the distinct pool in-process after the campaign and records the
     paced-vs-direct rate ratio (``paced_vs_direct_pct`` — a traffic-shape
     number, not a serve-path overhead; see the module docstring).
+    ``arrival`` picks the open-loop schedule: ``uniform`` paces evenly,
+    ``bursty`` delivers the same offered load as flash-crowd spikes (see
+    :func:`arrival_offsets`).
     """
     if rps <= 0:
         raise ValueError("--rps must be positive")
@@ -248,6 +299,8 @@ def run_loadtest(
 
     generator = ScenarioGenerator(space=space, seed=seed)
     total = max(1, round(rps * duration))
+    # computed up front so an unknown arrival model fails before any traffic
+    offsets = arrival_offsets(total, rps, arrival=arrival, seed=seed)
     pool = [request.to_dict() for request in generator.requests(min(distinct, total))]
 
     report = LoadtestReport(
@@ -255,6 +308,7 @@ def run_loadtest(
         duration_seconds=float(duration),
         seed=int(seed),
         scenario_space=space_name,
+        arrival=arrival,
         submissions=total,
         unique_jobs=len(pool),
     )
@@ -283,7 +337,7 @@ def run_loadtest(
     with concurrent.futures.ThreadPoolExecutor(max_workers=max_threads) as executor:
         futures = []
         for index in range(total):
-            target = replay_start + index / rps
+            target = replay_start + offsets[index]
             delay = target - time.perf_counter()
             if delay > 0:
                 time.sleep(delay)
@@ -385,9 +439,11 @@ def run_loadtest(
 
 
 __all__ = [
+    "ARRIVAL_MODELS",
     "LoadtestReport",
     "SCENARIO_SPACES",
     "TINY_SPACE",
+    "arrival_offsets",
     "percentile",
     "run_loadtest",
 ]

@@ -1,0 +1,203 @@
+"""The ``JobStore`` backend contract: what every store implementation owes.
+
+PR 5–7 grew the single-file SQLite store organically; the HTTP front end,
+the worker fleet and the portfolio racer all lean on its behaviour without
+naming it.  This module makes the contract explicit so a second backend
+(the sharded fleet in :mod:`repro.server.stores.sharded`) can honour the
+*same* invariants, and so the parametrized contract suite
+(``tests/unit/test_store_contract.py``) can hold every backend to them.
+
+Invariants (the contract)
+-------------------------
+Every backend — one SQLite file, N shard files, or anything future —
+must provide all of the following, **identically**:
+
+Identity & dedup
+    A job *is* its :func:`~repro.api.requests.config_digest`.  Submitting
+    a digest that already exists returns the stored row
+    (``created=False``); two racing submitters of the same digest create
+    exactly one row.  The only exception: resubmitting a **failed** digest
+    requeues it with a fresh attempt budget and a cleared error.
+
+Lifecycle
+    ``queued → running → done | failed``.  ``done`` rows are terminal and
+    immutable except through :meth:`JobStoreBackend.upgrade_result`, which
+    replaces the envelope of a done row in place (the portfolio path) and
+    refreshes ``finished_at`` but never ``first_finished_at`` — the
+    latency histogram measures claim → *first* answer.
+
+Claims
+    :meth:`JobStoreBackend.claim_batch` hands each queued job to exactly
+    one of any number of racing claimers, oldest
+    ``(created_at, digest)`` first, and increments its attempt count.
+    A claim is atomic: there is no observable intermediate state.
+
+Claim-holder guard
+    :meth:`JobStoreBackend.complete` and :meth:`JobStoreBackend.fail`
+    only land while the row is ``running`` (and, when a worker id is
+    given, still assigned to that worker).  A worker that lost its claim
+    to a requeue can never overwrite the new holder's outcome.
+
+Poison budget
+    A queued job whose attempt count has reached ``max_attempts`` is
+    failed by the next claim sweep instead of being handed out again.
+    The sweep *appends* to any recorded root-cause error rather than
+    overwriting it, and performs no write at all when no queued row has
+    exhausted its budget.
+
+Crash recovery
+    :meth:`JobStoreBackend.requeue_orphans` returns every ``running`` row
+    to the queue (attempt counts preserved) and records a breadcrumb of
+    the vanished worker in ``error`` so the poison sweep can report a
+    root cause.  Terminal rows are never touched.
+
+Warm topology sidecar
+    ``save_topology`` is write-once per digest; ``load_topologies``
+    returns every stored payload not in the caller's exclusion set,
+    regardless of which handle (or shard) stored it.
+
+Worker beacons
+    ``record_worker_stats`` upserts one counter snapshot per worker id;
+    ``worker_ids`` lists every worker that has reported (the readiness
+    beacon ``/healthz`` counts); ``worker_stats_totals`` sums numeric
+    counters across the whole fleet, each worker counted once.
+
+Anything *not* in this contract — migration chains, shard layouts, SQL —
+is backend-private.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    Any,
+    Dict,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    Union,
+    runtime_checkable,
+)
+
+from repro.api.requests import (
+    AssessmentRequest,
+    RecoveryRequest,
+    config_digest,
+    request_from_dict,
+)
+
+Request = Union[AssessmentRequest, RecoveryRequest]
+
+#: A claim marks a job failed instead of running it again once a worker has
+#: already attempted it this many times (poison-job guard: a job that
+#: crashes its worker would otherwise be requeued and crash the next one,
+#: forever).
+DEFAULT_MAX_ATTEMPTS = 3
+
+#: The job lifecycle, in order.
+STATES = ("queued", "running", "done", "failed")
+
+
+class StoreSchemaError(RuntimeError):
+    """The database speaks a schema this library does not understand."""
+
+
+def canonical_request(request: Union[Request, Dict[str, Any]]):
+    """``(parsed, payload, digest)`` for a request object or raw payload.
+
+    Every backend canonicalises through the schema classes first, so two
+    payloads describing the same instance (however the client ordered or
+    defaulted their fields) land on the same digest — the property that
+    makes routing by digest and dedup by digest the same decision.
+    """
+    if isinstance(request, (AssessmentRequest, RecoveryRequest)):
+        parsed = request
+    else:
+        parsed = request_from_dict(dict(request))
+    payload = parsed.to_dict()
+    return parsed, payload, config_digest(payload)
+
+
+@runtime_checkable
+class JobStoreBackend(Protocol):
+    """Structural type of a job-store backend (see the module docstring).
+
+    ``repro.server.http``, ``repro.server.workers`` and
+    ``repro.server.daemon`` program against this protocol only; which
+    concrete backend they get is decided once, by
+    :func:`repro.server.stores.open_store`.
+    """
+
+    # -- lifecycle ----------------------------------------------------- #
+    @property
+    def schema_version(self) -> int: ...
+
+    def close(self) -> None: ...
+
+    # -- submission (idempotent by digest) ----------------------------- #
+    def submit(self, request: Union[Request, Dict[str, Any]]) -> Tuple[Any, bool]: ...
+
+    def submit_many(
+        self, requests: Sequence[Union[Request, Dict[str, Any]]]
+    ) -> List[Tuple[Any, bool]]: ...
+
+    # -- worker side --------------------------------------------------- #
+    def claim(
+        self, worker: str, max_attempts: int = DEFAULT_MAX_ATTEMPTS
+    ) -> Optional[Any]: ...
+
+    def claim_batch(
+        self, worker: str, limit: int = 1, max_attempts: int = DEFAULT_MAX_ATTEMPTS
+    ) -> List[Any]: ...
+
+    def complete(
+        self, digest: str, result: Dict[str, Any], worker: Optional[str] = None
+    ) -> bool: ...
+
+    def upgrade_result(
+        self, digest: str, result: Dict[str, Any], worker: Optional[str] = None
+    ) -> bool: ...
+
+    def fail(self, digest: str, error: str, worker: Optional[str] = None) -> bool: ...
+
+    def requeue_orphans(self) -> int: ...
+
+    # -- lookups and metrics ------------------------------------------- #
+    def get(self, digest: str) -> Optional[Any]: ...
+
+    def jobs(self, state: Optional[str] = None, limit: int = 1000) -> List[Any]: ...
+
+    def counts(self) -> Dict[str, int]: ...
+
+    def queue_depth(self) -> int: ...
+
+    def solve_latencies(self, limit: int = 2048) -> List[float]: ...
+
+    def solve_latency_samples(self, limit: int = 2048) -> List[Tuple[float, float]]: ...
+
+    # -- warm topology sidecar ----------------------------------------- #
+    def save_topology(self, digest: str, payload: bytes) -> bool: ...
+
+    def load_topologies(
+        self, exclude: Optional[Sequence[str]] = None
+    ) -> Dict[str, bytes]: ...
+
+    def topology_digests(self) -> List[str]: ...
+
+    # -- worker-reported counters -------------------------------------- #
+    def record_worker_stats(self, worker: str, counters: Dict[str, float]) -> None: ...
+
+    def worker_ids(self) -> List[str]: ...
+
+    def worker_stats_totals(self) -> Dict[str, float]: ...
+
+
+__all__ = [
+    "DEFAULT_MAX_ATTEMPTS",
+    "JobStoreBackend",
+    "Request",
+    "STATES",
+    "StoreSchemaError",
+    "canonical_request",
+]

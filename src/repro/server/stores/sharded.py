@@ -1,0 +1,377 @@
+"""The sharded job store: N SQLite shard files behind one coordinator.
+
+One WAL file has one writer at a time; under a heavy enough submit/claim
+mix the write lock — not the solvers — becomes the ceiling.  This backend
+splits the job population across ``N`` independent
+:class:`~repro.server.stores.sqlite.SQLiteJobStore` files so unrelated
+jobs never contend for the same lock, while presenting the exact same
+:class:`~repro.server.stores.base.JobStoreBackend` surface (and passing
+the same contract suite) as the single file.
+
+Routing
+-------
+A job lives on exactly one shard, chosen by **consistent hash on its
+``config_digest``** — the same digest that identifies the job everywhere
+else, so routing, dedup and result lookup are all the same decision.  The
+ring hashes ``{vnode}:{shard}`` points (64 virtual nodes per shard,
+sha256) and routes a digest to the first point at or clockwise of its own
+hash; adding a shard count later moves only ~1/N of the keyspace.
+Topology-cache digests and worker-stats ids ride the same ring, so each
+sidecar row also lives on exactly one shard.
+
+On-disk layout
+--------------
+``--shards N`` (N ≥ 2) turns the store path into a *directory*::
+
+    jobs.db/
+        shards.json     <- manifest: {"layout": "sharded", "shards": N}
+        shard-00.db     <- plain single-file stores, one per shard
+        shard-01.db     (+ their WAL/SHM sidecars)
+        ...
+
+The manifest pins the shard count: every later open (daemon restarts,
+worker processes, ops tooling) must agree with it, because re-ringing an
+existing fleet would route digests away from their rows.  Each shard file
+migrates itself through the normal single-file ``_MIGRATIONS`` chain —
+there is no shard-level migration machinery to keep in sync.
+
+Cross-shard semantics
+---------------------
+Digest-keyed calls (submit, get, complete, fail, upgrade) go straight to
+the owning shard and inherit its atomicity.  The only operation that is
+genuinely global is the claim: FIFO must hold across the *whole* queue,
+not per shard, so :meth:`ShardedJobStore.claim_batch` peeks every shard's
+oldest queued jobs, merges them by ``(created_at, digest)``, and claims
+the winners with targeted atomic per-digest updates — a lost race (some
+other handle claimed a peeked digest first) just drops that candidate and
+re-peeks.  Exactly-once still holds because every targeted claim is a
+single ``UPDATE ... RETURNING`` on its shard.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.server.stores.base import (
+    DEFAULT_MAX_ATTEMPTS,
+    Request,
+    STATES,
+    StoreSchemaError,
+    canonical_request,
+)
+from repro.server.stores.sqlite import JobRecord, SQLiteJobStore
+from repro.utils.jsonio import write_json
+
+#: Virtual nodes per shard on the hash ring — enough that the keyspace
+#: split stays within a few percent of even for any realistic shard count.
+VNODES_PER_SHARD = 64
+
+_MANIFEST_NAME = "shards.json"
+
+
+def _ring_hash(key: str) -> int:
+    return int.from_bytes(hashlib.sha256(key.encode("utf-8")).digest()[:8], "big")
+
+
+class ConsistentHashRing:
+    """Maps digest-like keys to shard indices, stable under growth.
+
+    ``{vnode}:{shard}`` points are hashed onto a 64-bit ring; a key routes
+    to the first point at or clockwise of its own hash.  Deterministic
+    across processes and runs — every handle on the same shard count
+    computes the same ring.
+    """
+
+    def __init__(self, shards: int, vnodes: int = VNODES_PER_SHARD) -> None:
+        if shards < 1:
+            raise ValueError("a hash ring needs at least one shard")
+        self.shards = int(shards)
+        points: List[Tuple[int, int]] = []
+        for shard in range(self.shards):
+            for vnode in range(int(vnodes)):
+                points.append((_ring_hash(f"{vnode}:{shard}"), shard))
+        points.sort()
+        self._hashes = [point for point, _ in points]
+        self._owners = [owner for _, owner in points]
+
+    def shard_of(self, key: str) -> int:
+        """The shard index owning ``key``."""
+        index = bisect.bisect_left(self._hashes, _ring_hash(key))
+        if index == len(self._hashes):
+            index = 0
+        return self._owners[index]
+
+
+def _read_manifest(directory: Path) -> Optional[int]:
+    manifest = directory / _MANIFEST_NAME
+    if not manifest.exists():
+        return None
+    try:
+        payload = json.loads(manifest.read_text())
+    except ValueError as exc:
+        raise StoreSchemaError(f"unreadable shard manifest {manifest}: {exc}") from exc
+    if payload.get("layout") != "sharded" or not isinstance(payload.get("shards"), int):
+        raise StoreSchemaError(f"malformed shard manifest {manifest}: {payload!r}")
+    return int(payload["shards"])
+
+
+def shard_count(path: Union[str, Path]) -> Optional[int]:
+    """The shard count pinned at ``path``, or ``None`` for a single file.
+
+    ``open_store`` uses this to auto-detect the layout when the caller
+    does not say: a directory with a manifest is a sharded fleet, anything
+    else is the classic single file.
+    """
+    target = Path(path)
+    if target.is_dir():
+        return _read_manifest(target)
+    return None
+
+
+class ShardedJobStore:
+    """N single-file stores behind one :class:`JobStoreBackend` surface.
+
+    Opening is idempotent: the first open of a fresh path creates the
+    directory, the manifest and every shard file; later opens (other
+    processes, restarts) verify the manifest and attach.  Asking for a
+    shard count that disagrees with the manifest is an error, never a
+    silent re-ring.
+    """
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        shards: int,
+        busy_timeout: float = 10.0,
+    ) -> None:
+        if shards < 2:
+            raise ValueError(
+                "a sharded store needs at least 2 shards; use the single-file "
+                "store for shards=1"
+            )
+        self.path = Path(path)
+        if self.path.exists() and not self.path.is_dir():
+            raise StoreSchemaError(
+                f"{self.path} is a single-file store; it cannot be opened with "
+                f"--shards {shards} (re-ringing would strand existing rows)"
+            )
+        self.path.mkdir(parents=True, exist_ok=True)
+        pinned = _read_manifest(self.path)
+        if pinned is None:
+            write_json({"layout": "sharded", "shards": int(shards)}, self.path / _MANIFEST_NAME)
+        elif pinned != int(shards):
+            raise StoreSchemaError(
+                f"shard store {self.path} is pinned to {pinned} shard(s); "
+                f"got --shards {shards} (re-ringing would strand existing rows)"
+            )
+        self.shards = int(shards)
+        self.ring = ConsistentHashRing(self.shards)
+        self._stores = [
+            SQLiteJobStore(self.path / f"shard-{index:02d}.db", busy_timeout=busy_timeout)
+            for index in range(self.shards)
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Routing
+    # ------------------------------------------------------------------ #
+    def shard_of(self, digest: str) -> int:
+        """The shard index owning ``digest`` (exposed for wakeup targeting)."""
+        return self.ring.shard_of(digest)
+
+    def _owner(self, digest: str) -> SQLiteJobStore:
+        return self._stores[self.ring.shard_of(digest)]
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def schema_version(self) -> int:
+        return self._stores[0].schema_version
+
+    def close(self) -> None:
+        for store in self._stores:
+            store.close()
+
+    def __enter__(self) -> "ShardedJobStore":
+        return self
+
+    def __exit__(self, *_: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Submission (route by digest; dedup inherited from the owning shard)
+    # ------------------------------------------------------------------ #
+    def submit(self, request: Union[Request, Dict[str, Any]]) -> Tuple[JobRecord, bool]:
+        parsed, payload, digest = canonical_request(request)
+        return self._owner(digest).submit(parsed)
+
+    def submit_many(
+        self, requests: Sequence[Union[Request, Dict[str, Any]]]
+    ) -> List[Tuple[JobRecord, bool]]:
+        """Batch submit, grouped so each shard gets one transaction.
+
+        Results come back in input order, exactly like the single file.
+        """
+        routed: List[Tuple[int, Request]] = []
+        for request in requests:
+            parsed, _, digest = canonical_request(request)
+            routed.append((self.ring.shard_of(digest), parsed))
+        by_shard: Dict[int, List[int]] = {}
+        for position, (shard, _) in enumerate(routed):
+            by_shard.setdefault(shard, []).append(position)
+        results: List[Optional[Tuple[JobRecord, bool]]] = [None] * len(routed)
+        for shard, positions in by_shard.items():
+            batch = self._stores[shard].submit_many([routed[p][1] for p in positions])
+            for position, outcome in zip(positions, batch):
+                results[position] = outcome
+        return [outcome for outcome in results if outcome is not None]
+
+    # ------------------------------------------------------------------ #
+    # Worker side: globally-FIFO claims across shards
+    # ------------------------------------------------------------------ #
+    def claim(
+        self, worker: str, max_attempts: int = DEFAULT_MAX_ATTEMPTS
+    ) -> Optional[JobRecord]:
+        batch = self.claim_batch(worker, limit=1, max_attempts=max_attempts)
+        return batch[0] if batch else None
+
+    def claim_batch(
+        self, worker: str, limit: int = 1, max_attempts: int = DEFAULT_MAX_ATTEMPTS
+    ) -> List[JobRecord]:
+        """Claim up to ``limit`` oldest queued jobs **across all shards**.
+
+        Peek-then-targeted-claim: every shard reports its oldest claimable
+        digests, the coordinator merges them into one global
+        ``(created_at, digest)`` order and claims the winners with atomic
+        per-digest updates on their owning shards.  A candidate another
+        handle claimed between peek and claim simply comes back ``None``
+        and the next merge round replaces it, so exactly-once holds
+        without any cross-shard lock.  Each claim round is bounded; an
+        adversarial stream of races degrades to fewer jobs per call, never
+        to a duplicate claim.
+        """
+        if limit < 1:
+            raise ValueError("claim_batch limit must be at least 1")
+        for store in self._stores:
+            store.sweep_exhausted(max_attempts)
+        claimed: List[JobRecord] = []
+        for _ in range(3):  # re-peek rounds after lost races
+            want = int(limit) - len(claimed)
+            if want <= 0:
+                break
+            candidates: List[Tuple[float, str, int]] = []
+            for index, store in enumerate(self._stores):
+                for digest, created_at in store.peek_queued(want, max_attempts):
+                    candidates.append((created_at, digest, index))
+            candidates.sort()
+            if not candidates:
+                break
+            lost_race = False
+            for created_at, digest, index in candidates[:want]:
+                record = self._stores[index].claim_digest(worker, digest, max_attempts)
+                if record is not None:
+                    claimed.append(record)
+                else:
+                    lost_race = True
+            if not lost_race:
+                break
+        claimed.sort(key=lambda record: (record.created_at, record.digest))
+        return claimed
+
+    def complete(self, digest: str, result: Dict[str, Any], worker: Optional[str] = None) -> bool:
+        return self._owner(digest).complete(digest, result, worker)
+
+    def upgrade_result(
+        self, digest: str, result: Dict[str, Any], worker: Optional[str] = None
+    ) -> bool:
+        return self._owner(digest).upgrade_result(digest, result, worker)
+
+    def fail(self, digest: str, error: str, worker: Optional[str] = None) -> bool:
+        return self._owner(digest).fail(digest, error, worker)
+
+    def requeue_orphans(self) -> int:
+        return sum(store.requeue_orphans() for store in self._stores)
+
+    # ------------------------------------------------------------------ #
+    # Lookups and metrics (merged views)
+    # ------------------------------------------------------------------ #
+    def get(self, digest: str) -> Optional[JobRecord]:
+        return self._owner(digest).get(digest)
+
+    def jobs(self, state: Optional[str] = None, limit: int = 1000) -> List[JobRecord]:
+        if state is not None and state not in STATES:
+            raise ValueError(f"unknown job state {state!r}; valid: {', '.join(STATES)}")
+        merged: List[JobRecord] = []
+        for store in self._stores:
+            merged.extend(store.jobs(state=state, limit=limit))
+        merged.sort(key=lambda record: (-record.created_at, record.digest))
+        return merged[: int(limit)]
+
+    def counts(self) -> Dict[str, int]:
+        totals = dict.fromkeys(STATES, 0)
+        for store in self._stores:
+            for key, value in store.counts().items():
+                totals[key] += value
+        return totals
+
+    def queue_depth(self) -> int:
+        return sum(store.queue_depth() for store in self._stores)
+
+    def solve_latency_samples(self, limit: int = 2048) -> List[Tuple[float, float]]:
+        merged: List[Tuple[float, float]] = []
+        for store in self._stores:
+            merged.extend(store.solve_latency_samples(limit))
+        merged.sort(key=lambda sample: -sample[0])
+        return merged[: int(limit)]
+
+    def solve_latencies(self, limit: int = 2048) -> List[float]:
+        return [max(0.0, seconds) for _, seconds in self.solve_latency_samples(limit)]
+
+    # ------------------------------------------------------------------ #
+    # Warm topology sidecar (digest-routed writes, fleet-wide reads)
+    # ------------------------------------------------------------------ #
+    def save_topology(self, digest: str, payload: bytes) -> bool:
+        return self._stores[self.ring.shard_of(digest)].save_topology(digest, payload)
+
+    def load_topologies(self, exclude: Optional[Sequence[str]] = None) -> Dict[str, bytes]:
+        payloads: Dict[str, bytes] = {}
+        for store in self._stores:
+            payloads.update(store.load_topologies(exclude))
+        return payloads
+
+    def topology_digests(self) -> List[str]:
+        digests = set()
+        for store in self._stores:
+            digests.update(store.topology_digests())
+        return sorted(digests)
+
+    # ------------------------------------------------------------------ #
+    # Worker beacons (worker-id-routed, so each snapshot lives once)
+    # ------------------------------------------------------------------ #
+    def record_worker_stats(self, worker: str, counters: Dict[str, float]) -> None:
+        self._stores[self.ring.shard_of(worker)].record_worker_stats(worker, counters)
+
+    def worker_ids(self) -> List[str]:
+        ids = set()
+        for store in self._stores:
+            ids.update(store.worker_ids())
+        return sorted(ids)
+
+    def worker_stats_totals(self) -> Dict[str, float]:
+        totals: Dict[str, float] = {}
+        for store in self._stores:
+            for key, value in store.worker_stats_totals().items():
+                totals[key] = totals.get(key, 0.0) + value
+        return totals
+
+
+__all__ = [
+    "ConsistentHashRing",
+    "ShardedJobStore",
+    "VNODES_PER_SHARD",
+    "shard_count",
+]

@@ -1,0 +1,720 @@
+"""The single-file SQLite job store: a durable queue + result cache.
+
+One database file holds every job a daemon has ever accepted, which is what
+makes the service crash-safe: an accepted job survives daemon restarts,
+worker crashes and power loss, and a finished job's envelope is served from
+disk forever after (idempotent re-submission of the same request returns
+the stored row instead of recomputing).  This is the reference
+implementation of the :class:`~repro.server.stores.base.JobStoreBackend`
+contract; the sharded backend composes N of these.
+
+Schema (version 3)
+------------------
+``PRAGMA user_version`` carries the schema version.  Three tables:
+
+``jobs``
+    One row per accepted request, keyed by the library-wide
+    :func:`~repro.api.requests.config_digest` of the canonical request
+    payload — the same digest the engine's result cache and the service
+    session use, so "the same job" means the same thing at every layer.
+
+    =================  =======  ================================================
+    column             type     meaning
+    =================  =======  ================================================
+    digest             TEXT PK  ``config_digest(request.to_dict())``
+    kind               TEXT     ``recovery`` or ``assessment``
+    request            TEXT     canonical request payload (JSON)
+    state              TEXT     ``queued`` / ``running`` / ``done`` / ``failed``
+    result             TEXT     versioned result envelope (JSON), once ``done``
+    error              TEXT     failure detail, once ``failed``
+    attempts           INTEGER  how many times a worker claimed the job
+    worker             TEXT     id of the worker that (last) claimed the job
+    created_at         REAL     unix time of first submission
+    started_at         REAL     unix time of the (last) claim
+    finished_at        REAL     unix time the envelope reached its current form
+    first_finished_at  REAL     unix time of the *first* completion (version 3)
+    =================  =======  ================================================
+
+    ``finished_at`` moves when a portfolio upgrade replaces a done
+    envelope in place; ``first_finished_at`` never does — it is what the
+    ``/metrics`` solve-latency histogram measures (claim → first answer).
+
+``worker_stats``
+    One row per worker id: a JSON object of monotonic counters (jobs done,
+    topology-cache hits/misses, solver effort) refreshed after every job so
+    the daemon's ``/metrics`` can aggregate fleet-wide totals without
+    talking to worker processes.
+
+``topology_cache`` (version 2)
+    The fleet-shared warm cache of *pristine* deterministic topologies:
+    one serialized :class:`~repro.network.supply.SupplyGraph` per topology
+    digest.  The first worker to build a topology persists it; every other
+    worker (and every later daemon run) loads it instead of paying the
+    build again.  Rows are write-once — a digest names exactly one
+    deterministic build, so the payload never changes.
+
+Migration policy
+----------------
+Opening a database whose ``user_version`` is *newer* than this library
+raises :class:`StoreSchemaError` (never guess at a future format).  An
+*older* version is migrated in-place inside one transaction by the
+``_MIGRATIONS`` chain (version 2 adds ``topology_cache``; version 3 adds
+``jobs.first_finished_at``, backfilled from ``finished_at`` — the best
+available approximation for rows that predate the split).  Removing or
+renaming a column requires a new version — the store never alters the
+meaning of an existing column in place.
+
+Concurrency
+-----------
+WAL journal mode lets the HTTP front end read (counts, job lookups) while
+workers write.  Every mutating operation is a single atomic statement
+(``UPDATE ... RETURNING`` for claims, ``INSERT ... ON CONFLICT`` for
+submissions), so any number of worker *processes* can share one database:
+two workers racing for the same queued job get it exactly once, and a
+worker killed mid-job (even ``kill -9``) leaves a ``running`` row that
+:meth:`SQLiteJobStore.requeue_orphans` returns to the queue on daemon
+startup.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.server.stores.base import (
+    DEFAULT_MAX_ATTEMPTS,
+    Request,
+    STATES,
+    StoreSchemaError,
+    canonical_request,
+)
+
+#: Bump when a column changes meaning; see the migration policy above.
+SCHEMA_VERSION = 3
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """One row of the ``jobs`` table, as plain data."""
+
+    digest: str
+    kind: str
+    request: Dict[str, Any]
+    state: str
+    result: Optional[Dict[str, Any]] = None
+    error: Optional[str] = None
+    attempts: int = 0
+    worker: Optional[str] = None
+    created_at: float = 0.0
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    first_finished_at: Optional[float] = None
+
+    def to_dict(self, include_request: bool = True) -> Dict[str, Any]:
+        """The wire shape of a job (what ``GET /v1/jobs/{digest}`` returns)."""
+        payload: Dict[str, Any] = {
+            "digest": self.digest,
+            "kind": self.kind,
+            "state": self.state,
+            "attempts": self.attempts,
+            "worker": self.worker,
+            "created_at": self.created_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "first_finished_at": self.first_finished_at,
+        }
+        if include_request:
+            payload["request"] = self.request
+        if self.result is not None:
+            payload["result"] = self.result
+        if self.error is not None:
+            payload["error"] = self.error
+        return payload
+
+
+def _record(row: sqlite3.Row) -> JobRecord:
+    return JobRecord(
+        digest=row["digest"],
+        kind=row["kind"],
+        request=json.loads(row["request"]),
+        state=row["state"],
+        result=json.loads(row["result"]) if row["result"] is not None else None,
+        error=row["error"],
+        attempts=int(row["attempts"]),
+        worker=row["worker"],
+        created_at=float(row["created_at"]),
+        started_at=None if row["started_at"] is None else float(row["started_at"]),
+        finished_at=None if row["finished_at"] is None else float(row["finished_at"]),
+        first_finished_at=(
+            None
+            if row["first_finished_at"] is None
+            else float(row["first_finished_at"])
+        ),
+    )
+
+
+_CREATE_JOBS = """
+CREATE TABLE IF NOT EXISTS jobs (
+    digest            TEXT PRIMARY KEY,
+    kind              TEXT NOT NULL,
+    request           TEXT NOT NULL,
+    state             TEXT NOT NULL CHECK (state IN ('queued', 'running', 'done', 'failed')),
+    result            TEXT,
+    error             TEXT,
+    attempts          INTEGER NOT NULL DEFAULT 0,
+    worker            TEXT,
+    created_at        REAL NOT NULL,
+    started_at        REAL,
+    finished_at       REAL,
+    first_finished_at REAL
+)
+"""
+
+_CREATE_JOBS_STATE_INDEX = """
+CREATE INDEX IF NOT EXISTS jobs_state_created ON jobs (state, created_at)
+"""
+
+_CREATE_WORKER_STATS = """
+CREATE TABLE IF NOT EXISTS worker_stats (
+    worker     TEXT PRIMARY KEY,
+    updated_at REAL NOT NULL,
+    counters   TEXT NOT NULL
+)
+"""
+
+_CREATE_TOPOLOGY_CACHE = """
+CREATE TABLE IF NOT EXISTS topology_cache (
+    digest     TEXT PRIMARY KEY,
+    payload    BLOB NOT NULL,
+    created_at REAL NOT NULL
+)
+"""
+
+#: version -> statements upgrading *to* that version (applied in order for
+#: every version above the database's).
+_MIGRATIONS: Dict[int, Tuple[str, ...]] = {
+    2: (_CREATE_TOPOLOGY_CACHE,),
+    3: (
+        "ALTER TABLE jobs ADD COLUMN first_finished_at REAL",
+        # Best available backfill: rows written before the split measured
+        # claim -> final envelope; treating that as the first completion
+        # keeps their histogram contribution unchanged.
+        "UPDATE jobs SET first_finished_at = finished_at WHERE finished_at IS NOT NULL",
+    ),
+}
+
+
+class SQLiteJobStore:
+    """A process's handle on one shared job database file.
+
+    Each process (HTTP front end, every worker) opens its own store; SQLite
+    coordinates them through the database file.  The handle is cheap — one
+    connection in autocommit mode with a busy timeout, so concurrent
+    writers queue behind each other instead of failing.
+    """
+
+    def __init__(self, path: Union[str, Path], busy_timeout: float = 10.0) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._conn = sqlite3.connect(
+            self.path, timeout=busy_timeout, isolation_level=None, check_same_thread=False
+        )
+        self._conn.row_factory = sqlite3.Row
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA synchronous=NORMAL")
+        self._conn.execute(f"PRAGMA busy_timeout={int(busy_timeout * 1000)}")
+        self._ensure_schema()
+
+    # ------------------------------------------------------------------ #
+    # Schema
+    # ------------------------------------------------------------------ #
+    def _ensure_schema(self) -> None:
+        version = int(self._conn.execute("PRAGMA user_version").fetchone()[0])
+        if version > SCHEMA_VERSION:
+            raise StoreSchemaError(
+                f"job store {self.path} has schema version {version}, "
+                f"this library understands <= {SCHEMA_VERSION}"
+            )
+        self._conn.execute("BEGIN IMMEDIATE")
+        try:
+            if version == 0:
+                self._conn.execute(_CREATE_JOBS)
+                self._conn.execute(_CREATE_JOBS_STATE_INDEX)
+                self._conn.execute(_CREATE_WORKER_STATS)
+                self._conn.execute(_CREATE_TOPOLOGY_CACHE)
+            else:
+                for target in range(version + 1, SCHEMA_VERSION + 1):
+                    for statement in _MIGRATIONS.get(target, ()):
+                        self._conn.execute(statement)
+            self._conn.execute(f"PRAGMA user_version={SCHEMA_VERSION}")
+            self._conn.execute("COMMIT")
+        except BaseException:
+            self._conn.execute("ROLLBACK")
+            raise
+
+    @property
+    def schema_version(self) -> int:
+        return int(self._conn.execute("PRAGMA user_version").fetchone()[0])
+
+    def close(self) -> None:
+        self._conn.close()
+
+    def __enter__(self) -> "SQLiteJobStore":
+        return self
+
+    def __exit__(self, *_: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Submission (idempotent by digest)
+    # ------------------------------------------------------------------ #
+    _REQUEUE_FAILED = (
+        "UPDATE jobs SET state = 'queued', error = NULL, attempts = 0, "
+        "worker = NULL, started_at = NULL, finished_at = NULL, "
+        "first_finished_at = NULL "
+        "WHERE digest = ? AND state = 'failed'"
+    )
+
+    def submit(self, request: Union[Request, Dict[str, Any]]) -> Tuple[JobRecord, bool]:
+        """Accept ``request`` and return ``(record, created)``.
+
+        The request is canonicalised through the schema classes first, so
+        two payloads describing the same instance (however the client
+        ordered or defaulted their fields) land on the same digest.  A
+        digest already present is returned as-is (``created=False``) — the
+        dedup that makes retries and duplicate clients free.  One
+        exception: a previously *failed* job is requeued by resubmission
+        (fresh attempt budget), because the client asking again is the
+        natural retry trigger.
+        """
+        parsed, payload, digest = canonical_request(request)
+        cursor = self._conn.execute(
+            """
+            INSERT INTO jobs (digest, kind, request, state, created_at)
+            VALUES (?, ?, ?, 'queued', ?)
+            ON CONFLICT (digest) DO NOTHING
+            """,
+            (digest, parsed.kind, json.dumps(payload, sort_keys=True), time.time()),
+        )
+        created = cursor.rowcount == 1
+        if not created:
+            self._conn.execute(self._REQUEUE_FAILED, (digest,))
+        record = self.get(digest)
+        assert record is not None
+        return record, created
+
+    def submit_many(
+        self, requests: Sequence[Union[Request, Dict[str, Any]]]
+    ) -> List[Tuple[JobRecord, bool]]:
+        """Accept a batch of requests in **one transaction**.
+
+        Semantically identical to calling :meth:`submit` per item (same
+        dedup, same failed-row requeue), but the whole batch costs a single
+        WAL commit instead of one per job — the round-trip that makes an
+        8-request burst as cheap as one submission.
+        """
+        parsed_items: List[Tuple[Request, str, str]] = []
+        for request in requests:
+            parsed, payload, digest = canonical_request(request)
+            parsed_items.append((parsed, digest, json.dumps(payload, sort_keys=True)))
+
+        results: List[Tuple[str, bool]] = []
+        now = time.time()
+        self._conn.execute("BEGIN IMMEDIATE")
+        try:
+            for parsed, digest, payload_json in parsed_items:
+                cursor = self._conn.execute(
+                    """
+                    INSERT INTO jobs (digest, kind, request, state, created_at)
+                    VALUES (?, ?, ?, 'queued', ?)
+                    ON CONFLICT (digest) DO NOTHING
+                    """,
+                    (digest, parsed.kind, payload_json, now),
+                )
+                created = cursor.rowcount == 1
+                if not created:
+                    self._conn.execute(self._REQUEUE_FAILED, (digest,))
+                results.append((digest, created))
+            self._conn.execute("COMMIT")
+        except BaseException:
+            self._conn.execute("ROLLBACK")
+            raise
+        records: List[Tuple[JobRecord, bool]] = []
+        for digest, created in results:
+            record = self.get(digest)
+            assert record is not None
+            records.append((record, created))
+        return records
+
+    # ------------------------------------------------------------------ #
+    # Worker side: claim / complete / fail
+    # ------------------------------------------------------------------ #
+    def claim(
+        self, worker: str, max_attempts: int = DEFAULT_MAX_ATTEMPTS
+    ) -> Optional[JobRecord]:
+        """Atomically move the oldest queued job to ``running`` for ``worker``.
+
+        A batch claim of size one — see :meth:`claim_batch` for the
+        guarantees.
+        """
+        batch = self.claim_batch(worker, limit=1, max_attempts=max_attempts)
+        return batch[0] if batch else None
+
+    def sweep_exhausted(self, max_attempts: int = DEFAULT_MAX_ATTEMPTS) -> int:
+        """Fail queued jobs whose attempt budget is spent; return the count.
+
+        The sweep runs ahead of every claim so a poison job (one that
+        keeps crashing its worker) is failed instead of handed out again.
+        Two deliberate behaviours:
+
+        * **no-op means no write** — the common case (nothing exhausted)
+          is answered by an index-only read, so claim polls on an idle or
+          healthy queue never take the write lock;
+        * **the root cause survives** — any error already recorded on the
+          row (the requeue breadcrumb naming the vanished worker, or a
+          detail an external tool stored) is appended to the give-up
+          message instead of being overwritten.
+        """
+        exhausted = self._conn.execute(
+            "SELECT 1 FROM jobs WHERE state = 'queued' AND attempts >= ? LIMIT 1",
+            (int(max_attempts),),
+        ).fetchone()
+        if exhausted is None:
+            return 0
+        cursor = self._conn.execute(
+            """
+            UPDATE jobs
+            SET state = 'failed', finished_at = ?,
+                error = 'gave up after ' || attempts || ' failed attempt(s)'
+                        || CASE
+                               WHEN error IS NOT NULL AND error != ''
+                               THEN '; last error: ' || error
+                               ELSE ''
+                           END
+            WHERE state = 'queued' AND attempts >= ?
+            """,
+            (time.time(), int(max_attempts)),
+        )
+        return cursor.rowcount
+
+    def claim_batch(
+        self, worker: str, limit: int = 1, max_attempts: int = DEFAULT_MAX_ATTEMPTS
+    ) -> List[JobRecord]:
+        """Atomically claim up to ``limit`` oldest queued jobs for ``worker``.
+
+        Exactly one of any number of racing workers receives a given job —
+        the single ``UPDATE ... RETURNING`` statement is the whole
+        transaction, so a burst of N jobs costs one store round-trip
+        instead of N claim polls.  Jobs whose attempt budget is exhausted
+        (requeued after repeatedly crashing their worker) are failed
+        instead of handed out again.  Every claimed job carries the same
+        claim-holder guard as a single claim: :meth:`complete` and
+        :meth:`fail` only land while the row is ``running`` under
+        ``worker``, and a worker crashing mid-batch leaves every claimed
+        row ``running`` for :meth:`requeue_orphans` to recover.
+        """
+        if limit < 1:
+            raise ValueError("claim_batch limit must be at least 1")
+        self.sweep_exhausted(max_attempts)
+        rows = self._conn.execute(
+            """
+            UPDATE jobs
+            SET state = 'running', worker = ?, started_at = ?, attempts = attempts + 1
+            WHERE digest IN (
+                SELECT digest FROM jobs
+                WHERE state = 'queued' AND attempts < ?
+                ORDER BY created_at, digest LIMIT ?
+            ) AND state = 'queued'
+            RETURNING *
+            """,
+            (worker, time.time(), int(max_attempts), int(limit)),
+        ).fetchall()
+        records = [_record(row) for row in rows]
+        records.sort(key=lambda record: (record.created_at, record.digest))
+        return records
+
+    # ------------------------------------------------------------------ #
+    # Coordinator plumbing (used by the sharded backend, not part of the
+    # JobStoreBackend contract)
+    # ------------------------------------------------------------------ #
+    def peek_queued(
+        self, limit: int, max_attempts: int = DEFAULT_MAX_ATTEMPTS
+    ) -> List[Tuple[str, float]]:
+        """``(digest, created_at)`` of the oldest claimable queued jobs.
+
+        A read-only preview — the rows stay queued.  The sharded
+        coordinator peeks every shard, merges globally by
+        ``(created_at, digest)`` and then claims the winners one by one
+        with :meth:`claim_digest`.
+        """
+        rows = self._conn.execute(
+            """
+            SELECT digest, created_at FROM jobs
+            WHERE state = 'queued' AND attempts < ?
+            ORDER BY created_at, digest LIMIT ?
+            """,
+            (int(max_attempts), int(limit)),
+        ).fetchall()
+        return [(row["digest"], float(row["created_at"])) for row in rows]
+
+    def claim_digest(
+        self, worker: str, digest: str, max_attempts: int = DEFAULT_MAX_ATTEMPTS
+    ) -> Optional[JobRecord]:
+        """Atomically claim one *specific* queued job, or None if lost.
+
+        The targeted twin of :meth:`claim_batch`: the single
+        ``UPDATE ... RETURNING`` keeps the exactly-once guarantee, so a
+        coordinator race (two handles claiming the same peeked digest)
+        resolves to one winner and one clean ``None``.
+        """
+        row = self._conn.execute(
+            """
+            UPDATE jobs
+            SET state = 'running', worker = ?, started_at = ?, attempts = attempts + 1
+            WHERE digest = ? AND state = 'queued' AND attempts < ?
+            RETURNING *
+            """,
+            (worker, time.time(), digest, int(max_attempts)),
+        ).fetchone()
+        return _record(row) if row is not None else None
+
+    def _finish(self, digest: str, worker: Optional[str], assignments: str, values: Tuple) -> bool:
+        """Terminal-state update, guarded so only the claim holder lands it.
+
+        A worker that lost its claim — its ``running`` row was requeued by
+        a daemon restart and handed to someone else — must not overwrite
+        the new holder's outcome, so the update only matches a ``running``
+        row (and, when ``worker`` is given, one still assigned to that
+        worker).  Returns whether the write landed.
+        """
+        guard = "state = 'running'"
+        params = tuple(values) + (digest,)
+        if worker is not None:
+            guard += " AND worker = ?"
+            params += (worker,)
+        cursor = self._conn.execute(
+            f"UPDATE jobs SET {assignments} WHERE digest = ? AND {guard}", params
+        )
+        return cursor.rowcount == 1
+
+    def complete(self, digest: str, result: Dict[str, Any], worker: Optional[str] = None) -> bool:
+        """Store ``result`` and move the job to ``done`` (claim holder only).
+
+        Both completion stamps are set to the same instant:
+        ``first_finished_at`` stays put through later portfolio upgrades
+        (it is what the latency histogram measures), while ``finished_at``
+        tracks the envelope's final form.  Any requeue breadcrumb in
+        ``error`` is cleared — a done row answered cleanly.
+        """
+        now = time.time()
+        return self._finish(
+            digest,
+            worker,
+            "state = 'done', result = ?, error = NULL, finished_at = ?, "
+            "first_finished_at = ?",
+            (json.dumps(result, sort_keys=True), now, now),
+        )
+
+    def upgrade_result(
+        self, digest: str, result: Dict[str, Any], worker: Optional[str] = None
+    ) -> bool:
+        """Replace the stored envelope of a **done** job in place.
+
+        The portfolio path completes a job early with its heuristic
+        envelope (so pollers see an answer immediately) and calls this when
+        the exact solve lands.  The update only matches a ``done`` row —
+        and, when ``worker`` is given, one finished by that worker — so a
+        row that was requeued and re-executed elsewhere keeps the new
+        holder's outcome.  ``finished_at`` is refreshed (it marks when the
+        envelope reached its final form); ``first_finished_at`` is *not* —
+        the solve-latency histogram measures claim → first answer, and an
+        upgrade is a better answer, not a slower one.
+        """
+        guard = "state = 'done'"
+        params: Tuple = (json.dumps(result, sort_keys=True), time.time(), digest)
+        if worker is not None:
+            guard += " AND worker = ?"
+            params += (worker,)
+        cursor = self._conn.execute(
+            f"UPDATE jobs SET result = ?, finished_at = ? WHERE digest = ? AND {guard}",
+            params,
+        )
+        return cursor.rowcount == 1
+
+    def fail(self, digest: str, error: str, worker: Optional[str] = None) -> bool:
+        """Record ``error`` and move the job to ``failed`` (claim holder only)."""
+        return self._finish(
+            digest,
+            worker,
+            "state = 'failed', error = ?, finished_at = ?",
+            (str(error), time.time()),
+        )
+
+    def requeue_orphans(self) -> int:
+        """Return every ``running`` job to the queue (daemon startup).
+
+        A ``running`` row with no live worker is a crashed execution; its
+        attempt count is preserved, so a job that keeps killing workers
+        exhausts :data:`DEFAULT_MAX_ATTEMPTS` and fails instead of cycling
+        forever.  A breadcrumb naming the vanished worker is recorded in
+        ``error`` so the poison sweep can report a root cause when the
+        budget runs out (a later clean completion clears it).  A
+        still-live worker whose job gets requeued out from under it (e.g.
+        an external worker across a daemon restart) cannot corrupt the
+        re-execution: :meth:`complete`/:meth:`fail` only land while the
+        row is ``running`` under the caller's claim.
+        """
+        cursor = self._conn.execute(
+            """
+            UPDATE jobs
+            SET state = 'queued', started_at = NULL,
+                error = 'worker ''' || COALESCE(worker, '?')
+                        || ''' vanished mid-execution (attempt ' || attempts || ')',
+                worker = NULL
+            WHERE state = 'running'
+            """
+        )
+        return cursor.rowcount
+
+    # ------------------------------------------------------------------ #
+    # Lookups and metrics
+    # ------------------------------------------------------------------ #
+    def get(self, digest: str) -> Optional[JobRecord]:
+        row = self._conn.execute("SELECT * FROM jobs WHERE digest = ?", (digest,)).fetchone()
+        return _record(row) if row is not None else None
+
+    def jobs(self, state: Optional[str] = None, limit: int = 1000) -> List[JobRecord]:
+        """The newest ``limit`` jobs, optionally filtered by state."""
+        if state is not None and state not in STATES:
+            raise ValueError(f"unknown job state {state!r}; valid: {', '.join(STATES)}")
+        if state is None:
+            rows = self._conn.execute(
+                "SELECT * FROM jobs ORDER BY created_at DESC LIMIT ?", (int(limit),)
+            )
+        else:
+            rows = self._conn.execute(
+                "SELECT * FROM jobs WHERE state = ? ORDER BY created_at DESC LIMIT ?",
+                (state, int(limit)),
+            )
+        return [_record(row) for row in rows.fetchall()]
+
+    def counts(self) -> Dict[str, int]:
+        """Job counts by state (every state present, zero-filled)."""
+        totals = dict.fromkeys(STATES, 0)
+        for row in self._conn.execute("SELECT state, COUNT(*) AS n FROM jobs GROUP BY state"):
+            totals[row["state"]] = int(row["n"])
+        return totals
+
+    def queue_depth(self) -> int:
+        row = self._conn.execute("SELECT COUNT(*) FROM jobs WHERE state = 'queued'").fetchone()
+        return int(row[0])
+
+    def solve_latency_samples(self, limit: int = 2048) -> List[Tuple[float, float]]:
+        """``(completed_at, seconds)`` of the newest done jobs, newest first.
+
+        ``seconds`` is claim → **first** completion: a portfolio upgrade
+        refreshes ``finished_at`` but must not re-enter the histogram
+        window with a claim → final-upgrade duration, so both the window
+        ordering and the duration use ``first_finished_at`` (falling back
+        to ``finished_at`` only for pre-version-3 rows).
+        """
+        rows = self._conn.execute(
+            """
+            SELECT COALESCE(first_finished_at, finished_at) AS completed_at,
+                   COALESCE(first_finished_at, finished_at) - started_at AS seconds
+            FROM jobs
+            WHERE state = 'done' AND started_at IS NOT NULL AND finished_at IS NOT NULL
+            ORDER BY completed_at DESC LIMIT ?
+            """,
+            (int(limit),),
+        ).fetchall()
+        return [(float(row["completed_at"]), float(row["seconds"])) for row in rows]
+
+    def solve_latencies(self, limit: int = 2048) -> List[float]:
+        """Execution seconds (claim to first completion) of the newest done jobs."""
+        return [max(0.0, seconds) for _, seconds in self.solve_latency_samples(limit)]
+
+    # ------------------------------------------------------------------ #
+    # Fleet-shared warm topology cache (write-once by digest)
+    # ------------------------------------------------------------------ #
+    def save_topology(self, digest: str, payload: bytes) -> bool:
+        """Persist one serialized pristine topology; returns whether stored.
+
+        Write-once: a digest names exactly one deterministic build, so a
+        second worker racing to save the same topology is a no-op.
+        """
+        cursor = self._conn.execute(
+            "INSERT INTO topology_cache (digest, payload, created_at) VALUES (?, ?, ?) "
+            "ON CONFLICT (digest) DO NOTHING",
+            (digest, sqlite3.Binary(payload), time.time()),
+        )
+        return cursor.rowcount == 1
+
+    def load_topologies(self, exclude: Optional[Sequence[str]] = None) -> Dict[str, bytes]:
+        """Serialized pristine topologies by digest, skipping ``exclude``.
+
+        Workers call this at startup (and per claimed batch) to share warm
+        builds: the exclusion set keeps the refresh to rows the caller has
+        not loaded yet.
+        """
+        known = set(exclude or ())
+        payloads: Dict[str, bytes] = {}
+        for row in self._conn.execute("SELECT digest, payload FROM topology_cache"):
+            if row["digest"] not in known:
+                payloads[row["digest"]] = bytes(row["payload"])
+        return payloads
+
+    def topology_digests(self) -> List[str]:
+        """Digests currently present in the warm topology cache."""
+        rows = self._conn.execute("SELECT digest FROM topology_cache ORDER BY digest")
+        return [row["digest"] for row in rows.fetchall()]
+
+    # ------------------------------------------------------------------ #
+    # Worker-reported counters
+    # ------------------------------------------------------------------ #
+    def record_worker_stats(self, worker: str, counters: Dict[str, float]) -> None:
+        """Refresh ``worker``'s counter snapshot (monotonic per worker)."""
+        self._conn.execute(
+            "INSERT INTO worker_stats (worker, updated_at, counters) VALUES (?, ?, ?) "
+            "ON CONFLICT (worker) DO UPDATE SET updated_at = excluded.updated_at, "
+            "counters = excluded.counters",
+            (worker, time.time(), json.dumps(counters, sort_keys=True)),
+        )
+
+    def worker_ids(self) -> List[str]:
+        """Worker ids that have reported a counter snapshot.
+
+        Workers write their first (zeroed) snapshot as soon as their warm
+        service session is built, so presence here doubles as a readiness
+        beacon — the daemon's ``/healthz`` counts its own fleet's ids.
+        """
+        rows = self._conn.execute("SELECT worker FROM worker_stats ORDER BY worker")
+        return [row["worker"] for row in rows.fetchall()]
+
+    def worker_stats_totals(self) -> Dict[str, float]:
+        """Fleet-wide counter totals (summed across worker snapshots)."""
+        totals: Dict[str, float] = {}
+        for row in self._conn.execute("SELECT counters FROM worker_stats"):
+            try:
+                counters = json.loads(row["counters"])
+            except ValueError:
+                continue
+            for key, value in counters.items():
+                if isinstance(value, (int, float)):
+                    totals[key] = totals.get(key, 0.0) + float(value)
+        return totals
+
+
+#: Historical name — PR 5..8 called the single-file store ``JobStore``.
+JobStore = SQLiteJobStore
+
+__all__ = [
+    "JobRecord",
+    "JobStore",
+    "SCHEMA_VERSION",
+    "SQLiteJobStore",
+]

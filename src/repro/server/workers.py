@@ -50,7 +50,7 @@ import traceback
 from typing import Dict, List, Optional, Sequence
 
 from repro.api.requests import AssessmentRequest, request_from_dict
-from repro.server.store import DEFAULT_MAX_ATTEMPTS, JobRecord, JobStore
+from repro.server.stores import DEFAULT_MAX_ATTEMPTS, JobRecord, JobStore, open_store
 
 #: Seconds a worker waits between claim attempts on an empty queue.  With a
 #: wakeup channel attached this is only the fallback for a missed
@@ -103,18 +103,44 @@ class WakeupReceiver:
 
 
 class WakeupNotifier:
-    """The daemon end: one byte per wakeup, never blocking the event loop."""
+    """The daemon end: one byte per wakeup, never blocking the event loop.
+
+    Writers can be attached with a *home shard*: a shard-targeted
+    :meth:`notify` then nudges only the workers homed on the shards that
+    just received work, so on a sharded store an enqueue wakes the workers
+    most likely to claim it instead of stampeding the whole fleet.  Any
+    worker can still claim any job — targeting is purely a wakeup
+    optimisation, and an untargeted notify (or a target no writer is homed
+    on) falls back to waking everyone.
+    """
 
     def __init__(self) -> None:
         self._writers: List[object] = []
+        self._shards: List[Optional[int]] = []
 
-    def attach(self, writer) -> None:
+    def attach(self, writer, shard: Optional[int] = None) -> None:
         os.set_blocking(writer.fileno(), False)
         self._writers.append(writer)
+        self._shards.append(shard)
 
-    def notify(self) -> None:
-        """Nudge every worker; a full pipe means a wakeup is already pending."""
-        for writer in self._writers:
+    def notify(self, shards: Optional[Sequence[int]] = None) -> None:
+        """Nudge workers; a full pipe means a wakeup is already pending.
+
+        ``shards=None`` wakes everyone.  A shard set wakes the writers
+        homed on those shards — unless none is, in which case everyone is
+        woken (never strand a job because of a targeting mismatch).
+        """
+        targets = self._writers
+        if shards is not None:
+            wanted = set(shards)
+            matched = [
+                writer
+                for writer, home in zip(self._writers, self._shards)
+                if home is not None and home in wanted
+            ]
+            if matched:
+                targets = matched
+        for writer in targets:
             try:
                 os.write(writer.fileno(), b"!")
             except (BlockingIOError, OSError):
@@ -127,6 +153,7 @@ class WakeupNotifier:
             except OSError:
                 pass
         self._writers.clear()
+        self._shards.clear()
 
 
 def _execute(service, record: JobRecord) -> Dict[str, object]:
@@ -255,7 +282,10 @@ def worker_loop(
     """
     from repro.api.service import RecoveryService  # deferred: workers import lazily
 
-    store = JobStore(db_path)
+    # Auto-detect the layout (single file vs sharded fleet) so a worker —
+    # fleet-spawned or externally attached — always agrees with the daemon
+    # that created the store.
+    store = open_store(db_path)
     service = RecoveryService(lp_backend=lp_backend)
     hold = float(os.environ.get(HOLD_ENV_VAR, "0") or "0")
     counters: Dict[str, float] = {
@@ -375,11 +405,14 @@ class WorkerFleet:
         max_attempts: int = DEFAULT_MAX_ATTEMPTS,
         claim_batch: int = DEFAULT_CLAIM_BATCH,
         portfolio: bool = False,
+        shards: int = 1,
     ) -> None:
         if workers < 1:
             raise ValueError("a worker fleet needs at least one worker")
         if claim_batch < 1:
             raise ValueError("a fleet claim batch needs at least one job")
+        if shards < 1:
+            raise ValueError("a worker fleet needs at least one shard")
         self.db_path = str(db_path)
         self.workers = int(workers)
         self.poll_interval = float(poll_interval)
@@ -387,6 +420,9 @@ class WorkerFleet:
         self.max_attempts = int(max_attempts)
         self.claim_batch = int(claim_batch)
         self.portfolio = bool(portfolio)
+        #: Shard count of the store the fleet pulls from — only used to home
+        #: each worker on a shard for targeted wakeups (claims stay global).
+        self.shards = int(shards)
         # "spawn" keeps workers independent of the daemon's asyncio state
         # (forking a process with a live event loop inherits it wholesale).
         self._context = multiprocessing.get_context("spawn")
@@ -418,13 +454,17 @@ class WorkerFleet:
             )
             process.start()
             reader.close()  # the child owns the read end now
-            self._notifier.attach(writer)
+            self._notifier.attach(writer, shard=index % self.shards)
             self._processes.append(process)
             self._worker_ids.append(worker_id)
 
-    def notify(self) -> None:
-        """Wake idle workers: the daemon calls this on every enqueue."""
-        self._notifier.notify()
+    def notify(self, shards: Optional[Sequence[int]] = None) -> None:
+        """Wake idle workers: the daemon calls this on every enqueue.
+
+        ``shards`` (when the store is sharded) narrows the nudge to the
+        workers homed on the shards that just received work.
+        """
+        self._notifier.notify(shards)
 
     def alive(self) -> int:
         return sum(1 for process in self._processes if process.is_alive())

@@ -58,6 +58,32 @@ class TestServeCoroutine:
             assert store.get(grid_request(seed=4).digest()).state in ("queued", "done")
 
 
+    def test_serve_adopts_an_existing_fleet_without_a_shards_flag(self, tmp_path, capsys):
+        """Restarting a sharded daemon with the default config auto-detects
+        the layout from the manifest instead of demanding ``--shards`` again."""
+        from repro.server.stores import ShardedJobStore
+
+        db = tmp_path / "fleet.db"
+        with ShardedJobStore(db, shards=3) as store:
+            store.submit(grid_request(seed=9))
+            assert store.claim("crashed-worker") is not None  # orphan it
+
+        config = ServerConfig(db=str(db), port=0, workers=1, poll_interval=0.05)
+
+        async def boot_and_cancel() -> None:
+            ready = asyncio.Event()
+            task = asyncio.ensure_future(serve(config, ready=ready))
+            await asyncio.wait_for(ready.wait(), timeout=30)
+            task.cancel()
+            with pytest.raises(asyncio.CancelledError):
+                await task
+
+        asyncio.run(boot_and_cancel())
+        stderr = capsys.readouterr().err
+        assert "shards=3" in stderr
+        assert "requeued 1 orphaned running job(s)" in stderr
+
+
 class TestServeValidation:
     def test_bad_backend_fails_before_any_worker_spawns(self, tmp_path):
         config = ServerConfig(db=str(tmp_path / "x.db"), port=0, lp_backend="nope")
@@ -85,6 +111,57 @@ class TestCliServe:
     def test_serve_rejects_bad_claim_batch(self, tmp_path):
         with pytest.raises(SystemExit, match="--claim-batch"):
             main(["serve", "--db", str(tmp_path / "x.db"), "--claim-batch", "0"])
+
+    def test_serve_rejects_bad_shard_count(self, tmp_path):
+        with pytest.raises(SystemExit, match="--shards"):
+            main(["serve", "--db", str(tmp_path / "x.db"), "--shards", "0"])
+
+    def test_serve_rejects_a_shard_count_disagreeing_with_the_manifest(self, tmp_path):
+        from repro.server.stores import ShardedJobStore
+
+        db = tmp_path / "fleet.db"
+        with ShardedJobStore(db, shards=4):
+            pass
+        with pytest.raises(SystemExit, match="pinned to 4"):
+            main(["serve", "--db", str(db), "--shards", "2", "--port", "0"])
+
+
+class TestArrivalModels:
+    def test_uniform_offsets_pace_evenly(self):
+        from repro.server.loadtest import arrival_offsets
+
+        assert arrival_offsets(5, 10.0) == [0.0, 0.1, 0.2, 0.3, 0.4]
+
+    def test_bursty_offsets_are_deterministic_and_monotone(self):
+        from repro.server.loadtest import arrival_offsets
+
+        first = arrival_offsets(300, 25.0, arrival="bursty", seed=11)
+        assert first == arrival_offsets(300, 25.0, arrival="bursty", seed=11)
+        assert first != arrival_offsets(300, 25.0, arrival="bursty", seed=12)
+        assert first == sorted(first)
+        assert len(first) == 300
+
+    def test_bursty_offsets_keep_the_long_run_rate(self):
+        from repro.server.loadtest import arrival_offsets
+
+        offsets = arrival_offsets(1000, 50.0, arrival="bursty", seed=3)
+        rate = len(offsets) / offsets[-1]
+        assert 30.0 < rate < 85.0  # ~50 rps, delivered in spikes
+
+    def test_bursty_offsets_actually_burst(self):
+        from repro.server.loadtest import arrival_offsets
+
+        offsets = arrival_offsets(200, 20.0, arrival="bursty", seed=5)
+        simultaneous = len(offsets) - len(set(offsets))
+        assert simultaneous > 50  # many arrivals share a burst instant
+
+    def test_unknown_arrival_model_is_rejected(self):
+        from repro.server.loadtest import arrival_offsets, run_loadtest
+
+        with pytest.raises(ValueError, match="unknown arrival model"):
+            arrival_offsets(10, 5.0, arrival="diurnal")
+        with pytest.raises(ValueError, match="unknown arrival model"):
+            run_loadtest("http://127.0.0.1:1", rps=5, duration=1, arrival="diurnal")
 
 
 class TestCliLoadtest:

@@ -22,6 +22,7 @@ from repro.api.requests import (
 from repro.server.client import ServiceClient, ServiceError
 from repro.server.http import RecoveryServer
 from repro.server.store import JobStore
+from repro.server.stores import open_store
 
 
 def grid_request(seed: int = 1) -> RecoveryRequest:
@@ -230,6 +231,83 @@ class TestAdmissionControl:
             with pytest.raises(ServiceError) as excinfo:
                 harness.client.batch([grid_request(seed=3), grid_request(seed=4)])
             assert excinfo.value.status == 429
+
+
+class _DrainingDepthStore:
+    """A store whose queue depth drops between reads (workers draining).
+
+    Scripted depths are served one per ``queue_depth`` call; the regression
+    under test is that the 429 path reads the depth exactly once, so the
+    rejection body reports the depth that *triggered* the rejection rather
+    than whatever a second read would see.
+    """
+
+    def __init__(self, inner, depths):
+        self._inner = inner
+        self._depths = list(depths)
+        self.depth_calls = 0
+
+    def queue_depth(self):
+        self.depth_calls += 1
+        if self._depths:
+            return self._depths.pop(0)
+        return self._inner.queue_depth()
+
+    def __getattr__(self, name):
+        return getattr(self._inner, name)
+
+
+class TestRejectionDepthConsistency:
+    def test_submit_429_reports_the_depth_that_triggered_it(self, store):
+        wrapped = _DrainingDepthStore(store, depths=[3, 0])
+        server = RecoveryServer(wrapped, max_queue_depth=2)
+        status, body, _ = server._submit(grid_request(seed=9).to_dict(), RecoveryRequest)
+        assert status == 429
+        assert body["queue_depth"] == 3  # the triggering depth, not the later 0
+        assert wrapped.depth_calls == 1
+
+    def test_batch_429_reports_the_depth_that_triggered_it(self, store):
+        wrapped = _DrainingDepthStore(store, depths=[3, 0])
+        server = RecoveryServer(wrapped, max_queue_depth=2)
+        payload = {"requests": [grid_request(seed=8).to_dict(), grid_request(seed=9).to_dict()]}
+        status, body, _ = server._batch(payload)
+        assert status == 429
+        assert body["queue_depth"] == 3
+        assert wrapped.depth_calls == 1
+
+
+class TestShardedEnqueueNotifications:
+    @pytest.fixture()
+    def sharded(self, tmp_path):
+        with open_store(tmp_path / "fleet.db", shards=3) as handle:
+            yield handle
+
+    def test_notify_carries_the_owning_shards(self, sharded):
+        seen = []
+        server = RecoveryServer(sharded, on_enqueue=lambda shards=None: seen.append(shards))
+        status, _, _ = server._submit(grid_request(seed=1).to_dict(), RecoveryRequest)
+        assert status == 202
+        digest = grid_request(seed=1).digest()
+        assert seen == [[sharded.shard_of(digest)]]
+
+    def test_batch_notify_merges_shards_without_duplicates(self, sharded):
+        seen = []
+        server = RecoveryServer(sharded, on_enqueue=lambda shards=None: seen.append(shards))
+        requests = [grid_request(seed=index).to_dict() for index in range(6)]
+        status, _, _ = server._batch({"requests": requests})
+        assert status == 202
+        [shards] = seen  # one nudge for the whole burst
+        expected = sorted(
+            {sharded.shard_of(grid_request(seed=index).digest()) for index in range(6)}
+        )
+        assert shards == expected
+
+    def test_zero_arg_callbacks_still_work_on_a_sharded_store(self, sharded):
+        nudges = []
+        server = RecoveryServer(sharded, on_enqueue=lambda: nudges.append(1))
+        status, _, _ = server._submit(grid_request(seed=2).to_dict(), RecoveryRequest)
+        assert status == 202
+        assert nudges == [1]
 
 
 class TestObservation:

@@ -529,6 +529,66 @@ class TestMigration:
             # ... and version-1 data survived the migration
             assert upgraded.get("keepme").state == "queued"
 
+    def _create_v2_database(self, path) -> None:
+        """A version-2 store as PR 6 left it: v1 plus the topology sidecar."""
+        self._create_v1_database(path)
+        conn = sqlite3.connect(path)
+        conn.execute(
+            """
+            CREATE TABLE topology_cache (
+                digest     TEXT PRIMARY KEY,
+                payload    BLOB NOT NULL,
+                created_at REAL NOT NULL
+            )
+            """
+        )
+        conn.execute(
+            "INSERT INTO jobs (digest, kind, request, state, result, attempts, "
+            "worker, created_at, started_at, finished_at) "
+            "VALUES ('olddone', 'recovery', '{}', 'done', '{}', 1, 'w1', 1.0, 2.0, 5.0)"
+        )
+        conn.execute("PRAGMA user_version=2")
+        conn.commit()
+        conn.close()
+
+    def test_v2_database_gains_backfilled_first_completion(self, tmp_path):
+        """Migration to v3: ``first_finished_at`` appears, backfilled from
+        ``finished_at`` so pre-split done rows keep their histogram
+        contribution unchanged."""
+        path = tmp_path / "v2.db"
+        self._create_v2_database(path)
+        with JobStore(path) as upgraded:
+            assert upgraded.schema_version == SCHEMA_VERSION
+            done = upgraded.get("olddone")
+            assert done.first_finished_at == done.finished_at == 5.0
+            assert upgraded.get("keepme").first_finished_at is None
+            assert upgraded.solve_latencies() == [3.0]  # 5.0 - 2.0
+
+
+class TestPoisonSweepWrites:
+    """Satellite-2 regression: the sweep must not write when nothing matches."""
+
+    def test_claim_poll_without_exhausted_rows_takes_no_write(self, store):
+        store.submit(grid_request())
+        store.claim("w1")  # the queue is now empty, nothing exhausted
+        before = store._conn.total_changes
+        assert store.claim("w2") is None
+        assert store.claim_batch("w2", limit=8) == []
+        assert store.sweep_exhausted() == 0
+        assert store._conn.total_changes == before
+
+    def test_sweep_writes_only_when_a_budget_is_spent(self, store):
+        record, _ = store.submit(grid_request())
+        for _ in range(DEFAULT_MAX_ATTEMPTS):
+            store.claim("w1")
+            store.requeue_orphans()
+        assert store.sweep_exhausted() == 1
+        assert store.get(record.digest).state == "failed"
+        # a second sweep finds nothing and writes nothing
+        before = store._conn.total_changes
+        assert store.sweep_exhausted() == 0
+        assert store._conn.total_changes == before
+
 
 class TestWorkerBeacons:
     def test_worker_ids_lists_every_stats_row(self, store):

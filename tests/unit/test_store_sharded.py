@@ -1,0 +1,205 @@
+"""Sharded-backend specifics: the ring, the manifest, routing and wakeups.
+
+The cross-backend behaviour (dedup, claims, recovery, ...) is covered by
+the contract suite in ``test_store_contract.py``; this file tests what
+only the sharded fleet has — deterministic consistent-hash routing, the
+pinned shard manifest, the on-disk layout, the ``open_store`` layout
+decisions, and the per-shard wakeup targeting the daemon layers on top.
+"""
+
+import json
+
+import pytest
+
+from repro.api.requests import (
+    DemandSpec,
+    DisruptionSpec,
+    RecoveryRequest,
+    TopologySpec,
+)
+from repro.server.stores import (
+    ConsistentHashRing,
+    JobStore,
+    ShardedJobStore,
+    StoreSchemaError,
+    open_store,
+    shard_count,
+)
+from repro.server.workers import WakeupNotifier
+
+
+def grid_request(seed: int = 1) -> RecoveryRequest:
+    return RecoveryRequest(
+        topology=TopologySpec("grid", kwargs={"rows": 3, "cols": 3}),
+        disruption=DisruptionSpec("complete"),
+        demand=DemandSpec(num_pairs=1, flow_per_pair=5.0),
+        algorithms=("ISP",),
+        seed=seed,
+    )
+
+
+class TestConsistentHashRing:
+    def test_routing_is_deterministic_across_instances(self):
+        first = ConsistentHashRing(4)
+        second = ConsistentHashRing(4)
+        keys = [f"digest-{index}" for index in range(200)]
+        assert [first.shard_of(key) for key in keys] == [
+            second.shard_of(key) for key in keys
+        ]
+
+    def test_every_shard_owns_a_reasonable_keyspace_share(self):
+        ring = ConsistentHashRing(4)
+        owners = [ring.shard_of(f"digest-{index}") for index in range(2000)]
+        for shard in range(4):
+            share = owners.count(shard) / len(owners)
+            assert 0.10 < share < 0.45  # ~0.25 each; vnodes keep it close
+
+    def test_growing_the_ring_moves_a_minority_of_keys(self):
+        before = ConsistentHashRing(4)
+        after = ConsistentHashRing(5)
+        keys = [f"digest-{index}" for index in range(2000)]
+        moved = sum(1 for key in keys if before.shard_of(key) != after.shard_of(key))
+        # consistent hashing moves ~1/N of the keyspace, not ~all of it
+        assert moved / len(keys) < 0.40
+
+    def test_rejects_an_empty_ring(self):
+        with pytest.raises(ValueError):
+            ConsistentHashRing(0)
+
+
+class TestLayoutAndManifest:
+    def test_creates_shard_files_and_a_manifest(self, tmp_path):
+        with ShardedJobStore(tmp_path / "jobs.db", shards=3) as store:
+            assert store.shards == 3
+        root = tmp_path / "jobs.db"
+        names = sorted(path.name for path in root.iterdir() if path.suffix == ".db")
+        assert names == ["shard-00.db", "shard-01.db", "shard-02.db"]
+        manifest = json.loads((root / "shards.json").read_text())
+        assert manifest == {"layout": "sharded", "shards": 3}
+
+    def test_manifest_pins_the_shard_count(self, tmp_path):
+        with ShardedJobStore(tmp_path / "jobs.db", shards=3):
+            pass
+        with pytest.raises(StoreSchemaError, match="pinned to 3"):
+            ShardedJobStore(tmp_path / "jobs.db", shards=4)
+
+    def test_rejects_sharding_an_existing_single_file(self, tmp_path):
+        with JobStore(tmp_path / "jobs.db"):
+            pass
+        with pytest.raises(StoreSchemaError, match="single-file"):
+            ShardedJobStore(tmp_path / "jobs.db", shards=2)
+
+    def test_rejects_fewer_than_two_shards(self, tmp_path):
+        with pytest.raises(ValueError):
+            ShardedJobStore(tmp_path / "jobs.db", shards=1)
+
+    def test_shard_count_reads_the_manifest(self, tmp_path):
+        assert shard_count(tmp_path / "missing.db") is None
+        with JobStore(tmp_path / "single.db"):
+            pass
+        assert shard_count(tmp_path / "single.db") is None
+        with ShardedJobStore(tmp_path / "fleet.db", shards=5):
+            pass
+        assert shard_count(tmp_path / "fleet.db") == 5
+
+
+class TestOpenStore:
+    def test_auto_detects_the_layout(self, tmp_path):
+        with ShardedJobStore(tmp_path / "fleet.db", shards=3):
+            pass
+        with open_store(tmp_path / "fleet.db") as attached:
+            assert isinstance(attached, ShardedJobStore)
+            assert attached.shards == 3
+        with open_store(tmp_path / "single.db") as fresh:
+            assert isinstance(fresh, JobStore)
+
+    def test_explicit_counts_must_agree_with_the_manifest(self, tmp_path):
+        with open_store(tmp_path / "fleet.db", shards=4):
+            pass
+        with open_store(tmp_path / "fleet.db", shards=4):
+            pass  # matching reopen is fine
+        with pytest.raises(StoreSchemaError):
+            open_store(tmp_path / "fleet.db", shards=2)
+        with pytest.raises(StoreSchemaError):
+            open_store(tmp_path / "fleet.db", shards=1)
+
+    def test_rejects_nonpositive_shard_counts(self, tmp_path):
+        with pytest.raises(ValueError):
+            open_store(tmp_path / "jobs.db", shards=0)
+
+
+class TestRouting:
+    def test_a_job_lives_on_exactly_its_ring_shard(self, tmp_path):
+        with ShardedJobStore(tmp_path / "jobs.db", shards=4) as store:
+            records = [store.submit(grid_request(seed))[0] for seed in range(12)]
+            for record in records:
+                owner = store.shard_of(record.digest)
+                for index, shard in enumerate(store._stores):
+                    held = shard.get(record.digest)
+                    assert (held is not None) == (index == owner)
+
+    def test_merged_views_cover_every_shard(self, tmp_path):
+        with ShardedJobStore(tmp_path / "jobs.db", shards=4) as store:
+            records = [store.submit(grid_request(seed))[0] for seed in range(12)]
+            owners = {store.shard_of(record.digest) for record in records}
+            assert len(owners) > 1  # the pool genuinely spans shards
+            assert store.queue_depth() == 12
+            assert store.counts()["queued"] == 12
+            assert len(store.jobs(state="queued", limit=100)) == 12
+
+
+class TestPerShardWakeups:
+    class _Writer:
+        """A fake pipe writer recording notification bytes."""
+
+        def __init__(self, fd_pair):
+            import os
+
+            self._read_fd, self._write_fd = fd_pair
+            self.os = os
+
+        def fileno(self):
+            return self._write_fd
+
+        def pending(self) -> int:
+            import select
+
+            total = 0
+            while select.select([self._read_fd], [], [], 0)[0]:
+                total += len(self.os.read(self._read_fd, 4096))
+            return total
+
+    @pytest.fixture()
+    def writers(self):
+        import os
+
+        pairs = [self._Writer(os.pipe()) for _ in range(3)]
+        yield pairs
+        for writer in pairs:
+            for fd in (writer._read_fd, writer._write_fd):
+                try:
+                    os.close(fd)
+                except OSError:
+                    pass
+
+    def test_targeted_notify_wakes_only_matching_homes(self, writers):
+        notifier = WakeupNotifier()
+        for shard, writer in enumerate(writers):
+            notifier.attach(writer, shard=shard)
+        notifier.notify(shards=[1])
+        assert [writer.pending() for writer in writers] == [0, 1, 0]
+
+    def test_unmatched_target_falls_back_to_broadcast(self, writers):
+        notifier = WakeupNotifier()
+        for shard, writer in enumerate(writers):
+            notifier.attach(writer, shard=shard)
+        notifier.notify(shards=[7])  # no writer is homed there
+        assert [writer.pending() for writer in writers] == [1, 1, 1]
+
+    def test_untargeted_notify_broadcasts(self, writers):
+        notifier = WakeupNotifier()
+        for writer in writers:
+            notifier.attach(writer)  # no home shard recorded
+        notifier.notify()
+        notifier.notify(shards=[0])  # nobody homed: broadcast again
+        assert [writer.pending() for writer in writers] == [2, 2, 2]
