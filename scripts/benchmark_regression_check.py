@@ -28,6 +28,12 @@ The check compares every gated metric present in *both* files and fails
 20%) below the recorded baseline.  Exit 2 means the check itself could
 not run (unreadable artefact, mismatched kinds, nothing to gate).
 
+Server artefacts may additionally carry a ``tracing_benchmark`` section
+(merged by ``benchmarks/test_server_throughput.py``): its
+``overhead_pct`` is checked against its own ``budget_pct`` — an
+**absolute** budget, not baseline-relative, because tracing is supposed
+to be invisible no matter what the trajectory did.
+
 The tracked baselines at the repo root are the performance trajectory:
 they are refreshed deliberately (commit a new ``BENCH_*.json``) when a PR
 *improves* the numbers, and this gate keeps any later PR from silently
@@ -106,6 +112,27 @@ def compare(
     return lines, regressions
 
 
+def check_tracing_budget(current: Dict[str, Any]) -> Tuple[List[str], bool]:
+    """(report lines, ok) for the absolute tracing-overhead budget.
+
+    Vacuously ok when the current artefact has no ``tracing_benchmark``
+    section (older artefacts, opt-bench files).
+    """
+    overhead = lookup(current, "tracing_benchmark.overhead_pct")
+    budget = lookup(current, "tracing_benchmark.budget_pct")
+    if overhead is None or budget is None:
+        return [], True
+    ok = overhead < budget
+    verdict = "ok" if ok else "BUDGET EXCEEDED"
+    return (
+        [
+            f"  [{verdict}] tracing_benchmark.overhead_pct: {overhead:+.2f}% "
+            f"(absolute budget {budget:.1f}%)"
+        ],
+        ok,
+    )
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--baseline", required=True, help="tracked BENCH_*.json")
@@ -137,18 +164,22 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 2
 
     lines, regressions = compare(baseline, current, args.tolerance)
+    budget_lines, budget_ok = check_tracing_budget(current)
     compared = sum(1 for line in lines if "[skip]" not in line)
     print(
         f"benchmark_regression_check: {args.current} vs {args.baseline} "
         f"[{artefact_kind(baseline)}] (tolerance {args.tolerance:.0%})"
     )
-    for line in lines:
+    for line in lines + budget_lines:
         print(line)
     if compared == 0:
         print("FAIL: no gated metric present in both artefacts — nothing gated")
         return 2
     if regressions:
         print(f"FAIL: benchmark regressed beyond tolerance: {', '.join(regressions)}")
+        return 1
+    if not budget_ok:
+        print("FAIL: tracing overhead exceeds its absolute budget")
         return 1
     print(f"PASS: {compared} metric(s) within tolerance")
     return 0

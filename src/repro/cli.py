@@ -524,6 +524,8 @@ def _command_serve(args: argparse.Namespace) -> int:
         raise SystemExit("--claim-batch must be at least 1")
     if args.shards is not None and args.shards < 1:
         raise SystemExit("--shards must be at least 1")
+    if args.slow_request_threshold <= 0:
+        raise SystemExit("--slow-request-threshold must be positive")
     config = ServerConfig(
         db=args.db,
         host=args.host,
@@ -536,6 +538,9 @@ def _command_serve(args: argparse.Namespace) -> int:
         portfolio=args.portfolio,
         opt_strategy=args.opt_strategy,
         shards=args.shards,
+        log_level=args.log_level,
+        log_format=args.log_format,
+        slow_request_threshold=args.slow_request_threshold,
     )
     try:
         return run_server(config)
@@ -584,6 +589,25 @@ def _command_loadtest(args: argparse.Namespace) -> int:
         if args.out:
             print(f"bench artefact written to {args.out}", file=sys.stderr)
     return 0 if report.ok else 1
+
+
+def _command_trace(args: argparse.Namespace) -> int:
+    from repro.obs.trace import render_trace
+    from repro.server.client import ServiceClient, ServiceError
+
+    url = args.url or f"http://{args.host}:{args.port}"
+    client = ServiceClient(url)
+    try:
+        doc = client.trace(args.digest)
+    except ServiceError as error:
+        raise SystemExit(str(error)) from None
+    except OSError as error:
+        raise SystemExit(f"cannot reach the daemon at {url}: {error}") from None
+    if args.json:
+        print(json.dumps(doc, indent=2))
+    else:
+        print(render_trace(doc))
+    return 0
 
 
 def _command_scenarios(_: argparse.Namespace) -> int:
@@ -952,7 +976,36 @@ def build_parser() -> argparse.ArgumentParser:
             "(a 'done' job's envelope may change until finalised)"
         ),
     )
+    serve.add_argument(
+        "--log-level",
+        choices=("debug", "info", "warning", "error"),
+        default="info",
+        help="structured-log level for the daemon and its workers",
+    )
+    serve.add_argument(
+        "--log-format",
+        choices=("json", "text"),
+        default="json",
+        help="log line format: one JSON object per line, or human text",
+    )
+    serve.add_argument(
+        "--slow-request-threshold",
+        type=float,
+        default=1.0,
+        help="seconds of in-server handling beyond which a request is "
+        "counted (and logged, rate-limited) as slow",
+    )
     serve.set_defaults(handler=_command_serve)
+
+    trace = subparsers.add_parser(
+        "trace", help="render a served job's end-to-end span tree"
+    )
+    trace.add_argument("digest", help="job digest (as returned by submission)")
+    trace.add_argument("--url", default=None, help="daemon base URL (overrides --host/--port)")
+    trace.add_argument("--host", default="127.0.0.1", help="daemon host")
+    trace.add_argument("--port", type=int, default=8351, help="daemon port")
+    _add_json_argument(trace)
+    trace.set_defaults(handler=_command_trace)
 
     loadtest = subparsers.add_parser(
         "loadtest", help="replay generated traffic against a running daemon"

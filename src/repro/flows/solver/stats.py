@@ -11,6 +11,14 @@ scope — and cost nothing when none is active (module-level counters aside).
 The collected numbers travel with the results: ISP stores them in the plan
 metadata, the experiment engine in each cell's ``extras``, so ``repro.cli
 sweep`` can report solver effort per cell.
+
+The same reporters double as the solver substrate's **tracing hooks**: when
+a trace is active (worker executing a job), every build/solve/decomposition
+report also lands a completed span on the trace via
+:func:`repro.obs.trace.record_timed` — so the substrate shows up in
+``GET /v1/trace/{digest}`` without the backends knowing traces exist.  With
+no active trace the hook is a single contextvar read (the collectors'
+zero-cost-when-idle property is preserved).
 """
 
 from __future__ import annotations
@@ -19,6 +27,8 @@ import threading
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Dict, Iterator, List
+
+from repro.obs.trace import record_timed
 
 
 @dataclass(eq=False)  # identity semantics: collectors live on a LIFO stack
@@ -126,12 +136,19 @@ def record_solve(
             stats.warm_start_attempts += 1
         if warm_start_used:
             stats.warm_start_hits += 1
+    if warm_start_attempted:
+        record_timed(
+            "solver.solve", seconds, kind=kind, warm_start_used=warm_start_used
+        )
+    else:
+        record_timed("solver.solve", seconds, kind=kind)
 
 
 def record_build(seconds: float) -> None:
     """Report time spent building constraint matrices."""
     for stats in _stack():
         stats.build_seconds += seconds
+    record_timed("solver.build", seconds)
 
 
 def record_structure_lookup(hit: bool) -> None:
@@ -154,6 +171,7 @@ def record_benders(iterations: int = 0, cuts: int = 0) -> None:
     for stats in _stack():
         stats.benders_iterations += iterations
         stats.benders_cuts += cuts
+    record_timed("solver.benders", 0.0, iterations=iterations, cuts=cuts)
 
 
 def record_bound_reuse() -> None:

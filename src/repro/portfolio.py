@@ -42,6 +42,7 @@ from repro.api.results import (
 )
 from repro.evaluation.metrics import evaluate_plan
 from repro.flows.solver.stats import collect_solver_stats
+from repro.obs.trace import span
 
 #: Algorithm names whose solve is exact (MILP-backed) and therefore raced.
 EXACT_ALGORITHMS = frozenset({"OPT"})
@@ -170,7 +171,9 @@ def solve_two_stage(
 
         def run_one(name: str, extra: Dict[str, Any]) -> Any:
             algorithm = spec.resolve_algorithm(name)
-            with collect_solver_stats() as stats:
+            with collect_solver_stats() as stats, span(
+                "portfolio.run", algorithm=name
+            ):
                 plan = algorithm.solve(supply, demand, **extra)
                 evaluation = evaluate_plan(supply, demand, plan, context=service.context)
             runs_by_name[name] = AlgorithmRun(
@@ -181,8 +184,9 @@ def solve_two_stage(
             )
             return plan
 
-        for name in heuristics:
-            seed_plans.append(run_one(name, {}))
+        with span("portfolio.stage1", algorithms=",".join(heuristics)):
+            for name in heuristics:
+                seed_plans.append(run_one(name, {}))
 
         stage1 = RecoveryResult(
             request=request.to_dict(),
@@ -197,8 +201,9 @@ def solve_two_stage(
 
         error: Optional[str] = None
         try:
-            for name in exacts:
-                run_one(name, {"seed_plans": list(seed_plans)})
+            with span("portfolio.stage2", algorithms=",".join(exacts)):
+                for name in exacts:
+                    run_one(name, {"seed_plans": list(seed_plans)})
         except Exception:
             # the heuristic answer stands; record why the upgrade is partial
             error = traceback.format_exc(limit=20)

@@ -175,6 +175,10 @@ class ServiceClient:
                 )
             time.sleep(poll_interval)
 
+    def trace(self, digest: str) -> Dict[str, Any]:
+        """The job's merged cross-process span document (see /v1/trace)."""
+        return self._call("GET", f"/v1/trace/{digest}")[1]
+
     def healthz(self) -> Dict[str, Any]:
         return self._call("GET", "/healthz")[1]
 

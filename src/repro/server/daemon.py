@@ -23,7 +23,12 @@ import sys
 from dataclasses import dataclass
 from typing import Optional
 
-from repro.server.http import DEFAULT_MAX_QUEUE_DEPTH, RecoveryServer
+from repro.obs.logging import configure_logging, get_logger
+from repro.server.http import (
+    DEFAULT_MAX_QUEUE_DEPTH,
+    DEFAULT_SLOW_REQUEST_THRESHOLD,
+    RecoveryServer,
+)
 from repro.server.stores import DEFAULT_MAX_ATTEMPTS, open_store
 from repro.server.workers import DEFAULT_CLAIM_BATCH, DEFAULT_POLL_INTERVAL, WorkerFleet
 
@@ -59,6 +64,13 @@ class ServerConfig:
     #: files behind the consistent-hash coordinator (see
     #: ``repro.server.stores.sharded``).
     shards: Optional[int] = None
+    #: Structured-log level and format for the daemon *and* its spawned
+    #: workers (exported via env; see ``repro.obs.logging``).
+    log_level: str = "info"
+    log_format: str = "json"
+    #: Seconds of in-server handling beyond which a request counts as slow
+    #: (the ``repro_slow_requests_total`` counter).
+    slow_request_threshold: float = DEFAULT_SLOW_REQUEST_THRESHOLD
 
 
 async def serve(config: ServerConfig, ready: Optional[asyncio.Event] = None) -> None:
@@ -83,6 +95,10 @@ async def serve(config: ServerConfig, ready: Optional[asyncio.Event] = None) -> 
             f"available: {', '.join(available_backends())}"
         )
     default_topology_cache_size()
+    # Configure logging before the fleet spawns: configure_logging exports
+    # the level/format env vars the worker processes configure from.
+    configure_logging(level=config.log_level, log_format=config.log_format)
+    log = get_logger(__name__)
     if config.opt_strategy is not None:
         # Validated here, exported so the spawned worker processes inherit
         # it — the strategy is process-level, never a request field.
@@ -93,6 +109,7 @@ async def serve(config: ServerConfig, ready: Optional[asyncio.Event] = None) -> 
     orphans = store.requeue_orphans()
     if orphans:
         print(f"repro.server: requeued {orphans} orphaned running job(s)", file=sys.stderr)
+        log.info("requeued orphaned jobs", extra={"count": orphans})
 
     fleet = WorkerFleet(
         config.db,
@@ -113,14 +130,27 @@ async def serve(config: ServerConfig, ready: Optional[asyncio.Event] = None) -> 
         expected_workers=config.workers,
         on_enqueue=fleet.notify,
         worker_ids=fleet.worker_ids,
+        slow_request_threshold=config.slow_request_threshold,
     )
     try:
         await front.start(host=config.host, port=config.port)
+        # Scripts and CI parse this exact stderr line for readiness; the
+        # structured log line below is the machine-friendly twin.
         print(
             f"repro.server listening on http://{config.host}:{front.port} "
             f"(workers={config.workers}, shards={shards}, db={config.db})",
             file=sys.stderr,
             flush=True,
+        )
+        log.info(
+            "daemon listening",
+            extra={
+                "host": config.host,
+                "port": front.port,
+                "workers": config.workers,
+                "shards": shards,
+                "db": config.db,
+            },
         )
         if ready is not None:
             ready.set()

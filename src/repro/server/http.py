@@ -10,9 +10,19 @@ endpoint                    behaviour
 ``POST /v1/assess``         submit an :class:`~repro.api.requests.AssessmentRequest`
 ``POST /v1/batch``          submit ``{"requests": [...]}`` in one call
 ``GET /v1/jobs/{digest}``   job state + result envelope once ``done``
-``GET /healthz``            liveness + queue/worker snapshot
+``GET /v1/trace/{digest}``  the job's cross-process span tree, merged by source
+``GET /healthz``            liveness + queue/worker snapshot + store layout
 ``GET /metrics``            Prometheus text format
 ==========================  =====================================================
+
+Every request runs inside a trace: the id is accepted from an inbound
+``X-Repro-Trace-Id`` header (or minted), echoed back on the response, and
+stamped on every job row the request creates — telemetry only, it never
+feeds ``config_digest``, never rides a result envelope, and never touches
+the fast path's pre-serialized bytes.  Front-end spans (read, parse,
+enqueue) are persisted to the store's ``trace_spans`` sidecar for fresh
+submissions so ``GET /v1/trace/{digest}`` can merge them with the claiming
+worker's spans into one end-to-end tree.
 
 Connections are **keep-alive** by default: one TCP connection serves any
 number of sequential (or pipelined) requests, closing only when the client
@@ -51,6 +61,15 @@ from collections import OrderedDict
 from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.api.requests import AssessmentRequest, RecoveryRequest, request_from_dict
+from repro.obs.logging import get_logger, warn_rate_limited
+from repro.obs.trace import (
+    TRACE_HEADER,
+    current_trace_id,
+    normalize_trace_id,
+    record_timed,
+    span,
+    trace_context,
+)
 from repro.portfolio import pending_algorithms
 from repro.server.stores import JobRecord, JobStore, STATES
 
@@ -66,6 +85,10 @@ DEFAULT_ENVELOPE_CACHE_SIZE = 256
 #: Seconds a keep-alive connection may idle between requests before the
 #: server closes it (quietly — an idle close is not an error).
 DEFAULT_IDLE_TIMEOUT = 30.0
+
+#: Seconds of in-server handling beyond which a request increments the
+#: slow-request counter (``serve --slow-request-threshold`` overrides).
+DEFAULT_SLOW_REQUEST_THRESHOLD = 1.0
 
 #: Histogram bucket upper bounds (seconds) for solve latency.
 LATENCY_BUCKETS = (0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0)
@@ -107,6 +130,7 @@ class RecoveryServer:
         envelope_cache_size: int = DEFAULT_ENVELOPE_CACHE_SIZE,
         idle_timeout: float = DEFAULT_IDLE_TIMEOUT,
         request_timeout: float = 30.0,
+        slow_request_threshold: float = DEFAULT_SLOW_REQUEST_THRESHOLD,
     ) -> None:
         self.store = store
         self.workers_alive = workers_alive or (lambda: 0)
@@ -129,10 +153,12 @@ class RecoveryServer:
         self.envelope_cache_size = int(envelope_cache_size)
         self.idle_timeout = float(idle_timeout)
         self.request_timeout = float(request_timeout)
+        self.slow_request_threshold = float(slow_request_threshold)
         self.started_at = time.time()
         self.dedup_hits = 0
         self.submissions = 0
         self.fast_path_hits = 0
+        self.slow_requests = 0
         self.connections_total = 0
         self.keepalive_reuse = 0
         self.envelope_cache_hits = 0
@@ -146,6 +172,12 @@ class RecoveryServer:
         self._connections: Set[asyncio.StreamWriter] = set()
         self._server: Optional[asyncio.AbstractServer] = None
         self.port: Optional[int] = None
+        self._log = get_logger(__name__)
+        # Digests whose front-end span tree should be persisted when the
+        # request's trace closes.  Handlers run synchronously on the one
+        # event loop, so appending here and draining in _respond never
+        # interleaves across requests.
+        self._trace_persist: List[str] = []
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -185,15 +217,16 @@ class RecoveryServer:
                 if served:
                     self.keepalive_reuse += 1
                 try:
-                    status, payload, content_type, keep_alive = await self._respond(
+                    status, payload, content_type, keep_alive, trace_id = await self._respond(
                         request_line, reader
                     )
                 except Exception as error:  # never let a handler kill the server
-                    status, payload, content_type, keep_alive = (
+                    status, payload, content_type, keep_alive, trace_id = (
                         500,
                         {"error": f"internal error: {type(error).__name__}: {error}"},
                         "application/json",
                         False,
+                        None,
                     )
                 served += 1
                 if isinstance(payload, (bytes, bytearray)):
@@ -202,10 +235,12 @@ class RecoveryServer:
                     body = payload.encode("utf-8")
                 else:
                     body = json.dumps(payload, indent=2).encode("utf-8")
+                trace_header = f"{TRACE_HEADER}: {trace_id}\r\n" if trace_id else ""
                 head = (
                     f"HTTP/1.1 {status} {_REASONS.get(status, 'Unknown')}\r\n"
                     f"Content-Type: {content_type}\r\n"
                     f"Content-Length: {len(body)}\r\n"
+                    f"{trace_header}"
                     f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n\r\n"
                 )
                 try:
@@ -229,26 +264,74 @@ class RecoveryServer:
         The rest of the request — headers and body — shares one timeout, so
         a client that stalls mid-headers or mid-body cannot pin a
         connection coroutine (and its file descriptor) forever.  Returns
-        ``(status, payload, content_type, keep_alive)``.
+        ``(status, payload, content_type, keep_alive, trace_id)``.
         """
+        read_started = time.perf_counter()
         try:
             parsed = await asyncio.wait_for(
                 self._read_request(request_line, reader), timeout=self.request_timeout
             )
         except asyncio.TimeoutError:
-            return 400, {"error": "timed out reading the request"}, "application/json", False
+            return 400, {"error": "timed out reading the request"}, "application/json", False, None
         except (asyncio.IncompleteReadError, ConnectionError):
-            return 400, {"error": "connection closed mid-request"}, "application/json", False
+            return 400, {"error": "connection closed mid-request"}, "application/json", False, None
         if isinstance(parsed, str):  # a parse error message; framing is lost
-            return 400, {"error": parsed}, "application/json", False
-        method, path, body, keep_alive = parsed
+            return 400, {"error": parsed}, "application/json", False, None
+        method, path, body, keep_alive, trace_header = parsed
+        read_seconds = time.perf_counter() - read_started
 
-        status, payload, content_type = self._route(method, path, body)
+        # The whole handler runs inside one trace: inbound id honoured,
+        # otherwise minted here (the ingress point of the pipeline).
+        handled_started = time.perf_counter()
+        with trace_context(normalize_trace_id(trace_header)) as trace:
+            with span("http.request", method=method, path=path.split("?")[0]):
+                record_timed("http.read", read_seconds, bytes=len(body))
+                status, payload, content_type = self._route(method, path, body)
+            self._persist_frontend_spans(trace)
+        handled_seconds = time.perf_counter() - handled_started
+        if handled_seconds > self.slow_request_threshold:
+            self.slow_requests += 1
+            warn_rate_limited(
+                self._log,
+                "slow-request",
+                "slow request",
+                trace_id=trace.trace_id,
+                method=method,
+                path=path.split("?")[0],
+                seconds=round(handled_seconds, 6),
+                threshold=self.slow_request_threshold,
+            )
         self._count(path, status)
-        return status, payload, content_type, keep_alive
+        return status, payload, content_type, keep_alive, trace.trace_id
+
+    def _persist_frontend_spans(self, trace) -> None:
+        """Write this request's span tree for every digest it created.
+
+        Only *fresh* submissions are recorded — a dedup hit belongs to the
+        trace that created the row.  A batch persists the same request tree
+        under each digest it created (batches are small; the duplication
+        keeps every digest's trace self-contained).  Persistence is
+        telemetry: a failure is logged (rate-limited) and never surfaces.
+        """
+        if not self._trace_persist:
+            return
+        digests, self._trace_persist = self._trace_persist, []
+        payload = trace.to_payload()
+        for digest in digests:
+            try:
+                self.store.save_spans(digest, "frontend", payload, trace.trace_id)
+            except Exception as error:
+                warn_rate_limited(
+                    self._log,
+                    "span-persist",
+                    "failed to persist frontend spans",
+                    digest=digest,
+                    error=f"{type(error).__name__}: {error}",
+                )
 
     async def _read_request(self, request_line: bytes, reader: asyncio.StreamReader):
-        """Read one request; ``(method, path, body, keep_alive)`` or an error str."""
+        """Read one request; ``(method, path, body, keep_alive, trace_header)``
+        or an error str."""
         parts = request_line.decode("latin-1").split()
         if len(parts) < 2:
             return "malformed request line"
@@ -257,6 +340,7 @@ class RecoveryServer:
         keep_alive = version != "HTTP/1.0"
 
         content_length = 0
+        trace_header: Optional[str] = None
         while True:
             line = await reader.readline()
             if line in (b"\r\n", b"\n", b""):
@@ -274,17 +358,21 @@ class RecoveryServer:
                     keep_alive = False
                 elif token == "keep-alive":
                     keep_alive = True
+            elif header == TRACE_HEADER.lower():
+                trace_header = value.strip()
 
         if content_length > self.max_body_bytes:
             self._count(path, 400)
             return f"request body exceeds {self.max_body_bytes} bytes"
         body = await reader.readexactly(content_length) if content_length else b""
-        return method, path, body, keep_alive
+        return method, path, body, keep_alive, trace_header
 
     def _count(self, path: str, status: int) -> None:
         endpoint = path.split("?")[0]
         if endpoint.startswith("/v1/jobs/"):
             endpoint = "/v1/jobs"
+        elif endpoint.startswith("/v1/trace/"):
+            endpoint = "/v1/trace"
         key = (endpoint, int(status))
         self.http_requests[key] = self.http_requests.get(key, 0) + 1
 
@@ -352,8 +440,16 @@ class RecoveryServer:
                 self.on_enqueue(sorted({shard_of(digest) for digest in digests}))
             else:
                 self.on_enqueue()
-        except Exception:
-            pass  # a wakeup nudge must never fail a submission
+        except Exception as error:
+            # a wakeup nudge must never fail a submission — but a broken
+            # wakeup pipe should not be invisible either (workers fall back
+            # to poll-sleeping, quietly adding latency)
+            warn_rate_limited(
+                self._log,
+                "wakeup-nudge",
+                "wakeup nudge failed; workers will fall back to polling",
+                error=f"{type(error).__name__}: {error}",
+            )
 
     # ------------------------------------------------------------------ #
     # Routing
@@ -372,6 +468,10 @@ class RecoveryServer:
             if method != "GET":
                 return 405, {"error": "jobs is GET-only"}, "application/json"
             return self._job(path[len("/v1/jobs/") :])
+        if path.startswith("/v1/trace/"):
+            if method != "GET":
+                return 405, {"error": "trace is GET-only"}, "application/json"
+            return self._trace(path[len("/v1/trace/") :])
         if path in ("/v1/solve", "/v1/assess", "/v1/batch"):
             if method != "POST":
                 return 405, {"error": f"{path} is POST-only"}, "application/json"
@@ -410,7 +510,8 @@ class RecoveryServer:
 
     def _submit(self, payload: Dict[str, Any], expected: type):
         try:
-            request = self._parse(payload, expected)
+            with span("http.parse"):
+                request = self._parse(payload, expected)
         except ValueError as error:
             return 400, {"error": str(error)}, "application/json"
         self.submissions += 1
@@ -451,7 +552,9 @@ class RecoveryServer:
         # Reaching here the job is either new or a failed row being retried
         # — both trigger a fresh execution, so both are 202 and neither is a
         # dedup hit (a retry is requeued work, not a cached answer).
-        record, _ = self.store.submit(request)
+        with span("http.enqueue", digest=digest):
+            record, _ = self.store.submit(request, trace_id=current_trace_id())
+        self._trace_persist.append(record.digest)
         self._notify_enqueue((record.digest,))
         return (
             202,
@@ -468,14 +571,15 @@ class RecoveryServer:
                 "application/json",
             )
         requests = []
-        for index, item in enumerate(items):
-            if not isinstance(item, dict):
-                return 400, {"error": f"requests[{index}] is not an object"}, "application/json"
-            try:
-                # both kinds are accepted: a batch may mix solve and assess
-                requests.append(self._parse(item))
-            except ValueError as error:
-                return 400, {"error": f"requests[{index}]: {error}"}, "application/json"
+        with span("http.parse", count=len(items)):
+            for index, item in enumerate(items):
+                if not isinstance(item, dict):
+                    return 400, {"error": f"requests[{index}] is not an object"}, "application/json"
+                try:
+                    # both kinds are accepted: a batch may mix solve and assess
+                    requests.append(self._parse(item))
+                except ValueError as error:
+                    return 400, {"error": f"requests[{index}]: {error}"}, "application/json"
 
         # One store read per item; dedup is judged per item in order, so a
         # digest repeated *within* the batch counts too, while a failed row
@@ -521,8 +625,12 @@ class RecoveryServer:
         # for the whole burst), then the fleet gets a single wakeup nudge
         submitted: Dict[str, JobRecord] = {}
         if fresh:
-            for record, _ in self.store.submit_many(fresh):
-                submitted[record.digest] = record
+            with span("http.enqueue", count=len(fresh)):
+                for record, _ in self.store.submit_many(
+                    fresh, trace_id=current_trace_id()
+                ):
+                    submitted[record.digest] = record
+            self._trace_persist.extend(submitted)
             self._notify_enqueue(tuple(submitted))
         jobs = []
         for kind, value in plan:
@@ -566,6 +674,28 @@ class RecoveryServer:
             return 200, self._done_body(self._remember_done(record), "job"), "application/json"
         return 200, {"job": record.to_dict()}, "application/json"
 
+    def _trace(self, digest: str):
+        """The merged cross-process span document for a job digest.
+
+        ``sources`` maps span origin (``frontend``, ``worker``) to the span
+        tree that process persisted; a job mid-flight shows whichever
+        sources have landed so far.  404 only when the digest itself is
+        unknown — a known job with no spans yet returns an empty mapping.
+        """
+        record = self.store.get(digest)
+        if record is None:
+            return 404, {"error": f"no job with digest {digest!r}"}, "application/json"
+        return (
+            200,
+            {
+                "digest": digest,
+                "trace_id": record.trace_id,
+                "state": record.state,
+                "sources": self.store.load_spans(digest),
+            },
+            "application/json",
+        )
+
     def _healthz(self) -> Dict[str, Any]:
         counts = self.store.counts()
         alive = self.workers_alive()
@@ -585,6 +715,7 @@ class RecoveryServer:
             "workers_alive": alive,
             "workers_ready": ready,
             "max_queue_depth": self.max_queue_depth,
+            "store": self.store.layout_info(),
         }
 
     # ------------------------------------------------------------------ #
@@ -607,6 +738,20 @@ class RecoveryServer:
             lines.append(f"# HELP {name} {help_text}")
             lines.append(f"# TYPE {name} counter")
             lines.append(f"{name} {value:g}")
+
+        def histogram(name: str, samples: Sequence[float], help_text: str) -> None:
+            lines.append(f"# HELP {name} {help_text}")
+            lines.append(f"# TYPE {name} histogram")
+            cumulative = 0
+            remaining = sorted(samples)
+            for bound in LATENCY_BUCKETS:
+                while remaining and remaining[0] <= bound:
+                    remaining.pop(0)
+                    cumulative += 1
+                lines.append(f'{name}_bucket{{le="{bound:g}"}} {cumulative}')
+            lines.append(f'{name}_bucket{{le="+Inf"}} {len(samples)}')
+            lines.append(f"{name}_sum {sum(samples):g}")
+            lines.append(f"{name}_count {len(samples)}")
 
         lines.append("# HELP repro_jobs_total Jobs in the durable store by state.")
         lines.append("# TYPE repro_jobs_total gauge")
@@ -684,24 +829,40 @@ class RecoveryServer:
             "Done envelopes serialized and admitted to the LRU.",
         )
 
-        latencies = self.store.solve_latencies()
-        lines.append(
-            "# HELP repro_solve_latency_seconds Execution time of completed jobs "
-            "(claim to first completion; portfolio upgrades do not re-enter)."
+        counter(
+            "repro_slow_requests_total",
+            self.slow_requests,
+            "Requests whose in-server handling exceeded the slow threshold.",
         )
-        lines.append("# TYPE repro_solve_latency_seconds histogram")
-        cumulative = 0
-        remaining = sorted(latencies)
-        for bound in LATENCY_BUCKETS:
-            while remaining and remaining[0] <= bound:
-                remaining.pop(0)
-                cumulative += 1
-            lines.append(f'repro_solve_latency_seconds_bucket{{le="{bound:g}"}} {cumulative}')
-        lines.append(
-            f'repro_solve_latency_seconds_bucket{{le="+Inf"}} {len(latencies)}'
+        gauge(
+            "repro_slow_request_threshold_seconds",
+            self.slow_request_threshold,
+            "Handling seconds beyond which a request counts as slow.",
         )
-        lines.append(f"repro_solve_latency_seconds_sum {sum(latencies):g}")
-        lines.append(f"repro_solve_latency_seconds_count {len(latencies)}")
+
+        histogram(
+            "repro_solve_latency_seconds",
+            self.store.solve_latencies(),
+            "Execution time of completed jobs "
+            "(claim to first completion; portfolio upgrades do not re-enter).",
+        )
+
+        stages = self.store.stage_latency_samples()
+        histogram(
+            "repro_queue_wait_seconds",
+            stages.get("queue_wait", ()),
+            "Seconds completed jobs waited in the queue (created to claimed).",
+        )
+        histogram(
+            "repro_serialize_seconds",
+            stages.get("serialize", ()),
+            "Seconds spent serializing result envelopes at completion.",
+        )
+        histogram(
+            "repro_served_latency_seconds",
+            stages.get("served", ()),
+            "End-to-end seconds from submission to first stored answer.",
+        )
 
         totals = self.store.worker_stats_totals()
         fleet_metrics = (
@@ -796,6 +957,7 @@ __all__ = [
     "DEFAULT_IDLE_TIMEOUT",
     "DEFAULT_MAX_BODY_BYTES",
     "DEFAULT_MAX_QUEUE_DEPTH",
+    "DEFAULT_SLOW_REQUEST_THRESHOLD",
     "LATENCY_BUCKETS",
     "RecoveryServer",
 ]

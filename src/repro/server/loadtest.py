@@ -134,6 +134,40 @@ def _percentiles(values: Sequence[float]) -> Dict[str, float]:
     }
 
 
+def _histogram_percentiles(metrics_text: str, name: str) -> Dict[str, float]:
+    """Approximate p50/p95/p99 of a Prometheus histogram exposition.
+
+    Each percentile is reported as the **upper bound** of the bucket the
+    rank lands in (a rank landing in ``+Inf`` reports the largest finite
+    bound) — an upper-bound approximation, good enough for the
+    informational stage-latency section.  All zeros when the histogram is
+    absent or empty.
+    """
+    buckets: List[tuple] = []
+    total = 0
+    for line in metrics_text.splitlines():
+        if line.startswith(f"{name}_bucket"):
+            le = line.split('le="', 1)[1].split('"', 1)[0]
+            cumulative = int(float(line.rsplit(" ", 1)[1]))
+            bound = float("inf") if le == "+Inf" else float(le)
+            buckets.append((bound, cumulative))
+        elif line.startswith(f"{name}_count"):
+            total = int(float(line.rsplit(" ", 1)[1]))
+    result: Dict[str, float] = {}
+    finite = [bound for bound, _ in buckets if bound != float("inf")]
+    for key, fraction in (("p50", 0.50), ("p95", 0.95), ("p99", 0.99)):
+        if not total or not buckets:
+            result[key] = 0.0
+            continue
+        rank = max(1, round(fraction * total))
+        landed = next(
+            (bound for bound, cumulative in sorted(buckets) if cumulative >= rank),
+            float("inf"),
+        )
+        result[key] = landed if landed != float("inf") else (max(finite) if finite else 0.0)
+    return result
+
+
 @dataclass
 class LoadtestReport:
     """Everything one load campaign measured, ready for ``BENCH_server.json``."""
@@ -152,6 +186,11 @@ class LoadtestReport:
     completed_rps: float = 0.0
     submit_latency: Dict[str, float] = field(default_factory=dict)
     job_latency: Dict[str, float] = field(default_factory=dict)
+    #: Informational (never gated) per-stage latency percentiles:
+    #: ``queue_wait`` is exact (job views' ``started_at - created_at``);
+    #: ``serialize`` is read from the daemon's ``repro_serialize_seconds``
+    #: histogram, so each percentile is a bucket upper bound.
+    stage_latency: Dict[str, Dict[str, float]] = field(default_factory=dict)
     wall_seconds: float = 0.0
     served_seconds: float = 0.0
     served_solves_per_sec: float = 0.0
@@ -211,6 +250,9 @@ class LoadtestReport:
         for population in ("submit_latency", "job_latency"):
             for name, value in payload[population].items():
                 rows.append({"metric": f"{population}_{name}", "value": round(value, 4)})
+        for stage, values in payload["stage_latency"].items():
+            for name, value in values.items():
+                rows.append({"metric": f"{stage}_{name}", "value": round(value, 4)})
         return rows
 
     def to_dict(self) -> Dict[str, Any]:
@@ -235,6 +277,9 @@ class LoadtestReport:
             "completed_rps": float(self.completed_rps),
             "submit_latency": dict(self.submit_latency),
             "job_latency": dict(self.job_latency),
+            "stage_latency": {
+                stage: dict(values) for stage, values in self.stage_latency.items()
+            },
             "wall_seconds": float(self.wall_seconds),
             "served_seconds": float(self.served_seconds),
             "served_solves_per_sec": float(self.served_solves_per_sec),
@@ -372,6 +417,7 @@ def run_loadtest(
     report.submit_latency = _percentiles(submit_latencies)
 
     job_latencies: List[float] = []
+    queue_waits: List[float] = []
     deadline = time.monotonic() + wait_timeout
     for digest in sorted(digests):
         remaining = deadline - time.monotonic()
@@ -393,6 +439,10 @@ def run_loadtest(
             report.completed_jobs += 1
             if view.get("finished_at") and view.get("created_at") is not None:
                 job_latencies.append(float(view["finished_at"]) - float(view["created_at"]))
+            if view.get("started_at") and view.get("created_at") is not None:
+                queue_waits.append(
+                    max(0.0, float(view["started_at"]) - float(view["created_at"]))
+                )
         else:
             report.failed_jobs += 1
             report.failures.append(
@@ -404,6 +454,17 @@ def run_loadtest(
             )
 
     report.job_latency = _percentiles(job_latencies)
+    # Informational stage-latency section (never part of the pass/fail
+    # verdict): queue wait exactly from the job views, serialize time from
+    # the daemon's own histogram (its only client-visible surface).
+    try:
+        metrics_text = client.metrics()
+    except (ServiceError, OSError):
+        metrics_text = ""
+    report.stage_latency = {
+        "queue_wait": _percentiles(queue_waits),
+        "serialize": _histogram_percentiles(metrics_text, "repro_serialize_seconds"),
+    }
     # the served window runs from the first submission to the last
     # terminal-state observation: the full client experience of the pool
     report.served_seconds = time.perf_counter() - replay_start

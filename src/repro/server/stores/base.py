@@ -62,6 +62,18 @@ Worker beacons
     beacon ``/healthz`` counts); ``worker_stats_totals`` sums numeric
     counters across the whole fleet, each worker counted once.
 
+Telemetry (schema v4)
+    ``submit``/``submit_many`` accept an optional ``trace_id`` stamped on
+    the rows the call *creates* (a dedup hit keeps the creating
+    submission's id); the id is telemetry only and **never** feeds the
+    digest.  ``save_spans`` upserts one JSON span tree per
+    ``(digest, source)`` — upsert, not write-once: a retried execution
+    replaces the stale tree — and ``load_spans`` returns every source's
+    tree for a digest.  ``stage_latency_samples`` reports queue-wait,
+    serialize and end-to-end served latencies of done jobs;
+    ``layout_info`` describes the physical layout (backend kind, shard
+    count, per-shard queue depths) for ``/healthz``.
+
 Anything *not* in this contract — migration chains, shard layouts, SQL —
 is backend-private.
 """
@@ -136,10 +148,16 @@ class JobStoreBackend(Protocol):
     def close(self) -> None: ...
 
     # -- submission (idempotent by digest) ----------------------------- #
-    def submit(self, request: Union[Request, Dict[str, Any]]) -> Tuple[Any, bool]: ...
+    def submit(
+        self,
+        request: Union[Request, Dict[str, Any]],
+        trace_id: Optional[str] = None,
+    ) -> Tuple[Any, bool]: ...
 
     def submit_many(
-        self, requests: Sequence[Union[Request, Dict[str, Any]]]
+        self,
+        requests: Sequence[Union[Request, Dict[str, Any]]],
+        trace_id: Optional[str] = None,
     ) -> List[Tuple[Any, bool]]: ...
 
     # -- worker side --------------------------------------------------- #
@@ -175,6 +193,21 @@ class JobStoreBackend(Protocol):
     def solve_latencies(self, limit: int = 2048) -> List[float]: ...
 
     def solve_latency_samples(self, limit: int = 2048) -> List[Tuple[float, float]]: ...
+
+    def stage_latency_samples(self, limit: int = 2048) -> Dict[str, List[float]]: ...
+
+    def layout_info(self) -> Dict[str, Any]: ...
+
+    # -- trace-span sidecar -------------------------------------------- #
+    def save_spans(
+        self,
+        digest: str,
+        source: str,
+        payload: Dict[str, Any],
+        trace_id: Optional[str] = None,
+    ) -> None: ...
+
+    def load_spans(self, digest: str) -> Dict[str, Dict[str, Any]]: ...
 
     # -- warm topology sidecar ----------------------------------------- #
     def save_topology(self, digest: str, payload: bytes) -> bool: ...

@@ -205,12 +205,18 @@ class ShardedJobStore:
     # ------------------------------------------------------------------ #
     # Submission (route by digest; dedup inherited from the owning shard)
     # ------------------------------------------------------------------ #
-    def submit(self, request: Union[Request, Dict[str, Any]]) -> Tuple[JobRecord, bool]:
+    def submit(
+        self,
+        request: Union[Request, Dict[str, Any]],
+        trace_id: Optional[str] = None,
+    ) -> Tuple[JobRecord, bool]:
         parsed, payload, digest = canonical_request(request)
-        return self._owner(digest).submit(parsed)
+        return self._owner(digest).submit(parsed, trace_id=trace_id)
 
     def submit_many(
-        self, requests: Sequence[Union[Request, Dict[str, Any]]]
+        self,
+        requests: Sequence[Union[Request, Dict[str, Any]]],
+        trace_id: Optional[str] = None,
     ) -> List[Tuple[JobRecord, bool]]:
         """Batch submit, grouped so each shard gets one transaction.
 
@@ -225,7 +231,9 @@ class ShardedJobStore:
             by_shard.setdefault(shard, []).append(position)
         results: List[Optional[Tuple[JobRecord, bool]]] = [None] * len(routed)
         for shard, positions in by_shard.items():
-            batch = self._stores[shard].submit_many([routed[p][1] for p in positions])
+            batch = self._stores[shard].submit_many(
+                [routed[p][1] for p in positions], trace_id=trace_id
+            )
             for position, outcome in zip(positions, batch):
                 results[position] = outcome
         return [outcome for outcome in results if outcome is not None]
@@ -330,6 +338,36 @@ class ShardedJobStore:
 
     def solve_latencies(self, limit: int = 2048) -> List[float]:
         return [max(0.0, seconds) for _, seconds in self.solve_latency_samples(limit)]
+
+    def stage_latency_samples(self, limit: int = 2048) -> Dict[str, List[float]]:
+        merged: Dict[str, List[float]] = {"queue_wait": [], "serialize": [], "served": []}
+        for store in self._stores:
+            for key, values in store.stage_latency_samples(limit).items():
+                merged[key].extend(values)
+        return {key: values[: int(limit)] for key, values in merged.items()}
+
+    def layout_info(self) -> Dict[str, Any]:
+        """Per-shard queue depths — the shard-imbalance view ``/healthz`` serves."""
+        return {
+            "backend": "sharded",
+            "shards": self.shards,
+            "shard_queue_depths": [store.queue_depth() for store in self._stores],
+        }
+
+    # ------------------------------------------------------------------ #
+    # Trace-span sidecar (digest-routed, same shard as the job row)
+    # ------------------------------------------------------------------ #
+    def save_spans(
+        self,
+        digest: str,
+        source: str,
+        payload: Dict[str, Any],
+        trace_id: Optional[str] = None,
+    ) -> None:
+        self._owner(digest).save_spans(digest, source, payload, trace_id=trace_id)
+
+    def load_spans(self, digest: str) -> Dict[str, Dict[str, Any]]:
+        return self._owner(digest).load_spans(digest)
 
     # ------------------------------------------------------------------ #
     # Warm topology sidecar (digest-routed writes, fleet-wide reads)

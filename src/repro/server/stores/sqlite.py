@@ -8,9 +8,9 @@ the stored row instead of recomputing).  This is the reference
 implementation of the :class:`~repro.server.stores.base.JobStoreBackend`
 contract; the sharded backend composes N of these.
 
-Schema (version 3)
+Schema (version 4)
 ------------------
-``PRAGMA user_version`` carries the schema version.  Three tables:
+``PRAGMA user_version`` carries the schema version.  Four tables:
 
 ``jobs``
     One row per accepted request, keyed by the library-wide
@@ -33,11 +33,17 @@ Schema (version 3)
     started_at         REAL     unix time of the (last) claim
     finished_at        REAL     unix time the envelope reached its current form
     first_finished_at  REAL     unix time of the *first* completion (version 3)
+    trace_id           TEXT     trace id of the creating submission (version 4)
+    serialize_seconds  REAL     envelope ``json.dumps`` cost at completion (v4)
     =================  =======  ================================================
 
     ``finished_at`` moves when a portfolio upgrade replaces a done
     envelope in place; ``first_finished_at`` never does — it is what the
     ``/metrics`` solve-latency histogram measures (claim → first answer).
+    ``trace_id`` is telemetry only: it rides *next to* the request, never
+    inside it, so it can never perturb the digest or the envelope.
+    ``serialize_seconds`` likewise sticks to the first completion — the
+    serialize-stage histogram measures the serve path, not upgrades.
 
 ``worker_stats``
     One row per worker id: a JSON object of monotonic counters (jobs done,
@@ -53,6 +59,15 @@ Schema (version 3)
     build again.  Rows are write-once — a digest names exactly one
     deterministic build, so the payload never changes.
 
+``trace_spans`` (version 4)
+    The cross-process span sidecar: one JSON span-tree payload per
+    ``(digest, source)``, where ``source`` is ``frontend`` (written at
+    submission by the HTTP ingress) or ``worker`` (written when the
+    claiming worker finishes).  ``GET /v1/trace/{digest}`` merges the
+    sources into one trace.  Rows are upserted — a retried execution
+    replaces the stale worker tree — and live outside the job row so the
+    envelope fast path never touches (or re-serializes) telemetry.
+
 Migration policy
 ----------------
 Opening a database whose ``user_version`` is *newer* than this library
@@ -60,7 +75,9 @@ raises :class:`StoreSchemaError` (never guess at a future format).  An
 *older* version is migrated in-place inside one transaction by the
 ``_MIGRATIONS`` chain (version 2 adds ``topology_cache``; version 3 adds
 ``jobs.first_finished_at``, backfilled from ``finished_at`` — the best
-available approximation for rows that predate the split).  Removing or
+available approximation for rows that predate the split; version 4 adds
+``jobs.trace_id``/``jobs.serialize_seconds`` and the ``trace_spans``
+sidecar — pre-existing rows simply carry no telemetry).  Removing or
 renaming a column requires a new version — the store never alters the
 meaning of an existing column in place.
 
@@ -85,6 +102,8 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.obs.logging import get_logger
+from repro.obs.trace import record_timed
 from repro.server.stores.base import (
     DEFAULT_MAX_ATTEMPTS,
     Request,
@@ -94,7 +113,9 @@ from repro.server.stores.base import (
 )
 
 #: Bump when a column changes meaning; see the migration policy above.
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
+
+_LOG = get_logger(__name__)
 
 
 @dataclass(frozen=True)
@@ -113,6 +134,8 @@ class JobRecord:
     started_at: Optional[float] = None
     finished_at: Optional[float] = None
     first_finished_at: Optional[float] = None
+    trace_id: Optional[str] = None
+    serialize_seconds: Optional[float] = None
 
     def to_dict(self, include_request: bool = True) -> Dict[str, Any]:
         """The wire shape of a job (what ``GET /v1/jobs/{digest}`` returns)."""
@@ -126,6 +149,7 @@ class JobRecord:
             "started_at": self.started_at,
             "finished_at": self.finished_at,
             "first_finished_at": self.first_finished_at,
+            "trace_id": self.trace_id,
         }
         if include_request:
             payload["request"] = self.request
@@ -154,6 +178,12 @@ def _record(row: sqlite3.Row) -> JobRecord:
             if row["first_finished_at"] is None
             else float(row["first_finished_at"])
         ),
+        trace_id=row["trace_id"],
+        serialize_seconds=(
+            None
+            if row["serialize_seconds"] is None
+            else float(row["serialize_seconds"])
+        ),
     )
 
 
@@ -170,7 +200,9 @@ CREATE TABLE IF NOT EXISTS jobs (
     created_at        REAL NOT NULL,
     started_at        REAL,
     finished_at       REAL,
-    first_finished_at REAL
+    first_finished_at REAL,
+    trace_id          TEXT,
+    serialize_seconds REAL
 )
 """
 
@@ -194,6 +226,17 @@ CREATE TABLE IF NOT EXISTS topology_cache (
 )
 """
 
+_CREATE_TRACE_SPANS = """
+CREATE TABLE IF NOT EXISTS trace_spans (
+    digest     TEXT NOT NULL,
+    source     TEXT NOT NULL,
+    trace_id   TEXT,
+    payload    TEXT NOT NULL,
+    created_at REAL NOT NULL,
+    PRIMARY KEY (digest, source)
+)
+"""
+
 #: version -> statements upgrading *to* that version (applied in order for
 #: every version above the database's).
 _MIGRATIONS: Dict[int, Tuple[str, ...]] = {
@@ -204,6 +247,13 @@ _MIGRATIONS: Dict[int, Tuple[str, ...]] = {
         # claim -> final envelope; treating that as the first completion
         # keeps their histogram contribution unchanged.
         "UPDATE jobs SET first_finished_at = finished_at WHERE finished_at IS NOT NULL",
+    ),
+    4: (
+        # Telemetry rides beside the request, never inside it: existing
+        # rows simply carry no trace id and no stage timings.
+        "ALTER TABLE jobs ADD COLUMN trace_id TEXT",
+        "ALTER TABLE jobs ADD COLUMN serialize_seconds REAL",
+        _CREATE_TRACE_SPANS,
     ),
 }
 
@@ -246,6 +296,7 @@ class SQLiteJobStore:
                 self._conn.execute(_CREATE_JOBS_STATE_INDEX)
                 self._conn.execute(_CREATE_WORKER_STATS)
                 self._conn.execute(_CREATE_TOPOLOGY_CACHE)
+                self._conn.execute(_CREATE_TRACE_SPANS)
             else:
                 for target in range(version + 1, SCHEMA_VERSION + 1):
                     for statement in _MIGRATIONS.get(target, ()):
@@ -255,6 +306,15 @@ class SQLiteJobStore:
         except BaseException:
             self._conn.execute("ROLLBACK")
             raise
+        if 0 < version < SCHEMA_VERSION:
+            _LOG.info(
+                "store schema migrated",
+                extra={
+                    "db": str(self.path),
+                    "from_version": version,
+                    "to_version": SCHEMA_VERSION,
+                },
+            )
 
     @property
     def schema_version(self) -> int:
@@ -279,7 +339,11 @@ class SQLiteJobStore:
         "WHERE digest = ? AND state = 'failed'"
     )
 
-    def submit(self, request: Union[Request, Dict[str, Any]]) -> Tuple[JobRecord, bool]:
+    def submit(
+        self,
+        request: Union[Request, Dict[str, Any]],
+        trace_id: Optional[str] = None,
+    ) -> Tuple[JobRecord, bool]:
         """Accept ``request`` and return ``(record, created)``.
 
         The request is canonicalised through the schema classes first, so
@@ -290,15 +354,20 @@ class SQLiteJobStore:
         exception: a previously *failed* job is requeued by resubmission
         (fresh attempt budget), because the client asking again is the
         natural retry trigger.
+
+        ``trace_id`` (telemetry only — it never feeds the digest) is
+        stamped on the row the submission *creates*; a dedup hit keeps the
+        creating submission's id, so a job's trace is the trace of the
+        request that caused the work.
         """
         parsed, payload, digest = canonical_request(request)
         cursor = self._conn.execute(
             """
-            INSERT INTO jobs (digest, kind, request, state, created_at)
-            VALUES (?, ?, ?, 'queued', ?)
+            INSERT INTO jobs (digest, kind, request, state, created_at, trace_id)
+            VALUES (?, ?, ?, 'queued', ?, ?)
             ON CONFLICT (digest) DO NOTHING
             """,
-            (digest, parsed.kind, json.dumps(payload, sort_keys=True), time.time()),
+            (digest, parsed.kind, json.dumps(payload, sort_keys=True), time.time(), trace_id),
         )
         created = cursor.rowcount == 1
         if not created:
@@ -308,14 +377,17 @@ class SQLiteJobStore:
         return record, created
 
     def submit_many(
-        self, requests: Sequence[Union[Request, Dict[str, Any]]]
+        self,
+        requests: Sequence[Union[Request, Dict[str, Any]]],
+        trace_id: Optional[str] = None,
     ) -> List[Tuple[JobRecord, bool]]:
         """Accept a batch of requests in **one transaction**.
 
         Semantically identical to calling :meth:`submit` per item (same
         dedup, same failed-row requeue), but the whole batch costs a single
         WAL commit instead of one per job — the round-trip that makes an
-        8-request burst as cheap as one submission.
+        8-request burst as cheap as one submission.  ``trace_id`` (one
+        HTTP request, one trace) is stamped on every row the batch creates.
         """
         parsed_items: List[Tuple[Request, str, str]] = []
         for request in requests:
@@ -329,11 +401,11 @@ class SQLiteJobStore:
             for parsed, digest, payload_json in parsed_items:
                 cursor = self._conn.execute(
                     """
-                    INSERT INTO jobs (digest, kind, request, state, created_at)
-                    VALUES (?, ?, ?, 'queued', ?)
+                    INSERT INTO jobs (digest, kind, request, state, created_at, trace_id)
+                    VALUES (?, ?, ?, 'queued', ?, ?)
                     ON CONFLICT (digest) DO NOTHING
                     """,
-                    (digest, parsed.kind, payload_json, now),
+                    (digest, parsed.kind, payload_json, now, trace_id),
                 )
                 created = cursor.rowcount == 1
                 if not created:
@@ -509,14 +581,23 @@ class SQLiteJobStore:
         (it is what the latency histogram measures), while ``finished_at``
         tracks the envelope's final form.  Any requeue breadcrumb in
         ``error`` is cleared — a done row answered cleanly.
+
+        The envelope's ``json.dumps`` cost is measured here (this *is*
+        the serving path's serialize stage) and stored in
+        ``serialize_seconds`` for the ``/metrics`` histogram; it also
+        lands as a ``store.serialize`` span when a trace is active.
         """
+        serialize_started = time.perf_counter()
+        encoded = json.dumps(result, sort_keys=True)
+        serialize_seconds = time.perf_counter() - serialize_started
+        record_timed("store.serialize", serialize_seconds, bytes=len(encoded))
         now = time.time()
         return self._finish(
             digest,
             worker,
             "state = 'done', result = ?, error = NULL, finished_at = ?, "
-            "first_finished_at = ?",
-            (json.dumps(result, sort_keys=True), now, now),
+            "first_finished_at = ?, serialize_seconds = ?",
+            (encoded, now, now, serialize_seconds),
         )
 
     def upgrade_result(
@@ -637,6 +718,83 @@ class SQLiteJobStore:
     def solve_latencies(self, limit: int = 2048) -> List[float]:
         """Execution seconds (claim to first completion) of the newest done jobs."""
         return [max(0.0, seconds) for _, seconds in self.solve_latency_samples(limit)]
+
+    def stage_latency_samples(self, limit: int = 2048) -> Dict[str, List[float]]:
+        """Per-stage latency samples of the newest done jobs.
+
+        Three sample sets feed the ``/metrics`` stage histograms:
+
+        * ``queue_wait`` — submission → (last) claim;
+        * ``serialize`` — the envelope's ``json.dumps`` cost at completion;
+        * ``served`` — submission → first completion, the end-to-end
+          latency a polling client experiences (portfolio upgrades do not
+          re-enter, same rule as the solve-latency histogram).
+        """
+        rows = self._conn.execute(
+            """
+            SELECT created_at, started_at, serialize_seconds,
+                   COALESCE(first_finished_at, finished_at) AS completed_at
+            FROM jobs
+            WHERE state = 'done' AND started_at IS NOT NULL AND finished_at IS NOT NULL
+            ORDER BY completed_at DESC LIMIT ?
+            """,
+            (int(limit),),
+        ).fetchall()
+        samples: Dict[str, List[float]] = {"queue_wait": [], "serialize": [], "served": []}
+        for row in rows:
+            samples["queue_wait"].append(
+                max(0.0, float(row["started_at"]) - float(row["created_at"]))
+            )
+            if row["serialize_seconds"] is not None:
+                samples["serialize"].append(max(0.0, float(row["serialize_seconds"])))
+            samples["served"].append(
+                max(0.0, float(row["completed_at"]) - float(row["created_at"]))
+            )
+        return samples
+
+    def layout_info(self) -> Dict[str, Any]:
+        """The store's physical layout, for ``/healthz`` (operator view)."""
+        return {
+            "backend": "sqlite",
+            "shards": 1,
+            "shard_queue_depths": [self.queue_depth()],
+        }
+
+    # ------------------------------------------------------------------ #
+    # Trace-span sidecar (one JSON span tree per (digest, source))
+    # ------------------------------------------------------------------ #
+    def save_spans(
+        self,
+        digest: str,
+        source: str,
+        payload: Dict[str, Any],
+        trace_id: Optional[str] = None,
+    ) -> None:
+        """Upsert one source's span tree for ``digest``.
+
+        Upsert (not write-once like the topology sidecar): a retried
+        execution replaces the stale worker tree, and the newest spans are
+        the ones that describe the row a client can fetch.
+        """
+        self._conn.execute(
+            "INSERT INTO trace_spans (digest, source, trace_id, payload, created_at) "
+            "VALUES (?, ?, ?, ?, ?) "
+            "ON CONFLICT (digest, source) DO UPDATE SET trace_id = excluded.trace_id, "
+            "payload = excluded.payload, created_at = excluded.created_at",
+            (digest, str(source), trace_id, json.dumps(payload, sort_keys=True), time.time()),
+        )
+
+    def load_spans(self, digest: str) -> Dict[str, Dict[str, Any]]:
+        """Every stored span tree for ``digest``, keyed by source."""
+        trees: Dict[str, Dict[str, Any]] = {}
+        for row in self._conn.execute(
+            "SELECT source, payload FROM trace_spans WHERE digest = ?", (digest,)
+        ):
+            try:
+                trees[row["source"]] = json.loads(row["payload"])
+            except ValueError:
+                continue  # a corrupt sidecar row must never break the trace view
+        return trees
 
     # ------------------------------------------------------------------ #
     # Fleet-shared warm topology cache (write-once by digest)

@@ -50,7 +50,11 @@ import traceback
 from typing import Dict, List, Optional, Sequence
 
 from repro.api.requests import AssessmentRequest, request_from_dict
+from repro.obs.logging import configure_from_env, get_logger, warn_rate_limited
+from repro.obs.trace import record_timed, span, trace_context
 from repro.server.stores import DEFAULT_MAX_ATTEMPTS, JobRecord, JobStore, open_store
+
+_LOG = get_logger(__name__)
 
 #: Seconds a worker waits between claim attempts on an empty queue.  With a
 #: wakeup channel attached this is only the fallback for a missed
@@ -227,8 +231,17 @@ def _refresh_warm_topologies(store: JobStore, service, known: set) -> int:
         known.add(digest)
         try:
             supply = pickle.loads(payload)
-        except Exception:
-            continue  # a corrupt row must never take a worker down
+        except Exception as error:
+            # a corrupt row must never take a worker down — but a sidecar
+            # that silently stops warming the fleet is a latent perf bug
+            warn_rate_limited(
+                _LOG,
+                "warm-sidecar-load",
+                "skipped a corrupt warm-topology sidecar row",
+                digest=digest,
+                error=f"{type(error).__name__}: {error}",
+            )
+            continue
         loaded += service.import_topologies({digest: supply})
     return loaded
 
@@ -242,8 +255,17 @@ def _persist_warm_topologies(store: JobStore, service, known: set) -> int:
         known.add(digest)
         try:
             payload = pickle.dumps(supply, protocol=pickle.HIGHEST_PROTOCOL)
-        except Exception:
-            continue  # an unpicklable graph stays worker-local
+        except Exception as error:
+            # an unpicklable graph stays worker-local; say so (once per
+            # interval) instead of letting the sidecar quietly stop growing
+            warn_rate_limited(
+                _LOG,
+                "warm-sidecar-save",
+                "could not serialize a warm topology; it stays worker-local",
+                digest=digest,
+                error=f"{type(error).__name__}: {error}",
+            )
+            continue
         if store.save_topology(digest, payload):
             saved += 1
     return saved
@@ -307,13 +329,22 @@ def worker_loop(
     )
     # The first snapshot doubles as the readiness beacon /healthz counts.
     store.record_worker_stats(worker_id, counters)
+    _LOG.info(
+        "worker ready",
+        extra={
+            "worker": worker_id,
+            "warm_topologies": int(counters["warm_topology_loads"]),
+        },
+    )
     handled = 0
     try:
         while not (stop is not None and stop.is_set()):
             limit = int(claim_batch)
             if max_jobs is not None:
                 limit = max(1, min(limit, max_jobs - handled))
+            claim_started = time.perf_counter()
             batch = store.claim_batch(worker_id, limit=limit, max_attempts=max_attempts)
+            claim_seconds = time.perf_counter() - claim_started
             if not batch:
                 if max_jobs is not None:
                     break  # drain mode: an empty queue ends the run
@@ -321,32 +352,83 @@ def worker_loop(
                 continue
             counters["claim_batches"] += 1
             counters["claim_batch_jobs"] += len(batch)
+            warm_started = time.perf_counter()
             counters["warm_topology_loads"] += _refresh_warm_topologies(
                 store, service, warm_digests
             )
+            warm_seconds = time.perf_counter() - warm_started
             for record in batch:
                 if hold > 0:
                     time.sleep(hold)
                 started = time.perf_counter()
-                try:
-                    if portfolio and record.kind == "recovery":
-                        envelope = _execute_portfolio(
-                            service, store, record, worker_id, counters
+                failed = False
+                # The job's trace resumes here: the front end stamped the
+                # trace id on the row at submission, so the worker's spans
+                # join the same end-to-end trace.  The batch-wide claim and
+                # warm-load costs are charged to the first job of the batch
+                # (with the batch size attached), not duplicated onto all.
+                with trace_context(record.trace_id) as trace:
+                    if claim_seconds > 0:
+                        record_timed("worker.claim", claim_seconds, jobs=len(batch))
+                    if warm_seconds > 0:
+                        record_timed("worker.warm_load", warm_seconds)
+                    try:
+                        with span(
+                            "worker.execute",
+                            digest=record.digest,
+                            kind=record.kind,
+                            worker=worker_id,
+                        ):
+                            if portfolio and record.kind == "recovery":
+                                envelope = _execute_portfolio(
+                                    service, store, record, worker_id, counters
+                                )
+                            else:
+                                envelope = _execute(service, record)
+                                with span("worker.persist"):
+                                    store.complete(
+                                        record.digest, envelope, worker=worker_id
+                                    )
+                    except Exception:
+                        failed = True
+                        counters["jobs_failed"] += 1
+                        store.fail(
+                            record.digest,
+                            traceback.format_exc(limit=20),
+                            worker=worker_id,
                         )
                     else:
-                        envelope = _execute(service, record)
-                        store.complete(record.digest, envelope, worker=worker_id)
-                except Exception:
-                    counters["jobs_failed"] += 1
-                    store.fail(
-                        record.digest, traceback.format_exc(limit=20), worker=worker_id
-                    )
-                else:
-                    counters["jobs_done"] += 1
-                    for key, value in _solver_counters(envelope).items():
-                        counters[key] = counters.get(key, 0.0) + value
+                        counters["jobs_done"] += 1
+                        for key, value in _solver_counters(envelope).items():
+                            counters[key] = counters.get(key, 0.0) + value
                 handled += 1
-                counters["busy_seconds"] += time.perf_counter() - started
+                elapsed = time.perf_counter() - started
+                counters["busy_seconds"] += elapsed
+                try:
+                    store.save_spans(
+                        record.digest, "worker", trace.to_payload(), trace.trace_id
+                    )
+                except Exception as error:
+                    warn_rate_limited(
+                        _LOG,
+                        "span-persist",
+                        "failed to persist worker spans",
+                        digest=record.digest,
+                        error=f"{type(error).__name__}: {error}",
+                    )
+                log_fields = {
+                    "trace_id": trace.trace_id,
+                    "digest": record.digest,
+                    "worker": worker_id,
+                    "kind": record.kind,
+                    "seconds": round(elapsed, 6),
+                }
+                if failed:
+                    _LOG.warning("job failed", extra=log_fields)
+                else:
+                    _LOG.info("job done", extra=log_fields)
+                claim_seconds = 0.0
+                warm_seconds = 0.0
             counters["warm_topology_saves"] += _persist_warm_topologies(
                 store, service, warm_digests
             )
@@ -378,6 +460,7 @@ def _fleet_entry(
     fleet escalates to SIGKILL only if a worker overstays the drain
     timeout.
     """
+    configure_from_env()  # spawn gives a fresh interpreter; match the daemon
     signal.signal(signal.SIGTERM, lambda *_: stop_event.set())
     signal.signal(signal.SIGINT, signal.SIG_IGN)  # the daemon handles Ctrl-C
     worker_loop(
@@ -529,6 +612,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "envelope first, upgrade in place when the exact solve lands",
     )
     args = parser.parse_args(argv)
+    configure_from_env()  # an externally attached worker logs like the daemon
 
     # A real threading.Event so the idle wait ends the moment SIGTERM sets
     # it, instead of the worker finishing its sleep interval.

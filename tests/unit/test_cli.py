@@ -24,6 +24,42 @@ class TestParser:
         )
         assert args.topology_arg == ["rows=3", "cols=4"]
 
+    def test_serve_observability_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.log_level == "info"
+        assert args.log_format == "json"
+        assert args.slow_request_threshold == 1.0
+
+    def test_serve_observability_flags_parse(self):
+        args = build_parser().parse_args(
+            [
+                "serve",
+                "--log-level", "debug",
+                "--log-format", "text",
+                "--slow-request-threshold", "0.25",
+            ]
+        )
+        assert args.log_level == "debug"
+        assert args.log_format == "text"
+        assert args.slow_request_threshold == 0.25
+
+    def test_serve_rejects_unknown_log_level(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["serve", "--log-level", "loud"])
+
+    def test_serve_rejects_nonpositive_slow_threshold(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "--slow-request-threshold", "0"])
+
+    def test_trace_subcommand_parses(self):
+        args = build_parser().parse_args(["trace", "a" * 64, "--json"])
+        assert args.digest == "a" * 64
+        assert args.json is True
+
+    def test_trace_unreachable_daemon_exits_cleanly(self):
+        with pytest.raises(SystemExit):
+            main(["trace", "a" * 64, "--url", "http://127.0.0.1:1"])
+
 
 class TestCommands:
     def test_list_topologies(self, capsys):

@@ -1,0 +1,188 @@
+"""Unit tests of structured logging (``repro.obs.logging``).
+
+Covers the JSON line schema (trace-id correlation included), idempotent
+configuration with env-var export for spawned workers, and the
+rate-limited warning used to replace silent exception swallows.
+"""
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.obs.logging import (
+    LOG_FORMAT_ENV_VAR,
+    LOG_LEVEL_ENV_VAR,
+    JsonFormatter,
+    _reset_rate_limits,
+    configure_from_env,
+    configure_logging,
+    get_logger,
+    warn_rate_limited,
+)
+from repro.obs.trace import trace_context
+
+
+@pytest.fixture(autouse=True)
+def _clean_logging(monkeypatch):
+    """Keep each test's handlers/env/rate-limits from leaking to the next."""
+    monkeypatch.delenv(LOG_LEVEL_ENV_VAR, raising=False)
+    monkeypatch.delenv(LOG_FORMAT_ENV_VAR, raising=False)
+    _reset_rate_limits()
+    root = logging.getLogger("repro")
+    before = list(root.handlers)
+    before_level = root.level
+    before_propagate = root.propagate
+    root.propagate = True  # let caplog's root handler see repro.* records
+    yield
+    for handler in list(root.handlers):
+        if handler not in before:
+            root.removeHandler(handler)
+    root.setLevel(before_level)
+    root.propagate = before_propagate
+    _reset_rate_limits()
+
+
+class TestJsonFormatter:
+    def _format(self, **extra):
+        logger = get_logger("repro.test.fmt")
+        record = logger.makeRecord(
+            logger.name, logging.INFO, __file__, 1, "thing happened", (), None,
+            extra=extra,
+        )
+        return json.loads(JsonFormatter().format(record))
+
+    def test_schema_fields(self):
+        payload = self._format(digest="ab12", seconds=0.5)
+        assert payload["level"] == "info"
+        assert payload["logger"] == "repro.test.fmt"
+        assert payload["event"] == "thing happened"
+        assert isinstance(payload["ts"], float)
+        assert payload["digest"] == "ab12"
+        assert payload["seconds"] == 0.5
+        assert "trace_id" not in payload  # no active trace, none given
+
+    def test_trace_id_attached_from_active_trace(self):
+        with trace_context("fmt-trace-12345678") as trace:
+            payload = self._format()
+        assert payload["trace_id"] == trace.trace_id
+
+    def test_explicit_trace_id_wins(self):
+        with trace_context("ambient-trace-0001"):
+            payload = self._format(trace_id="explicit-trace-01")
+        assert payload["trace_id"] == "explicit-trace-01"
+
+    def test_output_is_one_json_line(self):
+        logger = get_logger("repro.test.fmt")
+        record = logger.makeRecord(
+            logger.name, logging.WARNING, __file__, 1, "multi\nline", (), None
+        )
+        line = JsonFormatter().format(record)
+        assert "\n" not in line
+        assert json.loads(line)["event"] == "multi\nline"
+
+
+class TestConfigureLogging:
+    def test_writes_json_lines_to_the_stream(self):
+        stream = io.StringIO()
+        configure_logging(level="info", log_format="json", stream=stream)
+        get_logger("repro.test.cfg").info("hello", extra={"n": 3})
+        payload = json.loads(stream.getvalue().strip())
+        assert payload["event"] == "hello"
+        assert payload["n"] == 3
+
+    def test_reconfigure_replaces_rather_than_stacks(self):
+        first, second = io.StringIO(), io.StringIO()
+        configure_logging(stream=first)
+        configure_logging(stream=second)
+        get_logger("repro.test.cfg").info("once")
+        assert first.getvalue() == ""
+        assert second.getvalue().count("\n") == 1
+
+    def test_level_filters(self):
+        stream = io.StringIO()
+        configure_logging(level="warning", stream=stream)
+        logger = get_logger("repro.test.cfg")
+        logger.info("quiet")
+        logger.warning("loud")
+        assert "quiet" not in stream.getvalue()
+        assert "loud" in stream.getvalue()
+
+    def test_exports_env_for_spawned_workers(self, monkeypatch):
+        configure_logging(level="debug", log_format="text", stream=io.StringIO())
+        import os
+
+        assert os.environ[LOG_LEVEL_ENV_VAR] == "debug"
+        assert os.environ[LOG_FORMAT_ENV_VAR] == "text"
+
+    def test_rejects_unknown_settings(self):
+        with pytest.raises(ValueError):
+            configure_logging(level="loudest")
+        with pytest.raises(ValueError):
+            configure_logging(log_format="xml")
+
+    def test_text_format_carries_fields(self):
+        stream = io.StringIO()
+        configure_logging(log_format="text", stream=stream)
+        get_logger("repro.test.cfg").info("job done", extra={"digest": "ab12"})
+        assert "job done" in stream.getvalue()
+        assert "digest=ab12" in stream.getvalue()
+
+
+class TestConfigureFromEnv:
+    def test_no_env_configures_nothing(self):
+        assert configure_from_env(stream=io.StringIO()) is None
+
+    def test_picks_up_daemon_exports(self, monkeypatch):
+        monkeypatch.setenv(LOG_LEVEL_ENV_VAR, "warning")
+        monkeypatch.setenv(LOG_FORMAT_ENV_VAR, "json")
+        stream = io.StringIO()
+        root = configure_from_env(stream=stream)
+        assert root is not None and root.level == logging.WARNING
+        get_logger("repro.test.env").warning("from worker")
+        assert json.loads(stream.getvalue().strip())["event"] == "from worker"
+
+    def test_garbage_env_falls_back_to_defaults(self, monkeypatch):
+        monkeypatch.setenv(LOG_LEVEL_ENV_VAR, "shout")
+        monkeypatch.setenv(LOG_FORMAT_ENV_VAR, "xml")
+        root = configure_from_env(stream=io.StringIO())
+        assert root is not None and root.level == logging.INFO
+
+
+class TestWarnRateLimited:
+    def test_first_emits_then_suppresses(self, caplog):
+        logger = get_logger("repro.test.rate")
+        with caplog.at_level(logging.WARNING, logger="repro"):
+            assert warn_rate_limited(logger, "k1", "bad thing", error="x")
+            assert not warn_rate_limited(logger, "k1", "bad thing", error="x")
+            assert not warn_rate_limited(logger, "k1", "bad thing", error="x")
+        assert len(caplog.records) == 1
+        assert caplog.records[0].error == "x"
+
+    def test_suppressed_count_surfaces_on_next_emit(self, caplog):
+        logger = get_logger("repro.test.rate")
+        with caplog.at_level(logging.WARNING, logger="repro"):
+            warn_rate_limited(logger, "k3", "bad thing")  # emits
+            warn_rate_limited(logger, "k3", "bad thing")  # suppressed
+            warn_rate_limited(logger, "k3", "bad thing")  # suppressed
+            # interval=0 lets the window lapse immediately: the next call
+            # emits again and carries the count of what it swallowed
+            warn_rate_limited(logger, "k3", "bad thing", interval=0.0)
+        emitted = [r for r in caplog.records if getattr(r, "suppressed", 0)]
+        assert len(emitted) == 1
+        assert emitted[0].suppressed == 2
+
+    def test_interval_zero_always_emits(self, caplog):
+        logger = get_logger("repro.test.rate")
+        with caplog.at_level(logging.WARNING, logger="repro"):
+            assert warn_rate_limited(logger, "k2", "bad thing", interval=0.0)
+            assert warn_rate_limited(logger, "k2", "bad thing", interval=0.0)
+        assert len(caplog.records) == 2
+
+    def test_keys_are_independent(self, caplog):
+        logger = get_logger("repro.test.rate")
+        with caplog.at_level(logging.WARNING, logger="repro"):
+            assert warn_rate_limited(logger, "a-key", "a failed")
+            assert warn_rate_limited(logger, "b-key", "b failed")
+        assert len(caplog.records) == 2

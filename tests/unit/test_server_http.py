@@ -19,6 +19,7 @@ from repro.api.requests import (
     RecoveryRequest,
     TopologySpec,
 )
+from repro.obs.trace import TRACE_HEADER, normalize_trace_id, render_trace
 from repro.server.client import ServiceClient, ServiceError
 from repro.server.http import RecoveryServer
 from repro.server.store import JobStore
@@ -350,7 +351,7 @@ class TestObservation:
         assert "repro_topology_cache_hits_total 3" in lines
         assert "repro_topology_cache_misses_total 1" in lines
         assert "repro_solve_latency_seconds_count 1" in lines
-        bucket_lines = [l for l in lines if "latency_seconds_bucket" in l]
+        bucket_lines = [l for l in lines if "solve_latency_seconds_bucket" in l]
         assert bucket_lines[-1].startswith('repro_solve_latency_seconds_bucket{le="+Inf"}')
 
     def test_http_request_counter_labels_jobs_uniformly(self, harness):
@@ -578,3 +579,188 @@ class TestReadiness:
         ):
             assert name in text
         assert "repro_fast_path_hits_total 1" in text
+
+
+def _raw_call(base_url: str, path: str, payload=None, trace_header=None):
+    """(status, body bytes, headers) with an optional inbound trace header."""
+    headers = {"Content-Type": "application/json"}
+    if trace_header is not None:
+        headers[TRACE_HEADER] = trace_header
+    request = urllib.request.Request(
+        f"{base_url}{path}",
+        data=json.dumps(payload).encode("utf-8") if payload is not None else None,
+        method="POST" if payload is not None else "GET",
+        headers=headers,
+    )
+    with urllib.request.urlopen(request, timeout=5) as response:
+        return response.status, response.read(), dict(response.headers)
+
+
+class TestTracing:
+    """The cross-process trace surface: header echo, persistence, /v1/trace."""
+
+    def test_every_response_echoes_a_minted_trace_id(self, harness):
+        status, _, headers = _raw_call(
+            harness.client.base_url, "/v1/solve", grid_request().to_dict()
+        )
+        assert status == 202
+        minted = headers.get(TRACE_HEADER)
+        assert normalize_trace_id(minted) == minted  # well-formed, usable
+
+    def test_inbound_trace_id_is_accepted_and_stamped_on_the_job(self, harness, store):
+        status, body, headers = _raw_call(
+            harness.client.base_url,
+            "/v1/solve",
+            grid_request().to_dict(),
+            trace_header="caller-trace-0001",
+        )
+        assert status == 202
+        assert headers.get(TRACE_HEADER) == "caller-trace-0001"
+        digest = json.loads(body)["job"]["digest"]
+        assert store.get(digest).trace_id == "caller-trace-0001"
+
+    def test_garbage_inbound_trace_id_is_replaced_not_rejected(self, harness):
+        status, _, headers = _raw_call(
+            harness.client.base_url,
+            "/v1/solve",
+            grid_request().to_dict(),
+            trace_header="bad header!!",
+        )
+        assert status == 202  # tracing never 400s
+        echoed = headers.get(TRACE_HEADER)
+        assert echoed and echoed != "bad header!!"
+
+    def test_trace_endpoint_merges_frontend_and_worker_sources(self, harness, store):
+        _raw_call(
+            harness.client.base_url,
+            "/v1/solve",
+            grid_request().to_dict(),
+            trace_header="caller-trace-0002",
+        )
+        digest = grid_request().digest()
+        # a worker would persist its own tree after executing the job
+        store.save_spans(
+            digest,
+            "worker",
+            {
+                "trace_id": "caller-trace-0002",
+                "pid": 99,
+                "spans": [{"name": "worker.execute", "wall_seconds": 0.2, "cpu_seconds": 0.2}],
+                "dropped_spans": 0,
+            },
+            trace_id="caller-trace-0002",
+        )
+        doc = harness.client.trace(digest)
+        assert doc["digest"] == digest
+        assert doc["trace_id"] == "caller-trace-0002"
+        assert set(doc["sources"]) == {"frontend", "worker"}
+        frontend_roots = [node["name"] for node in doc["sources"]["frontend"]["spans"]]
+        assert frontend_roots == ["http.request"]
+        children = {
+            node["name"]
+            for node in doc["sources"]["frontend"]["spans"][0].get("children", [])
+        }
+        assert {"http.read", "http.parse", "http.enqueue"} <= children
+        assert doc["sources"]["frontend"]["trace_id"] == "caller-trace-0002"
+        # the merged doc renders (smoke: the CLI path consumes exactly this)
+        assert "worker.execute" in render_trace(doc)
+
+    def test_trace_of_an_unknown_digest_is_a_404(self, harness):
+        with pytest.raises(ServiceError) as excinfo:
+            harness.client.trace("0" * 64)
+        assert excinfo.value.status == 404
+        assert harness.server.http_requests[("/v1/trace", 404)] == 1
+
+    def test_trace_requests_count_under_a_normalized_path(self, harness):
+        harness.client.solve(grid_request())
+        harness.client.trace(grid_request().digest())
+        assert harness.server.http_requests[("/v1/trace", 200)] == 1
+
+    def test_batch_persists_the_shared_trace_under_each_fresh_digest(
+        self, harness, store
+    ):
+        _raw_call(
+            harness.client.base_url,
+            "/v1/batch",
+            {"requests": [grid_request(seed=1).to_dict(), grid_request(seed=2).to_dict()]},
+            trace_header="caller-batch-0001",
+        )
+        for seed in (1, 2):
+            digest = grid_request(seed=seed).digest()
+            assert store.get(digest).trace_id == "caller-batch-0001"
+            sources = store.load_spans(digest)
+            assert sources["frontend"]["trace_id"] == "caller-batch-0001"
+
+    def test_trace_header_never_perturbs_the_digest(self, harness, store):
+        """Golden: same request with three different trace headers, one job."""
+        digests = set()
+        for trace_header in (None, "caller-trace-000a", "caller-trace-000b"):
+            _, body, _ = _raw_call(
+                harness.client.base_url,
+                "/v1/solve",
+                grid_request(seed=5).to_dict(),
+                trace_header=trace_header,
+            )
+            digests.add(json.loads(body)["job"]["digest"])
+        assert digests == {grid_request(seed=5).digest()}
+        assert store.queue_depth() == 1
+
+    def test_fast_path_bodies_stay_byte_identical_across_trace_ids(
+        self, harness, store
+    ):
+        """Golden: telemetry rides the header; cached bodies never vary."""
+        harness.client.solve(grid_request())
+        _complete_via_worker(store, grid_request().digest(), {"answer": 42})
+        bodies = set()
+        for trace_header in ("caller-trace-00aa", "caller-trace-00bb", None):
+            status, body, headers = _raw_call(
+                harness.client.base_url,
+                "/v1/solve",
+                grid_request().to_dict(),
+                trace_header=trace_header,
+            )
+            assert status == 200
+            if trace_header:  # the echo still works on cached serves
+                assert headers.get(TRACE_HEADER) == trace_header
+            bodies.add(body)
+        # the envelope carries the *job row's* trace_id (set at creation),
+        # which is identical however later fetches are traced
+        assert len(bodies) == 1
+        assert harness.server.envelope_cache_hits >= 1
+
+
+class TestStageMetrics:
+    def test_healthz_reports_the_store_layout(self, harness):
+        health = harness.client.healthz()
+        assert health["store"] == {
+            "backend": "sqlite",
+            "shards": 1,
+            "shard_queue_depths": [0],
+        }
+
+    def test_stage_histograms_appear_after_a_completed_job(self, harness, store):
+        harness.client.solve(grid_request())
+        _complete_via_worker(store, grid_request().digest(), {"answer": 1})
+        text = harness.client.metrics()
+        for name in (
+            "repro_queue_wait_seconds",
+            "repro_serialize_seconds",
+            "repro_served_latency_seconds",
+        ):
+            assert f"{name}_count 1" in text
+            assert f'{name}_bucket{{le="+Inf"}} 1' in text
+            assert f"{name}_sum" in text
+
+    def test_slow_request_counter_and_threshold_gauge(self, store):
+        with ServerHarness(
+            store, workers_alive=lambda: 1, slow_request_threshold=1e-9
+        ) as harness:
+            harness.client.solve(grid_request())  # any request is "slow" now
+            assert harness.server.slow_requests >= 1
+            text = harness.client.metrics()
+            assert "repro_slow_requests_total" in text
+            assert "repro_slow_request_threshold_seconds 1e-09" in text
+
+    def test_default_threshold_keeps_fast_requests_unflagged(self, harness):
+        harness.client.solve(grid_request())
+        assert harness.server.slow_requests == 0

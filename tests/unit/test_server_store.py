@@ -564,6 +564,49 @@ class TestMigration:
             assert upgraded.get("keepme").first_finished_at is None
             assert upgraded.solve_latencies() == [3.0]  # 5.0 - 2.0
 
+    def _create_v3_database(self, path) -> None:
+        """A version-3 store as PR 7 left it: v2 plus first_finished_at."""
+        self._create_v2_database(path)
+        conn = sqlite3.connect(path)
+        conn.execute("ALTER TABLE jobs ADD COLUMN first_finished_at REAL")
+        conn.execute(
+            "UPDATE jobs SET first_finished_at = finished_at "
+            "WHERE state = 'done' AND finished_at IS NOT NULL"
+        )
+        conn.execute("PRAGMA user_version=3")
+        conn.commit()
+        conn.close()
+
+    def test_v3_database_gains_the_telemetry_surface(self, tmp_path):
+        """Migration to v4: ``trace_id``/``serialize_seconds`` columns and
+        the ``trace_spans`` sidecar appear; pre-v4 rows read back with no
+        trace id and keep contributing to the stage histograms."""
+        path = tmp_path / "v3.db"
+        self._create_v3_database(path)
+        with JobStore(path) as upgraded:
+            assert upgraded.schema_version == SCHEMA_VERSION
+            # old rows carry no trace id, but the field is present
+            done = upgraded.get("olddone")
+            assert done.trace_id is None
+            assert done.to_dict()["trace_id"] is None
+            # their stage samples survive: queue wait 1.0, served 4.0,
+            # serialize unknown (NULL) so it contributes no sample
+            stages = upgraded.stage_latency_samples()
+            assert stages["queue_wait"] == [1.0]  # 2.0 - 1.0
+            assert stages["served"] == [4.0]  # 5.0 - 1.0
+            assert stages["serialize"] == []
+            # the span sidecar works on the upgraded store ...
+            tree = {"trace_id": "t-migrated-001", "pid": 9, "spans": [], "dropped_spans": 0}
+            upgraded.save_spans("olddone", "worker", tree, trace_id="t-migrated-001")
+            assert upgraded.load_spans("olddone") == {"worker": tree}
+            # ... and new submissions stamp trace ids
+            record, created = upgraded.submit(
+                grid_request(seed=99), trace_id="t-fresh-000001"
+            )
+            assert created and record.trace_id == "t-fresh-000001"
+            # v1/v2 survivors are still intact after two more migrations
+            assert upgraded.get("keepme").state == "queued"
+
 
 class TestPoisonSweepWrites:
     """Satellite-2 regression: the sweep must not write when nothing matches."""

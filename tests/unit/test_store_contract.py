@@ -429,3 +429,97 @@ class TestWorkerBeacons:
         totals = store.worker_stats_totals()
         assert totals["jobs_done"] == 7.0
         assert totals["busy_seconds"] == 1.0
+
+
+class TestTelemetry:
+    """Schema-v4 telemetry surface: trace ids, span sidecar, stage samples.
+
+    All of it is observability-only — it must never perturb digests or
+    result envelopes — but the *storage* behaviour is part of the backend
+    contract: the HTTP layer stamps ids and the trace endpoint reads span
+    trees without knowing which backend it got.
+    """
+
+    def test_submit_stamps_the_creating_trace_id(self, store):
+        record, created = store.submit(grid_request(), trace_id="trace-created-01")
+        assert created
+        assert record.trace_id == "trace-created-01"
+        assert store.get(record.digest).trace_id == "trace-created-01"
+        assert store.get(record.digest).to_dict()["trace_id"] == "trace-created-01"
+
+    def test_dedup_keeps_the_creators_trace_id(self, store):
+        first, _ = store.submit(grid_request(), trace_id="trace-original-1")
+        again, created = store.submit(grid_request(), trace_id="trace-retry-0002")
+        assert not created
+        assert again.trace_id == "trace-original-1"
+        assert store.get(first.digest).trace_id == "trace-original-1"
+
+    def test_submit_many_stamps_every_created_row(self, store):
+        requests = [grid_request(seed=s) for s in (1, 2, 3)]
+        results = store.submit_many(requests, trace_id="trace-batch-0001")
+        assert all(created for _, created in results)
+        for record, _ in results:
+            assert store.get(record.digest).trace_id == "trace-batch-0001"
+
+    def test_untraced_submission_leaves_trace_id_none(self, store):
+        record, _ = store.submit(grid_request())
+        assert record.trace_id is None
+        assert store.get(record.digest).to_dict()["trace_id"] is None
+
+    def test_trace_id_never_perturbs_the_digest(self, store):
+        """Golden: telemetry rides beside the request, never inside it."""
+        with_trace, _ = store.submit(grid_request(seed=7), trace_id="trace-golden-001")
+        bare = grid_request(seed=7).digest()
+        assert with_trace.digest == bare
+
+    def test_span_sidecar_round_trips_by_source(self, store):
+        record, _ = store.submit(grid_request(), trace_id="trace-spans-0001")
+        frontend = {"trace_id": "trace-spans-0001", "pid": 1, "spans": [], "dropped_spans": 0}
+        worker = {
+            "trace_id": "trace-spans-0001",
+            "pid": 2,
+            "spans": [{"name": "worker.execute", "wall_seconds": 0.5, "cpu_seconds": 0.4}],
+            "dropped_spans": 0,
+        }
+        store.save_spans(record.digest, "frontend", frontend, trace_id="trace-spans-0001")
+        store.save_spans(record.digest, "worker", worker, trace_id="trace-spans-0001")
+        loaded = store.load_spans(record.digest)
+        assert loaded == {"frontend": frontend, "worker": worker}
+        assert store.load_spans("unknown-digest") == {}
+
+    def test_span_sidecar_upserts_per_source(self, store):
+        record, _ = store.submit(grid_request())
+        stale = {"trace_id": None, "pid": 3, "spans": [], "dropped_spans": 0}
+        fresh = {
+            "trace_id": None,
+            "pid": 4,
+            "spans": [{"name": "worker.execute", "wall_seconds": 0.1, "cpu_seconds": 0.1}],
+            "dropped_spans": 0,
+        }
+        store.save_spans(record.digest, "worker", stale)
+        store.save_spans(record.digest, "worker", fresh)  # retry replaces
+        assert store.load_spans(record.digest) == {"worker": fresh}
+
+    def test_stage_latency_samples_cover_done_jobs(self, store):
+        record, _ = store.submit(grid_request())
+        store.claim("w1")
+        store.complete(record.digest, {"x": 1}, worker="w1")
+        stages = store.stage_latency_samples()
+        assert set(stages) == {"queue_wait", "serialize", "served"}
+        assert len(stages["queue_wait"]) == 1
+        assert len(stages["serialize"]) == 1
+        assert len(stages["served"]) == 1
+        assert all(value >= 0.0 for samples in stages.values() for value in samples)
+
+    def test_stage_latency_samples_empty_store(self, store):
+        stages = store.stage_latency_samples()
+        assert set(stages) == {"queue_wait", "serialize", "served"}
+        assert all(samples == [] for samples in stages.values())
+
+    def test_layout_info_names_the_backend(self, store, backend_name):
+        layout = store.layout_info()
+        assert layout["backend"] == backend_name
+        assert layout["shards"] == BACKENDS[backend_name]
+        assert len(layout["shard_queue_depths"]) == BACKENDS[backend_name]
+        store.submit(grid_request())
+        assert sum(store.layout_info()["shard_queue_depths"]) == 1
